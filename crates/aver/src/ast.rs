@@ -1,0 +1,296 @@
+//! Abstract syntax of the Aver language.
+
+/// A complete assertion: optional `when` clause plus an expectation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assertion {
+    /// Grouping/filtering conditions (conjunction-of-terms semantics are
+    /// encoded in the expression tree).
+    pub when: Option<Cond>,
+    /// The expectation evaluated per group.
+    pub expect: Expr,
+    /// Original source text, for error reporting.
+    pub source: String,
+}
+
+/// A `when`-clause condition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// `col = *` — group by this column.
+    Wildcard(String),
+    /// `col <op> literal` — filter rows.
+    Filter(String, CmpOp, Literal),
+    /// Conjunction.
+    And(Box<Cond>, Box<Cond>),
+    /// Disjunction (only of filters; wildcards inside `or` are rejected
+    /// at parse time because their grouping semantics would be ambiguous).
+    Or(Box<Cond>, Box<Cond>),
+    /// Negation (of filters only, same restriction).
+    Not(Box<Cond>),
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Apply to an ordering of numbers.
+    pub fn holds_f64(self, a: f64, b: f64) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+
+    /// Apply to strings (ordering comparisons use lexicographic order).
+    pub fn holds_str(self, a: &str, b: &str) -> bool {
+        match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        }
+    }
+}
+
+/// A literal in a condition or expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    /// A number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+}
+
+/// A boolean expectation expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Comparison of two arithmetic expressions.
+    Cmp(Box<Arith>, CmpOp, Box<Arith>),
+    /// Trend or predicate function call returning a boolean.
+    Call(BoolFn, Vec<Arg>),
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+    /// `true` / `false`.
+    Const(bool),
+}
+
+/// Boolean functions of the language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoolFn {
+    /// `sublinear(x, y)` — y grows sublinearly in x (log-log slope in (0,1)).
+    Sublinear,
+    /// `superlinear(x, y)` — log-log slope > 1.
+    Superlinear,
+    /// `linear(x, y)` — log-log slope ≈ 1.
+    Linear,
+    /// `increasing(x, y)` — y is (weakly) increasing when sorted by x.
+    Increasing,
+    /// `decreasing(x, y)` — y is (weakly) decreasing when sorted by x.
+    Decreasing,
+    /// `constant(y)` or `constant(y, tol)` — relative spread ≤ tol (default 5%).
+    Constant,
+    /// `within(a, b, pct)` — |a-b| ≤ pct% of |b|.
+    Within,
+}
+
+impl BoolFn {
+    /// Resolve a function name.
+    pub fn from_name(name: &str) -> Option<BoolFn> {
+        Some(match name {
+            "sublinear" => BoolFn::Sublinear,
+            "superlinear" => BoolFn::Superlinear,
+            "linear" => BoolFn::Linear,
+            "increasing" => BoolFn::Increasing,
+            "decreasing" => BoolFn::Decreasing,
+            "constant" => BoolFn::Constant,
+            "within" => BoolFn::Within,
+            _ => return None,
+        })
+    }
+
+    /// Accepted argument counts.
+    pub fn arity(self) -> std::ops::RangeInclusive<usize> {
+        match self {
+            BoolFn::Sublinear | BoolFn::Superlinear | BoolFn::Linear | BoolFn::Increasing | BoolFn::Decreasing => 2..=2,
+            BoolFn::Constant => 1..=2,
+            BoolFn::Within => 3..=3,
+        }
+    }
+
+    /// The language-level name.
+    pub fn name(self) -> &'static str {
+        match self {
+            BoolFn::Sublinear => "sublinear",
+            BoolFn::Superlinear => "superlinear",
+            BoolFn::Linear => "linear",
+            BoolFn::Increasing => "increasing",
+            BoolFn::Decreasing => "decreasing",
+            BoolFn::Constant => "constant",
+            BoolFn::Within => "within",
+        }
+    }
+}
+
+/// An argument to a boolean function: a column reference or an
+/// arithmetic expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arg {
+    /// A bare column name.
+    Column(String),
+    /// An arithmetic expression (aggregates allowed).
+    Arith(Arith),
+}
+
+/// Aggregate functions over a numeric column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFn {
+    /// Arithmetic mean.
+    Avg,
+    /// Sum.
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Row count (non-null).
+    Count,
+    /// Median.
+    Median,
+    /// Sample standard deviation.
+    Stddev,
+    /// 90th percentile.
+    P90,
+    /// 95th percentile.
+    P95,
+    /// 99th percentile.
+    P99,
+}
+
+impl AggFn {
+    /// Resolve an aggregate name.
+    pub fn from_name(name: &str) -> Option<AggFn> {
+        Some(match name {
+            "avg" | "mean" => AggFn::Avg,
+            "sum" => AggFn::Sum,
+            "min" => AggFn::Min,
+            "max" => AggFn::Max,
+            "count" => AggFn::Count,
+            "median" => AggFn::Median,
+            "stddev" | "std" => AggFn::Stddev,
+            "p90" => AggFn::P90,
+            "p95" => AggFn::P95,
+            "p99" => AggFn::P99,
+            _ => return None,
+        })
+    }
+}
+
+/// Arithmetic expressions over aggregates and literals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arith {
+    /// A numeric literal.
+    Num(f64),
+    /// An aggregate over a column: `avg(time)`.
+    Agg(AggFn, String),
+    /// Binary arithmetic.
+    Bin(Box<Arith>, ArithOp, Box<Arith>),
+    /// Unary negation.
+    Neg(Box<Arith>),
+}
+
+/// Arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_ops_numeric() {
+        assert!(CmpOp::Eq.holds_f64(1.0, 1.0));
+        assert!(CmpOp::Ne.holds_f64(1.0, 2.0));
+        assert!(CmpOp::Lt.holds_f64(1.0, 2.0));
+        assert!(CmpOp::Le.holds_f64(2.0, 2.0));
+        assert!(CmpOp::Gt.holds_f64(3.0, 2.0));
+        assert!(CmpOp::Ge.holds_f64(2.0, 2.0));
+        assert!(!CmpOp::Lt.holds_f64(2.0, 2.0));
+    }
+
+    #[test]
+    fn cmp_ops_strings() {
+        assert!(CmpOp::Eq.holds_str("a", "a"));
+        assert!(CmpOp::Lt.holds_str("a", "b"));
+        assert!(!CmpOp::Gt.holds_str("a", "b"));
+    }
+
+    #[test]
+    fn boolfn_names_round_trip() {
+        for f in [
+            BoolFn::Sublinear,
+            BoolFn::Superlinear,
+            BoolFn::Linear,
+            BoolFn::Increasing,
+            BoolFn::Decreasing,
+            BoolFn::Constant,
+            BoolFn::Within,
+        ] {
+            assert_eq!(BoolFn::from_name(f.name()), Some(f));
+        }
+        assert_eq!(BoolFn::from_name("bogus"), None);
+    }
+
+    #[test]
+    fn aggfn_aliases() {
+        assert_eq!(AggFn::from_name("avg"), Some(AggFn::Avg));
+        assert_eq!(AggFn::from_name("mean"), Some(AggFn::Avg));
+        assert_eq!(AggFn::from_name("std"), Some(AggFn::Stddev));
+        assert_eq!(AggFn::from_name("p99"), Some(AggFn::P99));
+        assert_eq!(AggFn::from_name("wat"), None);
+    }
+
+    #[test]
+    fn arity_ranges() {
+        assert!(BoolFn::Sublinear.arity().contains(&2));
+        assert!(!BoolFn::Sublinear.arity().contains(&3));
+        assert!(BoolFn::Constant.arity().contains(&1));
+        assert!(BoolFn::Constant.arity().contains(&2));
+        assert!(BoolFn::Within.arity().contains(&3));
+    }
+}

@@ -1,0 +1,312 @@
+//! Tokenizer for the Aver language.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// `when`
+    When,
+    /// `expect`
+    Expect,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// An identifier (column or function name).
+    Ident(String),
+    /// A numeric literal.
+    Number(f64),
+    /// A quoted string literal.
+    Str(String),
+    /// `*`
+    Star,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;` — statement separator.
+    Semi,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::When => write!(f, "when"),
+            Token::Expect => write!(f, "expect"),
+            Token::And => write!(f, "and"),
+            Token::Or => write!(f, "or"),
+            Token::Not => write!(f, "not"),
+            Token::True => write!(f, "true"),
+            Token::False => write!(f, "false"),
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Number(n) => write!(f, "{n}"),
+            Token::Str(s) => write!(f, "{s:?}"),
+            Token::Star => write!(f, "*"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Semi => write!(f, ";"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "!="),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Slash => write!(f, "/"),
+            Token::Percent => write!(f, "%"),
+        }
+    }
+}
+
+/// Tokenize Aver source. `#` starts a comment to end of line. Note `*`
+/// serves both as the wildcard and as multiplication; the parser
+/// disambiguates by context.
+pub fn lex(source: &str) -> Result<Vec<Token>, String> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' => i += 1,
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '#' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semi);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token::Percent);
+                i += 1;
+            }
+            '=' => {
+                // Accept both `=` and `==`.
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'=' {
+                    i += 1;
+                }
+                tokens.push(Token::Eq);
+            }
+            '!' => {
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'=' {
+                    tokens.push(Token::Ne);
+                    i += 1;
+                } else {
+                    return Err(format!("line {line}: lone '!' (use 'not' or '!=')"));
+                }
+            }
+            '<' => {
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'=' {
+                    tokens.push(Token::Le);
+                    i += 1;
+                } else {
+                    tokens.push(Token::Lt);
+                }
+            }
+            '>' => {
+                i += 1;
+                if i < bytes.len() && bytes[i] == b'=' {
+                    tokens.push(Token::Ge);
+                    i += 1;
+                } else {
+                    tokens.push(Token::Gt);
+                }
+            }
+            '"' | '\'' => {
+                let quote = bytes[i];
+                i += 1;
+                let start = i;
+                while i < bytes.len() && bytes[i] != quote {
+                    if bytes[i] == b'\n' {
+                        return Err(format!("line {line}: unterminated string"));
+                    }
+                    i += 1;
+                }
+                if i >= bytes.len() {
+                    return Err(format!("line {line}: unterminated string"));
+                }
+                tokens.push(Token::Str(
+                    std::str::from_utf8(&bytes[start..i]).map_err(|_| "bad utf8 in string")?.to_string(),
+                ));
+                i += 1;
+            }
+            c if c.is_ascii_digit() || (c == '.' && i + 1 < bytes.len() && bytes[i + 1].is_ascii_digit()) => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit() || bytes[i] == b'.' || bytes[i] == b'e' || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && i > start
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                let text = std::str::from_utf8(&bytes[start..i]).expect("ascii");
+                let n: f64 = text.parse().map_err(|_| format!("line {line}: bad number '{text}'"))?;
+                tokens.push(Token::Number(n));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                // Identifiers may continue with '-' so machine names like
+                // `cloudlab-c220g` lex as one token; '-' only acts as
+                // minus when it does not follow an identifier character.
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'-')
+                {
+                    i += 1;
+                }
+                let word = std::str::from_utf8(&bytes[start..i]).expect("ascii");
+                tokens.push(match word {
+                    "when" => Token::When,
+                    "expect" => Token::Expect,
+                    "and" => Token::And,
+                    "or" => Token::Or,
+                    "not" => Token::Not,
+                    "true" => Token::True,
+                    "false" => Token::False,
+                    _ => Token::Ident(word.to_string()),
+                });
+            }
+            other => return Err(format!("line {line}: unexpected character '{other}'")),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_listing_three() {
+        let toks = lex("when\n  workload=* and machine=*\nexpect\n  sublinear(nodes,time)").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::When,
+                Token::Ident("workload".into()),
+                Token::Eq,
+                Token::Star,
+                Token::And,
+                Token::Ident("machine".into()),
+                Token::Eq,
+                Token::Star,
+                Token::Expect,
+                Token::Ident("sublinear".into()),
+                Token::LParen,
+                Token::Ident("nodes".into()),
+                Token::Comma,
+                Token::Ident("time".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let toks = lex("a >= 1.5 and b != 'x' or c <= 2e3 ; d == 4").unwrap();
+        assert!(toks.contains(&Token::Ge));
+        assert!(toks.contains(&Token::Ne));
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Semi));
+        assert!(toks.contains(&Token::Number(2000.0)));
+        assert!(toks.contains(&Token::Number(4.0)));
+        assert!(toks.contains(&Token::Str("x".into())));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("# header comment\navg(time) < 5 # trailing\n").unwrap();
+        assert_eq!(toks.len(), 6);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(lex("a ! b").is_err());
+        assert!(lex("\"unterminated").is_err());
+        assert!(lex("a @ b").is_err());
+    }
+
+    #[test]
+    fn numbers_with_exponents() {
+        let toks = lex("1e-3 2.5E+2 .5").unwrap();
+        assert_eq!(toks, vec![Token::Number(0.001), Token::Number(250.0), Token::Number(0.5)]);
+    }
+
+    #[test]
+    fn dotted_identifiers() {
+        let toks = lex("baseline.mem_bw > 10").unwrap();
+        assert_eq!(toks[0], Token::Ident("baseline.mem_bw".into()));
+    }
+}

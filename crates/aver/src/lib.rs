@@ -1,0 +1,88 @@
+//! # popper-aver
+//!
+//! The **Aver** assertion language (Jimenez et al., *Aver*, 2016) — the
+//! automated-validation component of the Popper convention. Authors
+//! codify the expected behaviour of their experiments as declarative
+//! assertions over the experiment's result table; re-executions are then
+//! validated mechanically instead of by "eyeballing figures" (§Common
+//! Practice, *Eyeball Validation*).
+//!
+//! The canonical example is Listing 3 of the paper, which guards the
+//! GassyFS scalability result:
+//!
+//! ```text
+//! when
+//!   workload=* and machine=*
+//! expect
+//!   sublinear(nodes, time)
+//! ```
+//!
+//! Semantics: wildcard terms (`col=*`) are *grouping* variables — the
+//! expectation must hold within every distinct combination of their
+//! values; concrete terms (`col=value`, `col > 3`) are row filters.
+//!
+//! The expectation grammar supports:
+//!
+//! * trend functions over two columns: `sublinear`, `superlinear`,
+//!   `linear`, `increasing`, `decreasing`, `constant`;
+//! * aggregates over one column: `avg`, `sum`, `min`, `max`, `count`,
+//!   `median`, `stddev`, `p90`, `p95`, `p99`;
+//! * `within(a, b, pct)` relative-tolerance comparison;
+//! * full arithmetic and comparison operators, `and` / `or` / `not`.
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`eval`] over a
+//! [`popper_format::Table`]. [`check`] is the one-call entry point.
+
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod stats;
+
+pub use ast::Assertion;
+pub use eval::{check, check_all, AverError, Verdict};
+
+/// Parse an Aver source string into assertions (one per `when/expect`
+/// statement; statements are separated by `;` or blank-line boundaries
+/// handled by the parser).
+pub fn parse(source: &str) -> Result<Vec<Assertion>, AverError> {
+    let tokens = lexer::lex(source).map_err(AverError::Syntax)?;
+    parser::parse_program(&tokens).map_err(AverError::Syntax)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popper_format::Table;
+
+    #[test]
+    fn paper_listing_three_end_to_end() {
+        // The exact assertion from Listing 3 against a sublinear dataset.
+        let src = "when workload=* and machine=* expect sublinear(nodes, time)";
+        let table = Table::from_csv(
+            "workload,machine,nodes,time\n\
+             git,cloudlab,1,100\n\
+             git,cloudlab,2,130\n\
+             git,cloudlab,4,165\n\
+             git,cloudlab,8,205\n",
+        )
+        .unwrap();
+        let verdict = check(src, &table).unwrap();
+        assert!(verdict.passed, "{:?}", verdict.failures);
+    }
+
+    #[test]
+    fn paper_listing_three_fails_on_superlinear_data() {
+        let src = "when workload=* and machine=* expect sublinear(nodes, time)";
+        let table = Table::from_csv(
+            "workload,machine,nodes,time\n\
+             git,cloudlab,1,100\n\
+             git,cloudlab,2,400\n\
+             git,cloudlab,4,1600\n",
+        )
+        .unwrap();
+        let verdict = check(src, &table).unwrap();
+        assert!(!verdict.passed);
+        assert!(!verdict.failures.is_empty());
+    }
+}

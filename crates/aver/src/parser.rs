@@ -1,0 +1,494 @@
+//! Recursive-descent parser for Aver.
+//!
+//! Grammar (see crate docs for semantics):
+//!
+//! ```text
+//! program    := assertion (';' assertion)* ';'?
+//! assertion  := ('when' cond)? 'expect' expr
+//! cond       := cterm (('and'|'or') cterm)*           # left-assoc
+//! cterm      := 'not' cterm | '(' cond ')' | ident cmp ('*'|literal)
+//! expr       := bterm (('and'|'or') bterm)*           # left-assoc
+//! bterm      := 'not' bterm | 'true' | 'false'
+//!             | boolfn '(' args ')' | arith cmp arith | '(' expr ')'
+//! arith      := term (('+'|'-') term)*
+//! term       := factor (('*'|'/'|'%') factor)*
+//! factor     := number | '-' factor | agg '(' ident ')' | '(' arith ')'
+//! ```
+
+use crate::ast::*;
+use crate::lexer::Token;
+
+/// Parse a whole program (one or more `;`-separated assertions).
+pub fn parse_program(tokens: &[Token]) -> Result<Vec<Assertion>, String> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut out = Vec::new();
+    loop {
+        // Allow stray separators.
+        while p.eat(&Token::Semi) {}
+        if p.at_end() {
+            break;
+        }
+        out.push(p.parse_assertion()?);
+        if !p.at_end() && !p.eat(&Token::Semi) {
+            return Err(format!("expected ';' between assertions, found '{}'", p.peek_desc()));
+        }
+    }
+    if out.is_empty() {
+        return Err("empty Aver program".into());
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_desc(&self) -> String {
+        self.peek().map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+    }
+
+    fn bump(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_tok(&mut self, t: &Token) -> Result<(), String> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            Err(format!("expected '{t}', found '{}'", self.peek_desc()))
+        }
+    }
+
+    fn parse_assertion(&mut self) -> Result<Assertion, String> {
+        let start = self.pos;
+        let when = if self.eat(&Token::When) {
+            let c = self.parse_cond()?;
+            validate_cond(&c, false)?;
+            Some(c)
+        } else {
+            None
+        };
+        self.expect_tok(&Token::Expect)?;
+        let expect = self.parse_expr()?;
+        let source = self.tokens[start..self.pos].iter().map(|t| t.to_string()).collect::<Vec<_>>().join(" ");
+        Ok(Assertion { when, expect, source })
+    }
+
+    // ---- conditions ----
+
+    fn parse_cond(&mut self) -> Result<Cond, String> {
+        let mut left = self.parse_cterm()?;
+        loop {
+            if self.eat(&Token::And) {
+                let right = self.parse_cterm()?;
+                left = Cond::And(Box::new(left), Box::new(right));
+            } else if self.eat(&Token::Or) {
+                let right = self.parse_cterm()?;
+                left = Cond::Or(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_cterm(&mut self) -> Result<Cond, String> {
+        if self.eat(&Token::Not) {
+            let inner = self.parse_cterm()?;
+            return Ok(Cond::Not(Box::new(inner)));
+        }
+        if self.eat(&Token::LParen) {
+            let inner = self.parse_cond()?;
+            self.expect_tok(&Token::RParen)?;
+            return Ok(inner);
+        }
+        let name = match self.bump() {
+            Some(Token::Ident(s)) => s.clone(),
+            other => return Err(format!("expected column name in 'when', found '{}'", tok_desc(other))),
+        };
+        let op = match self.bump() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Ne) => CmpOp::Ne,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            other => return Err(format!("expected comparison operator, found '{}'", tok_desc(other))),
+        };
+        match self.bump() {
+            Some(Token::Star) => {
+                if op != CmpOp::Eq {
+                    return Err("wildcard only combines with '='".into());
+                }
+                Ok(Cond::Wildcard(name))
+            }
+            Some(Token::Number(n)) => Ok(Cond::Filter(name, op, Literal::Num(*n))),
+            Some(Token::Str(s)) => Ok(Cond::Filter(name, op, Literal::Str(s.clone()))),
+            Some(Token::Ident(s)) => Ok(Cond::Filter(name, op, Literal::Str(s.clone()))),
+            Some(Token::True) => Ok(Cond::Filter(name, op, Literal::Bool(true))),
+            Some(Token::False) => Ok(Cond::Filter(name, op, Literal::Bool(false))),
+            other => Err(format!("expected literal or '*', found '{}'", tok_desc(other))),
+        }
+    }
+
+    // ---- expectations ----
+
+    fn parse_expr(&mut self) -> Result<Expr, String> {
+        let mut left = self.parse_bterm()?;
+        loop {
+            if self.eat(&Token::And) {
+                let right = self.parse_bterm()?;
+                left = Expr::And(Box::new(left), Box::new(right));
+            } else if self.eat(&Token::Or) {
+                let right = self.parse_bterm()?;
+                left = Expr::Or(Box::new(left), Box::new(right));
+            } else {
+                return Ok(left);
+            }
+        }
+    }
+
+    fn parse_bterm(&mut self) -> Result<Expr, String> {
+        if self.eat(&Token::Not) {
+            let inner = self.parse_bterm()?;
+            return Ok(Expr::Not(Box::new(inner)));
+        }
+        if self.eat(&Token::True) {
+            return Ok(Expr::Const(true));
+        }
+        if self.eat(&Token::False) {
+            return Ok(Expr::Const(false));
+        }
+        // A boolean function call?
+        if let Some(Token::Ident(name)) = self.peek() {
+            if let Some(f) = BoolFn::from_name(name) {
+                if self.tokens.get(self.pos + 1) == Some(&Token::LParen) {
+                    self.pos += 2;
+                    let args = self.parse_args()?;
+                    self.expect_tok(&Token::RParen)?;
+                    if !f.arity().contains(&args.len()) {
+                        return Err(format!(
+                            "{} takes {:?} arguments, got {}",
+                            f.name(),
+                            f.arity(),
+                            args.len()
+                        ));
+                    }
+                    return Ok(Expr::Call(f, args));
+                }
+            }
+        }
+        // Parenthesized boolean expression vs parenthesized arithmetic:
+        // try boolean first, fall back to arithmetic comparison.
+        if self.peek() == Some(&Token::LParen) {
+            let save = self.pos;
+            self.pos += 1;
+            if let Ok(inner) = self.parse_expr() {
+                if self.eat(&Token::RParen) {
+                    // Must not be followed by an arithmetic operator —
+                    // otherwise it was an arithmetic group.
+                    if !matches!(
+                        self.peek(),
+                        Some(Token::Plus | Token::Minus | Token::Star | Token::Slash | Token::Percent
+                            | Token::Eq | Token::Ne | Token::Lt | Token::Le | Token::Gt | Token::Ge)
+                    ) {
+                        return Ok(inner);
+                    }
+                }
+            }
+            self.pos = save;
+        }
+        // Comparison of arithmetic expressions.
+        let left = self.parse_arith()?;
+        let op = match self.bump() {
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Ne) => CmpOp::Ne,
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            other => return Err(format!("expected comparison in expectation, found '{}'", tok_desc(other))),
+        };
+        let right = self.parse_arith()?;
+        Ok(Expr::Cmp(Box::new(left), op, Box::new(right)))
+    }
+
+    fn parse_args(&mut self) -> Result<Vec<Arg>, String> {
+        let mut args = Vec::new();
+        if self.peek() == Some(&Token::RParen) {
+            return Ok(args);
+        }
+        loop {
+            // A bare identifier not followed by '(' or an operator is a
+            // column reference; anything else is arithmetic.
+            let arg = match self.peek() {
+                Some(Token::Ident(name)) => {
+                    let is_agg_call = AggFn::from_name(name).is_some()
+                        && self.tokens.get(self.pos + 1) == Some(&Token::LParen);
+                    let next_is_op = matches!(
+                        self.tokens.get(self.pos + 1),
+                        Some(Token::Plus | Token::Minus | Token::Star | Token::Slash | Token::Percent)
+                    );
+                    if is_agg_call || next_is_op {
+                        Arg::Arith(self.parse_arith()?)
+                    } else {
+                        let n = name.clone();
+                        self.pos += 1;
+                        Arg::Column(n)
+                    }
+                }
+                _ => Arg::Arith(self.parse_arith()?),
+            };
+            args.push(arg);
+            if !self.eat(&Token::Comma) {
+                return Ok(args);
+            }
+        }
+    }
+
+    // ---- arithmetic ----
+
+    fn parse_arith(&mut self) -> Result<Arith, String> {
+        let mut left = self.parse_term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => ArithOp::Add,
+                Some(Token::Minus) => ArithOp::Sub,
+                _ => return Ok(left),
+            };
+            self.pos += 1;
+            let right = self.parse_term()?;
+            left = Arith::Bin(Box::new(left), op, Box::new(right));
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Arith, String> {
+        let mut left = self.parse_factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => ArithOp::Mul,
+                Some(Token::Slash) => ArithOp::Div,
+                Some(Token::Percent) => ArithOp::Mod,
+                _ => return Ok(left),
+            };
+            self.pos += 1;
+            let right = self.parse_factor()?;
+            left = Arith::Bin(Box::new(left), op, Box::new(right));
+        }
+    }
+
+    fn parse_factor(&mut self) -> Result<Arith, String> {
+        match self.peek().cloned() {
+            Some(Token::Number(n)) => {
+                self.pos += 1;
+                Ok(Arith::Num(n))
+            }
+            Some(Token::Minus) => {
+                self.pos += 1;
+                Ok(Arith::Neg(Box::new(self.parse_factor()?)))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let inner = self.parse_arith()?;
+                self.expect_tok(&Token::RParen)?;
+                Ok(inner)
+            }
+            Some(Token::Ident(name)) => {
+                let agg = AggFn::from_name(&name)
+                    .ok_or_else(|| format!("unknown aggregate '{name}' (expected avg/min/max/…)"))?;
+                self.pos += 1;
+                self.expect_tok(&Token::LParen)?;
+                let col = match self.bump() {
+                    Some(Token::Ident(c)) => c.clone(),
+                    other => return Err(format!("expected column name, found '{}'", tok_desc(other))),
+                };
+                self.expect_tok(&Token::RParen)?;
+                Ok(Arith::Agg(agg, col))
+            }
+            other => Err(format!("expected arithmetic factor, found '{}'", tok_desc(other.as_ref()))),
+        }
+    }
+}
+
+fn tok_desc(t: Option<&Token>) -> String {
+    t.map(|t| t.to_string()).unwrap_or_else(|| "end of input".into())
+}
+
+/// Reject wildcards under `or`/`not` — their grouping semantics would be
+/// ambiguous.
+fn validate_cond(c: &Cond, under_or_not: bool) -> Result<(), String> {
+    match c {
+        Cond::Wildcard(col) => {
+            if under_or_not {
+                Err(format!("wildcard '{col}=*' cannot appear under 'or'/'not'"))
+            } else {
+                Ok(())
+            }
+        }
+        Cond::Filter(..) => Ok(()),
+        Cond::And(a, b) => {
+            validate_cond(a, under_or_not)?;
+            validate_cond(b, under_or_not)
+        }
+        Cond::Or(a, b) => {
+            validate_cond(a, true)?;
+            validate_cond(b, true)
+        }
+        Cond::Not(a) => validate_cond(a, true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_one(src: &str) -> Assertion {
+        let toks = lex(src).unwrap();
+        let mut prog = parse_program(&toks).unwrap();
+        assert_eq!(prog.len(), 1);
+        prog.remove(0)
+    }
+
+    fn parse_err(src: &str) -> String {
+        let toks = lex(src).unwrap();
+        parse_program(&toks).unwrap_err()
+    }
+
+    #[test]
+    fn listing_three_shape() {
+        let a = parse_one("when workload=* and machine=* expect sublinear(nodes,time)");
+        match &a.when {
+            Some(Cond::And(l, r)) => {
+                assert_eq!(**l, Cond::Wildcard("workload".into()));
+                assert_eq!(**r, Cond::Wildcard("machine".into()));
+            }
+            other => panic!("unexpected when: {other:?}"),
+        }
+        match &a.expect {
+            Expr::Call(BoolFn::Sublinear, args) => {
+                assert_eq!(args[0], Arg::Column("nodes".into()));
+                assert_eq!(args[1], Arg::Column("time".into()));
+            }
+            other => panic!("unexpected expect: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expectation_without_when() {
+        let a = parse_one("expect avg(time) < 100");
+        assert!(a.when.is_none());
+        assert!(matches!(a.expect, Expr::Cmp(..)));
+    }
+
+    #[test]
+    fn multiple_assertions() {
+        let toks = lex("expect avg(x) < 1 ; when m=* expect constant(y) ;").unwrap();
+        let prog = parse_program(&toks).unwrap();
+        assert_eq!(prog.len(), 2);
+    }
+
+    #[test]
+    fn arithmetic_precedence() {
+        let a = parse_one("expect avg(a) + max(b) * 2 < 10");
+        // max(b)*2 binds tighter than +.
+        match &a.expect {
+            Expr::Cmp(left, CmpOp::Lt, _) => match left.as_ref() {
+                Arith::Bin(_, ArithOp::Add, rhs) => {
+                    assert!(matches!(rhs.as_ref(), Arith::Bin(_, ArithOp::Mul, _)));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let a = parse_one("expect sublinear(n, t) and not constant(t) or count(t) >= 3");
+        // Left-assoc: ((sub and not const) or cmp).
+        assert!(matches!(a.expect, Expr::Or(..)));
+    }
+
+    #[test]
+    fn parenthesized_boolean() {
+        let a = parse_one("expect not (avg(a) < 1 or avg(b) < 2)");
+        assert!(matches!(a.expect, Expr::Not(_)));
+    }
+
+    #[test]
+    fn filters_with_operators() {
+        let a = parse_one("when nodes >= 2 and workload = 'git' and machine != slow expect increasing(nodes, time)");
+        let mut filters = 0;
+        fn count(c: &Cond, n: &mut usize) {
+            match c {
+                Cond::Filter(..) => *n += 1,
+                Cond::And(a, b) | Cond::Or(a, b) => {
+                    count(a, n);
+                    count(b, n);
+                }
+                Cond::Not(a) => count(a, n),
+                Cond::Wildcard(_) => {}
+            }
+        }
+        count(a.when.as_ref().unwrap(), &mut filters);
+        assert_eq!(filters, 3);
+    }
+
+    #[test]
+    fn within_three_args() {
+        let a = parse_one("expect within(avg(time), 100, 5)");
+        match &a.expect {
+            Expr::Call(BoolFn::Within, args) => assert_eq!(args.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_programs() {
+        assert!(parse_err("when x=* expect").contains("expected"));
+        assert!(parse_err("expect sublinear(a)").contains("arguments"));
+        assert!(parse_err("expect frobnicate(a, b)").contains("unknown aggregate"));
+        assert!(parse_err("when x=* or y=* expect true").contains("wildcard"));
+        assert!(parse_err("when not x=* expect true").contains("wildcard"));
+        assert!(parse_err("when x > * expect true").contains("wildcard only"));
+        assert!(parse_err("expect avg(time)").contains("comparison"));
+        let toks = lex("").unwrap();
+        assert!(parse_program(&toks).is_err());
+    }
+
+    #[test]
+    fn wildcard_under_and_inside_parens_ok() {
+        let a = parse_one("when (x=* and y=*) and z > 1 expect true");
+        assert!(a.when.is_some());
+    }
+
+    #[test]
+    fn source_text_preserved() {
+        let a = parse_one("when machine=* expect sublinear(nodes, time)");
+        assert!(a.source.contains("sublinear"));
+        assert!(a.source.contains("machine"));
+    }
+}

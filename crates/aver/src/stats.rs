@@ -1,0 +1,209 @@
+//! Statistics primitives used by the Aver evaluator (and re-used by the
+//! monitor's regression detectors).
+
+/// Arithmetic mean; NaN for empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample variance (n-1 denominator); NaN for fewer than 2 samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return f64::NAN;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn stddev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Median (average of middle two for even n); NaN for empty input.
+pub fn median(xs: &[f64]) -> f64 {
+    percentile(xs, 50.0)
+}
+
+/// Linear-interpolated percentile in `[0, 100]`; NaN for empty input.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = (p / 100.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Ordinary least squares fit `y = a + b x`; returns `(a, b, r²)`.
+/// `None` if fewer than 2 points or zero x-variance.
+pub fn linreg(x: &[f64], y: &[f64]) -> Option<(f64, f64, f64)> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = mean(x);
+    let my = mean(y);
+    let sxx: f64 = x.iter().map(|v| (v - mx) * (v - mx)).sum();
+    let sxy: f64 = x.iter().zip(y).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let syy: f64 = y.iter().map(|v| (v - my) * (v - my)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let b = sxy / sxx;
+    let a = my - b * mx;
+    let r2 = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let _ = n;
+    Some((a, b, r2))
+}
+
+/// Log-log power-law fit `y = c * x^k`; returns `(k, r²)`. Requires all
+/// x and y strictly positive and at least two distinct x values.
+pub fn loglog_slope(x: &[f64], y: &[f64]) -> Option<(f64, f64)> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    if x.iter().chain(y).any(|&v| v <= 0.0 || !v.is_finite()) {
+        return None;
+    }
+    let lx: Vec<f64> = x.iter().map(|v| v.ln()).collect();
+    let ly: Vec<f64> = y.iter().map(|v| v.ln()).collect();
+    let (_, k, r2) = linreg(&lx, &ly)?;
+    Some((k, r2))
+}
+
+/// Collapse repeated x values by averaging their y values; returns
+/// `(xs, mean ys)` sorted by x. Trend tests use this so that repetitions
+/// at the same scale don't bias the fit.
+pub fn collapse_by_x(x: &[f64], y: &[f64]) -> (Vec<f64>, Vec<f64>) {
+    let mut pairs: Vec<(f64, f64)> = x.iter().copied().zip(y.iter().copied()).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut i = 0;
+    while i < pairs.len() {
+        let x0 = pairs[i].0;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        while i < pairs.len() && pairs[i].0 == x0 {
+            sum += pairs[i].1;
+            n += 1;
+            i += 1;
+        }
+        xs.push(x0);
+        ys.push(sum / n as f64);
+    }
+    (xs, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_median_stddev() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert_eq!(median(&xs), 4.5);
+        assert!((stddev(&xs) - 2.138089935).abs() < 1e-6);
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[1.0]).is_nan());
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let xs = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&xs, 0.0), 10.0);
+        assert_eq!(percentile(&xs, 100.0), 40.0);
+        assert_eq!(percentile(&xs, 50.0), 25.0);
+        assert!((percentile(&xs, 90.0) - 37.0).abs() < 1e-12);
+        assert_eq!(percentile(&[5.0], 75.0), 5.0);
+    }
+
+    #[test]
+    fn linreg_exact_line() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [3.0, 5.0, 7.0, 9.0]; // y = 1 + 2x
+        let (a, b, r2) = linreg(&x, &y).unwrap();
+        assert!((a - 1.0).abs() < 1e-12);
+        assert!((b - 2.0).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linreg_degenerate() {
+        assert!(linreg(&[1.0], &[2.0]).is_none());
+        assert!(linreg(&[2.0, 2.0], &[1.0, 3.0]).is_none()); // zero x variance
+        // Constant y: slope 0, perfect fit.
+        let (_, b, r2) = linreg(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(b, 0.0);
+        assert_eq!(r2, 1.0);
+    }
+
+    #[test]
+    fn loglog_recovers_power_law() {
+        let x = [1.0, 2.0, 4.0, 8.0, 16.0];
+        let y: Vec<f64> = x.iter().map(|&v: &f64| 3.0 * v.powf(0.6)).collect();
+        let (k, r2) = loglog_slope(&x, &y).unwrap();
+        assert!((k - 0.6).abs() < 1e-9, "k={k}");
+        assert!(r2 > 0.999);
+    }
+
+    #[test]
+    fn loglog_rejects_nonpositive() {
+        assert!(loglog_slope(&[1.0, 2.0], &[0.0, 1.0]).is_none());
+        assert!(loglog_slope(&[-1.0, 2.0], &[1.0, 1.0]).is_none());
+        assert!(loglog_slope(&[1.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn collapse_averages_duplicates() {
+        let x = [2.0, 1.0, 2.0, 1.0];
+        let y = [10.0, 4.0, 20.0, 6.0];
+        let (xs, ys) = collapse_by_x(&x, &y);
+        assert_eq!(xs, vec![1.0, 2.0]);
+        assert_eq!(ys, vec![5.0, 15.0]);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn percentile_is_monotone(xs in proptest::collection::vec(-1e6f64..1e6, 1..40),
+                                      p1 in 0.0f64..100.0, p2 in 0.0f64..100.0) {
+                let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+                prop_assert!(percentile(&xs, lo) <= percentile(&xs, hi) + 1e-9);
+            }
+
+            #[test]
+            fn mean_within_range(xs in proptest::collection::vec(-1e6f64..1e6, 1..40)) {
+                let m = mean(&xs);
+                let mn = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+                let mx = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                prop_assert!(m >= mn - 1e-9 && m <= mx + 1e-9);
+            }
+
+            #[test]
+            fn loglog_slope_of_scaled_powerlaw(k in -2.0f64..2.0, c in 0.1f64..10.0) {
+                let x = [1.0, 2.0, 4.0, 8.0];
+                let y: Vec<f64> = x.iter().map(|&v: &f64| c * v.powf(k)).collect();
+                let (fit_k, r2) = loglog_slope(&x, &y).unwrap();
+                prop_assert!((fit_k - k).abs() < 1e-6);
+                prop_assert!(r2 > 0.999 || k.abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! F2 — Figure `gassyfs-git`: GassyFS git-compile runtime vs cluster
+//! size, plus the Listing-3 validation and the page-cache ablation.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use popper_gassyfs::experiment::{run_scalability, to_table, ScalabilityConfig, LISTING3_ASSERTION};
+use popper_gassyfs::fs::{GassyFs, MountOptions};
+use popper_gassyfs::workload::{run_compile, CompileWorkload};
+use popper_sim::{platforms, Cluster};
+
+fn print_figure() {
+    eprintln!("{}", popper_bench::banner("Fig. gassyfs-git"));
+    let config = ScalabilityConfig::default();
+    let points = run_scalability(&config).expect("scalability sweep");
+    eprintln!("{:>6} {:>12} {:>9}", "nodes", "time (s)", "remote %");
+    for p in &points {
+        eprintln!("{:>6} {:>12.3} {:>8.1}%", p.nodes, p.time_secs, p.remote_fraction * 100.0);
+    }
+    let table = to_table(&points, "git", &config.machine_label);
+    let verdict = popper_aver::check(LISTING3_ASSERTION, &table).expect("assertion evaluates");
+    eprintln!("\naver: {LISTING3_ASSERTION}\n  -> {verdict}");
+    let degradation = points.last().unwrap().time_secs / points[0].time_secs;
+    eprintln!("shape: {degradation:.2}x degradation over {}x nodes (sublinear)\n", points.last().unwrap().nodes);
+}
+
+fn bench_compile_by_nodes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gassyfs/compile_simulation");
+    group.sample_size(10);
+    for nodes in [1usize, 4, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &nodes| {
+            let workload = CompileWorkload::small();
+            b.iter(|| {
+                let cluster = Cluster::new(platforms::gassyfs_node(), nodes);
+                let mut fs = GassyFs::mount(cluster, MountOptions::default());
+                criterion::black_box(run_compile(&mut fs, &workload).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fs_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gassyfs/fs_ops");
+    group.sample_size(20);
+    group.bench_function("write_read_1MiB", |b| {
+        let data = vec![7u8; 1 << 20];
+        b.iter(|| {
+            let mut fs = GassyFs::mount(Cluster::new(platforms::gassyfs_node(), 4), MountOptions::default());
+            let t = fs.write_file("/f", &data, popper_sim::Nanos::ZERO).unwrap();
+            criterion::black_box(fs.read_timing("/f", t).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_by_nodes, bench_fs_ops);
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

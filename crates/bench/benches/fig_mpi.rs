@@ -1,0 +1,72 @@
+//! F3 — §5.3: the MPI noisy-neighborhood runtime distributions (the
+//! figure deferred in the paper's draft) plus LULESH-proxy throughput.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use popper_aver::stats;
+use popper_minimpi::comm::MpiWorld;
+use popper_minimpi::experiment::{run_variability_study, VariabilityStudy};
+use popper_minimpi::lulesh::{run, LuleshConfig};
+use popper_sim::{platforms, Cluster};
+
+fn print_figure() {
+    eprintln!("{}", popper_bench::banner("§5.3 MPI noisy neighborhood"));
+    let study = VariabilityStudy::default();
+    let outcome = run_variability_study(&study);
+    eprintln!("{:>10} {:>10} {:>10} {:>10} {:>8}", "scenario", "mean (s)", "min (s)", "max (s)", "CoV");
+    for scenario in ["quiet", "os-noise", "neighbor"] {
+        let times = outcome.times(scenario);
+        let mean = stats::mean(&times);
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        eprintln!(
+            "{scenario:>10} {mean:>10.3} {min:>10.3} {max:>10.3} {:>7.2}%",
+            outcome.cov(scenario) * 100.0
+        );
+    }
+    eprintln!("\nshape: quiet CoV = 0 (controlled), noisy CoV > 0; noise slows the mean.\n");
+}
+
+fn bench_lulesh(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpi/lulesh_proxy");
+    group.sample_size(10);
+    for ranks_per_dim in [2usize, 3] {
+        let mut config = LuleshConfig::paper();
+        config.grid = (ranks_per_dim, ranks_per_dim, ranks_per_dim);
+        config.iterations = 10;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(config.ranks()),
+            &config,
+            |b, config| {
+                b.iter(|| {
+                    let mut world =
+                        MpiWorld::new(Cluster::new(platforms::hpc_node(), 9), config.ranks());
+                    criterion::black_box(run(&mut world, config))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_collectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mpi/collectives");
+    group.sample_size(30);
+    group.bench_function("allreduce_64_ranks", |b| {
+        b.iter(|| {
+            let mut w = MpiWorld::new(Cluster::new(platforms::hpc_node(), 16), 64);
+            for _ in 0..100 {
+                w.allreduce(8);
+            }
+            criterion::black_box(w.elapsed())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lulesh, bench_collectives);
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

@@ -1,0 +1,70 @@
+//! F1 — Figure `torpor-variability`: the per-stressor speedup histogram
+//! of a CloudLab node over the 10-year-old Xeon.
+//!
+//! The figure data prints first; Criterion then measures both the
+//! simulated profiling pipeline and a subset of the *real* stressor
+//! kernels on the machine running this bench (Torpor's actual
+//! measurement primitive).
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use popper_monitor::stressors::{by_name, STRESSORS};
+use popper_torpor::experiment::{run_variability_experiment, VariabilityExperiment};
+use popper_torpor::profile::PerformanceProfile;
+use popper_torpor::variability::VariabilityProfile;
+use popper_sim::platforms;
+
+fn print_figure() {
+    eprintln!("{}", popper_bench::banner("Fig. torpor-variability"));
+    let results = run_variability_experiment(&VariabilityExperiment::default());
+    for r in &results {
+        let (lo, hi) = r.profile.range();
+        eprintln!("--- {} vs {} (range {:.2}x..{:.2}x)", r.profile.target, r.profile.base, lo, hi);
+        eprint!("{}", r.histogram.render());
+        let modal = r.histogram.modal_bin();
+        eprintln!(
+            "modal bin ({:.1},{:.1}]: {} stressors (paper: 7 in one 0.1 bin)\n",
+            modal.lo, modal.hi, modal.count
+        );
+    }
+}
+
+fn bench_profile_pipeline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("torpor/pipeline");
+    group.sample_size(20);
+    group.bench_function("profile_two_platforms_and_histogram", |b| {
+        let base = platforms::xeon_2006();
+        let target = platforms::cloudlab_c220g();
+        b.iter(|| {
+            let pb = PerformanceProfile::of_platform(&base, 1.0);
+            let pt = PerformanceProfile::of_platform(&target, 1.0);
+            let v = VariabilityProfile::between(&pb, &pt).unwrap();
+            criterion::black_box(v.histogram(0.1))
+        });
+    });
+    group.bench_function("full_three_target_experiment", |b| {
+        let config = VariabilityExperiment::default();
+        b.iter(|| criterion::black_box(run_variability_experiment(&config)));
+    });
+    group.finish();
+}
+
+fn bench_real_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("torpor/real_kernels");
+    group.sample_size(10);
+    for name in ["cpu-int", "cpu-fp", "cpu-matmul", "vm-stream", "vm-ptr-chase", "cpu-hash"] {
+        let s = by_name(name).expect("battery stressor");
+        group.bench_with_input(BenchmarkId::from_parameter(name), &s, |b, s| {
+            b.iter(|| criterion::black_box(s.run_real(1)));
+        });
+    }
+    group.finish();
+    eprintln!("(battery size: {} stressors)", STRESSORS.len());
+}
+
+criterion_group!(benches, bench_profile_pipeline, bench_real_kernels);
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

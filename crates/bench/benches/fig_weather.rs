@@ -1,0 +1,53 @@
+//! F4 — Figure `bww-airtemp`: the air-temperature analysis panels, plus
+//! generator/analysis throughput at the real Reanalysis-1 dimensions.
+
+use criterion::{criterion_group, Criterion};
+use popper_weather::{analyze, generate, ReanalysisConfig};
+
+fn print_figure() {
+    eprintln!("{}", popper_bench::banner("Fig. bww-airtemp"));
+    let grid = generate(&ReanalysisConfig::default());
+    let analysis = analyze(&grid);
+    // Print a decimated zonal profile (every 6th latitude).
+    eprintln!("zonal mean (K) by latitude:");
+    for (lat, z) in analysis.zonal_profile.iter().step_by(6) {
+        eprintln!("  {lat:>6.1}  {z:7.2}  {}", "#".repeat(((z - 210.0) / 3.0).max(0.0) as usize));
+    }
+    let series: Vec<f64> = analysis.global_series.iter().map(|(_, _, v)| *v).collect();
+    eprintln!(
+        "\nglobal mean: {:.2} K .. {:.2} K over {} months",
+        series.iter().cloned().fold(f64::INFINITY, f64::min),
+        series.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        series.len()
+    );
+    eprintln!("shape: warm equator, cold poles, hemisphere-opposed seasonal cycle.\n");
+}
+
+fn bench_generate_and_analyze(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weather");
+    group.sample_size(10);
+    group.bench_function("generate_73x144x48", |b| {
+        let config = ReanalysisConfig::default();
+        b.iter(|| criterion::black_box(generate(&config)));
+    });
+    let grid = generate(&ReanalysisConfig::default());
+    group.bench_function("analyze_73x144x48", |b| {
+        b.iter(|| criterion::black_box(analyze(&grid)));
+    });
+    group.bench_function("csv_round_trip_small", |b| {
+        let small = generate(&ReanalysisConfig::small());
+        b.iter(|| {
+            let text = popper_weather::reanalysis::to_csv(&small);
+            criterion::black_box(popper_weather::reanalysis::from_csv(&text).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generate_and_analyze);
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

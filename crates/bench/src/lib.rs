@@ -1,0 +1,24 @@
+//! # popper-bench
+//!
+//! The benchmark harness of the reproduction. Every figure of the
+//! paper's evaluation has a bench target that (1) prints the figure's
+//! data series/rows to stderr and (2) measures the machinery that
+//! produces it with Criterion:
+//!
+//! | Target | Paper artifact |
+//! |---|---|
+//! | `fig_torpor` | Fig. `torpor-variability` — speedup histogram |
+//! | `fig_gassyfs` | Fig. `gassyfs-git` — scalability curve |
+//! | `fig_mpi` | §5.3 — noisy-neighborhood runtime distributions |
+//! | `fig_weather` | Fig. `bww-airtemp` — air-temperature panels |
+//! | `substrates` | throughput of the DevOps substrates (SHA-256, CDC chunking, Myers diff, PML/JSON, fabric) |
+//! | `ablations` | design-choice ablations: hypervisor tax, FUSE options, statistical tests |
+//!
+//! Run with `cargo bench -p popper-bench` (or a single target with
+//! `--bench fig_gassyfs`).
+
+/// Shared helper: a small separator banner so figure data is findable
+/// in bench output.
+pub fn banner(title: &str) -> String {
+    format!("\n=== {title} {}\n", "=".repeat(60_usize.saturating_sub(title.len())))
+}

@@ -1,0 +1,234 @@
+//! Pipeline configuration (`.popper-ci.pml`).
+
+use popper_format::{pml, Value};
+use std::collections::BTreeMap;
+
+/// One job: a named list of steps bound to a stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Job {
+    /// Job name.
+    pub name: String,
+    /// Stage the job belongs to.
+    pub stage: String,
+    /// Step command strings, run in order.
+    pub steps: Vec<String>,
+    /// Environment for the steps (matrix combos add to this).
+    pub env: BTreeMap<String, String>,
+    /// If true, a failure does not fail the build (Travis's
+    /// `allow_failures`).
+    pub allow_failure: bool,
+}
+
+/// A build matrix: named axes, each with a list of values. Jobs are
+/// fanned out over the cartesian product.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Matrix {
+    /// Axis name → values, in declaration order.
+    pub axes: Vec<(String, Vec<String>)>,
+}
+
+impl Matrix {
+    /// All combinations (cartesian product) as env maps. An empty
+    /// matrix yields one empty combination.
+    pub fn combinations(&self) -> Vec<BTreeMap<String, String>> {
+        let mut combos: Vec<BTreeMap<String, String>> = vec![BTreeMap::new()];
+        for (axis, values) in &self.axes {
+            let mut next = Vec::with_capacity(combos.len() * values.len());
+            for combo in &combos {
+                for v in values {
+                    let mut c = combo.clone();
+                    c.insert(axis.clone(), v.clone());
+                    next.push(c);
+                }
+            }
+            combos = next;
+        }
+        combos
+    }
+}
+
+/// A parsed pipeline configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Stage execution order.
+    pub stages: Vec<String>,
+    /// Jobs (before matrix expansion).
+    pub jobs: Vec<Job>,
+    /// Optional build matrix.
+    pub matrix: Matrix,
+}
+
+impl PipelineConfig {
+    /// Parse from PML:
+    ///
+    /// ```text
+    /// stages: [lint, build, test]
+    /// matrix:
+    ///   machine: [cloudlab-c220g, ec2-vm]
+    /// jobs:
+    ///   - name: paper-builds
+    ///     stage: build
+    ///     steps:
+    ///       - build-paper
+    ///   - name: experiment
+    ///     stage: test
+    ///     env: {RUNS: "10"}
+    ///     steps: [run-experiment gassyfs, validate gassyfs]
+    ///     allow_failure: false
+    /// ```
+    pub fn from_pml(text: &str) -> Result<PipelineConfig, String> {
+        let doc = pml::parse(text).map_err(|e| e.to_string())?;
+        let stages: Vec<String> = doc
+            .get_list("stages")
+            .ok_or("pipeline missing 'stages'")?
+            .iter()
+            .map(|s| s.to_display_string())
+            .collect();
+        if stages.is_empty() {
+            return Err("pipeline has no stages".into());
+        }
+        let mut matrix = Matrix::default();
+        if let Some(entries) = doc.get("matrix").and_then(Value::as_map) {
+            for (axis, values) in entries {
+                let values = values
+                    .as_list()
+                    .ok_or_else(|| format!("matrix axis '{axis}' must be a list"))?
+                    .iter()
+                    .map(|v| v.to_display_string())
+                    .collect();
+                matrix.axes.push((axis.clone(), values));
+            }
+        }
+        let mut jobs = Vec::new();
+        for (i, j) in doc.get_list("jobs").ok_or("pipeline missing 'jobs'")?.iter().enumerate() {
+            let name = j
+                .get_str("name")
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("job-{}", i + 1));
+            let stage = j
+                .get_str("stage")
+                .ok_or_else(|| format!("job '{name}': missing 'stage'"))?
+                .to_string();
+            if !stages.contains(&stage) {
+                return Err(format!("job '{name}': unknown stage '{stage}'"));
+            }
+            let steps: Vec<String> = j
+                .get_list("steps")
+                .ok_or_else(|| format!("job '{name}': missing 'steps'"))?
+                .iter()
+                .map(|s| s.to_display_string())
+                .collect();
+            if steps.is_empty() {
+                return Err(format!("job '{name}': empty 'steps'"));
+            }
+            let mut env = BTreeMap::new();
+            if let Some(entries) = j.get("env").and_then(Value::as_map) {
+                for (k, v) in entries {
+                    env.insert(k.clone(), v.to_display_string());
+                }
+            }
+            let allow_failure = j.get_bool("allow_failure").unwrap_or(false);
+            jobs.push(Job { name, stage, steps, env, allow_failure });
+        }
+        if jobs.is_empty() {
+            return Err("pipeline has no jobs".into());
+        }
+        Ok(PipelineConfig { stages, jobs, matrix })
+    }
+
+    /// Expand the matrix: every job fans out over every combination,
+    /// with axis values injected into the job env and a combo suffix
+    /// appended to the name (`experiment [machine=ec2-vm]`).
+    pub fn expanded_jobs(&self) -> Vec<Job> {
+        let combos = self.matrix.combinations();
+        let mut out = Vec::with_capacity(self.jobs.len() * combos.len());
+        for job in &self.jobs {
+            for combo in &combos {
+                let mut j = job.clone();
+                if !combo.is_empty() {
+                    let suffix: Vec<String> = combo.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                    j.name = format!("{} [{}]", job.name, suffix.join(","));
+                    for (k, v) in combo {
+                        j.env.insert(k.clone(), v.clone());
+                    }
+                }
+                out.push(j);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+stages: [lint, build, test]
+matrix:
+  machine: [cloudlab-c220g, ec2-vm]
+  runs: [\"3\"]
+jobs:
+  - name: playbook-syntax
+    stage: lint
+    steps:
+      - validate-playbooks
+  - name: paper-builds
+    stage: build
+    steps: [build-paper]
+  - name: experiment
+    stage: test
+    env: {WORKLOAD: git}
+    steps:
+      - run-experiment gassyfs
+      - validate gassyfs
+    allow_failure: false
+";
+
+    #[test]
+    fn parses_sample() {
+        let cfg = PipelineConfig::from_pml(SAMPLE).unwrap();
+        assert_eq!(cfg.stages, vec!["lint", "build", "test"]);
+        assert_eq!(cfg.jobs.len(), 3);
+        assert_eq!(cfg.jobs[2].env["WORKLOAD"], "git");
+        assert_eq!(cfg.jobs[2].steps.len(), 2);
+        assert_eq!(cfg.matrix.axes.len(), 2);
+    }
+
+    #[test]
+    fn matrix_combinations() {
+        let cfg = PipelineConfig::from_pml(SAMPLE).unwrap();
+        let combos = cfg.matrix.combinations();
+        assert_eq!(combos.len(), 2); // 2 machines × 1 runs
+        assert_eq!(combos[0]["machine"], "cloudlab-c220g");
+        assert_eq!(combos[0]["runs"], "3");
+        // Empty matrix: one empty combo.
+        assert_eq!(Matrix::default().combinations(), vec![BTreeMap::new()]);
+    }
+
+    #[test]
+    fn expansion_injects_env_and_names() {
+        let cfg = PipelineConfig::from_pml(SAMPLE).unwrap();
+        let jobs = cfg.expanded_jobs();
+        assert_eq!(jobs.len(), 6); // 3 jobs × 2 combos
+        let exp: Vec<&Job> = jobs.iter().filter(|j| j.name.starts_with("experiment")).collect();
+        assert_eq!(exp.len(), 2);
+        assert!(exp.iter().any(|j| j.env["machine"] == "ec2-vm"));
+        assert!(exp[0].name.contains("machine="));
+        // Original env is preserved.
+        assert!(exp.iter().all(|j| j.env["WORKLOAD"] == "git"));
+    }
+
+    #[test]
+    fn rejects_malformed_configs() {
+        assert!(PipelineConfig::from_pml("jobs: []\n").is_err());
+        assert!(PipelineConfig::from_pml("stages: [a]\n").is_err());
+        assert!(PipelineConfig::from_pml("stages: [a]\njobs: []\n").is_err());
+        // Unknown stage.
+        let bad = "stages: [build]\njobs:\n  - name: j\n    stage: test\n    steps: [x]\n";
+        assert!(PipelineConfig::from_pml(bad).unwrap_err().contains("unknown stage"));
+        // Missing steps.
+        let bad = "stages: [build]\njobs:\n  - name: j\n    stage: build\n";
+        assert!(PipelineConfig::from_pml(bad).is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! Build history, badges, and the performance-regression gate step.
+
+use crate::runner::{BuildReport, StepOutcome};
+use popper_monitor::{RegressionCheck, RegressionVerdict};
+use std::fmt;
+
+/// One recorded build.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildRecord {
+    /// Monotonic build number.
+    pub number: u64,
+    /// Commit the build ran against (opaque id).
+    pub commit: String,
+    /// Did the build pass?
+    pub passed: bool,
+}
+
+/// The project's build history (what the badge and "last good commit"
+/// queries read).
+#[derive(Debug, Clone, Default)]
+pub struct BuildHistory {
+    records: Vec<BuildRecord>,
+}
+
+impl BuildHistory {
+    /// Empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a finished build; returns its number.
+    pub fn record(&mut self, commit: &str, report: &BuildReport) -> u64 {
+        let number = self.records.len() as u64 + 1;
+        self.records.push(BuildRecord { number, commit: commit.to_string(), passed: report.passed() });
+        number
+    }
+
+    /// The latest build, if any.
+    pub fn latest(&self) -> Option<&BuildRecord> {
+        self.records.last()
+    }
+
+    /// The most recent passing build.
+    pub fn last_good(&self) -> Option<&BuildRecord> {
+        self.records.iter().rev().find(|r| r.passed)
+    }
+
+    /// All records, oldest first.
+    pub fn records(&self) -> &[BuildRecord] {
+        &self.records
+    }
+
+    /// Pass rate over the whole history (1.0 for empty).
+    pub fn pass_rate(&self) -> f64 {
+        if self.records.is_empty() {
+            return 1.0;
+        }
+        self.records.iter().filter(|r| r.passed).count() as f64 / self.records.len() as f64
+    }
+}
+
+impl fmt::Display for BuildHistory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.records {
+            writeln!(
+                f,
+                "#{:<4} {}  {}",
+                r.number,
+                &r.commit[..r.commit.len().min(10)],
+                if r.passed { "passed" } else { "failed" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The README badge text for the latest build.
+pub fn badge(history: &BuildHistory) -> String {
+    match history.latest() {
+        None => "build: unknown".to_string(),
+        Some(r) if r.passed => "build: passing".to_string(),
+        Some(_) => "build: failing".to_string(),
+    }
+}
+
+/// Run a performance-regression gate as a CI step: compares candidate
+/// runtimes against the baseline with `check` and converts the verdict
+/// into a [`StepOutcome`] (regressions fail, improvements and no-change
+/// pass, inconclusive fails loudly — silence must never masquerade as
+/// green).
+pub fn regression_gate_step(
+    metric: &str,
+    baseline: &[f64],
+    candidate: &[f64],
+    check: &RegressionCheck,
+) -> StepOutcome {
+    let verdict = check.compare(baseline, candidate);
+    let line = format!("regression gate [{metric}]: {verdict}");
+    match verdict {
+        RegressionVerdict::Regression { .. } => StepOutcome::fail(line),
+        RegressionVerdict::Inconclusive => {
+            StepOutcome::fail(format!("{line} — collect more samples"))
+        }
+        _ => StepOutcome::pass(line),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use crate::runner::{run_pipeline, Executor, StepCtx};
+    use std::sync::Arc;
+
+    fn report(pass: bool) -> BuildReport {
+        let cfg = PipelineConfig::from_pml(
+            "stages: [t]\njobs:\n  - name: j\n    stage: t\n    steps: [s]\n",
+        )
+        .unwrap();
+        let executor: Executor = Arc::new(move |_: &StepCtx| {
+            if pass {
+                StepOutcome::pass("ok")
+            } else {
+                StepOutcome::fail("boom")
+            }
+        });
+        run_pipeline(&cfg, executor, 1)
+    }
+
+    #[test]
+    fn history_and_badge() {
+        let mut h = BuildHistory::new();
+        assert_eq!(badge(&h), "build: unknown");
+        h.record("abc123", &report(true));
+        assert_eq!(badge(&h), "build: passing");
+        h.record("def456", &report(false));
+        assert_eq!(badge(&h), "build: failing");
+        assert_eq!(h.latest().unwrap().number, 2);
+        assert_eq!(h.last_good().unwrap().commit, "abc123");
+        assert_eq!(h.pass_rate(), 0.5);
+        let text = h.to_string();
+        assert!(text.contains("#1"));
+        assert!(text.contains("failed"));
+    }
+
+    #[test]
+    fn regression_gate_outcomes() {
+        let check = RegressionCheck::default();
+        let baseline: Vec<f64> = (0..20).map(|i| 100.0 + (i % 5) as f64).collect();
+        // Clearly slower candidate fails the gate.
+        let slower: Vec<f64> = baseline.iter().map(|v| v * 1.3).collect();
+        let out = regression_gate_step("gassyfs-git", &baseline, &slower, &check);
+        assert!(!out.success);
+        assert!(out.log.contains("REGRESSION"));
+        // Same distribution passes.
+        let out = regression_gate_step("gassyfs-git", &baseline, &baseline.clone(), &check);
+        assert!(out.success);
+        // Faster candidate passes and says so.
+        let faster: Vec<f64> = baseline.iter().map(|v| v * 0.7).collect();
+        let out = regression_gate_step("gassyfs-git", &baseline, &faster, &check);
+        assert!(out.success);
+        assert!(out.log.contains("improvement"));
+        // Too little data fails loudly.
+        let out = regression_gate_step("gassyfs-git", &[1.0], &[2.0], &check);
+        assert!(!out.success);
+        assert!(out.log.contains("more samples"));
+    }
+}

@@ -1,0 +1,373 @@
+//! The pipeline runner.
+
+use crate::config::{Job, PipelineConfig};
+use crossbeam::channel;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// What a step sees when it runs.
+#[derive(Debug, Clone)]
+pub struct StepCtx {
+    /// The step command string from the config.
+    pub command: String,
+    /// Job environment (config env + matrix combo).
+    pub env: BTreeMap<String, String>,
+    /// Job name (for logs).
+    pub job: String,
+}
+
+/// What a step returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// Success?
+    pub success: bool,
+    /// Log text appended to the job log.
+    pub log: String,
+}
+
+impl StepOutcome {
+    /// A passing step with a log line.
+    pub fn pass(log: impl Into<String>) -> Self {
+        StepOutcome { success: true, log: log.into() }
+    }
+
+    /// A failing step with a log line.
+    pub fn fail(log: impl Into<String>) -> Self {
+        StepOutcome { success: false, log: log.into() }
+    }
+}
+
+/// Step semantics are supplied by the embedder.
+pub type Executor = Arc<dyn Fn(&StepCtx) -> StepOutcome + Send + Sync>;
+
+/// Final state of one job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// All steps passed.
+    Passed,
+    /// A step failed.
+    Failed,
+    /// A step failed but the job allows failure.
+    SoftFailed,
+    /// The job's stage never ran (an earlier stage failed).
+    Canceled,
+}
+
+/// The record of one job run.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// Job name (matrix-expanded).
+    pub name: String,
+    /// Stage name.
+    pub stage: String,
+    /// Final status.
+    pub status: JobStatus,
+    /// Concatenated step logs.
+    pub log: String,
+    /// How many steps ran (including the failing one).
+    pub steps_run: usize,
+}
+
+/// The whole build's report.
+#[derive(Debug, Clone)]
+pub struct BuildReport {
+    /// Per-job results in execution order (stage order, then job order).
+    pub jobs: Vec<JobResult>,
+}
+
+impl BuildReport {
+    /// A build passes when no job hard-failed and no stage was canceled.
+    pub fn passed(&self) -> bool {
+        self.jobs
+            .iter()
+            .all(|j| matches!(j.status, JobStatus::Passed | JobStatus::SoftFailed))
+    }
+
+    /// Results for one stage.
+    pub fn stage(&self, stage: &str) -> Vec<&JobResult> {
+        self.jobs.iter().filter(|j| j.stage == stage).collect()
+    }
+
+    /// Travis-style one-line-per-job summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        for j in &self.jobs {
+            let mark = match j.status {
+                JobStatus::Passed => "ok",
+                JobStatus::Failed => "FAILED",
+                JobStatus::SoftFailed => "failed (allowed)",
+                JobStatus::Canceled => "canceled",
+            };
+            out.push_str(&format!("{:<10} {:<40} {mark}\n", j.stage, j.name));
+        }
+        out
+    }
+}
+
+impl fmt::Display for BuildReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.summary())
+    }
+}
+
+/// Run a pipeline: stages sequentially; a stage's (matrix-expanded)
+/// jobs in parallel on `workers` threads; if any hard-failing job fails
+/// in a stage, later stages are canceled (their jobs report
+/// [`JobStatus::Canceled`]).
+pub fn run_pipeline(config: &PipelineConfig, executor: Executor, workers: usize) -> BuildReport {
+    assert!(workers >= 1);
+    let all_jobs = config.expanded_jobs();
+    let mut report = BuildReport { jobs: Vec::with_capacity(all_jobs.len()) };
+    let mut canceled = false;
+
+    for stage in &config.stages {
+        let stage_jobs: Vec<&Job> = all_jobs.iter().filter(|j| &j.stage == stage).collect();
+        if stage_jobs.is_empty() {
+            continue;
+        }
+        if canceled {
+            for job in stage_jobs {
+                report.jobs.push(JobResult {
+                    name: job.name.clone(),
+                    stage: stage.clone(),
+                    status: JobStatus::Canceled,
+                    log: String::new(),
+                    steps_run: 0,
+                });
+            }
+            continue;
+        }
+
+        // Work queue: indices into stage_jobs; results slot per job.
+        let (tx, rx) = channel::unbounded::<usize>();
+        for i in 0..stage_jobs.len() {
+            tx.send(i).expect("queue open");
+        }
+        drop(tx);
+        let results: Vec<parking_lot::Mutex<Option<JobResult>>> =
+            stage_jobs.iter().map(|_| parking_lot::Mutex::new(None)).collect();
+
+        crossbeam::scope(|scope| {
+            for _ in 0..workers.min(stage_jobs.len()) {
+                let rx = rx.clone();
+                let executor = executor.clone();
+                let results = &results;
+                let stage_jobs = &stage_jobs;
+                scope.spawn(move |_| {
+                    while let Ok(i) = rx.recv() {
+                        let job = stage_jobs[i];
+                        *results[i].lock() = Some(run_job(job, &executor));
+                    }
+                });
+            }
+        })
+        .expect("CI worker threads must not panic");
+
+        for slot in results {
+            let result = slot.into_inner().expect("job ran");
+            if result.status == JobStatus::Failed {
+                canceled = true;
+            }
+            report.jobs.push(result);
+        }
+    }
+    report
+}
+
+fn run_job(job: &Job, executor: &Executor) -> JobResult {
+    let mut log = String::new();
+    let mut steps_run = 0;
+    let mut failed = false;
+    for step in &job.steps {
+        steps_run += 1;
+        let ctx = StepCtx { command: step.clone(), env: job.env.clone(), job: job.name.clone() };
+        let outcome = executor(&ctx);
+        log.push_str(&format!("$ {step}\n{}\n", outcome.log.trim_end()));
+        if !outcome.success {
+            failed = true;
+            break;
+        }
+    }
+    let status = if !failed {
+        JobStatus::Passed
+    } else if job.allow_failure {
+        JobStatus::SoftFailed
+    } else {
+        JobStatus::Failed
+    };
+    JobResult { name: job.name.clone(), stage: job.stage.clone(), status, log, steps_run }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn config(text: &str) -> PipelineConfig {
+        PipelineConfig::from_pml(text).unwrap()
+    }
+
+    fn echo_executor() -> Executor {
+        Arc::new(|ctx: &StepCtx| {
+            if ctx.command.starts_with("fail") {
+                StepOutcome::fail(format!("step '{}' exploded", ctx.command))
+            } else {
+                StepOutcome::pass(format!("ran '{}'", ctx.command))
+            }
+        })
+    }
+
+    const GREEN: &str = "\
+stages: [lint, test]
+jobs:
+  - name: syntax
+    stage: lint
+    steps: [check-a, check-b]
+  - name: exp
+    stage: test
+    steps: [run]
+";
+
+    #[test]
+    fn green_pipeline_passes() {
+        let report = run_pipeline(&config(GREEN), echo_executor(), 4);
+        assert!(report.passed());
+        assert_eq!(report.jobs.len(), 2);
+        assert!(report.jobs.iter().all(|j| j.status == JobStatus::Passed));
+        assert!(report.jobs[0].log.contains("ran 'check-b'"));
+        assert_eq!(report.jobs[0].steps_run, 2);
+    }
+
+    #[test]
+    fn failing_step_stops_job_and_cancels_later_stages() {
+        let src = "\
+stages: [build, test]
+jobs:
+  - name: broken
+    stage: build
+    steps: [ok-step, fail-here, never-runs]
+  - name: exp
+    stage: test
+    steps: [run]
+";
+        let report = run_pipeline(&config(src), echo_executor(), 2);
+        assert!(!report.passed());
+        let broken = &report.jobs[0];
+        assert_eq!(broken.status, JobStatus::Failed);
+        assert_eq!(broken.steps_run, 2, "third step must not run");
+        assert!(!broken.log.contains("never-runs\n$"));
+        let exp = &report.jobs[1];
+        assert_eq!(exp.status, JobStatus::Canceled);
+    }
+
+    #[test]
+    fn allow_failure_keeps_build_green() {
+        let src = "\
+stages: [test]
+jobs:
+  - name: flaky
+    stage: test
+    steps: [fail-flaky]
+    allow_failure: true
+  - name: solid
+    stage: test
+    steps: [run]
+";
+        let report = run_pipeline(&config(src), echo_executor(), 2);
+        assert!(report.passed());
+        assert!(report.jobs.iter().any(|j| j.status == JobStatus::SoftFailed));
+    }
+
+    #[test]
+    fn matrix_jobs_get_their_env() {
+        let src = "\
+stages: [test]
+matrix:
+  machine: [a, b, c]
+jobs:
+  - name: exp
+    stage: test
+    steps: [show-machine]
+";
+        let executor: Executor = Arc::new(|ctx: &StepCtx| StepOutcome::pass(format!("machine={}", ctx.env["machine"])));
+        let report = run_pipeline(&config(src), executor, 2);
+        assert_eq!(report.jobs.len(), 3);
+        let logs: Vec<&str> = report.jobs.iter().map(|j| j.log.as_str()).collect();
+        assert!(logs.iter().any(|l| l.contains("machine=a")));
+        assert!(logs.iter().any(|l| l.contains("machine=c")));
+    }
+
+    #[test]
+    fn jobs_run_in_parallel() {
+        // 4 jobs that each wait for the others via a barrier-ish counter
+        // would deadlock on a single worker; with 4 workers they finish.
+        let src = "\
+stages: [test]
+jobs:
+  - name: j1
+    stage: test
+    steps: [sync]
+  - name: j2
+    stage: test
+    steps: [sync]
+  - name: j3
+    stage: test
+    steps: [sync]
+  - name: j4
+    stage: test
+    steps: [sync]
+";
+        let arrived = Arc::new(AtomicUsize::new(0));
+        let a2 = arrived.clone();
+        let executor: Executor = Arc::new(move |_ctx: &StepCtx| {
+            a2.fetch_add(1, Ordering::SeqCst);
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+            while a2.load(Ordering::SeqCst) < 4 {
+                if std::time::Instant::now() > deadline {
+                    return StepOutcome::fail("peers never arrived: jobs did not run in parallel");
+                }
+                std::thread::yield_now();
+            }
+            StepOutcome::pass("all four ran concurrently")
+        });
+        let report = run_pipeline(&config(src), executor, 4);
+        assert!(report.passed(), "{}", report.summary());
+    }
+
+    #[test]
+    fn report_accessors() {
+        let report = run_pipeline(&config(GREEN), echo_executor(), 1);
+        assert_eq!(report.stage("lint").len(), 1);
+        assert_eq!(report.stage("test").len(), 1);
+        assert!(report.summary().contains("syntax"));
+        assert!(report.to_string().contains("ok"));
+    }
+
+    #[test]
+    fn results_are_in_deterministic_order() {
+        let src = "\
+stages: [test]
+matrix:
+  m: [a, b]
+jobs:
+  - name: x
+    stage: test
+    steps: [run]
+  - name: y
+    stage: test
+    steps: [run]
+";
+        let names = |workers| -> Vec<String> {
+            run_pipeline(&config(src), echo_executor(), workers)
+                .jobs
+                .into_iter()
+                .map(|j| j.name)
+                .collect()
+        };
+        let expected = names(1);
+        for w in [2, 4, 8] {
+            assert_eq!(names(w), expected, "order must not depend on worker count");
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! A small argument parser: `popper <command> [subcommand] [args…]
+//! [--flag[=value]]`.
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Parsed {
+    /// Positional arguments in order (command first).
+    pub positional: Vec<String>,
+    /// `--flag` / `--flag=value` / `--flag value` options.
+    pub flags: Vec<(String, Option<String>)>,
+}
+
+impl Parsed {
+    /// The command (first positional), if any.
+    pub fn command(&self) -> Option<&str> {
+        self.positional.first().map(String::as_str)
+    }
+
+    /// Positional argument `i` (0 = the command itself).
+    pub fn pos(&self, i: usize) -> Option<&str> {
+        self.positional.get(i).map(String::as_str)
+    }
+
+    /// Is a boolean flag present?
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    /// The value of `--name=value` or `--name value`.
+    pub fn flag_value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// A numeric flag with a default.
+    pub fn flag_num(&self, name: &str, default: f64) -> Result<f64, String> {
+        match self.flag_value(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got '{v}'")),
+        }
+    }
+}
+
+/// Known flags that take a value; everything else is boolean.
+const VALUE_FLAGS: &[&str] = &["author", "workers", "nodes", "seed", "column"];
+
+/// Parse argv (program name already stripped).
+pub fn parse(argv: &[&str]) -> Result<Parsed, String> {
+    let mut out = Parsed::default();
+    let mut i = 0;
+    while i < argv.len() {
+        let arg = argv[i];
+        if let Some(flag) = arg.strip_prefix("--") {
+            if flag.is_empty() {
+                return Err("stray '--'".into());
+            }
+            if let Some((name, value)) = flag.split_once('=') {
+                out.flags.push((name.to_string(), Some(value.to_string())));
+            } else if VALUE_FLAGS.contains(&flag) {
+                let value = argv
+                    .get(i + 1)
+                    .ok_or_else(|| format!("--{flag} expects a value"))?;
+                out.flags.push((flag.to_string(), Some(value.to_string())));
+                i += 1;
+            } else {
+                out.flags.push((flag.to_string(), None));
+            }
+        } else if arg.starts_with('-') && arg.len() > 1 {
+            return Err(format!("unknown short option '{arg}' (use --long flags)"));
+        } else {
+            out.positional.push(arg.to_string());
+        }
+        i += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positional_and_flags() {
+        let p = parse(&["add", "torpor", "myexp", "--author", "ivo", "--force"]).unwrap();
+        assert_eq!(p.command(), Some("add"));
+        assert_eq!(p.pos(1), Some("torpor"));
+        assert_eq!(p.pos(2), Some("myexp"));
+        assert_eq!(p.flag_value("author"), Some("ivo"));
+        assert!(p.has_flag("force"));
+        assert!(!p.has_flag("missing"));
+    }
+
+    #[test]
+    fn equals_form() {
+        let p = parse(&["ci", "--workers=8", "--verbose"]).unwrap();
+        assert_eq!(p.flag_value("workers"), Some("8"));
+        assert_eq!(p.flag_num("workers", 2.0).unwrap(), 8.0);
+        assert_eq!(p.flag_num("other", 2.0).unwrap(), 2.0);
+        assert!(p.has_flag("verbose"));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse(&["x", "--author"]).is_err()); // missing value
+        assert!(parse(&["--"]).is_err());
+        assert!(parse(&["-x"]).is_err());
+        let p = parse(&["ci", "--workers=abc"]).unwrap();
+        assert!(p.flag_num("workers", 1.0).is_err());
+    }
+
+    #[test]
+    fn empty_argv() {
+        let p = parse(&[]).unwrap();
+        assert_eq!(p.command(), None);
+    }
+}

@@ -1,0 +1,575 @@
+//! The `popper` subcommands.
+
+use crate::argparse::Parsed;
+use crate::persist;
+use crate::runners::full_engine;
+use parking_lot::Mutex;
+use popper_core::{
+    check::check_compliance,
+    cipipeline::run_ci,
+    paper::build_paper,
+    templates::{experiment_templates, find_template, paper_template_files, paper_templates},
+    PopperRepo,
+};
+use std::path::Path;
+use std::sync::Arc;
+
+/// Dispatch a parsed command line in `dir`.
+pub fn dispatch(parsed: &Parsed, dir: &Path) -> Result<String, String> {
+    let author = parsed.flag_value("author").unwrap_or("anonymous researcher").to_string();
+    match parsed.command() {
+        None | Some("help") => Ok(help_text()),
+        Some("init") => cmd_init(dir, &author),
+        Some("experiment") => match parsed.pos(1) {
+            Some("list") | None => Ok(template_listing()),
+            Some("add") => {
+                let tpl = parsed.pos(2).ok_or("usage: popper experiment add <template> <name>")?;
+                let name = parsed.pos(3).ok_or("usage: popper experiment add <template> <name>")?;
+                cmd_add(dir, &author, tpl, name)
+            }
+            Some(other) => Err(format!("unknown experiment subcommand '{other}'")),
+        },
+        Some("add") => {
+            let tpl = parsed.pos(1).ok_or("usage: popper add <template> <name>")?;
+            let name = parsed.pos(2).ok_or("usage: popper add <template> <name>")?;
+            cmd_add(dir, &author, tpl, name)
+        }
+        Some("paper") => match parsed.pos(1) {
+            Some("list") | None => {
+                let mut out = String::from("-- available paper templates ---------\n");
+                for (name, desc) in paper_templates() {
+                    out.push_str(&format!("{name:<10} {desc}\n"));
+                }
+                Ok(out)
+            }
+            Some("add") => {
+                let tpl = parsed.pos(2).ok_or("usage: popper paper add <template>")?;
+                cmd_paper_add(dir, &author, tpl)
+            }
+            Some("build") => {
+                let repo = persist::load(dir, &author)?;
+                let built = build_paper(&repo).map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "-- built '{}' ({} sections, {} figures)\n\n{}",
+                    built.title,
+                    built.sections.len(),
+                    built.figures.len(),
+                    built.output
+                ))
+            }
+            Some(other) => Err(format!("unknown paper subcommand '{other}'")),
+        },
+        Some("check") => {
+            let repo = persist::load(dir, &author)?;
+            let violations = check_compliance(&repo);
+            if violations.is_empty() {
+                Ok("-- repository is Popper-compliant\n".into())
+            } else {
+                let fatal = violations.iter().filter(|v| v.fatal).count();
+                let mut out = String::new();
+                for v in &violations {
+                    out.push_str(&format!("{v}\n"));
+                }
+                if fatal > 0 {
+                    Err(format!("{out}-- {fatal} fatal violation(s)"))
+                } else {
+                    Ok(format!("{out}-- compliant with warnings\n"))
+                }
+            }
+        }
+        Some("run") => {
+            let name = parsed.pos(1).ok_or("usage: popper run <experiment>")?;
+            let mut repo = persist::load(dir, &author)?;
+            let engine = full_engine();
+            let report = engine.run(&mut repo, name)?;
+            persist::save(&repo, dir)?;
+            if report.success() {
+                Ok(format!("{report}\n"))
+            } else {
+                Err(format!("{report}"))
+            }
+        }
+        Some("validate") => {
+            let name = parsed.pos(1).ok_or("usage: popper validate <experiment>")?;
+            let repo = persist::load(dir, &author)?;
+            let csv = repo
+                .read(&format!("experiments/{name}/results.csv"))
+                .ok_or_else(|| format!("experiment '{name}' has no results.csv (run it first)"))?;
+            let src = repo
+                .experiment_validations(name)
+                .ok_or_else(|| format!("experiment '{name}' has no validations.aver"))?;
+            let table = popper_format::Table::from_csv(&csv).map_err(|e| e.to_string())?;
+            let verdict = popper_aver::check(&src, &table).map_err(|e| e.to_string())?;
+            if verdict.passed {
+                Ok(format!("{verdict}\n"))
+            } else {
+                Err(verdict.to_string())
+            }
+        }
+        Some("ci") => {
+            let workers = parsed.flag_num("workers", 4.0)?.max(1.0) as usize;
+            let repo = Arc::new(Mutex::new(persist::load(dir, &author)?));
+            let engine = Arc::new(full_engine());
+            let report = run_ci(repo.clone(), engine, workers)?;
+            persist::save(&repo.lock(), dir)?;
+            let badge = if report.passed() { "build: passing" } else { "build: failing" };
+            let out = format!("{}\n[{badge}]\n", report.summary());
+            if report.passed() {
+                Ok(out)
+            } else {
+                Err(out)
+            }
+        }
+        Some("status") => {
+            let repo = persist::load(dir, &author)?;
+            let mut out = String::new();
+            out.push_str(&repo.tree());
+            let status = repo.vcs.status().map_err(|e| e.to_string())?;
+            if status.is_empty() {
+                out.push_str("\n-- working tree clean\n");
+            } else {
+                out.push_str("\n-- uncommitted changes:\n");
+                for c in status {
+                    out.push_str(&format!("  {c:?}\n"));
+                }
+            }
+            Ok(out)
+        }
+        Some("log") => {
+            let repo = persist::load(dir, &author)?;
+            let head = repo.vcs.head_commit().ok_or("no commits yet")?;
+            let mut out = String::new();
+            for (id, commit) in repo.vcs.log(head).map_err(|e| e.to_string())? {
+                out.push_str(&format!("{} {}\n", id.short(), commit.message));
+            }
+            Ok(out)
+        }
+        Some("diff") => {
+            let path = parsed.pos(1).ok_or("usage: popper diff <path>")?;
+            let repo = persist::load(dir, &author)?;
+            let head = repo.vcs.head_commit().ok_or("no commits yet")?;
+            let d = repo.vcs.diff_file(head, path).map_err(|e| e.to_string())?;
+            if d.is_empty() {
+                Ok(format!("-- '{path}' unchanged since HEAD\n"))
+            } else {
+                Ok(d)
+            }
+        }
+        Some("verify") => {
+            let name = parsed.pos(1).ok_or("usage: popper verify <experiment>")?;
+            let repo = persist::load(dir, &author)?;
+            let engine = full_engine();
+            let verdict = engine.verify(&repo, name)?;
+            match verdict {
+                popper_core::experiment::ReproVerdict::Identical => Ok(format!("{verdict}\n")),
+                other => Err(other.to_string()),
+            }
+        }
+        Some("figure") => {
+            let name = parsed.pos(1).ok_or("usage: popper figure <experiment>")?;
+            let repo = persist::load(dir, &author)?;
+            repo.read(&format!("experiments/{name}/figure.txt"))
+                .ok_or_else(|| format!("experiment '{name}' has no figure.txt (run it first)"))
+        }
+        Some("regression") => {
+            let name = parsed.pos(1).ok_or("usage: popper regression <experiment> --column <col>")?;
+            let column = parsed.flag_value("column").ok_or("usage: popper regression <experiment> --column <col>")?;
+            let repo = Arc::new(Mutex::new(persist::load(dir, &author)?));
+            let executor = popper_core::cipipeline::popper_steps(repo, Arc::new(full_engine()));
+            let outcome = executor(&popper_ci::StepCtx {
+                command: format!("regression-gate {name} {column}"),
+                env: Default::default(),
+                job: "regression".into(),
+            });
+            if outcome.success {
+                Ok(format!("{}\n", outcome.log))
+            } else {
+                Err(outcome.log)
+            }
+        }
+        Some("branch") => {
+            let name = parsed.pos(1).ok_or("usage: popper branch <name>")?;
+            let mut repo = persist::load(dir, &author)?;
+            repo.vcs.create_branch(name).map_err(|e| e.to_string())?;
+            persist::save(&repo, dir)?;
+            Ok(format!("-- created and switched to branch '{name}'\n"))
+        }
+        Some("checkout") => {
+            let name = parsed.pos(1).ok_or("usage: popper checkout <branch>")?;
+            let mut repo = persist::load(dir, &author)?;
+            repo.vcs.checkout(name).map_err(|e| e.to_string())?;
+            persist::save(&repo, dir)?;
+            Ok(format!("-- switched to branch '{name}'\n"))
+        }
+        Some("merge") => {
+            let name = parsed.pos(1).ok_or("usage: popper merge <branch>")?;
+            let mut repo = persist::load(dir, &author)?;
+            let outcome = repo.vcs.merge_branch(name, &author).map_err(|e| e.to_string())?;
+            persist::save(&repo, dir)?;
+            match outcome {
+                popper_vcs::MergeOutcome::Merged(id) => Ok(format!("-- merged '{name}' ({})\n", id.short())),
+                popper_vcs::MergeOutcome::FastForward(id) => {
+                    Ok(format!("-- fast-forwarded to '{name}' ({})\n", id.short()))
+                }
+                popper_vcs::MergeOutcome::UpToDate => Ok("-- already up to date\n".into()),
+                popper_vcs::MergeOutcome::Conflicted(conflicts) => {
+                    let mut out = String::from("-- merge conflicts; resolve the markers and `popper commit`:\n");
+                    for c in conflicts {
+                        out.push_str(&format!("   {}\n", c.path));
+                    }
+                    Err(out)
+                }
+            }
+        }
+        Some("pack") => {
+            let name = parsed.pos(1).ok_or("usage: popper pack <experiment>")?;
+            let repo = persist::load(dir, &author)?;
+            if parsed.has_flag("show-popperfile") {
+                return popper_core::pack::popperfile_for(&repo, name).map_err(|e| e.to_string());
+            }
+            let mut registry = popper_container::ImageRegistry::new();
+            let mut cache = popper_container::BuildCache::new();
+            let image = popper_core::pack::pack_experiment(&repo, name, &mut registry, &mut cache)
+                .map_err(|e| e.to_string())?;
+            Ok(format!(
+                "-- packed experiment '{name}' as {} ({} layer(s), commit {})\n",
+                image.reference(),
+                image.layers.len(),
+                image.config.labels["org.popper.commit"].get(..10).unwrap_or("?")
+            ))
+        }
+        Some("commit") => {
+            let mut repo = persist::load(dir, &author)?;
+            let message = parsed.pos(1).unwrap_or("checkpoint").to_string();
+            let id = repo.commit(&message).map_err(|e| e.to_string())?;
+            persist::save(&repo, dir)?;
+            Ok(format!("-- committed {}\n", id.short()))
+        }
+        Some(other) => Err(format!("unknown command '{other}'; try `popper help`")),
+    }
+}
+
+fn cmd_init(dir: &Path, author: &str) -> Result<String, String> {
+    if persist::is_initialized(dir) {
+        return Err("already a Popper repository (found .popper/state)".into());
+    }
+    let repo = PopperRepo::init(author).map_err(|e| e.to_string())?;
+    persist::save(&repo, dir)?;
+    Ok("-- Initialized Popper repo\n".into())
+}
+
+fn cmd_add(dir: &Path, author: &str, tpl: &str, name: &str) -> Result<String, String> {
+    let template = find_template(tpl)
+        .ok_or_else(|| format!("unknown template '{tpl}'; see `popper experiment list`"))?;
+    let mut repo = persist::load(dir, author)?;
+    if repo.experiments().contains(&name.to_string()) {
+        return Err(format!("experiment '{name}' already exists"));
+    }
+    for (path, contents) in template.files(name) {
+        repo.write(&path, contents).map_err(|e| e.to_string())?;
+    }
+    repo.commit(&format!("popper add {tpl} {name}")).map_err(|e| e.to_string())?;
+    persist::save(&repo, dir)?;
+    Ok(format!("-- added experiment '{name}' from template '{tpl}'\n"))
+}
+
+fn cmd_paper_add(dir: &Path, author: &str, tpl: &str) -> Result<String, String> {
+    let files = paper_template_files(tpl)
+        .ok_or_else(|| format!("unknown paper template '{tpl}'; see `popper paper list`"))?;
+    let mut repo = persist::load(dir, author)?;
+    for (path, contents) in files {
+        repo.write(&path, contents).map_err(|e| e.to_string())?;
+    }
+    repo.commit(&format!("popper paper add {tpl}")).map_err(|e| e.to_string())?;
+    persist::save(&repo, dir)?;
+    Ok(format!("-- installed paper template '{tpl}'\n"))
+}
+
+/// The Listing-2 style template listing (three columns).
+fn template_listing() -> String {
+    let mut out = String::from("-- available templates ---------------\n");
+    let templates = experiment_templates();
+    let names: Vec<&str> = templates.iter().map(|t| t.name).collect();
+    let rows = names.len().div_ceil(3);
+    let width = names.iter().map(|n| n.len()).max().unwrap_or(0) + 2;
+    for r in 0..rows {
+        for c in 0..3 {
+            if let Some(name) = names.get(c * rows + r) {
+                out.push_str(&format!("{name:<width$}"));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn help_text() -> String {
+    "\
+popper — the Popper convention CLI
+
+USAGE:
+    popper <command> [args] [--author <name>]
+
+COMMANDS:
+    init                      initialize a Popper repository here
+    experiment list           list curated experiment templates
+    add <template> <name>     add an experiment from a template
+    paper list|add <tpl>      manuscript templates
+    paper build               assemble the article (resolves figures)
+    check                     compliance check (is this Popperized?)
+    run <experiment>          run the full experiment lifecycle
+    validate <experiment>     re-check Aver validations on stored results\n    verify <experiment>       numerical reproducibility: re-execute and compare bytes
+    pack <experiment>         build a provenance-labeled container image\n    ci [--workers N]          run .popper-ci.pml
+    status | log | commit     repository plumbing\n    branch | checkout | merge collaboration plumbing
+"
+    .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::run;
+    use std::fs;
+    use std::path::PathBuf;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "popper-cli-{tag}-{}",
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn listing_two_session() {
+        // The exact session of Listing 2.
+        let dir = temp_dir("listing2");
+        let out = run(&["init"], &dir).unwrap();
+        assert!(out.contains("-- Initialized Popper repo"));
+
+        let out = run(&["experiment", "list"], &dir).unwrap();
+        assert!(out.contains("-- available templates"));
+        for name in ["ceph-rados", "proteustm", "mpi-comm-variability", "cloverleaf", "gassyfs", "zlog", "spark-standalone", "torpor", "malacology"] {
+            assert!(out.contains(name), "listing missing {name}:\n{out}");
+        }
+
+        let out = run(&["add", "torpor", "myexp"], &dir).unwrap();
+        assert!(out.contains("added experiment 'myexp'"));
+        assert!(dir.join("experiments/myexp/vars.pml").is_file());
+        assert!(dir.join("experiments/myexp/validations.aver").is_file());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn double_init_fails() {
+        let dir = temp_dir("doubleinit");
+        run(&["init"], &dir).unwrap();
+        assert!(run(&["init"], &dir).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn check_and_status() {
+        let dir = temp_dir("check");
+        run(&["init"], &dir).unwrap();
+        run(&["add", "ceph-rados", "e"], &dir).unwrap();
+        let out = run(&["check"], &dir).unwrap();
+        assert!(out.contains("results.csv"), "warns about missing results: {out}");
+        let out = run(&["status"], &dir).unwrap();
+        assert!(out.contains("paper-repo"));
+        assert!(out.contains("working tree clean"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn run_and_validate_synthetic_experiment() {
+        let dir = temp_dir("run");
+        run(&["init"], &dir).unwrap();
+        run(&["add", "ceph-rados", "e"], &dir).unwrap();
+        let out = run(&["run", "e"], &dir).unwrap();
+        assert!(out.contains("OK"), "{out}");
+        assert!(dir.join("experiments/e/results.csv").is_file());
+        assert!(dir.join("experiments/e/figure.txt").is_file());
+        let out = run(&["validate", "e"], &dir).unwrap();
+        assert!(out.contains("PASS"));
+        let out = run(&["log"], &dir).unwrap();
+        assert!(out.contains("record results"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ci_pipeline_via_cli() {
+        let dir = temp_dir("ci");
+        run(&["init"], &dir).unwrap();
+        run(&["add", "zlog", "z"], &dir).unwrap();
+        let out = run(&["ci", "--workers=2"], &dir).unwrap();
+        assert!(out.contains("build: passing"), "{out}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn paper_build_via_cli() {
+        let dir = temp_dir("paper");
+        run(&["init"], &dir).unwrap();
+        let out = run(&["paper", "build"], &dir).unwrap();
+        assert!(out.contains("built"));
+        let out = run(&["paper", "list"], &dir).unwrap();
+        assert!(out.contains("bams"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn external_edit_then_commit() {
+        let dir = temp_dir("edit");
+        run(&["init"], &dir).unwrap();
+        fs::write(dir.join("README.md"), "# my paper\n").unwrap();
+        let out = run(&["status"], &dir).unwrap();
+        assert!(out.contains("uncommitted"));
+        run(&["commit", "edit readme"], &dir).unwrap();
+        let out = run(&["status"], &dir).unwrap();
+        assert!(out.contains("working tree clean"));
+        let out = run(&["log"], &dir).unwrap();
+        assert!(out.contains("edit readme"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn error_paths() {
+        let dir = temp_dir("errors");
+        assert!(run(&["run", "e"], &dir).is_err(), "not initialized");
+        run(&["init"], &dir).unwrap();
+        assert!(run(&["add", "no-such-template", "e"], &dir).is_err());
+        assert!(run(&["frobnicate"], &dir).is_err());
+        assert!(run(&["validate", "ghost"], &dir).is_err());
+        run(&["add", "zlog", "z"], &dir).unwrap();
+        assert!(run(&["add", "zlog", "z"], &dir).is_err(), "duplicate experiment");
+        let help = run(&[], &dir).unwrap();
+        assert!(help.contains("USAGE"));
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod pack_tests {
+    use crate::run;
+    use std::fs;
+
+    #[test]
+    fn pack_via_cli() {
+        let dir = std::env::temp_dir().join(format!(
+            "popper-cli-pack-{}",
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        run(&["init"], &dir).unwrap();
+        run(&["add", "torpor", "t"], &dir).unwrap();
+        let out = run(&["pack", "t"], &dir).unwrap();
+        assert!(out.contains("packed experiment 't' as popper/t:"), "{out}");
+        let pf = run(&["pack", "t", "--show-popperfile"], &dir).unwrap();
+        assert!(pf.starts_with("FROM scratch"));
+        assert!(pf.contains("LABEL org.popper.commit"));
+        assert!(run(&["pack", "ghost"], &dir).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod merge_tests {
+    use crate::run;
+    use std::fs;
+
+    #[test]
+    fn reviewer_branch_merge_via_cli() {
+        let dir = std::env::temp_dir().join(format!(
+            "popper-cli-merge-{}",
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        run(&["init"], &dir).unwrap();
+        run(&["add", "zlog", "z"], &dir).unwrap();
+
+        // Reviewer scales the experiment on a branch.
+        run(&["branch", "reviewer"], &dir).unwrap();
+        let vars = fs::read_to_string(dir.join("experiments/z/vars.pml")).unwrap();
+        fs::write(dir.join("experiments/z/vars.pml"), vars.replace("[1, 2, 4, 8]", "[1, 2, 4, 8, 16]")).unwrap();
+        run(&["commit", "reviewer: scale to 16"], &dir).unwrap();
+
+        // Authors edit the paper on main.
+        run(&["checkout", "main"], &dir).unwrap();
+        assert!(fs::read_to_string(dir.join("experiments/z/vars.pml")).unwrap().contains("[1, 2, 4, 8]"));
+        fs::write(dir.join("paper/paper.md"), "# updated on main\n").unwrap();
+        run(&["commit", "main: paper edit"], &dir).unwrap();
+
+        // Merge the reviewer branch; both changes land.
+        let out = run(&["merge", "reviewer"], &dir).unwrap();
+        assert!(out.contains("merged 'reviewer'"), "{out}");
+        assert!(fs::read_to_string(dir.join("experiments/z/vars.pml")).unwrap().contains("16]"));
+        assert!(fs::read_to_string(dir.join("paper/paper.md")).unwrap().contains("updated on main"));
+        let log = run(&["log"], &dir).unwrap();
+        assert!(log.contains("merge 'reviewer'"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn conflicting_merge_reports_paths() {
+        let dir = std::env::temp_dir().join(format!(
+            "popper-cli-conflict-{}",
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        run(&["init"], &dir).unwrap();
+        run(&["branch", "other"], &dir).unwrap();
+        fs::write(dir.join("README.md"), "# other version\n").unwrap();
+        run(&["commit", "other readme"], &dir).unwrap();
+        run(&["checkout", "main"], &dir).unwrap();
+        fs::write(dir.join("README.md"), "# main version\n").unwrap();
+        run(&["commit", "main readme"], &dir).unwrap();
+        let err = run(&["merge", "other"], &dir).unwrap_err();
+        assert!(err.contains("README.md"), "{err}");
+        // The marked file is on disk for manual resolution.
+        let text = fs::read_to_string(dir.join("README.md")).unwrap();
+        assert!(text.contains("<<<<<<< ours"));
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[cfg(test)]
+mod diff_verify_tests {
+    use crate::run;
+    use std::fs;
+
+    #[test]
+    fn diff_and_verify_via_cli() {
+        let dir = std::env::temp_dir().join(format!(
+            "popper-cli-dv-{}",
+            std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+        ));
+        fs::create_dir_all(&dir).unwrap();
+        run(&["init"], &dir).unwrap();
+        run(&["add", "proteustm", "p"], &dir).unwrap();
+        run(&["run", "p"], &dir).unwrap();
+
+        // verify: deterministic re-execution matches.
+        let out = run(&["verify", "p"], &dir).unwrap();
+        assert!(out.contains("byte-identical"), "{out}");
+
+        // diff: edit a file, see the hunk.
+        let out = run(&["diff", "README.md"], &dir).unwrap();
+        assert!(out.contains("unchanged"));
+        fs::write(dir.join("README.md"), "# changed title\n").unwrap();
+        let out = run(&["diff", "README.md"], &dir).unwrap();
+        assert!(out.contains("+# changed title"), "{out}");
+
+        // verify fails after tampering with results.
+        let results = dir.join("experiments/p/results.csv");
+        let csv = fs::read_to_string(&results).unwrap();
+        fs::write(&results, csv.replacen('1', "9", 1)).unwrap();
+        run(&["commit", "tamper"], &dir).unwrap();
+        let err = run(&["verify", "p"], &dir).unwrap_err();
+        assert!(err.contains("NOT reproducible"), "{err}");
+        fs::remove_dir_all(&dir).ok();
+    }
+}

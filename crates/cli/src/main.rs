@@ -1,0 +1,20 @@
+//! The `popper` binary.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let argv: Vec<&str> = args.iter().map(String::as_str).collect();
+    let cwd = match std::env::current_dir() {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("popper: cannot determine working directory: {e}");
+            std::process::exit(2);
+        }
+    };
+    match popper_cli::run(&argv, &cwd) {
+        Ok(output) => print!("{output}"),
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(1);
+        }
+    }
+}

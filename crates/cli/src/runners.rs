@@ -1,0 +1,212 @@
+//! Registration of the real experiment runners.
+//!
+//! Each use-case crate exposes its experiment as a library function;
+//! these adapters translate `vars.pml` into the crate's configuration
+//! and its results into a table. This is the "toolchain agnosticism"
+//! seam: the engine only knows runner names.
+
+use popper_core::ExperimentEngine;
+use popper_format::{Table, Value};
+use popper_gassyfs::experiment as gassyfs_exp;
+use popper_gassyfs::workload::CompileWorkload;
+use popper_minimpi::experiment as mpi_exp;
+use popper_minimpi::lulesh::LuleshConfig;
+use popper_sim::platforms;
+use popper_torpor::experiment as torpor_exp;
+use popper_weather::{analyze, generate, ReanalysisConfig};
+
+/// Register the four use-case runners with an engine.
+pub fn register_builtin_runners(engine: &mut ExperimentEngine) {
+    engine.register("gassyfs-scalability", gassyfs_runner);
+    engine.register("torpor-variability", torpor_runner);
+    engine.register("mpi-variability", mpi_runner);
+    engine.register("bww-airtemp", bww_runner);
+}
+
+/// An engine with both the synthetic and the use-case runners.
+pub fn full_engine() -> ExperimentEngine {
+    let mut engine = ExperimentEngine::new();
+    register_builtin_runners(&mut engine);
+    engine
+}
+
+fn num_list(vars: &Value, key: &str) -> Option<Vec<f64>> {
+    vars.get_list(key)
+        .map(|l| l.iter().filter_map(Value::as_num).collect())
+}
+
+fn gassyfs_runner(vars: &Value) -> Result<Table, String> {
+    let nodes: Vec<usize> = num_list(vars, "nodes")
+        .unwrap_or_else(|| vec![1.0, 2.0, 4.0, 8.0, 16.0])
+        .into_iter()
+        .map(|n| n.max(1.0) as usize)
+        .collect();
+    let machine = vars.get_str("machine").unwrap_or("gassyfs-node");
+    let platform = platforms::by_name(machine).ok_or_else(|| format!("unknown machine '{machine}'"))?;
+    let mut workload = CompileWorkload::git();
+    if let Some(tu) = vars.get_num("translation_units") {
+        workload.translation_units = tu.max(1.0) as usize;
+    }
+    if let Some(jobs) = vars.get_num("jobs") {
+        workload.jobs = jobs.max(1.0) as usize;
+    }
+    let config = gassyfs_exp::ScalabilityConfig {
+        node_counts: nodes,
+        platform,
+        workload,
+        machine_label: machine.to_string(),
+        ..Default::default()
+    };
+    let points = gassyfs_exp::run_scalability(&config).map_err(|e| e.to_string())?;
+    let workload_name = vars.get_str("workload").unwrap_or("git");
+    Ok(gassyfs_exp::to_table(&points, workload_name, machine))
+}
+
+fn torpor_runner(vars: &Value) -> Result<Table, String> {
+    let base_name = vars.get_str("base").unwrap_or("xeon-2006");
+    let base =
+        platforms::by_name(base_name).ok_or_else(|| format!("unknown base machine '{base_name}'"))?;
+    let targets = match vars.get_list("targets") {
+        Some(list) => list
+            .iter()
+            .filter_map(Value::as_str)
+            .map(|n| platforms::by_name(n).ok_or_else(|| format!("unknown target machine '{n}'")))
+            .collect::<Result<Vec<_>, _>>()?,
+        None => vec![platforms::cloudlab_c220g()],
+    };
+    let config = torpor_exp::VariabilityExperiment {
+        base,
+        targets,
+        units: vars.get_num("units").unwrap_or(1.0),
+        bin_width: vars.get_num("bin_width").unwrap_or(0.1),
+    };
+    let results = torpor_exp::run_variability_experiment(&config);
+    Ok(torpor_exp::results_table(&results))
+}
+
+fn mpi_runner(vars: &Value) -> Result<Table, String> {
+    let grid = num_list(vars, "grid").unwrap_or_else(|| vec![3.0, 3.0, 3.0]);
+    if grid.len() != 3 {
+        return Err("'grid' must have three entries".into());
+    }
+    let machine = vars.get_str("machine").unwrap_or("hpc-node");
+    let platform = platforms::by_name(machine).ok_or_else(|| format!("unknown machine '{machine}'"))?;
+    let mut app = LuleshConfig::paper();
+    app.grid = (grid[0] as usize, grid[1] as usize, grid[2] as usize);
+    if let Some(e) = vars.get_num("elements") {
+        app.elements_per_rank = e.max(2.0) as usize;
+    }
+    if let Some(i) = vars.get_num("iterations") {
+        app.iterations = i.max(1.0) as usize;
+    }
+    let study = mpi_exp::VariabilityStudy {
+        app,
+        platform,
+        nodes: vars.get_num("nodes").unwrap_or(9.0).max(1.0) as usize,
+        repetitions: vars.get_num("repetitions").unwrap_or(10.0).max(1.0) as usize,
+        seed: vars.get_num("seed").unwrap_or(7.0) as u64,
+        ..Default::default()
+    };
+    let result = mpi_exp::run_variability_study(&study);
+    Ok(result.to_table())
+}
+
+fn bww_runner(vars: &Value) -> Result<Table, String> {
+    let mut config = ReanalysisConfig::default();
+    if let Some(y) = vars.get_num("years") {
+        config.years = y.max(1.0) as usize;
+    }
+    if let Some(grid) = num_list(vars, "grid") {
+        if grid.len() == 2 {
+            config.n_lat = (grid[0] as usize).max(2);
+            config.n_lon = (grid[1] as usize).max(2);
+        }
+    }
+    let data = generate(&config);
+    let analysis = analyze(&data);
+    Ok(analysis.zonal_table())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popper_core::{templates::find_template, PopperRepo};
+
+    fn run_template(tpl: &str) -> popper_core::RunReport {
+        let mut repo = PopperRepo::init("t").unwrap();
+        for (path, contents) in find_template(tpl).unwrap().files("e") {
+            repo.write(&path, contents).unwrap();
+        }
+        repo.commit("add").unwrap();
+        let engine = full_engine();
+        engine.run(&mut repo, "e").unwrap()
+    }
+
+    #[test]
+    fn gassyfs_template_runs_and_validates() {
+        // Use the template but shrink the workload for test speed.
+        let mut repo = PopperRepo::init("t").unwrap();
+        for (path, contents) in find_template("gassyfs").unwrap().files("e") {
+            let contents = if path.ends_with("vars.pml") {
+                format!("{contents}translation_units: 60\njobs: 4\n")
+            } else {
+                contents
+            };
+            repo.write(&path, contents).unwrap();
+        }
+        repo.commit("add").unwrap();
+        let engine = full_engine();
+        let report = engine.run(&mut repo, "e").unwrap();
+        assert!(report.success(), "{:?}", report.verdict.failures);
+        assert_eq!(report.results.len(), 5);
+        // The recorded CSV carries the paper's columns.
+        let csv = repo.read("experiments/e/results.csv").unwrap();
+        assert!(csv.starts_with("workload,machine,nodes,time"));
+    }
+
+    #[test]
+    fn torpor_template_runs_and_validates() {
+        let report = run_template("torpor");
+        assert!(report.success(), "{:?}", report.verdict.failures);
+        // 3 targets × battery size rows.
+        assert_eq!(report.results.len() % 3, 0);
+        assert!(report.results.len() >= 48);
+    }
+
+    #[test]
+    fn mpi_template_runs_and_validates() {
+        let report = run_template("mpi-comm-variability");
+        assert!(report.success(), "{:?}", report.verdict.failures);
+        // 3 scenarios × 8 repetitions.
+        assert_eq!(report.results.len(), 24);
+    }
+
+    #[test]
+    fn bww_template_runs_and_validates() {
+        let report = run_template("jupyter-bww");
+        assert!(report.success(), "{:?}", report.verdict.failures);
+        assert_eq!(report.results.len(), 19);
+    }
+
+    #[test]
+    fn full_engine_lists_all_runners() {
+        let engine = full_engine();
+        let names = engine.runners();
+        for expected in ["synthetic", "gassyfs-scalability", "torpor-variability", "mpi-variability", "bww-airtemp"] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn runner_errors_are_reported() {
+        let mut vars = Value::empty_map();
+        vars.insert("machine", Value::from("warp-drive"));
+        assert!(gassyfs_runner(&vars).is_err());
+        let mut vars = Value::empty_map();
+        vars.insert("grid", Value::from(vec![1i64, 2]));
+        assert!(mpi_runner(&vars).is_err());
+        let mut vars = Value::empty_map();
+        vars.insert("base", Value::from("nope"));
+        assert!(torpor_runner(&vars).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Smoke tests of the real `popper` binary (the artifact a downstream
+//! user installs), driven through std::process.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "popper-bin-{tag}-{}",
+        std::time::SystemTime::now().duration_since(std::time::UNIX_EPOCH).unwrap().as_nanos()
+    ));
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn popper(dir: &PathBuf, args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_popper"))
+        .args(args)
+        .current_dir(dir)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn binary_end_to_end_session() {
+    let dir = temp_dir("session");
+    let (ok, stdout, _) = popper(&dir, &["init"]);
+    assert!(ok);
+    assert!(stdout.contains("Initialized Popper repo"));
+
+    let (ok, stdout, _) = popper(&dir, &["experiment", "list"]);
+    assert!(ok);
+    assert!(stdout.contains("gassyfs"));
+
+    let (ok, _, _) = popper(&dir, &["add", "cloverleaf", "hydro"]);
+    assert!(ok);
+    let (ok, stdout, _) = popper(&dir, &["run", "hydro"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("OK"));
+
+    let (ok, stdout, _) = popper(&dir, &["figure", "hydro"]);
+    assert!(ok);
+    assert!(stdout.contains("workload"), "{stdout}");
+
+    // Exit codes: unknown command fails with stderr.
+    let (ok, _, stderr) = popper(&dir, &["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn binary_help_and_pack() {
+    let dir = temp_dir("help");
+    let (ok, stdout, _) = popper(&dir, &["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    popper(&dir, &["init"]);
+    popper(&dir, &["add", "zlog", "z"]);
+    let (ok, stdout, _) = popper(&dir, &["pack", "z"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("packed experiment 'z'"));
+    fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,453 @@
+//! The Popperfile build DSL.
+//!
+//! A *Popperfile* is the engine's Dockerfile: a line-oriented recipe
+//! that produces an image layer by layer, with instruction-level build
+//! caching.
+//!
+//! ```text
+//! FROM base:latest            # or FROM scratch
+//! LABEL org.popper.exp gassyfs
+//! ENV GASNET_NODES 4
+//! COPY run.sh experiments/gassyfs/run.sh
+//! RUN install-pkg gassyfs 2.1
+//! ENTRYPOINT gassyfs-bench --all
+//! ```
+//!
+//! `RUN` executes a registered program (see
+//! [`crate::runtime::ProgramRegistry`]) in a temporary container built
+//! on the layers so far; the filesystem delta becomes the new layer —
+//! exactly docker's model. The [`BuildCache`] keys each step on
+//! `(parent chain, instruction, content hash)` so unchanged prefixes
+//! rebuild for free.
+
+use crate::fs::UnionFs;
+use crate::image::{Image, ImageConfig, ImageRegistry};
+use crate::layer::LayerId;
+use crate::runtime::{ExecCtx, ProgramRegistry};
+use popper_vcs::sha256;
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A parsed Popperfile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Popperfile {
+    /// Base image reference, or `None` for `FROM scratch`.
+    pub from: Option<String>,
+    /// The instruction sequence (excluding FROM).
+    pub instructions: Vec<Instruction>,
+}
+
+/// One Popperfile instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Instruction {
+    /// `COPY <context-src> <dst>`.
+    Copy(String, String),
+    /// `RUN <program> [args…]`.
+    Run(Vec<String>),
+    /// `ENV <key> <value>`.
+    Env(String, String),
+    /// `ENTRYPOINT <program> [args…]`.
+    Entrypoint(Vec<String>),
+    /// `LABEL <key> <value…>`.
+    Label(String, String),
+}
+
+/// Errors from parsing or building.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The Popperfile is malformed.
+    Parse(String),
+    /// `COPY` referenced a path missing from the build context.
+    MissingContextFile(String),
+    /// A `RUN` program is unregistered or exited non-zero.
+    RunFailed { instruction: String, detail: String },
+    /// The base image could not be resolved.
+    Registry(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Parse(m) => write!(f, "popperfile parse error: {m}"),
+            BuildError::MissingContextFile(p) => write!(f, "COPY source '{p}' not in build context"),
+            BuildError::RunFailed { instruction, detail } => {
+                write!(f, "step '{instruction}' failed: {detail}")
+            }
+            BuildError::Registry(e) => write!(f, "registry: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl Popperfile {
+    /// Parse Popperfile text. `#` starts comments; blank lines are
+    /// skipped; the first instruction must be `FROM`.
+    pub fn parse(text: &str) -> Result<Popperfile, BuildError> {
+        let mut from: Option<Option<String>> = None;
+        let mut instructions = Vec::new();
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let op = parts.next().expect("non-empty line");
+            let rest: Vec<String> = parts.map(str::to_string).collect();
+            let err = |m: &str| BuildError::Parse(format!("line {}: {m}", lineno + 1));
+            match op.to_ascii_uppercase().as_str() {
+                "FROM" => {
+                    if from.is_some() {
+                        return Err(err("duplicate FROM"));
+                    }
+                    let base = rest.first().ok_or_else(|| err("FROM needs an image"))?;
+                    from = Some(if base == "scratch" { None } else { Some(base.clone()) });
+                }
+                _ if from.is_none() => return Err(err("first instruction must be FROM")),
+                "COPY" => {
+                    if rest.len() != 2 {
+                        return Err(err("COPY needs exactly <src> <dst>"));
+                    }
+                    instructions.push(Instruction::Copy(rest[0].clone(), rest[1].clone()));
+                }
+                "RUN" => {
+                    if rest.is_empty() {
+                        return Err(err("RUN needs a program"));
+                    }
+                    instructions.push(Instruction::Run(rest));
+                }
+                "ENV" => {
+                    if rest.len() < 2 {
+                        return Err(err("ENV needs <key> <value>"));
+                    }
+                    instructions.push(Instruction::Env(rest[0].clone(), rest[1..].join(" ")));
+                }
+                "ENTRYPOINT" => {
+                    if rest.is_empty() {
+                        return Err(err("ENTRYPOINT needs a program"));
+                    }
+                    instructions.push(Instruction::Entrypoint(rest));
+                }
+                "LABEL" => {
+                    if rest.len() < 2 {
+                        return Err(err("LABEL needs <key> <value>"));
+                    }
+                    instructions.push(Instruction::Label(rest[0].clone(), rest[1..].join(" ")));
+                }
+                other => return Err(err(&format!("unknown instruction '{other}'"))),
+            }
+        }
+        let from = from.ok_or_else(|| BuildError::Parse("missing FROM".into()))?;
+        Ok(Popperfile { from, instructions })
+    }
+}
+
+/// Instruction-level build cache: step key → produced layer.
+#[derive(Debug, Clone, Default)]
+pub struct BuildCache {
+    steps: HashMap<[u8; 32], LayerId>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BuildCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+}
+
+fn instruction_text(i: &Instruction) -> String {
+    match i {
+        Instruction::Copy(s, d) => format!("COPY {s} {d}"),
+        Instruction::Run(argv) => format!("RUN {}", argv.join(" ")),
+        Instruction::Env(k, v) => format!("ENV {k} {v}"),
+        Instruction::Entrypoint(argv) => format!("ENTRYPOINT {}", argv.join(" ")),
+        Instruction::Label(k, v) => format!("LABEL {k} {v}"),
+    }
+}
+
+/// Build an image named `name:tag` from a Popperfile, a build context
+/// (path → bytes), the program registry (for RUN) and an image registry
+/// (source of FROM, destination of the result).
+#[allow(clippy::too_many_arguments)]
+pub fn build_image(
+    popperfile: &Popperfile,
+    context: &BTreeMap<String, Vec<u8>>,
+    registry: &mut ImageRegistry,
+    programs: &ProgramRegistry,
+    cache: &mut BuildCache,
+    name: &str,
+    tag: &str,
+) -> Result<Image, BuildError> {
+    // Resolve the base.
+    let (mut layers, mut config) = match &popperfile.from {
+        Some(reference) => {
+            let image = registry
+                .get(reference)
+                .map_err(|e| BuildError::Registry(e.to_string()))?
+                .clone();
+            (image.layers, image.config)
+        }
+        None => (Vec::new(), ImageConfig::default()),
+    };
+
+    // Chain key starts from the base stack.
+    let mut chain = sha256::Sha256::new();
+    for l in &layers {
+        chain.update(&l.0);
+    }
+
+    for instruction in &popperfile.instructions {
+        let text = instruction_text(instruction);
+        // Metadata-only instructions mutate config, not layers.
+        match instruction {
+            Instruction::Env(k, v) => {
+                config.env.insert(k.clone(), v.clone());
+                continue;
+            }
+            Instruction::Entrypoint(argv) => {
+                config.entrypoint = argv.clone();
+                continue;
+            }
+            Instruction::Label(k, v) => {
+                config.labels.insert(k.clone(), v.clone());
+                continue;
+            }
+            _ => {}
+        }
+
+        // Step key: chain so far + instruction text + content hash of
+        // COPY sources.
+        let mut key = chain.clone();
+        key.update(text.as_bytes());
+        if let Instruction::Copy(src, _) = instruction {
+            let data = context
+                .get(src)
+                .ok_or_else(|| BuildError::MissingContextFile(src.clone()))?;
+            key.update(&sha256::digest(data));
+        }
+        let key = key.finalize();
+
+        let layer_id = if let Some(&cached) = cache.steps.get(&key) {
+            cache.hits += 1;
+            cached
+        } else {
+            cache.misses += 1;
+            // Execute the step on the layers so far.
+            let stack = layers
+                .iter()
+                .map(|lid| {
+                    registry
+                        .layer(*lid)
+                        .cloned()
+                        .ok_or_else(|| BuildError::Registry(format!("missing layer {}", lid.short())))
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            let mut fs = UnionFs::mount(stack);
+            match instruction {
+                Instruction::Copy(src, dst) => {
+                    let data = context
+                        .get(src)
+                        .ok_or_else(|| BuildError::MissingContextFile(src.clone()))?;
+                    fs.write(dst, data.clone());
+                }
+                Instruction::Run(argv) => {
+                    let prog_name = &argv[0];
+                    let program = programs.get(prog_name).ok_or_else(|| BuildError::RunFailed {
+                        instruction: text.clone(),
+                        detail: format!("unknown program '{prog_name}'"),
+                    })?;
+                    let mut ctx = ExecCtx {
+                        fs: &mut fs,
+                        args: argv.clone(),
+                        env: config.env.clone(),
+                        stdout: String::new(),
+                    };
+                    let code = program(&mut ctx);
+                    if code != 0 {
+                        return Err(BuildError::RunFailed {
+                            instruction: text.clone(),
+                            detail: format!("exit code {code}; stdout: {}", ctx.stdout.trim_end()),
+                        });
+                    }
+                }
+                _ => unreachable!("metadata instructions handled above"),
+            }
+            let delta = fs.take_top();
+            let id = registry.put_layer(delta);
+            cache.steps.insert(key, id);
+            id
+        };
+        layers.push(layer_id);
+        chain.update(&layer_id.0);
+    }
+
+    let image = Image { name: name.to_string(), tag: tag.to_string(), layers, config };
+    registry
+        .tag(image.clone())
+        .map_err(|e| BuildError::Registry(e.to_string()))?;
+    Ok(image)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Container;
+
+    fn context() -> BTreeMap<String, Vec<u8>> {
+        let mut c = BTreeMap::new();
+        c.insert("run.sh".to_string(), b"#!/bin/sh\n./bench --all\n".to_vec());
+        c.insert("vars.pml".to_string(), b"nodes: 4\n".to_vec());
+        c
+    }
+
+    fn sample_popperfile() -> &'static str {
+        "\
+# GassyFS experiment image
+FROM scratch
+LABEL org.popper.experiment gassyfs
+ENV GASNET_NODES 4
+COPY run.sh experiments/gassyfs/run.sh
+RUN install-pkg gassyfs 2.1
+ENTRYPOINT cat experiments/gassyfs/run.sh
+"
+    }
+
+    #[test]
+    fn parse_sample() {
+        let pf = Popperfile::parse(sample_popperfile()).unwrap();
+        assert_eq!(pf.from, None);
+        assert_eq!(pf.instructions.len(), 5);
+        assert_eq!(
+            pf.instructions[2],
+            Instruction::Copy("run.sh".into(), "experiments/gassyfs/run.sh".into())
+        );
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(Popperfile::parse(""), Err(BuildError::Parse(_))));
+        assert!(Popperfile::parse("COPY a b\nFROM scratch\n").is_err());
+        assert!(Popperfile::parse("FROM scratch\nFROM scratch\n").is_err());
+        assert!(Popperfile::parse("FROM scratch\nCOPY onlyone\n").is_err());
+        assert!(Popperfile::parse("FROM scratch\nFLY high\n").is_err());
+        assert!(Popperfile::parse("FROM scratch\nRUN\n").is_err());
+    }
+
+    #[test]
+    fn build_produces_runnable_image() {
+        let pf = Popperfile::parse(sample_popperfile()).unwrap();
+        let mut registry = ImageRegistry::new();
+        let programs = ProgramRegistry::with_builtins();
+        let mut cache = BuildCache::new();
+        let image =
+            build_image(&pf, &context(), &mut registry, &programs, &mut cache, "popper/gassyfs", "v1").unwrap();
+        assert_eq!(image.reference(), "popper/gassyfs:v1");
+        assert_eq!(image.layers.len(), 2); // COPY + RUN
+        assert_eq!(image.config.env["GASNET_NODES"], "4");
+        assert_eq!(image.config.labels["org.popper.experiment"], "gassyfs");
+
+        let mut c = Container::create(&registry, "popper/gassyfs:v1").unwrap();
+        assert!(c.fs.exists("usr/bin/gassyfs"));
+        let st = c.run(&programs, &[]).unwrap(); // entrypoint: cat run.sh
+        assert!(st.success());
+        assert!(st.stdout.contains("./bench --all"));
+    }
+
+    #[test]
+    fn build_cache_hits_on_rebuild() {
+        let pf = Popperfile::parse(sample_popperfile()).unwrap();
+        let mut registry = ImageRegistry::new();
+        let programs = ProgramRegistry::with_builtins();
+        let mut cache = BuildCache::new();
+        build_image(&pf, &context(), &mut registry, &programs, &mut cache, "img", "v1").unwrap();
+        assert_eq!(cache.misses(), 2);
+        assert_eq!(cache.hits(), 0);
+        build_image(&pf, &context(), &mut registry, &programs, &mut cache, "img", "v2").unwrap();
+        assert_eq!(cache.misses(), 2, "full rebuild must be all hits");
+        assert_eq!(cache.hits(), 2);
+    }
+
+    #[test]
+    fn changed_context_invalidates_copy_and_later_steps() {
+        let pf = Popperfile::parse(sample_popperfile()).unwrap();
+        let mut registry = ImageRegistry::new();
+        let programs = ProgramRegistry::with_builtins();
+        let mut cache = BuildCache::new();
+        build_image(&pf, &context(), &mut registry, &programs, &mut cache, "img", "v1").unwrap();
+        let mut ctx2 = context();
+        ctx2.insert("run.sh".to_string(), b"changed".to_vec());
+        build_image(&pf, &ctx2, &mut registry, &programs, &mut cache, "img", "v2").unwrap();
+        // COPY missed (content changed) and RUN missed (parent changed).
+        assert_eq!(cache.misses(), 4);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn from_existing_image_extends_it() {
+        let mut registry = ImageRegistry::new();
+        let programs = ProgramRegistry::with_builtins();
+        let mut cache = BuildCache::new();
+        let base_pf = Popperfile::parse("FROM scratch\nRUN install-pkg ansible\n").unwrap();
+        build_image(&base_pf, &BTreeMap::new(), &mut registry, &programs, &mut cache, "base", "latest").unwrap();
+        let child_pf = Popperfile::parse("FROM base:latest\nRUN install-pkg gassyfs\n").unwrap();
+        let child =
+            build_image(&child_pf, &BTreeMap::new(), &mut registry, &programs, &mut cache, "child", "latest")
+                .unwrap();
+        assert_eq!(child.layers.len(), 2);
+        let c = Container::create(&registry, "child:latest").unwrap();
+        assert!(c.fs.exists("usr/bin/ansible"));
+        assert!(c.fs.exists("usr/bin/gassyfs"));
+    }
+
+    #[test]
+    fn failing_run_aborts_build() {
+        let pf = Popperfile::parse("FROM scratch\nRUN false\n").unwrap();
+        let mut registry = ImageRegistry::new();
+        let programs = ProgramRegistry::with_builtins();
+        let mut cache = BuildCache::new();
+        let err = build_image(&pf, &BTreeMap::new(), &mut registry, &programs, &mut cache, "x", "v")
+            .unwrap_err();
+        assert!(matches!(err, BuildError::RunFailed { .. }));
+        // Unknown program is also a RunFailed with a clear message.
+        let pf = Popperfile::parse("FROM scratch\nRUN no-such-binary\n").unwrap();
+        let err = build_image(&pf, &BTreeMap::new(), &mut registry, &programs, &mut cache, "x", "v")
+            .unwrap_err();
+        assert!(err.to_string().contains("no-such-binary"));
+    }
+
+    #[test]
+    fn missing_copy_source_fails() {
+        let pf = Popperfile::parse("FROM scratch\nCOPY missing.txt dst\n").unwrap();
+        let mut registry = ImageRegistry::new();
+        let programs = ProgramRegistry::with_builtins();
+        let mut cache = BuildCache::new();
+        assert!(matches!(
+            build_image(&pf, &BTreeMap::new(), &mut registry, &programs, &mut cache, "x", "v"),
+            Err(BuildError::MissingContextFile(_))
+        ));
+    }
+
+    #[test]
+    fn metadata_instructions_add_no_layers() {
+        let pf = Popperfile::parse("FROM scratch\nENV A 1\nLABEL b two words\nENTRYPOINT true\n").unwrap();
+        let mut registry = ImageRegistry::new();
+        let programs = ProgramRegistry::with_builtins();
+        let mut cache = BuildCache::new();
+        let image = build_image(&pf, &BTreeMap::new(), &mut registry, &programs, &mut cache, "m", "v").unwrap();
+        assert!(image.layers.is_empty());
+        assert_eq!(image.config.labels["b"], "two words");
+        assert_eq!(cache.misses(), 0);
+    }
+}

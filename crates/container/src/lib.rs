@@ -1,0 +1,38 @@
+//! # popper-container
+//!
+//! A software-container engine — the "Docker slot" of the Popper toolkit
+//! (§Toolkit, *Package Management*). The convention needs a packager
+//! that snapshots "all the dependencies of an application in an entire
+//! file system snapshot that can be deployed in systems as is"; this
+//! crate provides exactly that, from scratch:
+//!
+//! * [`layer`] — content-addressed filesystem layers with whiteouts.
+//! * [`fs`] — a union filesystem resolving a stack of layers plus a
+//!   writable top.
+//! * [`image`] — images (layer stacks + config) and an [`image::ImageRegistry`]
+//!   with push/pull and layer dedup.
+//! * [`build`] — the *Popperfile* build DSL (`FROM` / `COPY` / `RUN` /
+//!   `ENV` / `ENTRYPOINT` / `LABEL`) with instruction-level build
+//!   caching, mirroring `docker build`.
+//! * [`runtime`] — containers: instantiate an image, run *programs*
+//!   (registered Rust functions standing in for binaries — the runtime
+//!   has no real exec) against the container's private filesystem.
+//!
+//! The semantics the paper leans on are enforced and tested: containers
+//! are **immutable infrastructure** — writes inside a container never
+//! mutate the image, and relaunching from the image starts from the
+//! pristine snapshot ("one cannot install software inside of them and
+//! expect those installations to persist after relaunching",
+//! §Discussion).
+
+pub mod build;
+pub mod fs;
+pub mod image;
+pub mod layer;
+pub mod runtime;
+
+pub use build::{build_image, BuildCache, BuildError, Popperfile};
+pub use fs::UnionFs;
+pub use image::{Image, ImageConfig, ImageRegistry};
+pub use layer::{Layer, LayerChange, LayerId};
+pub use runtime::{Container, ExecCtx, ExitStatus, ProgramRegistry};

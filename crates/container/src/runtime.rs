@@ -1,0 +1,379 @@
+//! The container runtime: programs and containers.
+//!
+//! There is no real `exec` in a simulated engine; instead, *programs*
+//! are Rust functions registered by name in a [`ProgramRegistry`]. The
+//! experiment crates register their entry points (e.g. `gassyfs-bench`)
+//! and the container runs them against its private union filesystem —
+//! same control flow as `docker run image command`.
+
+use crate::fs::UnionFs;
+use crate::image::{Image, ImageConfig, ImageRegistry, RegistryError};
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::sync::Arc;
+
+/// The execution context handed to a program.
+pub struct ExecCtx<'a> {
+    /// The container's filesystem.
+    pub fs: &'a mut UnionFs,
+    /// argv, including the program name at index 0.
+    pub args: Vec<String>,
+    /// Environment variables.
+    pub env: BTreeMap<String, String>,
+    /// Standard output buffer.
+    pub stdout: String,
+}
+
+impl ExecCtx<'_> {
+    /// Append a line to stdout.
+    pub fn println(&mut self, line: impl AsRef<str>) {
+        self.stdout.push_str(line.as_ref());
+        self.stdout.push('\n');
+    }
+}
+
+/// A program is a function from context to exit code.
+pub type Program = Arc<dyn Fn(&mut ExecCtx<'_>) -> i32 + Send + Sync>;
+
+/// Outcome of running a program in a container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExitStatus {
+    /// Process exit code (0 = success).
+    pub code: i32,
+    /// Captured stdout.
+    pub stdout: String,
+}
+
+impl ExitStatus {
+    /// True for exit code 0.
+    pub fn success(&self) -> bool {
+        self.code == 0
+    }
+}
+
+/// Errors from the runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// argv was empty or named an unregistered program.
+    UnknownProgram(String),
+    /// Image lookup failed.
+    Registry(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::UnknownProgram(p) => write!(f, "unknown program '{p}'"),
+            RuntimeError::Registry(e) => write!(f, "registry error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<RegistryError> for RuntimeError {
+    fn from(e: RegistryError) -> Self {
+        RuntimeError::Registry(e.to_string())
+    }
+}
+
+/// A name → program table.
+#[derive(Clone, Default)]
+pub struct ProgramRegistry {
+    programs: HashMap<String, Program>,
+}
+
+impl fmt::Debug for ProgramRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<&str> = self.programs.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        f.debug_struct("ProgramRegistry").field("programs", &names).finish()
+    }
+}
+
+impl ProgramRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry preloaded with the busybox-style built-ins: `echo`,
+    /// `cat`, `tee`, `install-pkg`, `true`, `false`, `ls`.
+    pub fn with_builtins() -> Self {
+        let mut r = Self::new();
+        r.register("true", |_ctx| 0);
+        r.register("false", |_ctx| 1);
+        r.register("echo", |ctx| {
+            let line = ctx.args[1..].join(" ");
+            ctx.println(line);
+            0
+        });
+        r.register("cat", |ctx| {
+            let Some(path) = ctx.args.get(1).cloned() else {
+                ctx.println("cat: missing operand");
+                return 2;
+            };
+            match ctx.fs.read(&path) {
+                Some(data) => {
+                    let text = String::from_utf8_lossy(data).into_owned();
+                    ctx.stdout.push_str(&text);
+                    0
+                }
+                None => {
+                    ctx.println(format!("cat: {path}: no such file"));
+                    1
+                }
+            }
+        });
+        r.register("tee", |ctx| {
+            let Some(path) = ctx.args.get(1).cloned() else {
+                return 2;
+            };
+            let contents = ctx.args[2..].join(" ");
+            ctx.fs.write(&path, contents.clone().into_bytes());
+            ctx.println(contents);
+            0
+        });
+        r.register("install-pkg", |ctx| {
+            // Models a package manager: drops a marker + "binary" under
+            // /usr/pkg. `install-pkg name [version]`.
+            let Some(name) = ctx.args.get(1).cloned() else {
+                ctx.println("install-pkg: missing package name");
+                return 2;
+            };
+            let version = ctx.args.get(2).cloned().unwrap_or_else(|| "latest".into());
+            ctx.fs.write(
+                &format!("usr/pkg/{name}/manifest"),
+                format!("name: {name}\nversion: {version}\n").into_bytes(),
+            );
+            ctx.fs.write(&format!("usr/bin/{name}"), format!("binary:{name}:{version}").into_bytes());
+            ctx.println(format!("installed {name} {version}"));
+            0
+        });
+        r.register("ls", |ctx| {
+            let listing = match ctx.args.get(1) {
+                Some(prefix) => ctx.fs.list_dir(prefix),
+                None => ctx.fs.list(),
+            };
+            for p in listing {
+                ctx.println(p);
+            }
+            0
+        });
+        r
+    }
+
+    /// Register (or replace) a program.
+    pub fn register(&mut self, name: &str, f: impl Fn(&mut ExecCtx<'_>) -> i32 + Send + Sync + 'static) {
+        self.programs.insert(name.to_string(), Arc::new(f));
+    }
+
+    /// Look up a program.
+    pub fn get(&self, name: &str) -> Option<Program> {
+        self.programs.get(name).cloned()
+    }
+
+    /// Registered program names, sorted.
+    pub fn names(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.programs.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+/// A running (well, runnable) container.
+#[derive(Debug)]
+pub struct Container {
+    /// The image reference this container was created from.
+    pub image_ref: String,
+    /// The container's private filesystem.
+    pub fs: UnionFs,
+    /// Environment (image env + overrides).
+    pub env: BTreeMap<String, String>,
+    entrypoint: Vec<String>,
+}
+
+impl Container {
+    /// Create a container from an image in `registry`. The container
+    /// gets its own copy-on-write view; the image is never mutated.
+    pub fn create(registry: &ImageRegistry, reference: &str) -> Result<Container, RuntimeError> {
+        let image = registry.get(reference)?;
+        let layers = registry.layers_of(reference)?;
+        Ok(Container {
+            image_ref: reference.to_string(),
+            fs: UnionFs::mount(layers),
+            env: image.config.env.clone(),
+            entrypoint: image.config.entrypoint.clone(),
+        })
+    }
+
+    /// Run `argv` (or the image entrypoint when `argv` is empty).
+    pub fn run(&mut self, programs: &ProgramRegistry, argv: &[&str]) -> Result<ExitStatus, RuntimeError> {
+        let args: Vec<String> = if argv.is_empty() {
+            self.entrypoint.clone()
+        } else {
+            argv.iter().map(|s| s.to_string()).collect()
+        };
+        let name = args
+            .first()
+            .cloned()
+            .ok_or_else(|| RuntimeError::UnknownProgram("<empty argv>".into()))?;
+        let program = programs.get(&name).ok_or(RuntimeError::UnknownProgram(name))?;
+        let mut ctx = ExecCtx { fs: &mut self.fs, args, env: self.env.clone(), stdout: String::new() };
+        let code = program(&mut ctx);
+        Ok(ExitStatus { code, stdout: ctx.stdout })
+    }
+
+    /// Commit the container's changes as a new image (`docker commit`).
+    pub fn commit(
+        &mut self,
+        registry: &mut ImageRegistry,
+        name: &str,
+        tag: &str,
+    ) -> Result<Image, RuntimeError> {
+        let base = registry.get(&self.image_ref)?.clone();
+        let top = self.fs.take_top();
+        let mut layers = base.layers.clone();
+        if !top.is_empty() {
+            layers.push(registry.put_layer(top));
+        }
+        let image = Image {
+            name: name.to_string(),
+            tag: tag.to_string(),
+            layers,
+            config: ImageConfig {
+                env: self.env.clone(),
+                entrypoint: self.entrypoint.clone(),
+                labels: base.config.labels.clone(),
+            },
+        };
+        registry.tag(image.clone())?;
+        Ok(image)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Layer;
+
+    fn registry_with_base() -> ImageRegistry {
+        let mut reg = ImageRegistry::new();
+        let mut base = Layer::new();
+        base.write("etc/hostname", b"popper".to_vec());
+        let id = reg.put_layer(base);
+        reg.tag(Image {
+            name: "base".into(),
+            tag: "latest".into(),
+            layers: vec![id],
+            config: ImageConfig {
+                entrypoint: vec!["echo".into(), "hello from entrypoint".into()],
+                ..Default::default()
+            },
+        })
+        .unwrap();
+        reg
+    }
+
+    #[test]
+    fn run_builtin_programs() {
+        let reg = registry_with_base();
+        let programs = ProgramRegistry::with_builtins();
+        let mut c = Container::create(&reg, "base:latest").unwrap();
+        let st = c.run(&programs, &["echo", "a", "b"]).unwrap();
+        assert!(st.success());
+        assert_eq!(st.stdout, "a b\n");
+        let st = c.run(&programs, &["cat", "etc/hostname"]).unwrap();
+        assert_eq!(st.stdout, "popper");
+        let st = c.run(&programs, &["cat", "missing"]).unwrap();
+        assert_eq!(st.code, 1);
+        let st = c.run(&programs, &["false"]).unwrap();
+        assert!(!st.success());
+    }
+
+    #[test]
+    fn entrypoint_runs_on_empty_argv() {
+        let reg = registry_with_base();
+        let programs = ProgramRegistry::with_builtins();
+        let mut c = Container::create(&reg, "base:latest").unwrap();
+        let st = c.run(&programs, &[]).unwrap();
+        assert_eq!(st.stdout, "hello from entrypoint\n");
+    }
+
+    #[test]
+    fn unknown_program_is_an_error() {
+        let reg = registry_with_base();
+        let programs = ProgramRegistry::with_builtins();
+        let mut c = Container::create(&reg, "base:latest").unwrap();
+        assert!(matches!(
+            c.run(&programs, &["not-a-program"]),
+            Err(RuntimeError::UnknownProgram(_))
+        ));
+    }
+
+    #[test]
+    fn containers_are_immutable_infrastructure() {
+        // §Discussion: installing software inside a container does not
+        // persist after relaunching from the image.
+        let reg = registry_with_base();
+        let programs = ProgramRegistry::with_builtins();
+        let mut c1 = Container::create(&reg, "base:latest").unwrap();
+        c1.run(&programs, &["install-pkg", "gassyfs", "2.1"]).unwrap();
+        assert!(c1.fs.exists("usr/bin/gassyfs"));
+        drop(c1);
+        // Relaunch: pristine again.
+        let c2 = Container::create(&reg, "base:latest").unwrap();
+        assert!(!c2.fs.exists("usr/bin/gassyfs"));
+    }
+
+    #[test]
+    fn two_containers_do_not_share_writes() {
+        let reg = registry_with_base();
+        let programs = ProgramRegistry::with_builtins();
+        let mut a = Container::create(&reg, "base:latest").unwrap();
+        let b = Container::create(&reg, "base:latest").unwrap();
+        a.run(&programs, &["tee", "tmp/a.txt", "from-a"]).unwrap();
+        assert!(a.fs.exists("tmp/a.txt"));
+        assert!(!b.fs.exists("tmp/a.txt"));
+    }
+
+    #[test]
+    fn commit_captures_changes_as_new_image() {
+        let mut reg = registry_with_base();
+        let programs = ProgramRegistry::with_builtins();
+        let mut c = Container::create(&reg, "base:latest").unwrap();
+        c.run(&programs, &["install-pkg", "torpor"]).unwrap();
+        let img = c.commit(&mut reg, "base-with-torpor", "v1").unwrap();
+        assert_eq!(img.layers.len(), 2);
+        // A container from the committed image sees the install.
+        let c2 = Container::create(&reg, "base-with-torpor:v1").unwrap();
+        assert!(c2.fs.exists("usr/bin/torpor"));
+        // The original image is untouched.
+        let c3 = Container::create(&reg, "base:latest").unwrap();
+        assert!(!c3.fs.exists("usr/bin/torpor"));
+    }
+
+    #[test]
+    fn commit_without_changes_adds_no_layer() {
+        let mut reg = registry_with_base();
+        let mut c = Container::create(&reg, "base:latest").unwrap();
+        let img = c.commit(&mut reg, "same", "v1").unwrap();
+        assert_eq!(img.layers.len(), 1);
+    }
+
+    #[test]
+    fn custom_programs_and_env() {
+        let reg = registry_with_base();
+        let mut programs = ProgramRegistry::with_builtins();
+        programs.register("print-env", |ctx| {
+            let keys: Vec<String> = ctx.env.iter().map(|(k, v)| format!("{k}={v}")).collect();
+            ctx.println(keys.join(","));
+            0
+        });
+        let mut c = Container::create(&reg, "base:latest").unwrap();
+        c.env.insert("NODES".into(), "4".into());
+        let st = c.run(&programs, &["print-env"]).unwrap();
+        assert_eq!(st.stdout, "NODES=4\n");
+        assert!(programs.names().contains(&"print-env"));
+    }
+}

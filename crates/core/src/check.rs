@@ -1,0 +1,214 @@
+//! The compliance checker: is this repository "Popperized"?
+//!
+//! §Self-containment: an experiment is Popper-compliant when all of the
+//! following is available in the repository, directly or by reference:
+//! *experiment code, experiment orchestration code, reference to data
+//! dependencies, parametrization of experiment, validation criteria and
+//! results*. The checker also validates syntax of every machine-read
+//! artifact — the first category of the paper's automated validation
+//! ("that the syntax of orchestration files is correct … so that if
+//! changes occur … it can be executed without any issues").
+
+use crate::repo::PopperRepo;
+use popper_ci::PipelineConfig;
+use popper_format::pml;
+use popper_orchestra::Playbook;
+use std::fmt;
+
+/// One compliance violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Where (a path or experiment name).
+    pub subject: String,
+    /// What is wrong.
+    pub problem: String,
+    /// Is this fatal (vs. a warning)?
+    pub fatal: bool,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} [{}]", self.subject, self.problem, if self.fatal { "error" } else { "warning" })
+    }
+}
+
+/// Check the whole repository. An empty result means fully compliant.
+pub fn check_compliance(repo: &PopperRepo) -> Vec<Violation> {
+    let mut v = Vec::new();
+    let fatal = |subject: &str, problem: String| Violation { subject: subject.into(), problem, fatal: true };
+    let warn = |subject: &str, problem: String| Violation { subject: subject.into(), problem, fatal: false };
+
+    // Repository-level artifacts.
+    for required in ["README.md", ".popper.pml", ".popper-ci.pml", "paper/build.sh"] {
+        if !repo.exists(required) {
+            v.push(fatal(required, "required file missing".into()));
+        }
+    }
+    if !repo.exists("paper/paper.md") && !repo.exists("paper/paper.tex") {
+        v.push(fatal("paper/", "no manuscript (paper.md or paper.tex)".into()));
+    }
+    if let Some(text) = repo.read(".popper.pml") {
+        if let Err(e) = pml::parse(&text) {
+            v.push(fatal(".popper.pml", format!("does not parse: {e}")));
+        }
+    }
+    if let Some(text) = repo.read(".popper-ci.pml") {
+        if let Err(e) = PipelineConfig::from_pml(&text) {
+            v.push(fatal(".popper-ci.pml", format!("invalid pipeline: {e}")));
+        }
+    }
+
+    // Per-experiment self-containment.
+    for exp in repo.experiments() {
+        let dir = format!("experiments/{exp}");
+        let has = |file: &str| repo.exists(&format!("{dir}/{file}"));
+        if !has("run.sh") {
+            v.push(fatal(&exp, "missing experiment code entry point (run.sh)".into()));
+        }
+        if !has("vars.pml") {
+            v.push(fatal(&exp, "missing parametrization (vars.pml)".into()));
+        } else if let Err(e) = repo.experiment_vars(&exp) {
+            v.push(fatal(&exp, format!("vars.pml does not parse: {e}")));
+        }
+        if !has("setup.pml") {
+            v.push(fatal(&exp, "missing orchestration (setup.pml)".into()));
+        } else if let Some(text) = repo.read(&format!("{dir}/setup.pml")) {
+            if let Err(e) = Playbook::from_pml(&text) {
+                v.push(fatal(&exp, format!("setup.pml invalid: {e}")));
+            }
+        }
+        if !has("validations.aver") {
+            v.push(fatal(&exp, "missing validation criteria (validations.aver)".into()));
+        } else if let Some(text) = repo.experiment_validations(&exp) {
+            if let Err(e) = popper_aver::parse(&text) {
+                v.push(fatal(&exp, format!("validations.aver invalid: {e}")));
+            }
+        }
+        let has_dataset_ref = repo
+            .experiment_files(&exp)
+            .iter()
+            .any(|p| p.contains("/datasets/"));
+        if !has_dataset_ref {
+            v.push(warn(&exp, "no data-dependency references (datasets/)".into()));
+        }
+        if !has("results.csv") {
+            v.push(warn(&exp, "no recorded results yet (results.csv)".into()));
+        } else if let Some(text) = repo.read(&format!("{dir}/results.csv")) {
+            if let Err(e) = popper_format::Table::from_csv(&text) {
+                v.push(fatal(&exp, format!("results.csv malformed: {e}")));
+            }
+        }
+    }
+
+    // Uncommitted changes undermine "available by reference".
+    match repo.vcs.status() {
+        Ok(changes) if !changes.is_empty() => {
+            v.push(warn("worktree", format!("{} uncommitted change(s)", changes.len())));
+        }
+        _ => {}
+    }
+    v
+}
+
+/// Are there any fatal violations?
+pub fn is_popperized(repo: &PopperRepo) -> bool {
+    check_compliance(repo).iter().all(|v| !v.fatal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::find_template;
+
+    fn repo_with_template(tpl: &str, name: &str) -> PopperRepo {
+        let mut repo = PopperRepo::init("t").unwrap();
+        for (path, contents) in find_template(tpl).unwrap().files(name) {
+            repo.write(&path, contents).unwrap();
+        }
+        repo.commit(&format!("popper add {tpl} {name}")).unwrap();
+        repo
+    }
+
+    #[test]
+    fn fresh_init_is_compliant() {
+        let repo = PopperRepo::init("t").unwrap();
+        let violations = check_compliance(&repo);
+        assert!(violations.iter().all(|v| !v.fatal), "{violations:?}");
+        assert!(is_popperized(&repo));
+    }
+
+    #[test]
+    fn template_experiments_are_compliant_modulo_results() {
+        let repo = repo_with_template("gassyfs", "myexp");
+        let violations = check_compliance(&repo);
+        let fatals: Vec<_> = violations.iter().filter(|v| v.fatal).collect();
+        assert!(fatals.is_empty(), "{fatals:?}");
+        // Results warning until the experiment runs.
+        assert!(violations.iter().any(|v| v.problem.contains("results.csv")));
+    }
+
+    #[test]
+    fn all_templates_pass_the_checker() {
+        for t in crate::templates::experiment_templates() {
+            let repo = repo_with_template(t.name, "e");
+            assert!(is_popperized(&repo), "template {} not compliant", t.name);
+        }
+    }
+
+    #[test]
+    fn missing_pieces_are_fatal() {
+        let mut repo = PopperRepo::init("t").unwrap();
+        repo.write("experiments/broken/run.sh", "#!/bin/sh\n").unwrap();
+        repo.commit("add broken").unwrap();
+        let violations = check_compliance(&repo);
+        let problems: Vec<&str> = violations.iter().filter(|v| v.fatal).map(|v| v.problem.as_str()).collect();
+        assert!(problems.iter().any(|p| p.contains("vars.pml")));
+        assert!(problems.iter().any(|p| p.contains("setup.pml")));
+        assert!(problems.iter().any(|p| p.contains("validations.aver")));
+        assert!(!is_popperized(&repo));
+    }
+
+    #[test]
+    fn syntax_errors_are_fatal() {
+        let mut repo = repo_with_template("gassyfs", "e");
+        repo.write("experiments/e/vars.pml", "a: 1\na: 2\n").unwrap(); // duplicate key
+        repo.write("experiments/e/setup.pml", "- name: x\n  tasks: []\n").unwrap(); // no hosts
+        repo.write("experiments/e/validations.aver", "when x expect").unwrap();
+        repo.commit("break it").unwrap();
+        let violations = check_compliance(&repo);
+        let fatal_subjects: Vec<&str> =
+            violations.iter().filter(|v| v.fatal).map(|v| v.subject.as_str()).collect();
+        assert_eq!(fatal_subjects.iter().filter(|s| **s == "e").count(), 3, "{violations:?}");
+    }
+
+    #[test]
+    fn broken_ci_config_is_fatal() {
+        let mut repo = PopperRepo::init("t").unwrap();
+        repo.write(".popper-ci.pml", "stages: []\njobs: []\n").unwrap();
+        repo.commit("break ci").unwrap();
+        assert!(!is_popperized(&repo));
+    }
+
+    #[test]
+    fn uncommitted_changes_warn() {
+        let mut repo = PopperRepo::init("t").unwrap();
+        repo.vcs.write_file("scratch.txt", "wip").unwrap();
+        let violations = check_compliance(&repo);
+        assert!(violations.iter().any(|v| v.subject == "worktree" && !v.fatal));
+    }
+
+    #[test]
+    fn malformed_results_are_fatal() {
+        let mut repo = repo_with_template("torpor", "e");
+        repo.write("experiments/e/results.csv", "a,b\n1\n").unwrap();
+        repo.commit("bad results").unwrap();
+        let violations = check_compliance(&repo);
+        assert!(violations.iter().any(|v| v.fatal && v.problem.contains("results.csv")));
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation { subject: "e".into(), problem: "missing x".into(), fatal: true };
+        assert_eq!(v.to_string(), "e: missing x [error]");
+    }
+}

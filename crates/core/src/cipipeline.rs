@@ -1,0 +1,342 @@
+//! Wiring a Popper repository into the CI engine.
+//!
+//! §Automated Validation distinguishes two categories of checks:
+//! *integrity of the experimentation logic* (the paper builds, the
+//! orchestration files parse, post-processing runs) and *integrity of
+//! the experimental results* (domain-specific Aver assertions,
+//! performance-regression gates). [`popper_steps`] implements both as a
+//! [`popper_ci`] step executor over a shared repository; [`run_ci`]
+//! runs the repository's `.popper-ci.pml` with it.
+
+use crate::check::check_compliance;
+use crate::experiment::ExperimentEngine;
+use crate::paper::build_paper;
+use crate::repo::PopperRepo;
+use parking_lot::Mutex;
+use popper_ci::{run_pipeline, BuildReport, PipelineConfig, StepCtx, StepOutcome};
+use popper_format::Table;
+use popper_monitor::RegressionCheck;
+use popper_orchestra::Playbook;
+use std::sync::Arc;
+
+/// Build the step executor for a repository + engine. Steps:
+///
+/// * `build-paper` — the manuscript assembles with all figures.
+/// * `validate-playbooks` — every experiment's `setup.pml` parses.
+/// * `validate-pipelines` — `.popper-ci.pml` itself parses.
+/// * `check-compliance` — no fatal [`crate::check`] violations.
+/// * `run-experiment <name>` — full lifecycle run (gate, orchestrate,
+///   execute, record, validate).
+/// * `validate <name>` — re-check `validations.aver` against the stored
+///   `results.csv` without re-running.
+/// * `regression-gate <name> <column>` — compare the stored results
+///   column against the previous commit's version with Welch's t-test.
+pub fn popper_steps(
+    repo: Arc<Mutex<PopperRepo>>,
+    engine: Arc<ExperimentEngine>,
+) -> popper_ci::runner::Executor {
+    Arc::new(move |ctx: &StepCtx| {
+        let mut parts = ctx.command.split_whitespace();
+        let cmd = parts.next().unwrap_or("");
+        let args: Vec<&str> = parts.collect();
+        match cmd {
+            "build-paper" => {
+                let repo = repo.lock();
+                match build_paper(&repo) {
+                    Ok(built) => StepOutcome::pass(format!(
+                        "built '{}' ({} sections, {} figures)",
+                        built.title,
+                        built.sections.len(),
+                        built.figures.len()
+                    )),
+                    Err(e) => StepOutcome::fail(format!("paper build failed: {e}")),
+                }
+            }
+            "validate-playbooks" => {
+                let repo = repo.lock();
+                let mut checked = 0;
+                for exp in repo.experiments() {
+                    if let Some(text) = repo.read(&format!("experiments/{exp}/setup.pml")) {
+                        if let Err(e) = Playbook::from_pml(&text) {
+                            return StepOutcome::fail(format!("{exp}/setup.pml: {e}"));
+                        }
+                        checked += 1;
+                    }
+                }
+                StepOutcome::pass(format!("{checked} playbook(s) parse"))
+            }
+            "validate-pipelines" => {
+                let repo = repo.lock();
+                match repo.read(".popper-ci.pml") {
+                    Some(text) => match PipelineConfig::from_pml(&text) {
+                        Ok(_) => StepOutcome::pass("pipeline config parses"),
+                        Err(e) => StepOutcome::fail(e),
+                    },
+                    None => StepOutcome::fail(".popper-ci.pml missing"),
+                }
+            }
+            "check-compliance" => {
+                let repo = repo.lock();
+                let violations = check_compliance(&repo);
+                let fatals: Vec<String> =
+                    violations.iter().filter(|v| v.fatal).map(|v| v.to_string()).collect();
+                if fatals.is_empty() {
+                    StepOutcome::pass(format!("popperized ({} warning(s))", violations.len()))
+                } else {
+                    StepOutcome::fail(fatals.join("; "))
+                }
+            }
+            "run-experiment" => {
+                let Some(name) = args.first() else {
+                    return StepOutcome::fail("run-experiment needs an experiment name");
+                };
+                let mut repo = repo.lock();
+                match engine.run(&mut repo, name) {
+                    Ok(report) if report.success() => {
+                        StepOutcome::pass(format!("{report}"))
+                    }
+                    Ok(report) => StepOutcome::fail(format!("{report}")),
+                    Err(e) => StepOutcome::fail(e),
+                }
+            }
+            "validate" => {
+                let Some(name) = args.first() else {
+                    return StepOutcome::fail("validate needs an experiment name");
+                };
+                let repo = repo.lock();
+                let Some(csv) = repo.read(&format!("experiments/{name}/results.csv")) else {
+                    return StepOutcome::fail(format!("experiment '{name}' has no results.csv"));
+                };
+                let Some(src) = repo.experiment_validations(name) else {
+                    return StepOutcome::fail(format!("experiment '{name}' has no validations.aver"));
+                };
+                let table = match Table::from_csv(&csv) {
+                    Ok(t) => t,
+                    Err(e) => return StepOutcome::fail(e.to_string()),
+                };
+                match popper_aver::check(&src, &table) {
+                    Ok(v) if v.passed => StepOutcome::pass(v.to_string()),
+                    Ok(v) => StepOutcome::fail(v.to_string()),
+                    Err(e) => StepOutcome::fail(e.to_string()),
+                }
+            }
+            "regression-gate" => {
+                let (Some(name), Some(column)) = (args.first(), args.get(1)) else {
+                    return StepOutcome::fail("regression-gate needs <experiment> <column>");
+                };
+                let repo = repo.lock();
+                regression_gate(&repo, name, column)
+            }
+            other => StepOutcome::fail(format!("unknown CI step '{other}'")),
+        }
+    })
+}
+
+/// Compare the working-tree `results.csv` of `experiment` against the
+/// version recorded in the *previous* commit that touched it.
+fn regression_gate(repo: &PopperRepo, experiment: &str, column: &str) -> StepOutcome {
+    let path = format!("experiments/{experiment}/results.csv");
+    let Some(current_csv) = repo.read(&path) else {
+        return StepOutcome::fail(format!("{path} missing"));
+    };
+    let current = match Table::from_csv(&current_csv) {
+        Ok(t) => t,
+        Err(e) => return StepOutcome::fail(e.to_string()),
+    };
+    // Walk history for the most recent older version with different content.
+    let Some(head) = repo.vcs.head_commit() else {
+        return StepOutcome::pass("no history yet; nothing to compare");
+    };
+    let log = match repo.vcs.log(head) {
+        Ok(l) => l,
+        Err(e) => return StepOutcome::fail(e.to_string()),
+    };
+    let mut previous: Option<Table> = None;
+    for (commit, _) in log {
+        if let Ok(snapshot) = repo.vcs.snapshot_of(commit) {
+            if let Some(bytes) = snapshot.get(&path) {
+                let text = String::from_utf8_lossy(bytes);
+                if *text != *current_csv {
+                    if let Ok(t) = Table::from_csv(&text) {
+                        previous = Some(t);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    let Some(previous) = previous else {
+        return StepOutcome::pass("first recorded results; baseline established");
+    };
+    let (Ok(base), Ok(cand)) = (previous.numeric_column(column), current.numeric_column(column)) else {
+        return StepOutcome::fail(format!("column '{column}' not numeric in both versions"));
+    };
+    popper_ci::history::regression_gate_step(
+        &format!("{experiment}.{column}"),
+        &base,
+        &cand,
+        &RegressionCheck::default(),
+    )
+}
+
+/// Run the repository's own `.popper-ci.pml`.
+pub fn run_ci(
+    repo: Arc<Mutex<PopperRepo>>,
+    engine: Arc<ExperimentEngine>,
+    workers: usize,
+) -> Result<BuildReport, String> {
+    let config_text = repo
+        .lock()
+        .read(".popper-ci.pml")
+        .ok_or(".popper-ci.pml missing")?;
+    let config = PipelineConfig::from_pml(&config_text)?;
+    let executor = popper_steps(repo, engine);
+    Ok(run_pipeline(&config, executor, workers))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::find_template;
+
+    fn shared_repo_with(tpl: &str, name: &str) -> Arc<Mutex<PopperRepo>> {
+        let mut repo = PopperRepo::init("t").unwrap();
+        for (path, contents) in find_template(tpl).unwrap().files(name) {
+            repo.write(&path, contents).unwrap();
+        }
+        repo.commit("add experiment").unwrap();
+        Arc::new(Mutex::new(repo))
+    }
+
+    #[test]
+    fn default_pipeline_is_green() {
+        let repo = shared_repo_with("ceph-rados", "e");
+        let engine = Arc::new(ExperimentEngine::new());
+        let report = run_ci(repo, engine, 2).unwrap();
+        assert!(report.passed(), "{}", report.summary());
+    }
+
+    #[test]
+    fn full_experiment_pipeline() {
+        let repo = shared_repo_with("ceph-rados", "e");
+        {
+            let mut r = repo.lock();
+            r.write(
+                ".popper-ci.pml",
+                "stages: [lint, build, test, regression]\n\
+                 jobs:\n\
+                 \x20 - name: compliance\n\
+                 \x20   stage: lint\n\
+                 \x20   steps: [check-compliance, validate-playbooks, validate-pipelines]\n\
+                 \x20 - name: run\n\
+                 \x20   stage: test\n\
+                 \x20   steps: [run-experiment e, validate e]\n\
+                 \x20 - name: paper\n\
+                 \x20   stage: build\n\
+                 \x20   steps: [build-paper]\n\
+                 \x20 - name: perf\n\
+                 \x20   stage: regression\n\
+                 \x20   steps: [regression-gate e y]\n",
+            )
+            .unwrap();
+            r.commit("full pipeline").unwrap();
+        }
+        let engine = Arc::new(ExperimentEngine::new());
+        let report = run_ci(repo.clone(), engine, 4).unwrap();
+        assert!(report.passed(), "{}", report.summary());
+        // The run step recorded results into the shared repo.
+        assert!(repo.lock().exists("experiments/e/results.csv"));
+    }
+
+    #[test]
+    fn paper_with_dangling_figure_fails_build_stage() {
+        let repo = shared_repo_with("ceph-rados", "e");
+        {
+            let mut r = repo.lock();
+            r.write("paper/paper.md", "# T\n\n![fig](experiments/e/figure.txt)\n").unwrap();
+            r.commit("paper references unbuilt figure").unwrap();
+        }
+        let engine = Arc::new(ExperimentEngine::new());
+        let report = run_ci(repo.clone(), engine.clone(), 2).unwrap();
+        assert!(!report.passed(), "missing figure must fail CI");
+        // Run the experiment, then CI goes green — the Popper loop.
+        engine.run(&mut repo.lock(), "e").unwrap();
+        let report = run_ci(repo, engine, 2).unwrap();
+        assert!(report.passed(), "{}", report.summary());
+    }
+
+    #[test]
+    fn regression_gate_detects_slowdown() {
+        // Regression gates compare repeated measurements of the same
+        // configuration across commits (the Linux-kernel-style perf
+        // testing the paper cites).
+        let repo = shared_repo_with("ceph-rados", "e");
+        let engine = Arc::new(ExperimentEngine::new());
+        let runs_csv = |mean: f64| {
+            let mut t = Table::new(["rep", "runtime_s"]);
+            for i in 0..10 {
+                t.push_row(vec![
+                    popper_format::Value::from(i as i64),
+                    popper_format::Value::Num(mean + (i % 5) as f64 * 0.5),
+                ])
+                .unwrap();
+            }
+            t.to_csv()
+        };
+        {
+            let mut r = repo.lock();
+            r.write("experiments/e/results.csv", runs_csv(100.0)).unwrap();
+            r.commit("baseline runs").unwrap();
+        }
+        let executor = popper_steps(repo.clone(), engine);
+        // First version: nothing to compare against.
+        let outcome = executor(&StepCtx {
+            command: "regression-gate e runtime_s".into(),
+            env: Default::default(),
+            job: "perf".into(),
+        });
+        assert!(outcome.success, "{}", outcome.log);
+        // A 15% slowdown in a new commit trips the gate.
+        {
+            let mut r = repo.lock();
+            r.write("experiments/e/results.csv", runs_csv(115.0)).unwrap();
+            r.commit("slower results").unwrap();
+        }
+        let outcome = executor(&StepCtx {
+            command: "regression-gate e runtime_s".into(),
+            env: Default::default(),
+            job: "perf".into(),
+        });
+        assert!(!outcome.success, "{}", outcome.log);
+        assert!(outcome.log.contains("REGRESSION"));
+        // An equivalent re-measurement does not.
+        {
+            let mut r = repo.lock();
+            r.write("experiments/e/results.csv", runs_csv(115.1)).unwrap();
+            r.commit("rerun, same speed").unwrap();
+        }
+        let outcome = executor(&StepCtx {
+            command: "regression-gate e runtime_s".into(),
+            env: Default::default(),
+            job: "perf".into(),
+        });
+        assert!(outcome.success, "{}", outcome.log);
+    }
+
+    #[test]
+    fn unknown_step_fails() {
+        let repo = shared_repo_with("ceph-rados", "e");
+        let executor = popper_steps(repo, Arc::new(ExperimentEngine::new()));
+        let outcome = executor(&StepCtx { command: "frobnicate".into(), env: Default::default(), job: "j".into() });
+        assert!(!outcome.success);
+    }
+
+    #[test]
+    fn validate_without_results_fails() {
+        let repo = shared_repo_with("ceph-rados", "e");
+        let executor = popper_steps(repo, Arc::new(ExperimentEngine::new()));
+        let outcome = executor(&StepCtx { command: "validate e".into(), env: Default::default(), job: "j".into() });
+        assert!(!outcome.success);
+        assert!(outcome.log.contains("results.csv"));
+    }
+}

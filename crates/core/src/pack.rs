@@ -1,0 +1,177 @@
+//! Experiment packing — the ReproZip slot (§Common Practice,
+//! *Experiment Packing*).
+//!
+//! The paper criticizes packing-as-primary-practice ("the experiment is
+//! a black-box without contextual information … hard to introspect")
+//! but packing *on top of* a Popperized experiment is pure upside: the
+//! repository stays the source of truth and the pack is a derived,
+//! reproducible artifact. `popper pack <experiment>` builds a container
+//! image whose layers hold the experiment's files, whose labels record
+//! the provenance (source commit, experiment name), and whose
+//! entrypoint replays the experiment's `run.sh`.
+//!
+//! Because images are content-addressed, packing the same commit twice
+//! yields the *same* layers — introspectable, deduplicated, and
+//! diffable, which is exactly what the ad-hoc tarball lacks.
+
+use crate::repo::PopperRepo;
+use popper_container::{build_image, BuildCache, Image, ImageRegistry, Popperfile, ProgramRegistry};
+use std::collections::BTreeMap;
+
+/// Errors from packing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PackError {
+    /// The experiment does not exist in the repository.
+    UnknownExperiment(String),
+    /// The repository has no commits (nothing to pin provenance to).
+    NoHistory,
+    /// Image build failed.
+    Build(String),
+}
+
+impl std::fmt::Display for PackError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PackError::UnknownExperiment(e) => write!(f, "unknown experiment '{e}'"),
+            PackError::NoHistory => write!(f, "repository has no commits; commit before packing"),
+            PackError::Build(e) => write!(f, "pack build failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PackError {}
+
+/// The generated Popperfile for an experiment (exposed so users can
+/// inspect exactly how their pack is built — no black boxes).
+pub fn popperfile_for(repo: &PopperRepo, experiment: &str) -> Result<String, PackError> {
+    let files = repo.experiment_files(experiment);
+    if files.is_empty() {
+        return Err(PackError::UnknownExperiment(experiment.to_string()));
+    }
+    let commit = repo.vcs.head_commit().ok_or(PackError::NoHistory)?;
+    let mut pf = String::from("FROM scratch\n");
+    pf.push_str(&format!("LABEL org.popper.experiment {experiment}\n"));
+    pf.push_str(&format!("LABEL org.popper.commit {}\n", commit.to_hex()));
+    for path in &files {
+        pf.push_str(&format!("COPY {path} {path}\n"));
+    }
+    pf.push_str(&format!("ENTRYPOINT cat experiments/{experiment}/run.sh\n"));
+    Ok(pf)
+}
+
+/// Pack one experiment into `registry` as `popper/<experiment>:<short
+/// commit>`. Returns the image.
+pub fn pack_experiment(
+    repo: &PopperRepo,
+    experiment: &str,
+    registry: &mut ImageRegistry,
+    cache: &mut BuildCache,
+) -> Result<Image, PackError> {
+    let pf_text = popperfile_for(repo, experiment)?;
+    let popperfile = Popperfile::parse(&pf_text).map_err(|e| PackError::Build(e.to_string()))?;
+    let context: BTreeMap<String, Vec<u8>> = repo
+        .experiment_files(experiment)
+        .into_iter()
+        .filter_map(|p| Some((p.clone(), repo.vcs.read_file(&p)?.to_vec())))
+        .collect();
+    let commit = repo.vcs.head_commit().ok_or(PackError::NoHistory)?;
+    let tag = commit.short();
+    let programs = ProgramRegistry::with_builtins();
+    build_image(
+        &popperfile,
+        &context,
+        registry,
+        &programs,
+        cache,
+        &format!("popper/{experiment}"),
+        &tag,
+    )
+    .map_err(|e| PackError::Build(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::find_template;
+    use popper_container::Container;
+
+    fn repo_with(tpl: &str, name: &str) -> PopperRepo {
+        let mut repo = PopperRepo::init("t").unwrap();
+        for (path, contents) in find_template(tpl).unwrap().files(name) {
+            repo.write(&path, contents).unwrap();
+        }
+        repo.commit("add").unwrap();
+        repo
+    }
+
+    #[test]
+    fn pack_builds_runnable_image_with_provenance() {
+        let repo = repo_with("gassyfs", "g");
+        let mut registry = ImageRegistry::new();
+        let mut cache = BuildCache::new();
+        let image = pack_experiment(&repo, "g", &mut registry, &mut cache).unwrap();
+        let commit = repo.vcs.head_commit().unwrap();
+        assert_eq!(image.name, "popper/g");
+        assert_eq!(image.tag, commit.short());
+        assert_eq!(image.config.labels["org.popper.commit"], commit.to_hex());
+        assert_eq!(image.config.labels["org.popper.experiment"], "g");
+
+        // The pack replays: its entrypoint prints the checked-in run.sh.
+        let mut c = Container::create(&registry, &image.reference()).unwrap();
+        let st = c.run(&ProgramRegistry::with_builtins(), &[]).unwrap();
+        assert!(st.success());
+        assert_eq!(st.stdout, repo.read("experiments/g/run.sh").unwrap());
+        // Every experiment file is inside.
+        for path in repo.experiment_files("g") {
+            assert!(c.fs.exists(&path), "pack missing {path}");
+        }
+    }
+
+    #[test]
+    fn packing_same_commit_is_content_identical() {
+        let repo = repo_with("torpor", "t");
+        let mut r1 = ImageRegistry::new();
+        let mut r2 = ImageRegistry::new();
+        let i1 = pack_experiment(&repo, "t", &mut r1, &mut BuildCache::new()).unwrap();
+        let i2 = pack_experiment(&repo, "t", &mut r2, &mut BuildCache::new()).unwrap();
+        assert_eq!(i1.layers, i2.layers, "content addressing makes packs reproducible");
+    }
+
+    #[test]
+    fn new_commit_changes_pack_identity_but_shares_layers() {
+        let mut repo = repo_with("zlog", "z");
+        let mut registry = ImageRegistry::new();
+        let mut cache = BuildCache::new();
+        let before = pack_experiment(&repo, "z", &mut registry, &mut cache).unwrap();
+        // Change one file; repack.
+        repo.write("experiments/z/vars.pml", "runner: synthetic\nworkload: w2\nmodel:\n  trend: linear\n  base: 1\nxs: [1, 2]\n").unwrap();
+        repo.commit("tweak vars").unwrap();
+        let after = pack_experiment(&repo, "z", &mut registry, &mut cache).unwrap();
+        assert_ne!(before.tag, after.tag);
+        // COPY layers before the changed file are shared (prefix cache);
+        // at minimum the layer sets overlap.
+        let shared = after.layers.iter().filter(|l| before.layers.contains(l)).count();
+        assert!(shared >= 1, "packs of adjacent commits should share layers");
+    }
+
+    #[test]
+    fn pack_errors() {
+        let repo = repo_with("zlog", "z");
+        let mut registry = ImageRegistry::new();
+        assert!(matches!(
+            pack_experiment(&repo, "ghost", &mut registry, &mut BuildCache::new()),
+            Err(PackError::UnknownExperiment(_))
+        ));
+    }
+
+    #[test]
+    fn popperfile_is_inspectable() {
+        let repo = repo_with("gassyfs", "g");
+        let pf = popperfile_for(&repo, "g").unwrap();
+        assert!(pf.starts_with("FROM scratch"));
+        assert!(pf.contains("COPY experiments/g/vars.pml experiments/g/vars.pml"));
+        assert!(pf.contains("LABEL org.popper.commit"));
+        // It parses as a valid Popperfile.
+        assert!(Popperfile::parse(&pf).is_ok());
+    }
+}

@@ -1,0 +1,209 @@
+//! The manuscript side: `paper/build.sh` semantics.
+//!
+//! A Popper article "is written in any desired markup language … there
+//! is a `build.sh` command that generates the output format". Here the
+//! markup is Markdown with a PML front-matter block; *building* means
+//! assembling the article, resolving every figure reference against the
+//! repository (figures are experiment outputs!), expanding
+//! `@experiment:<name>` result embeds, and producing the final
+//! artifact. A dangling figure reference fails the build — that is the
+//! "paper is always in a state that can be built" CI check.
+
+use crate::repo::PopperRepo;
+use popper_format::pml;
+
+/// A successfully built article.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuiltPaper {
+    /// Title from the front matter.
+    pub title: String,
+    /// The assembled output (the "PDF").
+    pub output: String,
+    /// Figures that were resolved, in order of appearance.
+    pub figures: Vec<String>,
+    /// Section headings.
+    pub sections: Vec<String>,
+}
+
+/// Errors from the paper build.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PaperError {
+    /// No manuscript found.
+    NoManuscript,
+    /// Front matter is not valid PML.
+    BadFrontMatter(String),
+    /// A referenced figure does not exist in the repository.
+    MissingFigure(String),
+    /// An `@experiment:` embed names an experiment without results.
+    MissingResults(String),
+}
+
+impl std::fmt::Display for PaperError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PaperError::NoManuscript => write!(f, "paper/paper.md not found"),
+            PaperError::BadFrontMatter(e) => write!(f, "front matter: {e}"),
+            PaperError::MissingFigure(p) => write!(f, "figure '{p}' not found (run its experiment first)"),
+            PaperError::MissingResults(e) => write!(f, "experiment '{e}' has no results.csv to embed"),
+        }
+    }
+}
+
+impl std::error::Error for PaperError {}
+
+/// Build the article.
+pub fn build_paper(repo: &PopperRepo) -> Result<BuiltPaper, PaperError> {
+    let source = repo.read("paper/paper.md").ok_or(PaperError::NoManuscript)?;
+
+    // Front matter: optional leading `---\n…\n---` PML block.
+    let (front, body) = split_front_matter(&source);
+    let title = match front {
+        Some(fm) => {
+            let v = pml::parse(fm).map_err(|e| PaperError::BadFrontMatter(e.to_string()))?;
+            v.get_str("title").unwrap_or("Untitled").to_string()
+        }
+        None => "Untitled".to_string(),
+    };
+
+    let mut output = String::new();
+    output.push_str(&format!("=== {title} ===\n"));
+    let mut figures = Vec::new();
+    let mut sections = Vec::new();
+
+    for line in body.lines() {
+        if let Some(heading) = line.strip_prefix('#') {
+            sections.push(heading.trim_start_matches('#').trim().to_string());
+            output.push_str(&format!("\n{}\n", heading.trim()));
+            continue;
+        }
+        // Figure references: ![alt](path)
+        if let Some((alt, path)) = parse_figure_ref(line) {
+            let contents = repo
+                .read(path)
+                .ok_or_else(|| PaperError::MissingFigure(path.to_string()))?;
+            figures.push(path.to_string());
+            output.push_str(&format!("[figure: {alt}]\n{contents}\n"));
+            continue;
+        }
+        // Result embeds: @experiment:<name> inlines the results table.
+        if let Some(name) = line.trim().strip_prefix("@experiment:") {
+            let name = name.trim();
+            let csv = repo
+                .read(&format!("experiments/{name}/results.csv"))
+                .ok_or_else(|| PaperError::MissingResults(name.to_string()))?;
+            let table = popper_format::Table::from_csv(&csv)
+                .map_err(|e| PaperError::MissingResults(format!("{name}: {e}")))?;
+            output.push_str(&table.to_pretty());
+            continue;
+        }
+        output.push_str(line);
+        output.push('\n');
+    }
+
+    Ok(BuiltPaper { title, output, figures, sections })
+}
+
+fn split_front_matter(source: &str) -> (Option<&str>, &str) {
+    let Some(rest) = source.strip_prefix("---\n") else {
+        return (None, source);
+    };
+    match rest.find("\n---") {
+        Some(end) => {
+            let fm = &rest[..end + 1];
+            let body = rest[end + 4..].trim_start_matches('\n');
+            (Some(fm), body)
+        }
+        None => (None, source),
+    }
+}
+
+fn parse_figure_ref(line: &str) -> Option<(&str, &str)> {
+    let line = line.trim();
+    let rest = line.strip_prefix("![")?;
+    let (alt, rest) = rest.split_once("](")?;
+    let (path, _tail) = rest.split_once(')')?;
+    Some((alt, path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_with_paper(body: &str) -> PopperRepo {
+        let mut repo = PopperRepo::init("t").unwrap();
+        repo.write("paper/paper.md", body).unwrap();
+        repo.commit("paper").unwrap();
+        repo
+    }
+
+    #[test]
+    fn builds_default_init_paper() {
+        let repo = PopperRepo::init("t").unwrap();
+        let built = build_paper(&repo).unwrap();
+        assert_eq!(built.title, "An article following the Popper convention");
+        assert!(built.sections.contains(&"Introduction".to_string()));
+        assert!(built.figures.is_empty());
+    }
+
+    #[test]
+    fn resolves_figures_from_experiments() {
+        let mut repo = repo_with_paper(
+            "---\ntitle: \"GassyFS scaling\"\n---\n\n# Evaluation\n\n![scaling](experiments/g/figure.txt)\n",
+        );
+        // Build must fail before the experiment ran…
+        match build_paper(&repo) {
+            Err(PaperError::MissingFigure(p)) => assert_eq!(p, "experiments/g/figure.txt"),
+            other => panic!("{other:?}"),
+        }
+        // …and succeed after.
+        repo.write("experiments/g/figure.txt", "nodes time\n1 100\n").unwrap();
+        repo.commit("figure").unwrap();
+        let built = build_paper(&repo).unwrap();
+        assert_eq!(built.figures, vec!["experiments/g/figure.txt"]);
+        assert!(built.output.contains("[figure: scaling]"));
+        assert!(built.output.contains("nodes time"));
+    }
+
+    #[test]
+    fn embeds_result_tables() {
+        let mut repo = repo_with_paper("# Results\n\n@experiment:e\n");
+        match build_paper(&repo) {
+            Err(PaperError::MissingResults(e)) => assert_eq!(e, "e"),
+            other => panic!("{other:?}"),
+        }
+        repo.write("experiments/e/results.csv", "x,y\n1,10\n2,18\n").unwrap();
+        repo.commit("results").unwrap();
+        let built = build_paper(&repo).unwrap();
+        assert!(built.output.contains("x  y"), "{}", built.output);
+        assert!(built.output.contains("18"));
+    }
+
+    #[test]
+    fn front_matter_variants() {
+        let built = build_paper(&repo_with_paper("no front matter\n# S\n")).unwrap();
+        assert_eq!(built.title, "Untitled");
+        assert_eq!(built.sections, vec!["S"]);
+
+        let mut repo = PopperRepo::init("t").unwrap();
+        repo.write("paper/paper.md", "---\ntitle: \"T\"\nbad: [unclosed\n---\nbody\n").unwrap();
+        repo.commit("bad fm").unwrap();
+        assert!(matches!(build_paper(&repo), Err(PaperError::BadFrontMatter(_))));
+    }
+
+    #[test]
+    fn missing_manuscript() {
+        let mut repo = PopperRepo::init("t").unwrap();
+        repo.vcs.remove_file("paper/paper.md");
+        assert_eq!(build_paper(&repo), Err(PaperError::NoManuscript));
+    }
+
+    #[test]
+    fn figure_ref_parsing() {
+        assert_eq!(
+            parse_figure_ref("![alt text](a/b.txt)"),
+            Some(("alt text", "a/b.txt"))
+        );
+        assert_eq!(parse_figure_ref("plain text"), None);
+        assert_eq!(parse_figure_ref("![broken](no-close"), None);
+    }
+}

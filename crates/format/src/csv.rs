@@ -1,0 +1,199 @@
+//! RFC-4180-style CSV reading and writing.
+//!
+//! Experiment results in a Popperized repository live in `results.csv`
+//! files (see Listing 1 of the paper); the monitor and the Aver engine
+//! consume them through [`crate::table::Table`], which is built on this
+//! module.
+//!
+//! Supported: quoted fields, embedded quotes (`""`), embedded commas and
+//! newlines inside quoted fields, `\r\n` and `\n` record separators.
+//! Unsupported (by design): custom delimiters and comment lines.
+
+use crate::error::{FormatError, Result};
+
+/// Parse a CSV document into rows of fields. Every row keeps exactly the
+/// fields that appear in the input; callers enforce rectangularity.
+pub fn parse(input: &str) -> Result<Vec<Vec<String>>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push('\n');
+                }
+                c => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                if !field.is_empty() {
+                    return Err(FormatError::at("csv", "quote inside unquoted field", line, 0));
+                }
+                in_quotes = true;
+            }
+            ',' => {
+                row.push(std::mem::take(&mut field));
+            }
+            '\r' => {
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+                line += 1;
+            }
+            '\n' => {
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+                line += 1;
+            }
+            c => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(FormatError::at("csv", "unterminated quoted field", line, 0));
+    }
+    if any && (!field.is_empty() || !row.is_empty()) {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Serialize rows as CSV with `\n` record separators and a trailing newline.
+pub fn to_string(rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    for row in rows {
+        for (i, fieldv) in row.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_field(&mut out, fieldv);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn write_field(out: &mut String, field: &str) {
+    let needs_quotes = field.contains([',', '"', '\n', '\r'])
+        || field.starts_with(' ')
+        || field.ends_with(' ');
+    if needs_quotes {
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows(s: &str) -> Vec<Vec<String>> {
+        parse(s).unwrap()
+    }
+
+    #[test]
+    fn parses_simple_rows() {
+        let r = rows("a,b,c\n1,2,3\n");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[0], ["a", "b", "c"]);
+        assert_eq!(r[1], ["1", "2", "3"]);
+    }
+
+    #[test]
+    fn handles_missing_final_newline() {
+        let r = rows("a,b\n1,2");
+        assert_eq!(r.len(), 2);
+        assert_eq!(r[1], ["1", "2"]);
+    }
+
+    #[test]
+    fn handles_crlf() {
+        let r = rows("a,b\r\n1,2\r\n");
+        assert_eq!(r, vec![vec!["a", "b"], vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let r = rows("\"a,b\",\"say \"\"hi\"\"\",\"multi\nline\"\n");
+        assert_eq!(r[0][0], "a,b");
+        assert_eq!(r[0][1], "say \"hi\"");
+        assert_eq!(r[0][2], "multi\nline");
+    }
+
+    #[test]
+    fn empty_fields() {
+        let r = rows(",a,\n,,\n");
+        assert_eq!(r[0], ["", "a", ""]);
+        assert_eq!(r[1], ["", "", ""]);
+    }
+
+    #[test]
+    fn empty_input_is_no_rows() {
+        assert!(rows("").is_empty());
+    }
+
+    #[test]
+    fn rejects_unterminated_quote() {
+        assert!(parse("\"abc\n").is_err());
+    }
+
+    #[test]
+    fn rejects_quote_mid_field() {
+        assert!(parse("ab\"c\n").is_err());
+    }
+
+    #[test]
+    fn writer_quotes_when_needed() {
+        let input = vec![vec!["plain".to_string(), "a,b".to_string(), "q\"x".to_string(), " pad ".to_string()]];
+        let s = to_string(&input);
+        assert_eq!(s, "plain,\"a,b\",\"q\"\"x\",\" pad \"\n");
+        assert_eq!(parse(&s).unwrap(), input);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn round_trip(rows in proptest::collection::vec(
+                proptest::collection::vec("[ -~\n]{0,12}", 1..6), 0..8)) {
+                let s = to_string(&rows);
+                prop_assert_eq!(parse(&s).unwrap(), rows);
+            }
+
+            #[test]
+            fn parser_never_panics(s in "\\PC{0,64}") {
+                let _ = parse(&s);
+            }
+        }
+    }
+}

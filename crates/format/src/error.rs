@@ -1,0 +1,62 @@
+//! Error type shared by all format parsers.
+
+use std::fmt;
+
+/// Result alias for format operations.
+pub type Result<T> = std::result::Result<T, FormatError>;
+
+/// An error produced while parsing or serializing one of the Popper
+/// formats. Carries the 1-based line/column where the problem was found
+/// when that is known.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatError {
+    /// Which format produced the error ("json", "pml", "csv", "table").
+    pub format: &'static str,
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// 1-based line number, 0 if unknown.
+    pub line: usize,
+    /// 1-based column number, 0 if unknown.
+    pub column: usize,
+}
+
+impl FormatError {
+    /// Create an error with a known source position.
+    pub fn at(format: &'static str, message: impl Into<String>, line: usize, column: usize) -> Self {
+        FormatError { format, message: message.into(), line, column }
+    }
+
+    /// Create an error without position information.
+    pub fn new(format: &'static str, message: impl Into<String>) -> Self {
+        FormatError { format, message: message.into(), line: 0, column: 0 }
+    }
+}
+
+impl fmt::Display for FormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(f, "{} parse error at {}:{}: {}", self.format, self.line, self.column, self.message)
+        } else {
+            write!(f, "{} error: {}", self.format, self.message)
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_with_position() {
+        let e = FormatError::at("json", "unexpected token", 3, 7);
+        assert_eq!(e.to_string(), "json parse error at 3:7: unexpected token");
+    }
+
+    #[test]
+    fn display_without_position() {
+        let e = FormatError::new("csv", "ragged row");
+        assert_eq!(e.to_string(), "csv error: ragged row");
+    }
+}

@@ -1,0 +1,908 @@
+//! PML — *Popper Markup Language*, an indentation-based YAML subset.
+//!
+//! Every human-edited file in a Popperized repository (`vars.pml`,
+//! `setup.pml`, orchestration playbooks, `.popper-ci.pml`, `.popper.pml`)
+//! uses this language. It supports the YAML features those files actually
+//! need and nothing else, which keeps the parser small, predictable and
+//! easy to property-test:
+//!
+//! * block mappings `key: value` and nested blocks;
+//! * block sequences `- item`, including the `- key: value` compact form;
+//! * flow collections `[a, b]` and `{k: v}`;
+//! * scalars: `~`/empty (null), `true`/`false`, numbers, plain strings,
+//!   single- and double-quoted strings (double quotes use JSON escapes);
+//! * literal block scalars `key: |` for embedded scripts;
+//! * `#` comments.
+//!
+//! Anchors, aliases, tags, multi-document streams and folded scalars are
+//! deliberately out of scope.
+
+use crate::error::{FormatError, Result};
+use crate::value::Value;
+
+/// Parse a PML document. An empty (or comment-only) document parses as an
+/// empty map, matching how configuration files are consumed.
+pub fn parse(input: &str) -> Result<Value> {
+    let mut lines: Vec<Line> = Vec::new();
+    for (idx, raw) in input.lines().enumerate() {
+        lines.push(Line::new(idx + 1, raw));
+    }
+    let mut p = PmlParser { lines, pos: 0 };
+    p.skip_blank();
+    if p.pos >= p.lines.len() {
+        return Ok(Value::empty_map());
+    }
+    let indent = p.lines[p.pos].indent;
+    let v = p.parse_block(indent)?;
+    p.skip_blank();
+    if p.pos < p.lines.len() {
+        let l = &p.lines[p.pos];
+        return Err(FormatError::at("pml", "unexpected content after document (bad indentation?)", l.number, l.indent + 1));
+    }
+    Ok(v)
+}
+
+/// Serialize a value as PML. Scalars at the top level are emitted as a
+/// bare scalar line; maps and lists use block style.
+pub fn to_string(v: &Value) -> String {
+    let mut out = String::new();
+    match v {
+        Value::Map(_) | Value::List(_) => write_block(&mut out, v, 0),
+        scalar => {
+            out.push_str(&write_scalar(scalar));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+#[derive(Debug, Clone)]
+struct Line {
+    number: usize,
+    indent: usize,
+    /// Content with indentation stripped; may be empty for blank lines.
+    text: String,
+    /// The raw line, used by literal block scalars.
+    raw: String,
+}
+
+impl Line {
+    fn new(number: usize, raw: &str) -> Self {
+        let indent = raw.len() - raw.trim_start_matches(' ').len();
+        let text = raw[indent..].trim_end().to_string();
+        Line { number, indent, text, raw: raw.to_string() }
+    }
+
+    fn is_blank_or_comment(&self) -> bool {
+        self.text.is_empty() || self.text.starts_with('#')
+    }
+}
+
+struct PmlParser {
+    lines: Vec<Line>,
+    pos: usize,
+}
+
+impl PmlParser {
+    fn skip_blank(&mut self) {
+        while self.pos < self.lines.len() && self.lines[self.pos].is_blank_or_comment() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<&Line> {
+        self.skip_blank();
+        self.lines.get(self.pos)
+    }
+
+    fn err_at(&self, line: &Line, msg: impl Into<String>) -> FormatError {
+        FormatError::at("pml", msg, line.number, line.indent + 1)
+    }
+
+    /// Parse a block (mapping or sequence) whose lines sit at `indent`.
+    fn parse_block(&mut self, indent: usize) -> Result<Value> {
+        let line = match self.peek() {
+            Some(l) => l.clone(),
+            None => return Ok(Value::empty_map()),
+        };
+        // YAML (and PML) forbid tabs in indentation — they nest
+        // ambiguously. (Literal blocks read raw lines directly, so tabs
+        // *inside* embedded scripts are unaffected.)
+        if line.text.starts_with('\t') {
+            return Err(self.err_at(&line, "tab in indentation (use spaces)"));
+        }
+        if line.text == "-" || line.text.starts_with("- ") {
+            self.parse_sequence(indent)
+        } else if split_mapping_entry(&line.text).is_some() {
+            self.parse_mapping(indent)
+        } else {
+            // A lone scalar block (e.g. a top-level `~` document, or a
+            // nested scalar under `key:` on its own line).
+            self.pos += 1;
+            let v = self.parse_scalar_or_flow(&line.text, &line)?;
+            if let Some(next) = self.peek() {
+                if next.indent >= indent {
+                    let next = next.clone();
+                    return Err(self.err_at(&next, "content after scalar block"));
+                }
+            }
+            Ok(v)
+        }
+    }
+
+    fn parse_sequence(&mut self, indent: usize) -> Result<Value> {
+        let mut items = Vec::new();
+        while let Some(line) = self.peek() {
+            if line.indent < indent {
+                break;
+            }
+            let line = line.clone();
+            if line.indent > indent {
+                return Err(self.err_at(&line, "unexpected indentation inside sequence"));
+            }
+            if line.text != "-" && !line.text.starts_with("- ") {
+                return Err(self.err_at(&line, "expected sequence item"));
+            }
+            if line.text == "-" {
+                // Item value is the following deeper-indented block.
+                self.pos += 1;
+                match self.peek() {
+                    Some(next) if next.indent > indent => {
+                        let child_indent = next.indent;
+                        items.push(self.parse_block(child_indent)?);
+                    }
+                    _ => items.push(Value::Null),
+                }
+            } else {
+                let rest = line.text[2..].trim_start().to_string();
+                let extra = line.text.len() - rest.len();
+                if looks_like_mapping_entry(&rest) {
+                    // Compact form `- key: value`: rewrite this line as a
+                    // mapping entry two columns deeper and parse a mapping
+                    // there; following lines of the item are indented to
+                    // the key's column.
+                    let item_indent = indent + extra;
+                    self.lines[self.pos] = Line {
+                        number: line.number,
+                        indent: item_indent,
+                        text: rest,
+                        raw: line.raw.clone(),
+                    };
+                    items.push(self.parse_mapping(item_indent)?);
+                } else {
+                    self.pos += 1;
+                    items.push(self.parse_scalar_or_flow(&rest, &line)?);
+                }
+            }
+        }
+        Ok(Value::List(items))
+    }
+
+    fn parse_mapping(&mut self, indent: usize) -> Result<Value> {
+        let mut map: Vec<(String, Value)> = Vec::new();
+        while let Some(line) = self.peek() {
+            if line.indent < indent {
+                break;
+            }
+            let line = line.clone();
+            if line.text.starts_with('\t') {
+                return Err(self.err_at(&line, "tab in indentation (use spaces)"));
+            }
+            if line.indent > indent {
+                return Err(self.err_at(&line, "unexpected indentation inside mapping"));
+            }
+            if line.text == "-" || line.text.starts_with("- ") {
+                return Err(self.err_at(&line, "sequence item inside mapping"));
+            }
+            let (key, rest) = split_mapping_entry(&line.text)
+                .ok_or_else(|| self.err_at(&line, "expected 'key: value'"))?;
+            let key = parse_key(key, &line).map_err(|m| self.err_at(&line, m))?;
+            if map.iter().any(|(k, _)| *k == key) {
+                return Err(self.err_at(&line, format!("duplicate key '{key}'")));
+            }
+            let rest = rest.trim();
+            if rest.is_empty() {
+                self.pos += 1;
+                match self.peek() {
+                    Some(next) if next.indent > indent => {
+                        let child_indent = next.indent;
+                        map.push((key, self.parse_block(child_indent)?));
+                    }
+                    _ => map.push((key, Value::Null)),
+                }
+            } else if rest == "|" {
+                self.pos += 1;
+                map.push((key, Value::Str(self.parse_literal_block(indent))));
+            } else {
+                self.pos += 1;
+                let v = self.parse_scalar_or_flow(rest, &line)?;
+                map.push((key, v));
+            }
+        }
+        Ok(Value::Map(map))
+    }
+
+    /// Consume the raw lines of a `|` literal block: every following line
+    /// that is blank or indented strictly deeper than the key.
+    fn parse_literal_block(&mut self, key_indent: usize) -> String {
+        // Find the indent of the first non-blank line of the block.
+        let mut body_indent = None;
+        let mut j = self.pos;
+        while j < self.lines.len() {
+            let l = &self.lines[j];
+            if l.raw.trim().is_empty() {
+                j += 1;
+                continue;
+            }
+            if l.indent > key_indent {
+                body_indent = Some(l.indent);
+            }
+            break;
+        }
+        let Some(body_indent) = body_indent else {
+            return String::new();
+        };
+        let mut out = String::new();
+        while self.pos < self.lines.len() {
+            let l = &self.lines[self.pos];
+            if l.raw.trim().is_empty() {
+                out.push('\n');
+                self.pos += 1;
+                continue;
+            }
+            if l.indent < body_indent {
+                break;
+            }
+            out.push_str(&l.raw[body_indent..]);
+            out.push('\n');
+            self.pos += 1;
+        }
+        // Trim trailing blank lines, keep exactly one final newline.
+        while out.ends_with("\n\n") {
+            out.pop();
+        }
+        out
+    }
+
+    fn parse_scalar_or_flow(&mut self, text: &str, line: &Line) -> Result<Value> {
+        let text = strip_trailing_comment(text);
+        let trimmed = text.trim();
+        if trimmed.starts_with('[') || trimmed.starts_with('{') {
+            let mut fp = FlowParser { bytes: trimmed.as_bytes(), pos: 0, line };
+            let v = fp.parse_value().map_err(|m| self.err_at(line, m))?;
+            fp.skip_ws();
+            if fp.pos != fp.bytes.len() {
+                return Err(self.err_at(line, "trailing characters after flow collection"));
+            }
+            Ok(v)
+        } else {
+            parse_scalar_token(trimmed).map_err(|m| self.err_at(line, m))
+        }
+    }
+}
+
+/// True if a sequence-item payload is itself a mapping entry
+/// (`key: value` or `key:`) rather than a plain scalar.
+fn looks_like_mapping_entry(rest: &str) -> bool {
+    if rest.starts_with('[') || rest.starts_with('{') || rest.starts_with('"') || rest.starts_with('\'') {
+        return false;
+    }
+    split_mapping_entry(rest).is_some()
+}
+
+/// Split `key: value` at the first top-level `: ` (or trailing `:`).
+/// Returns `None` if the line is not a mapping entry.
+fn split_mapping_entry(text: &str) -> Option<(&str, &str)> {
+    let bytes = text.as_bytes();
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\'' if !in_double => in_single = !in_single,
+            b'"' if !in_single => in_double = !in_double,
+            b'\\' if in_double => i += 1,
+            b':' if !in_single && !in_double => {
+                let after = bytes.get(i + 1);
+                if after.is_none() || after == Some(&b' ') {
+                    return Some((&text[..i], text.get(i + 1..).unwrap_or("")));
+                }
+            }
+            b'#' if !in_single && !in_double && i > 0 && bytes[i - 1] == b' ' => {
+                return split_mapping_entry(text[..i].trim_end());
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+fn parse_key(raw: &str, _line: &Line) -> std::result::Result<String, String> {
+    let raw = raw.trim();
+    if raw.is_empty() {
+        return Err("empty mapping key".into());
+    }
+    if (raw.starts_with('"') && raw.ends_with('"') && raw.len() >= 2)
+        || (raw.starts_with('\'') && raw.ends_with('\'') && raw.len() >= 2)
+    {
+        match parse_scalar_token(raw)? {
+            Value::Str(s) => Ok(s),
+            other => Ok(other.to_display_string()),
+        }
+    } else {
+        Ok(raw.to_string())
+    }
+}
+
+/// Remove a ` # comment` suffix outside quotes.
+fn strip_trailing_comment(text: &str) -> &str {
+    let bytes = text.as_bytes();
+    let mut in_single = false;
+    let mut in_double = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\'' if !in_double => in_single = !in_single,
+            b'"' if !in_single => in_double = !in_double,
+            b'\\' if in_double => i += 1,
+            b'#' if !in_single && !in_double && i > 0 && bytes[i - 1] == b' ' => {
+                return text[..i].trim_end();
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    text
+}
+
+/// Parse one scalar token: null / bool / number / quoted / plain string.
+fn parse_scalar_token(token: &str) -> std::result::Result<Value, String> {
+    match token {
+        "" | "~" | "null" => return Ok(Value::Null),
+        "true" => return Ok(Value::Bool(true)),
+        "false" => return Ok(Value::Bool(false)),
+        _ => {}
+    }
+    if let Some(inner) = token.strip_prefix('"') {
+        let inner = inner.strip_suffix('"').ok_or("unterminated double-quoted string")?;
+        return unescape_double(inner);
+    }
+    if let Some(inner) = token.strip_prefix('\'') {
+        let inner = inner.strip_suffix('\'').ok_or("unterminated single-quoted string")?;
+        return Ok(Value::Str(inner.replace("''", "'")));
+    }
+    if looks_numeric(token) {
+        if let Ok(n) = token.parse::<f64>() {
+            return Ok(Value::Num(n));
+        }
+    }
+    Ok(Value::Str(token.to_string()))
+}
+
+fn looks_numeric(token: &str) -> bool {
+    let t = token.strip_prefix(['-', '+']).unwrap_or(token);
+    !t.is_empty() && t.chars().next().is_some_and(|c| c.is_ascii_digit() || c == '.')
+}
+
+fn unescape_double(s: &str) -> std::result::Result<Value, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if hex.len() != 4 {
+                    return Err("truncated \\u escape".into());
+                }
+                let cp = u32::from_str_radix(&hex, 16).map_err(|_| "invalid \\u escape")?;
+                out.push(char::from_u32(cp).ok_or("invalid code point")?);
+            }
+            Some(other) => return Err(format!("invalid escape '\\{other}'")),
+            None => return Err("dangling backslash".into()),
+        }
+    }
+    Ok(Value::Str(out))
+}
+
+/// Flow-style (inline) collection parser: `[1, two, {k: v}]`.
+struct FlowParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    #[allow(dead_code)]
+    line: &'a Line,
+}
+
+impl<'a> FlowParser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn parse_value(&mut self) -> std::result::Result<Value, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'[') => self.parse_list(),
+            Some(b'{') => self.parse_map(),
+            Some(_) => {
+                let token = self.take_atom()?;
+                parse_scalar_token(&token)
+            }
+            None => Err("unexpected end of flow collection".into()),
+        }
+    }
+
+    fn parse_list(&mut self) -> std::result::Result<Value, String> {
+        self.pos += 1; // '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::List(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::List(items));
+                }
+                _ => return Err("expected ',' or ']' in flow list".into()),
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> std::result::Result<Value, String> {
+        self.pos += 1; // '{'
+        let mut map: Vec<(String, Value)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(map));
+        }
+        loop {
+            self.skip_ws();
+            let key_tok = self.take_atom_until(b":")?;
+            let key = match parse_scalar_token(key_tok.trim())? {
+                Value::Str(s) => s,
+                other => other.to_display_string(),
+            };
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err("expected ':' in flow map".into());
+            }
+            self.pos += 1;
+            let v = self.parse_value()?;
+            map.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(map));
+                }
+                _ => return Err("expected ',' or '}' in flow map".into()),
+            }
+        }
+    }
+
+    /// Take a scalar atom, stopping at `,]}` (and respecting quotes).
+    fn take_atom(&mut self) -> std::result::Result<String, String> {
+        self.take_atom_until(&[])
+    }
+
+    fn take_atom_until(&mut self, extra: &[u8]) -> std::result::Result<String, String> {
+        self.skip_ws();
+        let start = self.pos;
+        if matches!(self.peek(), Some(b'"' | b'\'')) {
+            let quote = self.peek().unwrap();
+            self.pos += 1;
+            while let Some(b) = self.peek() {
+                self.pos += 1;
+                if b == b'\\' && quote == b'"' {
+                    self.pos += 1;
+                } else if b == quote {
+                    break;
+                }
+            }
+        }
+        while let Some(b) = self.peek() {
+            if matches!(b, b',' | b']' | b'}') || extra.contains(&b) {
+                break;
+            }
+            self.pos += 1;
+        }
+        let slice = &self.bytes[start..self.pos];
+        Ok(std::str::from_utf8(slice).map_err(|_| "invalid UTF-8 in flow atom")?.trim().to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_block(out: &mut String, v: &Value, indent: usize) {
+    match v {
+        Value::Map(entries) => {
+            if entries.is_empty() {
+                push_indent(out, indent);
+                out.push_str("{}\n");
+                return;
+            }
+            for (k, val) in entries {
+                push_indent(out, indent);
+                out.push_str(&write_key(k));
+                out.push(':');
+                write_entry_value(out, val, indent);
+            }
+        }
+        Value::List(items) => {
+            if items.is_empty() {
+                push_indent(out, indent);
+                out.push_str("[]\n");
+                return;
+            }
+            for item in items {
+                push_indent(out, indent);
+                out.push('-');
+                write_entry_value(out, item, indent);
+            }
+        }
+        scalar => {
+            push_indent(out, indent);
+            out.push_str(&write_scalar(scalar));
+            out.push('\n');
+        }
+    }
+}
+
+/// Write the value part after `key:` or `-`, choosing inline vs block form.
+fn write_entry_value(out: &mut String, v: &Value, indent: usize) {
+    match v {
+        Value::Map(m) if !m.is_empty() => {
+            out.push('\n');
+            write_block(out, v, indent + 2);
+        }
+        Value::List(l) if !l.is_empty() => {
+            out.push('\n');
+            write_block(out, v, indent + 2);
+        }
+        Value::Map(_) => out.push_str(" {}\n"),
+        Value::List(_) => out.push_str(" []\n"),
+        scalar => {
+            out.push(' ');
+            out.push_str(&write_scalar(scalar));
+            out.push('\n');
+        }
+    }
+}
+
+fn push_indent(out: &mut String, indent: usize) {
+    for _ in 0..indent {
+        out.push(' ');
+    }
+}
+
+fn write_key(k: &str) -> String {
+    if k.is_empty() || !k.chars().all(|c| c.is_alphanumeric() || "_-./".contains(c)) {
+        quote_string(k)
+    } else {
+        k.to_string()
+    }
+}
+
+fn write_scalar(v: &Value) -> String {
+    match v {
+        Value::Null => "~".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Num(n) => crate::value::fmt_num(*n),
+        Value::Str(s) => {
+            if plain_string_is_safe(s) {
+                s.clone()
+            } else {
+                quote_string(s)
+            }
+        }
+        _ => unreachable!("write_scalar called on collection"),
+    }
+}
+
+/// A plain (unquoted) string is safe if parsing it back yields the same
+/// string: not empty, not bool/null/number-like, no structural characters.
+fn plain_string_is_safe(s: &str) -> bool {
+    if s.is_empty() || matches!(s, "~" | "null" | "true" | "false" | "|") {
+        return false;
+    }
+    if s.starts_with([' ', '\'', '"', '[', '{', '-', '#', '&', '*', '!']) || s.ends_with(' ') {
+        return false;
+    }
+    if looks_numeric(s) && s.parse::<f64>().is_ok() {
+        return false;
+    }
+    // No character that could be read structurally.
+    !s.chars().any(|c| matches!(c, ':' | '#' | '\n' | '\t' | '\r')) || !s.contains(": ") && !s.ends_with(':') && !s.contains(" #") && !s.contains(['\n', '\t', '\r'])
+}
+
+fn quote_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_mapping() {
+        let v = parse("name: gassyfs\nnodes: 4\nfuse: true\nnote: ~\n").unwrap();
+        assert_eq!(v.get_str("name"), Some("gassyfs"));
+        assert_eq!(v.get_num("nodes"), Some(4.0));
+        assert_eq!(v.get_bool("fuse"), Some(true));
+        assert!(v.get("note").unwrap().is_null());
+    }
+
+    #[test]
+    fn parses_nested_blocks() {
+        let src = "\
+experiment:
+  name: torpor
+  machines:
+    - xeon-2006
+    - cloudlab
+  params:
+    runs: 10
+";
+        let v = parse(src).unwrap();
+        assert_eq!(v.get_path("experiment.name").unwrap().as_str(), Some("torpor"));
+        let machines = v.get_path("experiment.machines").unwrap().as_list().unwrap();
+        assert_eq!(machines.len(), 2);
+        assert_eq!(v.get_path("experiment.params.runs").unwrap().as_num(), Some(10.0));
+    }
+
+    #[test]
+    fn parses_compact_sequence_of_maps() {
+        let src = "\
+tasks:
+  - name: install
+    package: gassyfs
+    state: present
+  - name: run
+    command: ./run.sh
+";
+        let v = parse(src).unwrap();
+        let tasks = v.get_list("tasks").unwrap();
+        assert_eq!(tasks.len(), 2);
+        assert_eq!(tasks[0].get_str("name"), Some("install"));
+        assert_eq!(tasks[0].get_str("state"), Some("present"));
+        assert_eq!(tasks[1].get_str("command"), Some("./run.sh"));
+    }
+
+    #[test]
+    fn parses_flow_collections() {
+        let v = parse("nodes: [1, 2, 4, 8]\nopts: {fuse: true, cache: none}\n").unwrap();
+        let nodes: Vec<f64> = v.get_list("nodes").unwrap().iter().map(|x| x.as_num().unwrap()).collect();
+        assert_eq!(nodes, [1.0, 2.0, 4.0, 8.0]);
+        assert_eq!(v.get_path("opts.fuse").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get_path("opts.cache").unwrap().as_str(), Some("none"));
+    }
+
+    #[test]
+    fn parses_comments_and_blanks() {
+        let src = "\
+# experiment parameters
+runs: 10   # repetitions
+
+workload: git-compile
+";
+        let v = parse(src).unwrap();
+        assert_eq!(v.get_num("runs"), Some(10.0));
+        assert_eq!(v.get_str("workload"), Some("git-compile"));
+    }
+
+    #[test]
+    fn parses_literal_block() {
+        let src = "\
+run: |
+  #!/bin/sh
+  echo hello
+  exit 0
+after: done
+";
+        let v = parse(src).unwrap();
+        assert_eq!(v.get_str("run"), Some("#!/bin/sh\necho hello\nexit 0\n"));
+        assert_eq!(v.get_str("after"), Some("done"));
+    }
+
+    #[test]
+    fn parses_quoted_strings() {
+        let v = parse("a: \"x: y # not a comment\"\nb: 'it''s'\nc: \"tab\\t\"\n").unwrap();
+        assert_eq!(v.get_str("a"), Some("x: y # not a comment"));
+        assert_eq!(v.get_str("b"), Some("it's"));
+        assert_eq!(v.get_str("c"), Some("tab\t"));
+    }
+
+    #[test]
+    fn top_level_sequence() {
+        let v = parse("- 1\n- two\n- true\n").unwrap();
+        let l = v.as_list().unwrap();
+        assert_eq!(l[0], Value::Num(1.0));
+        assert_eq!(l[1], Value::Str("two".into()));
+        assert_eq!(l[2], Value::Bool(true));
+    }
+
+    #[test]
+    fn dash_alone_nested_block() {
+        let src = "\
+-
+  name: a
+-
+  name: b
+";
+        let v = parse(src).unwrap();
+        let l = v.as_list().unwrap();
+        assert_eq!(l[0].get_str("name"), Some("a"));
+        assert_eq!(l[1].get_str("name"), Some("b"));
+    }
+
+    #[test]
+    fn empty_document_is_empty_map() {
+        assert_eq!(parse("").unwrap(), Value::empty_map());
+        assert_eq!(parse("# just a comment\n\n").unwrap(), Value::empty_map());
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        assert!(parse("a: 1\na: 2\n").is_err());
+    }
+
+    #[test]
+    fn rejects_bad_indentation() {
+        let err = parse("a: 1\n   b: 2\n").unwrap_err();
+        assert_eq!(err.format, "pml");
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn rejects_sequence_item_in_mapping() {
+        assert!(parse("a: 1\n- item\n").is_err());
+    }
+
+    #[test]
+    fn writer_emits_expected_shape() {
+        let mut inner = Value::empty_map();
+        inner.insert("runs", Value::from(10i64));
+        let mut v = Value::empty_map();
+        v.insert("name", Value::from("torpor"));
+        v.insert("params", inner);
+        v.insert("nodes", Value::from(vec![1i64, 2, 4]));
+        let s = to_string(&v);
+        assert_eq!(s, "name: torpor\nparams:\n  runs: 10\nnodes:\n  - 1\n  - 2\n  - 4\n");
+    }
+
+    #[test]
+    fn numeric_looking_strings_are_quoted() {
+        let mut v = Value::empty_map();
+        v.insert("version", Value::from("1.10"));
+        let s = to_string(&v);
+        assert_eq!(s, "version: \"1.10\"\n");
+        assert_eq!(parse(&s).unwrap().get_str("version"), Some("1.10"));
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_scalar() -> impl Strategy<Value = Value> {
+            prop_oneof![
+                Just(Value::Null),
+                any::<bool>().prop_map(Value::Bool),
+                (-1.0e9f64..1.0e9).prop_map(|n| Value::Num((n * 100.0).round() / 100.0)),
+                "[ -~]{0,24}".prop_map(Value::Str),
+                Just(Value::Str("true".into())),
+                Just(Value::Str("# leading hash".into())),
+            ]
+        }
+
+        fn arb_value() -> impl Strategy<Value = Value> {
+            arb_scalar().prop_recursive(3, 32, 6, |inner| {
+                prop_oneof![
+                    proptest::collection::vec(inner.clone(), 0..5).prop_map(Value::List),
+                    proptest::collection::vec(("[a-z][a-z0-9_]{0,7}", inner), 0..5).prop_map(|pairs| {
+                        let mut m = Value::empty_map();
+                        for (k, v) in pairs {
+                            m.insert(k, v);
+                        }
+                        m
+                    }),
+                ]
+            })
+        }
+
+        proptest! {
+            #[test]
+            fn round_trip(v in arb_value()) {
+                let s = to_string(&v);
+                let parsed = parse(&s).map_err(|e| TestCaseError::fail(format!("{e}\n--- doc:\n{s}")))?;
+                prop_assert_eq!(parsed, v, "doc was:\n{}", s);
+            }
+
+            #[test]
+            fn parser_never_panics(s in "\\PC{0,80}") {
+                let _ = parse(&s);
+            }
+
+            #[test]
+            fn parser_never_panics_structured(s in "[a-z:\\- \n#\\[\\]{},\"']{0,80}") {
+                let _ = parse(&s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod crlf_tests {
+    use super::*;
+
+    #[test]
+    fn windows_line_endings_parse() {
+        let src = "name: torpor\r\nnodes: [1, 2]\r\nnested:\r\n  a: 1\r\n";
+        let v = parse(src).unwrap();
+        assert_eq!(v.get_str("name"), Some("torpor"));
+        assert_eq!(v.get_path("nested.a").unwrap().as_num(), Some(1.0));
+    }
+
+    #[test]
+    fn tabs_in_indentation_are_content_not_indent() {
+        // PML indentation is spaces-only; a tab-led line reads as a
+        // scalar starting with a tab and fails structurally rather than
+        // silently nesting wrong.
+        assert!(parse("a:\n\tb: 1\n").is_err());
+    }
+}
+
+#[cfg(test)]
+mod tab_literal_tests {
+    use super::*;
+
+    #[test]
+    fn tabs_inside_literal_blocks_are_preserved() {
+        let src = "script: |\n  all:\n  \tcc -o out main.c\nafter: ok\n";
+        let v = parse(src).unwrap();
+        assert_eq!(v.get_str("script"), Some("all:\n\tcc -o out main.c\n"));
+        assert_eq!(v.get_str("after"), Some("ok"));
+    }
+}

@@ -1,0 +1,574 @@
+//! A small typed, columnar data table.
+//!
+//! [`Table`] is the common currency of the evaluation pipeline: experiment
+//! runners emit one, it is persisted as `results.csv`, the monitor stores
+//! time series in one, and the Aver validation engine evaluates
+//! `when … expect …` assertions over one.
+
+use crate::csv;
+use crate::error::{FormatError, Result};
+use crate::value::Value;
+
+/// The type of a column, inferred on CSV ingest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColumnType {
+    /// All non-empty cells parse as numbers.
+    Num,
+    /// All non-empty cells are `true`/`false`.
+    Bool,
+    /// Anything else.
+    Str,
+}
+
+/// A named column descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Column {
+    /// Column name (header).
+    pub name: String,
+    /// Inferred or declared type.
+    pub ty: ColumnType,
+}
+
+/// A borrowed view of one row, with name-based access.
+#[derive(Debug, Clone, Copy)]
+pub struct Row<'a> {
+    table: &'a Table,
+    index: usize,
+}
+
+impl<'a> Row<'a> {
+    /// The cell in the named column, or `None` if no such column.
+    pub fn get(&self, column: &str) -> Option<&'a Value> {
+        let ci = self.table.column_index(column)?;
+        self.table.rows.get(self.index).and_then(|r| r.get(ci))
+    }
+
+    /// Numeric cell accessor.
+    pub fn num(&self, column: &str) -> Option<f64> {
+        self.get(column).and_then(Value::as_num)
+    }
+
+    /// String cell accessor.
+    pub fn str(&self, column: &str) -> Option<&'a str> {
+        self.get(column).and_then(Value::as_str)
+    }
+
+    /// This row's position in the table.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
+
+/// An in-memory table with named, typed columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    columns: Vec<Column>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Table {
+    /// Create an empty table with the given column names. Types start as
+    /// `Str` and are refined as rows are pushed.
+    pub fn new<S: Into<String>>(columns: impl IntoIterator<Item = S>) -> Self {
+        Table {
+            columns: columns
+                .into_iter()
+                .map(|name| Column { name: name.into(), ty: ColumnType::Str })
+                .collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Column descriptors.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Index of a named column.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Append a row of values. Errors if the arity does not match.
+    pub fn push_row(&mut self, row: Vec<Value>) -> Result<()> {
+        if row.len() != self.columns.len() {
+            return Err(FormatError::new(
+                "table",
+                format!("row has {} cells, table has {} columns", row.len(), self.columns.len()),
+            ));
+        }
+        for (i, cell) in row.iter().enumerate() {
+            self.columns[i].ty = refine_type(self.columns[i].ty, cell, self.rows.is_empty());
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Append a row given as `(column, value)` pairs; missing columns get
+    /// `Null`, unknown columns are an error.
+    pub fn push_record(&mut self, record: &[(&str, Value)]) -> Result<()> {
+        let mut row = vec![Value::Null; self.columns.len()];
+        for (name, value) in record {
+            let ci = self
+                .column_index(name)
+                .ok_or_else(|| FormatError::new("table", format!("unknown column '{name}'")))?;
+            row[ci] = value.clone();
+        }
+        self.push_row(row)
+    }
+
+    /// Borrow a row view.
+    pub fn row(&self, index: usize) -> Option<Row<'_>> {
+        (index < self.rows.len()).then_some(Row { table: self, index })
+    }
+
+    /// Iterate row views.
+    pub fn iter(&self) -> impl Iterator<Item = Row<'_>> {
+        (0..self.rows.len()).map(move |index| Row { table: self, index })
+    }
+
+    /// The raw cell at (row, column name).
+    pub fn cell(&self, row: usize, column: &str) -> Option<&Value> {
+        self.row(row)?.get(column)
+    }
+
+    /// All values of a column as `f64`, skipping nulls. Errors if any
+    /// non-null cell is not numeric.
+    pub fn numeric_column(&self, name: &str) -> Result<Vec<f64>> {
+        let ci = self
+            .column_index(name)
+            .ok_or_else(|| FormatError::new("table", format!("unknown column '{name}'")))?;
+        let mut out = Vec::with_capacity(self.rows.len());
+        for row in &self.rows {
+            match &row[ci] {
+                Value::Num(n) => out.push(*n),
+                Value::Null => {}
+                other => {
+                    return Err(FormatError::new(
+                        "table",
+                        format!("column '{name}' has non-numeric cell '{other}'"),
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// All values of a column rendered as display strings.
+    pub fn string_column(&self, name: &str) -> Result<Vec<String>> {
+        let ci = self
+            .column_index(name)
+            .ok_or_else(|| FormatError::new("table", format!("unknown column '{name}'")))?;
+        Ok(self.rows.iter().map(|r| r[ci].to_display_string()).collect())
+    }
+
+    /// Distinct values of a column, in first-seen order.
+    pub fn distinct(&self, name: &str) -> Result<Vec<Value>> {
+        let ci = self
+            .column_index(name)
+            .ok_or_else(|| FormatError::new("table", format!("unknown column '{name}'")))?;
+        let mut seen: Vec<Value> = Vec::new();
+        for row in &self.rows {
+            if !seen.contains(&row[ci]) {
+                seen.push(row[ci].clone());
+            }
+        }
+        Ok(seen)
+    }
+
+    /// A new table containing the rows for which `predicate` returns true.
+    pub fn filter(&self, mut predicate: impl FnMut(Row<'_>) -> bool) -> Table {
+        let mut out = Table { columns: self.columns.clone(), rows: Vec::new() };
+        for (i, row) in self.rows.iter().enumerate() {
+            if predicate(Row { table: self, index: i }) {
+                out.rows.push(row.clone());
+            }
+        }
+        out
+    }
+
+    /// A new table with only the named columns, in the given order.
+    pub fn select(&self, names: &[&str]) -> Result<Table> {
+        let mut indices = Vec::with_capacity(names.len());
+        let mut columns = Vec::with_capacity(names.len());
+        for name in names {
+            let ci = self
+                .column_index(name)
+                .ok_or_else(|| FormatError::new("table", format!("unknown column '{name}'")))?;
+            indices.push(ci);
+            columns.push(self.columns[ci].clone());
+        }
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| indices.iter().map(|&ci| r[ci].clone()).collect())
+            .collect();
+        Ok(Table { columns, rows })
+    }
+
+    /// Group rows by the distinct combinations of the given key columns.
+    /// Returns `(key values, sub-table)` pairs in first-seen order.
+    pub fn group_by(&self, keys: &[&str]) -> Result<Vec<(Vec<Value>, Table)>> {
+        let mut key_idx = Vec::with_capacity(keys.len());
+        for k in keys {
+            key_idx.push(
+                self.column_index(k)
+                    .ok_or_else(|| FormatError::new("table", format!("unknown column '{k}'")))?,
+            );
+        }
+        let mut groups: Vec<(Vec<Value>, Table)> = Vec::new();
+        for row in &self.rows {
+            let key: Vec<Value> = key_idx.iter().map(|&ci| row[ci].clone()).collect();
+            if let Some((_, t)) = groups.iter_mut().find(|(k, _)| *k == key) {
+                t.rows.push(row.clone());
+            } else {
+                let mut t = Table { columns: self.columns.clone(), rows: Vec::new() };
+                t.rows.push(row.clone());
+                groups.push((key, t));
+            }
+        }
+        Ok(groups)
+    }
+
+    /// Stable sort by a numeric or string column, ascending.
+    pub fn sort_by(&mut self, name: &str) -> Result<()> {
+        let ci = self
+            .column_index(name)
+            .ok_or_else(|| FormatError::new("table", format!("unknown column '{name}'")))?;
+        self.rows.sort_by(|a, b| compare_values(&a[ci], &b[ci]));
+        Ok(())
+    }
+
+    /// Append all rows of `other`. Column names must match exactly.
+    pub fn append(&mut self, other: &Table) -> Result<()> {
+        if self.column_names() != other.column_names() {
+            return Err(FormatError::new("table", "appending tables with different columns"));
+        }
+        for row in &other.rows {
+            self.push_row(row.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Parse a CSV document (first row is the header) into a table,
+    /// inferring column types.
+    pub fn from_csv(input: &str) -> Result<Table> {
+        let raw = csv::parse(input)?;
+        let mut it = raw.into_iter();
+        let header = it
+            .next()
+            .ok_or_else(|| FormatError::new("table", "CSV input has no header row"))?;
+        let mut table = Table::new(header);
+        for (i, record) in it.enumerate() {
+            if record.len() != table.columns.len() {
+                return Err(FormatError::new(
+                    "table",
+                    format!(
+                        "row {} has {} fields, header has {}",
+                        i + 2,
+                        record.len(),
+                        table.columns.len()
+                    ),
+                ));
+            }
+            let row = record.into_iter().map(|cellv| infer_cell(&cellv)).collect();
+            table.push_row(row)?;
+        }
+        Ok(table)
+    }
+
+    /// Serialize as CSV with a header row.
+    pub fn to_csv(&self) -> String {
+        let mut rows = Vec::with_capacity(self.rows.len() + 1);
+        rows.push(self.columns.iter().map(|c| c.name.clone()).collect::<Vec<_>>());
+        for row in &self.rows {
+            rows.push(row.iter().map(Value::to_display_string).collect());
+        }
+        csv::to_string(&rows)
+    }
+
+    /// Render as an aligned, human-readable text table (for CLI output and
+    /// EXPERIMENTS.md artifacts).
+    pub fn to_pretty(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.name.len()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(Value::to_display_string).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cellv) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cellv.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&format!("{:w$}", c.name, w = widths[i]));
+        }
+        out.push('\n');
+        for (i, w) in widths.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(&"-".repeat(*w));
+        }
+        out.push('\n');
+        for row in &rendered {
+            for (i, cellv) in row.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                out.push_str(&format!("{:w$}", cellv, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Total order over heterogeneous cells: nulls < bools < numbers < strings
+/// < collections; NaN sorts last among numbers.
+pub fn compare_values(a: &Value, b: &Value) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    fn rank(v: &Value) -> u8 {
+        match v {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Num(_) => 2,
+            Value::Str(_) => 3,
+            Value::List(_) => 4,
+            Value::Map(_) => 5,
+        }
+    }
+    match (a, b) {
+        (Value::Bool(x), Value::Bool(y)) => x.cmp(y),
+        (Value::Num(x), Value::Num(y)) => x.partial_cmp(y).unwrap_or_else(|| {
+            match (x.is_nan(), y.is_nan()) {
+                (true, false) => Ordering::Greater,
+                (false, true) => Ordering::Less,
+                _ => Ordering::Equal,
+            }
+        }),
+        (Value::Str(x), Value::Str(y)) => x.cmp(y),
+        _ => rank(a).cmp(&rank(b)),
+    }
+}
+
+fn infer_cell(s: &str) -> Value {
+    if s.is_empty() {
+        return Value::Null;
+    }
+    match s {
+        "true" => return Value::Bool(true),
+        "false" => return Value::Bool(false),
+        _ => {}
+    }
+    let first = s.as_bytes()[0];
+    if first == b'-' || first == b'+' || first.is_ascii_digit() || first == b'.' {
+        if let Ok(n) = s.parse::<f64>() {
+            if n.is_finite() {
+                return Value::Num(n);
+            }
+        }
+    }
+    Value::Str(s.to_string())
+}
+
+fn refine_type(current: ColumnType, cell: &Value, first_row: bool) -> ColumnType {
+    let cell_ty = match cell {
+        Value::Num(_) => ColumnType::Num,
+        Value::Bool(_) => ColumnType::Bool,
+        Value::Null => return current,
+        _ => ColumnType::Str,
+    };
+    if first_row || current == cell_ty {
+        cell_ty
+    } else {
+        ColumnType::Str
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::from_csv(
+            "workload,machine,nodes,time\n\
+             git,xeon,1,100.5\n\
+             git,xeon,2,130\n\
+             git,cloudlab,1,50\n\
+             fio,xeon,1,30\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn csv_ingest_infers_types() {
+        let t = sample();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.columns()[0].ty, ColumnType::Str);
+        assert_eq!(t.columns()[2].ty, ColumnType::Num);
+        assert_eq!(t.cell(0, "time"), Some(&Value::Num(100.5)));
+        assert_eq!(t.cell(2, "machine").unwrap().as_str(), Some("cloudlab"));
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let t = sample();
+        let t2 = Table::from_csv(&t.to_csv()).unwrap();
+        assert_eq!(t, t2);
+    }
+
+    #[test]
+    fn rejects_ragged_csv() {
+        assert!(Table::from_csv("a,b\n1\n").is_err());
+    }
+
+    #[test]
+    fn filter_and_numeric_column() {
+        let t = sample();
+        let xeon_git = t.filter(|r| r.str("machine") == Some("xeon") && r.str("workload") == Some("git"));
+        assert_eq!(xeon_git.len(), 2);
+        assert_eq!(xeon_git.numeric_column("time").unwrap(), vec![100.5, 130.0]);
+    }
+
+    #[test]
+    fn select_reorders_columns() {
+        let t = sample().select(&["time", "nodes"]).unwrap();
+        assert_eq!(t.column_names(), ["time", "nodes"]);
+        assert_eq!(t.cell(0, "time"), Some(&Value::Num(100.5)));
+        assert!(t.select(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn group_by_key_combinations() {
+        let t = sample();
+        let groups = t.group_by(&["workload", "machine"]).unwrap();
+        assert_eq!(groups.len(), 3);
+        let (key, sub) = &groups[0];
+        assert_eq!(key[0].as_str(), Some("git"));
+        assert_eq!(key[1].as_str(), Some("xeon"));
+        assert_eq!(sub.len(), 2);
+    }
+
+    #[test]
+    fn sort_by_numeric() {
+        let mut t = sample();
+        t.sort_by("time").unwrap();
+        assert_eq!(t.numeric_column("time").unwrap(), vec![30.0, 50.0, 100.5, 130.0]);
+    }
+
+    #[test]
+    fn push_record_fills_nulls() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.push_record(&[("c", Value::from(3i64)), ("a", Value::from("x"))]).unwrap();
+        assert_eq!(t.cell(0, "b"), Some(&Value::Null));
+        assert_eq!(t.cell(0, "c"), Some(&Value::Num(3.0)));
+        assert!(t.push_record(&[("zzz", Value::Null)]).is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = Table::new(["a"]);
+        assert!(t.push_row(vec![Value::Null, Value::Null]).is_err());
+    }
+
+    #[test]
+    fn append_requires_same_schema() {
+        let mut a = sample();
+        let b = sample();
+        let n = a.len();
+        a.append(&b).unwrap();
+        assert_eq!(a.len(), 2 * n);
+        let other = Table::new(["x"]);
+        assert!(a.append(&other).is_err());
+    }
+
+    #[test]
+    fn distinct_in_first_seen_order() {
+        let t = sample();
+        let machines = t.distinct("machine").unwrap();
+        assert_eq!(machines.len(), 2);
+        assert_eq!(machines[0].as_str(), Some("xeon"));
+        assert_eq!(machines[1].as_str(), Some("cloudlab"));
+    }
+
+    #[test]
+    fn nulls_skipped_by_numeric_column() {
+        let t = Table::from_csv("x\n1\n\n3\n").unwrap();
+        assert_eq!(t.numeric_column("x").unwrap(), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn mixed_column_becomes_str_type() {
+        let t = Table::from_csv("x\n1\nabc\n").unwrap();
+        assert_eq!(t.columns()[0].ty, ColumnType::Str);
+        assert!(t.numeric_column("x").is_err());
+    }
+
+    #[test]
+    fn pretty_output_is_aligned() {
+        let t = Table::from_csv("name,val\nlong-name,1\nx,22\n").unwrap();
+        let p = t.to_pretty();
+        let lines: Vec<&str> = p.lines().collect();
+        assert_eq!(lines[0], "name       val");
+        assert_eq!(lines[1], "---------  ---");
+        assert_eq!(lines[2], "long-name  1  ");
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn csv_round_trip_numeric(
+                data in proptest::collection::vec((0u32..1000, -1.0e6f64..1.0e6), 0..30)
+            ) {
+                let mut t = Table::new(["n", "v"]);
+                for (n, v) in &data {
+                    let v = (v * 100.0).round() / 100.0;
+                    t.push_row(vec![Value::from(*n as i64), Value::Num(v)]).unwrap();
+                }
+                let t2 = Table::from_csv(&t.to_csv()).unwrap();
+                prop_assert_eq!(t, t2);
+            }
+
+            #[test]
+            fn group_by_partitions_rows(keys in proptest::collection::vec(0u8..4, 1..40)) {
+                let mut t = Table::new(["k", "i"]);
+                for (i, k) in keys.iter().enumerate() {
+                    t.push_row(vec![Value::from(*k as i64), Value::from(i)]).unwrap();
+                }
+                let groups = t.group_by(&["k"]).unwrap();
+                let total: usize = groups.iter().map(|(_, g)| g.len()).sum();
+                prop_assert_eq!(total, t.len());
+                // Each row's key matches its group key.
+                for (key, g) in &groups {
+                    for r in g.iter() {
+                        prop_assert_eq!(r.get("k").unwrap(), &key[0]);
+                    }
+                }
+            }
+        }
+    }
+}

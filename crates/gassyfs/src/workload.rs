@@ -1,0 +1,300 @@
+//! Workloads replayed against GassyFS.
+//!
+//! The paper's Figure `gassyfs-git` uses "a workload \[that\] compiles
+//! Git": several hundred translation units reading shared headers and
+//! writing object files, followed by a link step, driven by parallel
+//! make jobs. [`CompileWorkload::git`] reproduces that shape
+//! synthetically (≈450 TUs, ≈200 shared headers); [`run_compile`]
+//! replays it with a greedy parallel-job scheduler over virtual time.
+//!
+//! Two secondary workloads exercise other I/O mixes: archive
+//! extraction (streaming writes) and metadata churn (tiny namespace
+//! operations).
+
+use crate::fs::GassyFs;
+use crate::vfs::FsError;
+use popper_sim::{Demand, Nanos};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The compile-a-project workload description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileWorkload {
+    /// Number of translation units (git ≈ 450).
+    pub translation_units: usize,
+    /// Number of shared headers (git ≈ 200).
+    pub shared_headers: usize,
+    /// Headers each TU includes (sampled with the seed).
+    pub headers_per_tu: usize,
+    /// Average source-file size, bytes.
+    pub source_bytes: usize,
+    /// Average header size, bytes.
+    pub header_bytes: usize,
+    /// Average object-file size, bytes.
+    pub object_bytes: usize,
+    /// Parallel make jobs.
+    pub jobs: usize,
+    /// CPU demand to compile one KiB of source.
+    pub compile_demand_per_kib: Demand,
+    /// Workload seed (header sampling, size jitter).
+    pub seed: u64,
+}
+
+impl CompileWorkload {
+    /// The git-compilation shape used by the paper's figure.
+    pub fn git() -> Self {
+        CompileWorkload {
+            translation_units: 450,
+            shared_headers: 200,
+            headers_per_tu: 15,
+            source_bytes: 12 * 1024,
+            header_bytes: 6 * 1024,
+            object_bytes: 30 * 1024,
+            jobs: 8,
+            compile_demand_per_kib: Demand {
+                int_ops: 2.5e5,
+                branch_misses: 5.0e3,
+                mem_stream_bytes: 8.0e3,
+                mem_random_accesses: 2.5e2,
+                ..Default::default()
+            },
+            seed: 42,
+        }
+    }
+
+    /// A scaled-down variant for fast tests.
+    pub fn small() -> Self {
+        CompileWorkload { translation_units: 40, shared_headers: 30, headers_per_tu: 6, jobs: 4, ..Self::git() }
+    }
+}
+
+/// What a workload run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadResult {
+    /// Wall-clock (virtual) time of the measured phase.
+    pub elapsed: Nanos,
+    /// FUSE operations during the whole run.
+    pub ops: u64,
+    /// Fraction of page accesses that crossed the fabric.
+    pub remote_fraction: f64,
+    /// Bytes written by the measured phase.
+    pub bytes_written: u64,
+}
+
+fn jitter(rng: &mut StdRng, base: usize) -> usize {
+    // ±25% size jitter, never zero.
+    let lo = (base as f64 * 0.75) as usize;
+    let hi = (base as f64 * 1.25) as usize;
+    rng.gen_range(lo.max(1)..=hi.max(2))
+}
+
+/// Replay the compile workload. Populates the tree (untimed), then
+/// measures compile + link under `jobs` parallel make jobs.
+pub fn run_compile(fs: &mut GassyFs, w: &CompileWorkload) -> Result<WorkloadResult, FsError> {
+    assert!(w.jobs >= 1 && w.translation_units >= 1 && w.shared_headers >= 1);
+    let mut rng = StdRng::seed_from_u64(w.seed);
+
+    // --- populate (untimed: `git clone` happened before the benchmark) ---
+    fs.mkdir_p("/git/src", Nanos::ZERO)?;
+    fs.mkdir_p("/git/include", Nanos::ZERO)?;
+    fs.mkdir_p("/git/obj", Nanos::ZERO)?;
+    let mut header_sizes = Vec::with_capacity(w.shared_headers);
+    for h in 0..w.shared_headers {
+        let size = jitter(&mut rng, w.header_bytes);
+        header_sizes.push(size);
+        fs.write_file(&format!("/git/include/h{h}.h"), &vec![b'h'; size], Nanos::ZERO)?;
+    }
+    let mut tu_plans = Vec::with_capacity(w.translation_units);
+    for tu in 0..w.translation_units {
+        let size = jitter(&mut rng, w.source_bytes);
+        fs.write_file(&format!("/git/src/tu{tu}.c"), &vec![b'c'; size], Nanos::ZERO)?;
+        let headers: Vec<usize> = (0..w.headers_per_tu).map(|_| rng.gen_range(0..w.shared_headers)).collect();
+        let obj_size = jitter(&mut rng, w.object_bytes);
+        tu_plans.push((size, headers, obj_size));
+    }
+
+    // --- measured phase: parallel make ---
+    let ops_before = fs.op_count();
+    let stats_before = fs.access_stats();
+    let mut bytes_written = 0u64;
+    // Greedy list scheduling: each job owns a time cursor; the
+    // least-loaded job takes the next TU. Deterministic (ties by index).
+    let mut job_time = vec![Nanos::ZERO; w.jobs];
+    for (tu, (src_size, headers, obj_size)) in tu_plans.iter().enumerate() {
+        let (j, _) = job_time
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, t)| (**t, *i))
+            .expect("jobs >= 1");
+        let mut t = job_time[j];
+        // Read headers then the source.
+        for h in headers {
+            t = fs.read_timing(&format!("/git/include/h{h}.h"), t)?;
+        }
+        t = fs.read_timing(&format!("/git/src/tu{tu}.c"), t)?;
+        // Compile on one client core.
+        let kib = (*src_size as f64 + headers.iter().map(|h| header_sizes[*h] as f64).sum::<f64>()) / 1024.0;
+        let demand = w.compile_demand_per_kib.scaled(kib);
+        t += fs.cluster.compute_duration(0, &demand);
+        // Write the object file.
+        t = fs.write_file(&format!("/git/obj/tu{tu}.o"), &vec![b'o'; *obj_size], t)?;
+        bytes_written += *obj_size as u64;
+        job_time[j] = t;
+    }
+    let compile_done = job_time.iter().copied().max().unwrap_or(Nanos::ZERO);
+
+    // Link: read every object, write the binary.
+    let mut t = compile_done;
+    let mut binary_size = 0usize;
+    for (tu, (_, _, obj_size)) in tu_plans.iter().enumerate() {
+        t = fs.read_timing(&format!("/git/obj/tu{tu}.o"), t)?;
+        binary_size += obj_size / 3;
+    }
+    let link_demand = w.compile_demand_per_kib.scaled(binary_size as f64 / 1024.0);
+    t += fs.cluster.compute_duration(0, &link_demand);
+    t = fs.write_file("/git/git-binary", &vec![b'b'; binary_size.max(1)], t)?;
+    bytes_written += binary_size as u64;
+
+    let stats_after = fs.access_stats();
+    let delta_local = stats_after.local - stats_before.local;
+    let delta_remote = stats_after.remote - stats_before.remote;
+    let remote_fraction = if delta_local + delta_remote == 0 {
+        0.0
+    } else {
+        delta_remote as f64 / (delta_local + delta_remote) as f64
+    };
+    Ok(WorkloadResult {
+        elapsed: t,
+        ops: fs.op_count() - ops_before,
+        remote_fraction,
+        bytes_written,
+    })
+}
+
+/// Archive extraction: stream `files` files of `bytes` each into the
+/// mount (sequential, single job) — a pure write-bandwidth workload.
+pub fn run_extract(fs: &mut GassyFs, files: usize, bytes: usize) -> Result<WorkloadResult, FsError> {
+    fs.mkdir_p("/extract", Nanos::ZERO)?;
+    let ops_before = fs.op_count();
+    let stats_before = fs.access_stats();
+    let data = vec![b'x'; bytes];
+    let mut t = Nanos::ZERO;
+    for i in 0..files {
+        t = fs.write_file(&format!("/extract/f{i}"), &data, t)?;
+    }
+    let s = fs.access_stats();
+    let denom = (s.local + s.remote) - (stats_before.local + stats_before.remote);
+    Ok(WorkloadResult {
+        elapsed: t,
+        ops: fs.op_count() - ops_before,
+        remote_fraction: if denom == 0 {
+            0.0
+        } else {
+            (s.remote - stats_before.remote) as f64 / denom as f64
+        },
+        bytes_written: (files * bytes) as u64,
+    })
+}
+
+/// Metadata churn: create, stat, rename and unlink `files` tiny files —
+/// a namespace/latency workload where the FUSE crossing dominates.
+pub fn run_churn(fs: &mut GassyFs, files: usize) -> Result<WorkloadResult, FsError> {
+    fs.mkdir_p("/churn", Nanos::ZERO)?;
+    let ops_before = fs.op_count();
+    let mut t = Nanos::ZERO;
+    for i in 0..files {
+        let path = format!("/churn/f{i}");
+        t = fs.write_file(&path, b"x", t)?;
+        fs.stat(&path)?;
+        let renamed = format!("/churn/g{i}");
+        t = fs.rename(&path, &renamed, t)?;
+        t = fs.unlink(&renamed, t)?;
+    }
+    Ok(WorkloadResult {
+        elapsed: t,
+        ops: fs.op_count() - ops_before,
+        remote_fraction: 0.0,
+        bytes_written: files as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::MountOptions;
+    use popper_sim::{platforms, Cluster};
+
+    fn mount(nodes: usize) -> GassyFs {
+        GassyFs::mount(Cluster::new(platforms::gassyfs_node(), nodes), MountOptions::default())
+    }
+
+    #[test]
+    fn compile_runs_and_produces_objects() {
+        let mut fs = mount(2);
+        let w = CompileWorkload::small();
+        let r = run_compile(&mut fs, &w).unwrap();
+        assert!(r.elapsed > Nanos::ZERO);
+        assert!(r.ops > w.translation_units as u64 * 2);
+        assert!(r.bytes_written > 0);
+        // All objects plus the binary exist.
+        assert_eq!(fs.readdir("/git/obj").unwrap().len(), w.translation_units);
+        assert!(fs.stat("/git/git-binary").unwrap().size > 0);
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let run = || {
+            let mut fs = mount(4);
+            run_compile(&mut fs, &CompileWorkload::small()).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn single_node_is_fastest_and_fully_local() {
+        let w = CompileWorkload::small();
+        let mut one = mount(1);
+        let r1 = run_compile(&mut one, &w).unwrap();
+        assert_eq!(r1.remote_fraction, 0.0);
+        let mut eight = mount(8);
+        let r8 = run_compile(&mut eight, &w).unwrap();
+        assert!(r8.remote_fraction > 0.5);
+        assert!(r8.elapsed > r1.elapsed, "remote traffic must cost time: {} vs {}", r8.elapsed, r1.elapsed);
+    }
+
+    #[test]
+    fn more_jobs_help_when_local() {
+        let mut w = CompileWorkload::small();
+        w.jobs = 1;
+        let mut fs1 = mount(1);
+        let serial = run_compile(&mut fs1, &w).unwrap();
+        w.jobs = 8;
+        let mut fs8 = mount(1);
+        let parallel = run_compile(&mut fs8, &w).unwrap();
+        assert!(
+            parallel.elapsed < serial.elapsed,
+            "8 jobs {} must beat 1 job {}",
+            parallel.elapsed,
+            serial.elapsed
+        );
+    }
+
+    #[test]
+    fn extract_scales_with_bytes() {
+        let mut fs = mount(4);
+        let small = run_extract(&mut fs, 10, 4096).unwrap();
+        let mut fs2 = mount(4);
+        let big = run_extract(&mut fs2, 10, 64 * 4096).unwrap();
+        assert!(big.elapsed > small.elapsed);
+        assert_eq!(big.bytes_written, 10 * 64 * 4096);
+    }
+
+    #[test]
+    fn churn_is_metadata_bound() {
+        let mut fs = mount(4);
+        let r = run_churn(&mut fs, 50).unwrap();
+        assert!(r.ops >= 150, "3 timed namespace ops per file (stat is free)");
+        // Nothing left behind.
+        assert!(fs.readdir("/churn").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! The mpiP-style profiler.
+//!
+//! mpiP interposes on MPI calls and reports, per rank, how much time
+//! the application spent inside MPI (and in which operations) versus in
+//! application code. [`MpiProfile`] is that ledger; the communicator
+//! feeds it on every operation.
+
+use popper_format::{Table, Value};
+use popper_sim::Nanos;
+
+/// MPI operation kinds tracked by the profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MpiOp {
+    /// Point-to-point exchange (send+recv pair).
+    Exchange,
+    /// Barrier.
+    Barrier,
+    /// Allreduce.
+    Allreduce,
+    /// Broadcast.
+    Bcast,
+    /// Reduce-to-root.
+    Reduce,
+}
+
+impl MpiOp {
+    /// All kinds, in report order.
+    pub const ALL: [MpiOp; 5] = [MpiOp::Exchange, MpiOp::Barrier, MpiOp::Allreduce, MpiOp::Bcast, MpiOp::Reduce];
+
+    /// mpiP-style name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MpiOp::Exchange => "Sendrecv",
+            MpiOp::Barrier => "Barrier",
+            MpiOp::Allreduce => "Allreduce",
+            MpiOp::Bcast => "Bcast",
+            MpiOp::Reduce => "Reduce",
+        }
+    }
+}
+
+/// Per-rank accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankProfile {
+    /// Time inside each MPI op kind.
+    pub mpi_time: [Nanos; 5],
+    /// Calls per op kind.
+    pub calls: [u64; 5],
+    /// Bytes sent.
+    pub bytes_sent: u64,
+    /// Application (compute) time.
+    pub app_time: Nanos,
+}
+
+impl RankProfile {
+    /// Total time inside MPI.
+    pub fn total_mpi(&self) -> Nanos {
+        self.mpi_time.iter().copied().sum()
+    }
+
+    /// Fraction of (app + MPI) time spent in MPI.
+    pub fn mpi_fraction(&self) -> f64 {
+        let mpi = self.total_mpi().as_secs_f64();
+        let total = mpi + self.app_time.as_secs_f64();
+        if total == 0.0 {
+            0.0
+        } else {
+            mpi / total
+        }
+    }
+}
+
+/// The whole-world profile.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MpiProfile {
+    /// One entry per rank.
+    pub ranks: Vec<RankProfile>,
+}
+
+impl MpiProfile {
+    /// A profile for `n` ranks.
+    pub fn new(n: usize) -> Self {
+        MpiProfile { ranks: vec![RankProfile::default(); n] }
+    }
+
+    /// Record time spent by `rank` in `op`.
+    pub fn record_mpi(&mut self, rank: usize, op: MpiOp, elapsed: Nanos, bytes: u64) {
+        let idx = op as usize;
+        let r = &mut self.ranks[rank];
+        r.mpi_time[idx] += elapsed;
+        r.calls[idx] += 1;
+        r.bytes_sent += bytes;
+    }
+
+    /// Record application compute time for `rank`.
+    pub fn record_app(&mut self, rank: usize, elapsed: Nanos) {
+        self.ranks[rank].app_time += elapsed;
+    }
+
+    /// Aggregate MPI fraction across ranks (mean).
+    pub fn mean_mpi_fraction(&self) -> f64 {
+        if self.ranks.is_empty() {
+            return 0.0;
+        }
+        self.ranks.iter().map(RankProfile::mpi_fraction).sum::<f64>() / self.ranks.len() as f64
+    }
+
+    /// The rank spending the most time waiting in MPI (the victim of a
+    /// straggler) and the rank with the highest app time (the straggler
+    /// itself).
+    pub fn extremes(&self) -> Option<(usize, usize)> {
+        if self.ranks.is_empty() {
+            return None;
+        }
+        let max_mpi = (0..self.ranks.len()).max_by_key(|&r| self.ranks[r].total_mpi())?;
+        let max_app = (0..self.ranks.len()).max_by_key(|&r| self.ranks[r].app_time)?;
+        Some((max_mpi, max_app))
+    }
+
+    /// Long-format table: `rank, op, time_s, calls` — the artifact the
+    /// analysis notebook consumes.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(["rank", "op", "time_s", "calls"]);
+        for (rank, rp) in self.ranks.iter().enumerate() {
+            for op in MpiOp::ALL {
+                t.push_row(vec![
+                    Value::from(rank),
+                    Value::from(op.name()),
+                    Value::Num(rp.mpi_time[op as usize].as_secs_f64()),
+                    Value::from(rp.calls[op as usize] as i64),
+                ])
+                .expect("fixed schema");
+            }
+        }
+        t
+    }
+
+    /// The mpiP-flavored text report.
+    pub fn report(&self) -> String {
+        let mut out = String::from("@--- MPI Time (seconds) ---------------------------------------------\n");
+        out.push_str("Rank    AppTime    MPITime     MPI%\n");
+        for (rank, rp) in self.ranks.iter().enumerate() {
+            out.push_str(&format!(
+                "{:<4} {:>10.4} {:>10.4} {:>7.2}\n",
+                rank,
+                rp.app_time.as_secs_f64(),
+                rp.total_mpi().as_secs_f64(),
+                rp.mpi_fraction() * 100.0
+            ));
+        }
+        out.push_str("@--- Aggregate Time (top MPI ops) -----------------------------------\n");
+        let mut totals: Vec<(MpiOp, Nanos, u64)> = MpiOp::ALL
+            .iter()
+            .map(|&op| {
+                let t: Nanos = self.ranks.iter().map(|r| r.mpi_time[op as usize]).sum();
+                let c: u64 = self.ranks.iter().map(|r| r.calls[op as usize]).sum();
+                (op, t, c)
+            })
+            .collect();
+        totals.sort_by_key(|(_, t, _)| std::cmp::Reverse(*t));
+        for (op, t, c) in totals {
+            if c > 0 {
+                out.push_str(&format!("{:<10} {:>10.4}s  calls={c}\n", op.name(), t.as_secs_f64()));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate() {
+        let mut p = MpiProfile::new(2);
+        p.record_mpi(0, MpiOp::Allreduce, Nanos::from_millis(3), 8);
+        p.record_mpi(0, MpiOp::Allreduce, Nanos::from_millis(2), 8);
+        p.record_mpi(1, MpiOp::Exchange, Nanos::from_millis(1), 4096);
+        p.record_app(0, Nanos::from_millis(5));
+        assert_eq!(p.ranks[0].calls[MpiOp::Allreduce as usize], 2);
+        assert_eq!(p.ranks[0].total_mpi(), Nanos::from_millis(5));
+        assert_eq!(p.ranks[0].bytes_sent, 16);
+        assert!((p.ranks[0].mpi_fraction() - 0.5).abs() < 1e-9);
+        assert_eq!(p.ranks[1].bytes_sent, 4096);
+    }
+
+    #[test]
+    fn extremes_find_straggler_and_victim() {
+        let mut p = MpiProfile::new(3);
+        p.record_app(1, Nanos::from_secs(10)); // straggler computes long
+        p.record_mpi(2, MpiOp::Barrier, Nanos::from_secs(9), 0); // victim waits
+        let (victim, straggler) = p.extremes().unwrap();
+        assert_eq!(victim, 2);
+        assert_eq!(straggler, 1);
+    }
+
+    #[test]
+    fn table_export_shape() {
+        let mut p = MpiProfile::new(2);
+        p.record_mpi(0, MpiOp::Exchange, Nanos::from_millis(1), 100);
+        let t = p.to_table();
+        assert_eq!(t.len(), 2 * MpiOp::ALL.len());
+        assert_eq!(t.column_names(), ["rank", "op", "time_s", "calls"]);
+    }
+
+    #[test]
+    fn report_mentions_ops_and_ranks() {
+        let mut p = MpiProfile::new(2);
+        p.record_mpi(0, MpiOp::Allreduce, Nanos::from_millis(7), 8);
+        p.record_app(0, Nanos::from_millis(3));
+        let r = p.report();
+        assert!(r.contains("Allreduce"));
+        assert!(r.contains("MPI%"));
+        assert!(r.contains("70.00"), "{r}");
+    }
+
+    #[test]
+    fn empty_profile_is_quiet() {
+        let p = MpiProfile::new(0);
+        assert_eq!(p.mean_mpi_fraction(), 0.0);
+        assert!(p.extremes().is_none());
+    }
+}

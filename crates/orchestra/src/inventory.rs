@@ -1,0 +1,167 @@
+//! Inventories: the set of managed hosts.
+
+use popper_format::{pml, Value};
+
+/// One managed host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Host {
+    /// Unique host name (e.g. `node0`).
+    pub name: String,
+    /// Group memberships (e.g. `gassyfs`, `head`).
+    pub groups: Vec<String>,
+    /// Host variables.
+    pub vars: Value,
+}
+
+/// An inventory of hosts.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Inventory {
+    hosts: Vec<Host>,
+}
+
+impl Inventory {
+    /// An empty inventory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a host. Replaces an existing host of the same name.
+    pub fn add(&mut self, host: Host) {
+        if let Some(existing) = self.hosts.iter_mut().find(|h| h.name == host.name) {
+            *existing = host;
+        } else {
+            self.hosts.push(host);
+        }
+    }
+
+    /// Convenience: add `n` hosts named `prefix0..prefixN-1`, all in
+    /// `groups`.
+    pub fn add_cluster(&mut self, prefix: &str, n: usize, groups: &[&str]) {
+        for i in 0..n {
+            self.add(Host {
+                name: format!("{prefix}{i}"),
+                groups: groups.iter().map(|s| s.to_string()).collect(),
+                vars: Value::empty_map(),
+            });
+        }
+    }
+
+    /// All hosts.
+    pub fn hosts(&self) -> &[Host] {
+        &self.hosts
+    }
+
+    /// Look up one host by name.
+    pub fn host(&self, name: &str) -> Option<&Host> {
+        self.hosts.iter().find(|h| h.name == name)
+    }
+
+    /// Select hosts by pattern: `all`, a group name, a host name, or a
+    /// comma-separated union of patterns.
+    pub fn select(&self, pattern: &str) -> Vec<&Host> {
+        let mut out: Vec<&Host> = Vec::new();
+        for pat in pattern.split(',').map(str::trim) {
+            for h in &self.hosts {
+                let matched = pat == "all" || h.name == pat || h.groups.iter().any(|g| g == pat);
+                if matched && !out.iter().any(|e| e.name == h.name) {
+                    out.push(h);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parse a PML inventory:
+    ///
+    /// ```text
+    /// hosts:
+    ///   - name: node0
+    ///     groups: [gassyfs, head]
+    ///     vars:
+    ///       nodes: 4
+    ///   - name: node1
+    ///     groups: [gassyfs]
+    /// ```
+    pub fn from_pml(text: &str) -> Result<Inventory, String> {
+        let doc = pml::parse(text).map_err(|e| e.to_string())?;
+        let mut inv = Inventory::new();
+        let hosts = doc.get_list("hosts").ok_or("inventory missing 'hosts' list")?;
+        for h in hosts {
+            let name = h.get_str("name").ok_or("host missing 'name'")?.to_string();
+            let groups = h
+                .get_list("groups")
+                .unwrap_or(&[])
+                .iter()
+                .filter_map(|g| g.as_str().map(str::to_string))
+                .collect();
+            let vars = h.get("vars").cloned().unwrap_or_else(Value::empty_map);
+            inv.add(Host { name, groups, vars });
+        }
+        Ok(inv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+hosts:
+  - name: head0
+    groups: [head, gassyfs]
+    vars:
+      role: coordinator
+  - name: node0
+    groups: [gassyfs]
+  - name: node1
+    groups: [gassyfs]
+  - name: client0
+    groups: [clients]
+";
+
+    #[test]
+    fn parse_pml_inventory() {
+        let inv = Inventory::from_pml(SAMPLE).unwrap();
+        assert_eq!(inv.hosts().len(), 4);
+        let head = inv.host("head0").unwrap();
+        assert_eq!(head.groups, vec!["head", "gassyfs"]);
+        assert_eq!(head.vars.get_str("role"), Some("coordinator"));
+    }
+
+    #[test]
+    fn select_patterns() {
+        let inv = Inventory::from_pml(SAMPLE).unwrap();
+        assert_eq!(inv.select("all").len(), 4);
+        assert_eq!(inv.select("gassyfs").len(), 3);
+        assert_eq!(inv.select("head").len(), 1);
+        assert_eq!(inv.select("node1").len(), 1);
+        assert_eq!(inv.select("clients,head").len(), 2);
+        assert!(inv.select("nothing").is_empty());
+        // Union dedups.
+        assert_eq!(inv.select("gassyfs,head0").len(), 3);
+    }
+
+    #[test]
+    fn add_replaces_same_name() {
+        let mut inv = Inventory::new();
+        inv.add(Host { name: "a".into(), groups: vec![], vars: Value::empty_map() });
+        inv.add(Host { name: "a".into(), groups: vec!["g".into()], vars: Value::empty_map() });
+        assert_eq!(inv.hosts().len(), 1);
+        assert_eq!(inv.host("a").unwrap().groups, vec!["g"]);
+    }
+
+    #[test]
+    fn add_cluster_names_hosts() {
+        let mut inv = Inventory::new();
+        inv.add_cluster("node", 4, &["gassyfs"]);
+        assert_eq!(inv.hosts().len(), 4);
+        assert!(inv.host("node3").is_some());
+        assert_eq!(inv.select("gassyfs").len(), 4);
+    }
+
+    #[test]
+    fn missing_hosts_key_is_error() {
+        assert!(Inventory::from_pml("nothosts: []\n").is_err());
+        assert!(Inventory::from_pml("hosts:\n  - groups: [x]\n").is_err());
+    }
+}

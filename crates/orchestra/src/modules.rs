@@ -1,0 +1,279 @@
+//! Task modules and the managed-host model.
+
+use popper_format::Value;
+use std::collections::BTreeMap;
+
+/// The modeled state of one managed machine.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HostState {
+    /// Gathered facts (populated by the `setup` module and by the
+    /// environment that creates the host, e.g. platform characteristics).
+    pub facts: BTreeMap<String, Value>,
+    /// Files on the host.
+    pub files: BTreeMap<String, Vec<u8>>,
+    /// Installed packages: name → version.
+    pub packages: BTreeMap<String, String>,
+    /// Services: name → running?
+    pub services: BTreeMap<String, bool>,
+    /// Every command executed, in order (the audit trail).
+    pub command_log: Vec<String>,
+    /// Registered task results and set_facts (host variables).
+    pub vars: BTreeMap<String, Value>,
+}
+
+/// The result of one module invocation on one host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleResult {
+    /// Did the module change host state?
+    pub changed: bool,
+    /// Module-specific output (registered under `register:`).
+    pub output: Value,
+}
+
+impl ModuleResult {
+    fn ok(changed: bool, output: Value) -> Result<ModuleResult, String> {
+        Ok(ModuleResult { changed, output })
+    }
+}
+
+/// Execute module `name` with (already templated) `args` against
+/// `host`. `controller_files` is the control-node file area that `copy`
+/// reads from and `fetch` writes into.
+pub fn run_module(
+    name: &str,
+    args: &Value,
+    host: &mut HostState,
+    controller_files: &mut BTreeMap<String, Vec<u8>>,
+) -> Result<ModuleResult, String> {
+    match name {
+        "setup" => {
+            // Fact gathering: facts are exposed as vars.
+            let mut m = Value::empty_map();
+            for (k, v) in &host.facts {
+                m.insert(k.clone(), v.clone());
+            }
+            ModuleResult::ok(false, m)
+        }
+        "package" => {
+            let pkg = args.get_str("name").ok_or("package: missing 'name'")?.to_string();
+            let version = args.get_str("version").unwrap_or("latest").to_string();
+            let state = args.get_str("state").unwrap_or("present");
+            match state {
+                "present" => {
+                    let already = host.packages.get(&pkg) == Some(&version);
+                    host.packages.insert(pkg.clone(), version.clone());
+                    ModuleResult::ok(!already, Value::Str(format!("{pkg}-{version}")))
+                }
+                "absent" => {
+                    let removed = host.packages.remove(&pkg).is_some();
+                    ModuleResult::ok(removed, Value::Null)
+                }
+                other => Err(format!("package: invalid state '{other}'")),
+            }
+        }
+        "copy" => {
+            let dest = args.get_str("dest").ok_or("copy: missing 'dest'")?.to_string();
+            let contents: Vec<u8> = if let Some(content) = args.get_str("content") {
+                content.as_bytes().to_vec()
+            } else if let Some(src) = args.get_str("src") {
+                controller_files
+                    .get(src)
+                    .cloned()
+                    .ok_or_else(|| format!("copy: controller file '{src}' not found"))?
+            } else {
+                return Err("copy: needs 'content' or 'src'".into());
+            };
+            let changed = host.files.get(&dest) != Some(&contents);
+            host.files.insert(dest, contents);
+            ModuleResult::ok(changed, Value::Null)
+        }
+        "command" => {
+            let cmd = match args {
+                Value::Str(s) => s.clone(),
+                other => other
+                    .get_str("cmd")
+                    .ok_or("command: needs a command string or {cmd: …}")?
+                    .to_string(),
+            };
+            host.command_log.push(cmd.clone());
+            // The model "executes" by recording; output echoes the
+            // command so register/when chains are exercisable.
+            ModuleResult::ok(true, Value::Str(cmd))
+        }
+        "service" => {
+            let svc = args.get_str("name").ok_or("service: missing 'name'")?.to_string();
+            let state = args.get_str("state").unwrap_or("started");
+            let want = match state {
+                "started" => true,
+                "stopped" => false,
+                other => return Err(format!("service: invalid state '{other}'")),
+            };
+            // Starting a service requires its package (same-named) to be
+            // installed — the failure mode the paper's CI checks exist to
+            // catch early.
+            if want && !host.packages.keys().any(|p| svc.starts_with(p.as_str())) {
+                return Err(format!("service: '{svc}' has no installed package"));
+            }
+            let changed = host.services.get(&svc) != Some(&want);
+            host.services.insert(svc, want);
+            ModuleResult::ok(changed, Value::Bool(want))
+        }
+        "fetch" => {
+            let src = args.get_str("src").ok_or("fetch: missing 'src'")?;
+            let dest = args.get_str("dest").ok_or("fetch: missing 'dest'")?.to_string();
+            let data = host
+                .files
+                .get(src)
+                .cloned()
+                .ok_or_else(|| format!("fetch: '{src}' not on host"))?;
+            controller_files.insert(dest, data);
+            ModuleResult::ok(false, Value::Null)
+        }
+        "set_fact" => {
+            let entries = args.as_map().ok_or("set_fact: needs a mapping")?;
+            for (k, v) in entries {
+                host.vars.insert(k.clone(), v.clone());
+            }
+            ModuleResult::ok(false, Value::Null)
+        }
+        "assert_that" => {
+            let var = args.get_str("var").ok_or("assert_that: missing 'var'")?;
+            let actual = host
+                .vars
+                .get(var)
+                .or_else(|| host.facts.get(var))
+                .cloned()
+                .unwrap_or(Value::Null);
+            let expected = args.get("equals").cloned().ok_or("assert_that: missing 'equals'")?;
+            if actual.to_display_string() == expected.to_display_string() {
+                ModuleResult::ok(false, Value::Bool(true))
+            } else {
+                Err(format!(
+                    "assert_that: '{var}' is '{}', expected '{}'",
+                    actual.to_display_string(),
+                    expected.to_display_string()
+                ))
+            }
+        }
+        other => Err(format!("unknown module '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(name: &str, args: Value, host: &mut HostState) -> Result<ModuleResult, String> {
+        let mut ctl = BTreeMap::new();
+        run_module(name, &args, host, &mut ctl)
+    }
+
+    #[test]
+    fn package_install_and_idempotence() {
+        let mut h = HostState::default();
+        let mut args = Value::empty_map();
+        args.insert("name", Value::from("gassyfs"));
+        args.insert("version", Value::from("2.1"));
+        let r1 = run("package", args.clone(), &mut h).unwrap();
+        assert!(r1.changed);
+        assert_eq!(h.packages["gassyfs"], "2.1");
+        let r2 = run("package", args, &mut h).unwrap();
+        assert!(!r2.changed, "re-install of same version is a no-op");
+        // Removal.
+        let mut rm = Value::empty_map();
+        rm.insert("name", Value::from("gassyfs"));
+        rm.insert("state", Value::from("absent"));
+        assert!(run("package", rm.clone(), &mut h).unwrap().changed);
+        assert!(!run("package", rm, &mut h).unwrap().changed);
+    }
+
+    #[test]
+    fn copy_from_content_and_controller() {
+        let mut h = HostState::default();
+        let mut ctl = BTreeMap::new();
+        ctl.insert("vars.pml".to_string(), b"nodes: 4\n".to_vec());
+        let mut args = Value::empty_map();
+        args.insert("src", Value::from("vars.pml"));
+        args.insert("dest", Value::from("exp/vars.pml"));
+        run_module("copy", &args, &mut h, &mut ctl).unwrap();
+        assert_eq!(h.files["exp/vars.pml"], b"nodes: 4\n");
+
+        let mut inline = Value::empty_map();
+        inline.insert("content", Value::from("hello"));
+        inline.insert("dest", Value::from("hi.txt"));
+        run_module("copy", &inline, &mut h, &mut ctl).unwrap();
+        assert_eq!(h.files["hi.txt"], b"hello");
+
+        let mut missing = Value::empty_map();
+        missing.insert("src", Value::from("nope"));
+        missing.insert("dest", Value::from("x"));
+        assert!(run_module("copy", &missing, &mut h, &mut ctl).is_err());
+    }
+
+    #[test]
+    fn command_logs_and_echoes() {
+        let mut h = HostState::default();
+        let r = run("command", Value::Str("./run.sh --all".into()), &mut h).unwrap();
+        assert!(r.changed);
+        assert_eq!(r.output.as_str(), Some("./run.sh --all"));
+        assert_eq!(h.command_log, vec!["./run.sh --all"]);
+    }
+
+    #[test]
+    fn service_requires_package() {
+        let mut h = HostState::default();
+        let mut args = Value::empty_map();
+        args.insert("name", Value::from("gassyfsd"));
+        args.insert("state", Value::from("started"));
+        assert!(run("service", args.clone(), &mut h).is_err());
+        // Install the backing package, then start.
+        let mut pkg = Value::empty_map();
+        pkg.insert("name", Value::from("gassyfs"));
+        run("package", pkg, &mut h).unwrap();
+        assert!(run("service", args.clone(), &mut h).unwrap().changed);
+        assert!(!run("service", args, &mut h).unwrap().changed);
+        assert!(h.services["gassyfsd"]);
+        // Stopping works without a package.
+        let mut stop = Value::empty_map();
+        stop.insert("name", Value::from("gassyfsd"));
+        stop.insert("state", Value::from("stopped"));
+        assert!(run("service", stop, &mut h).unwrap().changed);
+    }
+
+    #[test]
+    fn fetch_pulls_to_controller() {
+        let mut h = HostState::default();
+        h.files.insert("results.csv".into(), b"a,b\n1,2\n".to_vec());
+        let mut ctl = BTreeMap::new();
+        let mut args = Value::empty_map();
+        args.insert("src", Value::from("results.csv"));
+        args.insert("dest", Value::from("collected/node0.csv"));
+        run_module("fetch", &args, &mut h, &mut ctl).unwrap();
+        assert_eq!(ctl["collected/node0.csv"], b"a,b\n1,2\n");
+    }
+
+    #[test]
+    fn set_fact_and_assert_that() {
+        let mut h = HostState::default();
+        let mut facts = Value::empty_map();
+        facts.insert("kernel", Value::from("4.4-popper"));
+        run("set_fact", facts, &mut h).unwrap();
+        let mut ok = Value::empty_map();
+        ok.insert("var", Value::from("kernel"));
+        ok.insert("equals", Value::from("4.4-popper"));
+        assert!(run("assert_that", ok, &mut h).is_ok());
+        let mut bad = Value::empty_map();
+        bad.insert("var", Value::from("kernel"));
+        bad.insert("equals", Value::from("5.0"));
+        let err = run("assert_that", bad, &mut h).unwrap_err();
+        assert!(err.contains("expected '5.0'"));
+    }
+
+    #[test]
+    fn setup_exposes_facts() {
+        let mut h = HostState::default();
+        h.facts.insert("cores".into(), Value::Num(16.0));
+        let r = run("setup", Value::empty_map(), &mut h).unwrap();
+        assert_eq!(r.output.get_num("cores"), Some(16.0));
+    }
+}

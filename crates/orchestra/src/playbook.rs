@@ -1,0 +1,345 @@
+//! Playbooks: plays and tasks.
+
+use popper_format::{pml, Value};
+
+/// One task within a play.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    /// Human-readable task name.
+    pub name: String,
+    /// Module name (`package`, `copy`, `command`, …).
+    pub module: String,
+    /// Module arguments (templated before execution).
+    pub args: Value,
+    /// Store the module result under this host variable.
+    pub register: Option<String>,
+    /// Skip the task unless this guard holds (`var == value`,
+    /// `var != value`, or a bare var tested for truthiness).
+    pub when: Option<String>,
+    /// Run the task once per item, with `{{ item }}` bound
+    /// (Ansible's `with_items`).
+    pub with_items: Option<Vec<Value>>,
+}
+
+/// A play: a host pattern plus an ordered task list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Play {
+    /// Play name.
+    pub name: String,
+    /// Host selection pattern (see [`crate::Inventory::select`]).
+    pub hosts: String,
+    /// The tasks, in order.
+    pub tasks: Vec<Task>,
+}
+
+/// A playbook: ordered plays.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Playbook {
+    /// The plays, in order.
+    pub plays: Vec<Play>,
+}
+
+/// Module names recognized by the executor. Parsing validates against
+/// this list so typos fail early (the paper's CI integrity checks
+/// include "that the syntax of orchestration files is correct").
+pub const KNOWN_MODULES: &[&str] =
+    &["setup", "package", "copy", "command", "service", "fetch", "set_fact", "assert_that"];
+
+impl Playbook {
+    /// Parse a PML playbook:
+    ///
+    /// ```text
+    /// - name: provision gassyfs nodes
+    ///   hosts: gassyfs
+    ///   tasks:
+    ///     - name: install gassyfs
+    ///       package: {name: gassyfs, version: "2.1", state: present}
+    ///     - name: start the daemon
+    ///       service: {name: gassyfsd, state: started}
+    ///       when: role == coordinator
+    ///     - name: run benchmark
+    ///       command: gassyfs-bench --nodes {{ nodes }}
+    ///       register: bench_out
+    /// ```
+    pub fn from_pml(text: &str) -> Result<Playbook, String> {
+        let doc = pml::parse(text).map_err(|e| e.to_string())?;
+        let plays_v = doc
+            .as_list()
+            .ok_or("playbook must be a top-level list of plays")?;
+        let mut plays = Vec::new();
+        for (pi, play_v) in plays_v.iter().enumerate() {
+            let name = play_v
+                .get_str("name")
+                .map(str::to_string)
+                .unwrap_or_else(|| format!("play {}", pi + 1));
+            let hosts = play_v
+                .get_str("hosts")
+                .ok_or_else(|| format!("play '{name}': missing 'hosts'"))?
+                .to_string();
+            let mut tasks = Vec::new();
+            for (ti, task_v) in play_v.get_list("tasks").unwrap_or(&[]).iter().enumerate() {
+                tasks.push(parse_task(task_v, &name, ti)?);
+            }
+            plays.push(Play { name, hosts, tasks });
+        }
+        if plays.is_empty() {
+            return Err("playbook has no plays".into());
+        }
+        Ok(Playbook { plays })
+    }
+}
+
+fn parse_task(v: &Value, play: &str, index: usize) -> Result<Task, String> {
+    let entries = v
+        .as_map()
+        .ok_or_else(|| format!("play '{play}': task {} is not a mapping", index + 1))?;
+    let mut name = format!("task {}", index + 1);
+    let mut module: Option<(String, Value)> = None;
+    let mut register = None;
+    let mut when = None;
+    let mut with_items = None;
+    for (key, val) in entries {
+        match key.as_str() {
+            "name" => {
+                name = val
+                    .as_str()
+                    .map(str::to_string)
+                    .unwrap_or_else(|| val.to_display_string());
+            }
+            "register" => {
+                register = Some(
+                    val.as_str()
+                        .ok_or_else(|| format!("play '{play}': 'register' must be a string"))?
+                        .to_string(),
+                );
+            }
+            "when" => {
+                when = Some(
+                    val.as_str()
+                        .ok_or_else(|| format!("play '{play}': 'when' must be a string"))?
+                        .to_string(),
+                );
+            }
+            "with_items" => {
+                with_items = Some(
+                    val.as_list()
+                        .ok_or_else(|| format!("play '{play}': 'with_items' must be a list"))?
+                        .to_vec(),
+                );
+            }
+            module_name => {
+                if !KNOWN_MODULES.contains(&module_name) {
+                    return Err(format!(
+                        "play '{play}', task '{name}': unknown module '{module_name}' (known: {})",
+                        KNOWN_MODULES.join(", ")
+                    ));
+                }
+                if module.is_some() {
+                    return Err(format!("play '{play}', task '{name}': more than one module"));
+                }
+                module = Some((module_name.to_string(), val.clone()));
+            }
+        }
+    }
+    let (module, args) =
+        module.ok_or_else(|| format!("play '{play}', task '{name}': no module specified"))?;
+    Ok(Task { name, module, args, register, when, with_items })
+}
+
+/// Substitute `{{ var }}` occurrences in all string leaves of `args`
+/// using `lookup`. Unknown variables are an error (silent empty
+/// substitutions are how irreproducible runs happen).
+pub fn template(args: &Value, lookup: &dyn Fn(&str) -> Option<Value>) -> Result<Value, String> {
+    match args {
+        Value::Str(s) => template_str(s, lookup),
+        Value::List(items) => Ok(Value::List(
+            items.iter().map(|i| template(i, lookup)).collect::<Result<_, _>>()?,
+        )),
+        Value::Map(entries) => {
+            let mut out = Vec::with_capacity(entries.len());
+            for (k, v) in entries {
+                out.push((k.clone(), template(v, lookup)?));
+            }
+            Ok(Value::Map(out))
+        }
+        scalar => Ok(scalar.clone()),
+    }
+}
+
+fn template_str(s: &str, lookup: &dyn Fn(&str) -> Option<Value>) -> Result<Value, String> {
+    if !s.contains("{{") {
+        return Ok(Value::Str(s.to_string()));
+    }
+    let mut out = String::new();
+    let mut rest = s;
+    let mut only_var: Option<Value> = None;
+    let mut pieces = 0;
+    while let Some(start) = rest.find("{{") {
+        out.push_str(&rest[..start]);
+        if !rest[..start].trim().is_empty() {
+            pieces += 1;
+        }
+        let after = &rest[start + 2..];
+        let end = after.find("}}").ok_or_else(|| format!("unclosed '{{{{' in '{s}'"))?;
+        let var = after[..end].trim();
+        let value = lookup(var).ok_or_else(|| format!("undefined variable '{var}' in '{s}'"))?;
+        out.push_str(&value.to_display_string());
+        only_var = Some(value);
+        pieces += 1;
+        rest = &after[end + 2..];
+    }
+    out.push_str(rest);
+    if !rest.trim().is_empty() {
+        pieces += 1;
+    }
+    // A string that is exactly one `{{ var }}` keeps the variable's type.
+    if pieces == 1 {
+        if let Some(v) = only_var {
+            if s.trim().starts_with("{{") && s.trim().ends_with("}}") {
+                return Ok(v);
+            }
+        }
+    }
+    Ok(Value::Str(out))
+}
+
+/// Evaluate a `when:` guard against host variables: `var == value`,
+/// `var != value`, or a bare variable (truthy = defined, non-false,
+/// non-empty).
+pub fn eval_when(expr: &str, lookup: &dyn Fn(&str) -> Option<Value>) -> Result<bool, String> {
+    let expr = expr.trim();
+    for (op, negate) in [("==", false), ("!=", true)] {
+        if let Some((lhs, rhs)) = expr.split_once(op) {
+            let var = lhs.trim();
+            let expected = rhs.trim().trim_matches(|c| c == '"' || c == '\'');
+            let actual = lookup(var).map(|v| v.to_display_string()).unwrap_or_default();
+            let eq = actual == expected;
+            return Ok(eq != negate);
+        }
+    }
+    // Bare variable truthiness.
+    Ok(match lookup(expr) {
+        None | Some(Value::Null) | Some(Value::Bool(false)) => false,
+        Some(Value::Str(s)) => !s.is_empty(),
+        Some(Value::Num(n)) => n != 0.0,
+        Some(_) => true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+- name: provision gassyfs nodes
+  hosts: gassyfs
+  tasks:
+    - name: install gassyfs
+      package: {name: gassyfs, version: \"2.1\", state: present}
+    - name: start daemon
+      service: {name: gassyfsd, state: started}
+      when: role == coordinator
+    - name: run benchmark
+      command: gassyfs-bench --nodes {{ nodes }}
+      register: bench_out
+- name: collect results
+  hosts: head
+  tasks:
+    - name: fetch csv
+      fetch: {src: results.csv, dest: collected/results.csv}
+";
+
+    #[test]
+    fn parses_plays_and_tasks() {
+        let pb = Playbook::from_pml(SAMPLE).unwrap();
+        assert_eq!(pb.plays.len(), 2);
+        let p0 = &pb.plays[0];
+        assert_eq!(p0.hosts, "gassyfs");
+        assert_eq!(p0.tasks.len(), 3);
+        assert_eq!(p0.tasks[0].module, "package");
+        assert_eq!(p0.tasks[0].args.get_str("version"), Some("2.1"));
+        assert_eq!(p0.tasks[1].when.as_deref(), Some("role == coordinator"));
+        assert_eq!(p0.tasks[2].register.as_deref(), Some("bench_out"));
+        assert_eq!(pb.plays[1].tasks[0].module, "fetch");
+    }
+
+    #[test]
+    fn rejects_unknown_module() {
+        let bad = "\
+- name: x
+  hosts: all
+  tasks:
+    - name: t
+      frobnicate: {a: 1}
+";
+        let err = Playbook::from_pml(bad).unwrap_err();
+        assert!(err.contains("unknown module 'frobnicate'"));
+    }
+
+    #[test]
+    fn rejects_task_without_module_or_two_modules() {
+        let none = "- name: x\n  hosts: all\n  tasks:\n    - name: t\n      register: r\n";
+        assert!(Playbook::from_pml(none).unwrap_err().contains("no module"));
+        let two = "- name: x\n  hosts: all\n  tasks:\n    - name: t\n      copy: {dest: a}\n      command: b\n";
+        assert!(Playbook::from_pml(two).unwrap_err().contains("more than one module"));
+    }
+
+    #[test]
+    fn rejects_missing_hosts_and_empty() {
+        assert!(Playbook::from_pml("- name: x\n  tasks: []\n").unwrap_err().contains("hosts"));
+        assert!(Playbook::from_pml("[]\n").is_err());
+    }
+
+    #[test]
+    fn template_substitutes_variables() {
+        let lookup = |name: &str| -> Option<Value> {
+            match name {
+                "nodes" => Some(Value::Num(4.0)),
+                "wl" => Some(Value::Str("git".into())),
+                _ => None,
+            }
+        };
+        let v = template(&Value::Str("run --nodes {{ nodes }} --wl {{ wl }}".into()), &lookup).unwrap();
+        assert_eq!(v.as_str(), Some("run --nodes 4 --wl git"));
+        // Exactly-one-variable strings keep the value type.
+        let v = template(&Value::Str("{{ nodes }}".into()), &lookup).unwrap();
+        assert_eq!(v, Value::Num(4.0));
+        // Nested structures are templated.
+        let mut m = Value::empty_map();
+        m.insert("cmd", Value::Str("bench-{{ wl }}".into()));
+        m.insert("n", Value::Str("{{ nodes }}".into()));
+        let t = template(&m, &lookup).unwrap();
+        assert_eq!(t.get_str("cmd"), Some("bench-git"));
+        assert_eq!(t.get_num("n"), Some(4.0));
+    }
+
+    #[test]
+    fn template_rejects_undefined_and_unclosed() {
+        let lookup = |_: &str| -> Option<Value> { None };
+        assert!(template(&Value::Str("{{ missing }}".into()), &lookup)
+            .unwrap_err()
+            .contains("undefined variable"));
+        assert!(template(&Value::Str("{{ broken".into()), &lookup)
+            .unwrap_err()
+            .contains("unclosed"));
+    }
+
+    #[test]
+    fn when_expressions() {
+        let lookup = |name: &str| -> Option<Value> {
+            match name {
+                "role" => Some(Value::Str("coordinator".into())),
+                "nodes" => Some(Value::Num(0.0)),
+                "enabled" => Some(Value::Bool(true)),
+                _ => None,
+            }
+        };
+        assert!(eval_when("role == coordinator", &lookup).unwrap());
+        assert!(!eval_when("role == worker", &lookup).unwrap());
+        assert!(eval_when("role != worker", &lookup).unwrap());
+        assert!(eval_when("enabled", &lookup).unwrap());
+        assert!(!eval_when("nodes", &lookup).unwrap());
+        assert!(!eval_when("undefined_var", &lookup).unwrap());
+        assert!(eval_when("role == 'coordinator'", &lookup).unwrap());
+    }
+}

@@ -1,0 +1,229 @@
+//! The discrete-event engine.
+//!
+//! [`Sim<W>`] owns a user-supplied *world* `W` (the mutable state of the
+//! modeled system) and a priority queue of scheduled events. An event is a
+//! boxed `FnOnce(&mut Sim<W>)`; firing an event may mutate the world and
+//! schedule further events. Events at equal timestamps fire in the order
+//! they were scheduled (a monotone sequence number breaks ties), which
+//! makes every simulation a deterministic function of its inputs.
+
+use crate::time::Nanos;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+type Action<W> = Box<dyn FnOnce(&mut Sim<W>)>;
+
+struct Event<W> {
+    at: Nanos,
+    seq: u64,
+    action: Action<W>,
+}
+
+impl<W> PartialEq for Event<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Event<W> {}
+impl<W> PartialOrd for Event<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Event<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+        // pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// A discrete-event simulator over a world `W`.
+pub struct Sim<W> {
+    now: Nanos,
+    seq: u64,
+    fired: u64,
+    queue: BinaryHeap<Event<W>>,
+    /// The modeled system's state, freely accessible to event actions.
+    pub world: W,
+}
+
+impl<W> Sim<W> {
+    /// Create a simulator at time zero around `world`.
+    pub fn new(world: W) -> Self {
+        Sim { now: Nanos::ZERO, seq: 0, fired: 0, queue: BinaryHeap::new(), world }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Nanos {
+        self.now
+    }
+
+    /// Number of events fired so far.
+    pub fn events_fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Number of events still pending.
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `action` to fire `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: Nanos, action: impl FnOnce(&mut Sim<W>) + 'static) {
+        self.schedule_at(self.now + delay, action);
+    }
+
+    /// Schedule `action` at absolute time `at`. Scheduling in the past
+    /// panics — it would silently reorder causality.
+    pub fn schedule_at(&mut self, at: Nanos, action: impl FnOnce(&mut Sim<W>) + 'static) {
+        assert!(at >= self.now, "cannot schedule into the past ({at} < {now})", now = self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { at, seq, action: Box::new(action) });
+    }
+
+    /// Fire the next event, if any. Returns false when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now);
+        self.now = ev.at;
+        self.fired += 1;
+        (ev.action)(self);
+        true
+    }
+
+    /// Run until no events remain. Returns the final time.
+    pub fn run(&mut self) -> Nanos {
+        while self.step() {}
+        self.now
+    }
+
+    /// Run until virtual time would exceed `deadline` (events at exactly
+    /// `deadline` still fire) or the queue drains. Time is left at the
+    /// last fired event.
+    pub fn run_until(&mut self, deadline: Nanos) -> Nanos {
+        while let Some(next) = self.queue.peek() {
+            if next.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.now
+    }
+
+    /// Run at most `max_events` events (a guard against runaway models).
+    /// Returns the number actually fired.
+    pub fn run_capped(&mut self, max_events: u64) -> u64 {
+        let start = self.fired;
+        while self.fired - start < max_events && self.step() {}
+        self.fired - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new(Vec::new());
+        sim.schedule_in(Nanos(30), |s| s.world.push(3));
+        sim.schedule_in(Nanos(10), |s| s.world.push(1));
+        sim.schedule_in(Nanos(20), |s| s.world.push(2));
+        let end = sim.run();
+        assert_eq!(sim.world, vec![1, 2, 3]);
+        assert_eq!(end, Nanos(30));
+        assert_eq!(sim.events_fired(), 3);
+    }
+
+    #[test]
+    fn equal_times_fire_in_schedule_order() {
+        let mut sim: Sim<Vec<u32>> = Sim::new(Vec::new());
+        for i in 0..100 {
+            sim.schedule_at(Nanos(5), move |s| s.world.push(i));
+        }
+        sim.run();
+        assert_eq!(sim.world, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim: Sim<Vec<Nanos>> = Sim::new(Vec::new());
+        fn tick(s: &mut Sim<Vec<Nanos>>) {
+            let t = s.now();
+            s.world.push(t);
+            if s.world.len() < 5 {
+                s.schedule_in(Nanos(10), tick);
+            }
+        }
+        sim.schedule_in(Nanos(10), tick);
+        sim.run();
+        assert_eq!(sim.world, vec![Nanos(10), Nanos(20), Nanos(30), Nanos(40), Nanos(50)]);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim: Sim<u32> = Sim::new(0);
+        for t in 1..=10 {
+            sim.schedule_at(Nanos(t * 10), |s| s.world += 1);
+        }
+        sim.run_until(Nanos(50));
+        assert_eq!(sim.world, 5);
+        assert_eq!(sim.events_pending(), 5);
+        sim.run();
+        assert_eq!(sim.world, 10);
+    }
+
+    #[test]
+    fn run_capped_limits_events() {
+        let mut sim: Sim<u32> = Sim::new(0);
+        fn forever(s: &mut Sim<u32>) {
+            s.world += 1;
+            s.schedule_in(Nanos(1), forever);
+        }
+        sim.schedule_in(Nanos(1), forever);
+        let fired = sim.run_capped(1000);
+        assert_eq!(fired, 1000);
+        assert_eq!(sim.world, 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut sim: Sim<()> = Sim::new(());
+        sim.schedule_at(Nanos(100), |s| {
+            s.schedule_at(Nanos(50), |_| {});
+        });
+        sim.run();
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Whatever order events are scheduled in, they fire in
+            /// nondecreasing time order and ties respect schedule order.
+            #[test]
+            fn firing_order_is_deterministic(times in proptest::collection::vec(0u64..1000, 1..60)) {
+                let mut sim: Sim<Vec<(Nanos, usize)>> = Sim::new(Vec::new());
+                for (i, t) in times.iter().enumerate() {
+                    sim.schedule_at(Nanos(*t), move |s| {
+                        let now = s.now();
+                        s.world.push((now, i));
+                    });
+                }
+                sim.run();
+                let fired = sim.world.clone();
+                // Expected: stable sort of (time, schedule index).
+                let mut expected: Vec<(Nanos, usize)> =
+                    times.iter().enumerate().map(|(i, t)| (Nanos(*t), i)).collect();
+                expected.sort_by_key(|(t, i)| (*t, *i));
+                prop_assert_eq!(fired, expected);
+            }
+        }
+    }
+}

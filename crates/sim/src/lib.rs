@@ -1,0 +1,48 @@
+//! # popper-sim
+//!
+//! A deterministic discrete-event simulation substrate. This crate stands
+//! in for every piece of hardware the Popper paper's evaluation runs on —
+//! CloudLab bare-metal nodes, a 10-year-old Xeon, EC2 virtual machines and
+//! HPC allocations — following the reproduction's substitution rule:
+//! where the paper needs hardware we do not have, we build a calibrated
+//! model that exercises the same code paths.
+//!
+//! Contents:
+//!
+//! * [`time`] — nanosecond-resolution virtual time ([`Nanos`]).
+//! * [`engine`] — a generic event-queue simulator ([`Sim`]) with
+//!   deterministic tie-breaking (events at equal times fire in schedule
+//!   order).
+//! * [`resource`] — analytic queueing primitives: serial servers
+//!   ([`resource::Serial`]) and multi-server pools
+//!   ([`resource::MultiServer`]) used to model cores, NICs and disks.
+//! * [`hardware`] — platform models: a [`hardware::PlatformSpec`] is a
+//!   vector of per-resource capabilities (clock, IPC, memory bandwidth and
+//!   latency, SIMD width, cache, branch-predictor quality …) and a
+//!   workload is a vector of demands; runtime is their inner product.
+//! * [`network`] — a switched-fabric model with per-node ingress/egress
+//!   serialization and a core-capacity term.
+//! * [`noise`] — OS-noise and noisy-neighbor models used by the MPI
+//!   variability use case.
+//! * [`platforms`] — calibrated presets for the machines the paper names.
+//! * [`cluster`] — a set of identical nodes plus a fabric.
+//!
+//! Determinism is a hard invariant: the same seed and the same schedule of
+//! events produce bit-identical metrics. Property tests in this crate and
+//! integration tests at the workspace root enforce it, because "the
+//! experiment re-executes exactly" is the Popper convention's core claim.
+
+pub mod cluster;
+pub mod engine;
+pub mod hardware;
+pub mod network;
+pub mod noise;
+pub mod platforms;
+pub mod resource;
+pub mod time;
+
+pub use cluster::Cluster;
+pub use engine::Sim;
+pub use hardware::{Demand, PlatformSpec, ResourceDim};
+pub use network::Fabric;
+pub use time::Nanos;

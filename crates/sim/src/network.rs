@@ -1,0 +1,241 @@
+//! A switched-fabric network model.
+//!
+//! Every node has an egress and an ingress link (full duplex) feeding a
+//! core switch with finite aggregate capacity. A transfer is pipelined
+//! through the three stages: its completion is the propagation latency
+//! plus the latest stage finish, where each downstream stage may start as
+//! soon as the upstream stage *starts* (cut-through), but every stage
+//! serializes its own queue. This captures the two effects the GassyFS
+//! and MPI use cases depend on: incast (many senders to one receiver
+//! serialize at the ingress link) and bisection saturation (the core
+//! capacity term).
+
+use crate::resource::Serial;
+use crate::time::Nanos;
+
+/// Per-node traffic counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NodeTraffic {
+    /// Bytes sent by this node.
+    pub tx_bytes: u64,
+    /// Bytes received by this node.
+    pub rx_bytes: u64,
+    /// Messages sent.
+    pub tx_msgs: u64,
+    /// Messages received.
+    pub rx_msgs: u64,
+}
+
+/// The fabric connecting a cluster's nodes.
+#[derive(Debug, Clone)]
+pub struct Fabric {
+    latency: Nanos,
+    link_gbit: f64,
+    core_gbit: f64,
+    egress: Vec<Serial>,
+    ingress: Vec<Serial>,
+    core: Serial,
+    traffic: Vec<NodeTraffic>,
+}
+
+impl Fabric {
+    /// A fabric for `nodes` endpoints with per-link bandwidth
+    /// `link_gbit`, one-way propagation latency `latency`, and a core
+    /// with `oversubscription`:1 ratio (1.0 = full bisection bandwidth).
+    pub fn new(nodes: usize, link_gbit: f64, latency: Nanos, oversubscription: f64) -> Self {
+        assert!(nodes >= 1 && link_gbit > 0.0 && oversubscription >= 1.0);
+        Fabric {
+            latency,
+            link_gbit,
+            core_gbit: link_gbit * nodes as f64 / oversubscription,
+            egress: vec![Serial::new(); nodes],
+            ingress: vec![Serial::new(); nodes],
+            core: Serial::new(),
+            traffic: vec![NodeTraffic::default(); nodes],
+        }
+    }
+
+    /// Number of endpoints.
+    pub fn nodes(&self) -> usize {
+        self.egress.len()
+    }
+
+    /// One-way propagation latency.
+    pub fn latency(&self) -> Nanos {
+        self.latency
+    }
+
+    /// Per-link bandwidth in Gbit/s.
+    pub fn link_gbit(&self) -> f64 {
+        self.link_gbit
+    }
+
+    fn serialize_time(&self, bytes: u64, gbit: f64) -> Nanos {
+        Nanos::from_secs_f64(bytes as f64 * 8.0 / (gbit * 1e9))
+    }
+
+    /// Send `bytes` from `src` to `dst` starting at `now`; returns the
+    /// completion time at the receiver. A loopback transfer (src == dst)
+    /// completes immediately — locality is free, which is exactly the
+    /// property GassyFS scalability hinges on.
+    pub fn transfer(&mut self, src: usize, dst: usize, bytes: u64, now: Nanos) -> Nanos {
+        assert!(src < self.nodes() && dst < self.nodes(), "endpoint out of range");
+        self.traffic[src].tx_bytes += bytes;
+        self.traffic[src].tx_msgs += 1;
+        self.traffic[dst].rx_bytes += bytes;
+        self.traffic[dst].rx_msgs += 1;
+        if src == dst {
+            return now;
+        }
+        let link_t = self.serialize_time(bytes, self.link_gbit);
+        let core_t = self.serialize_time(bytes, self.core_gbit);
+        // Relaxed admission: senders are independent virtual-time
+        // cursors, so arrivals are not globally ordered (see
+        // `Serial::admit_relaxed`).
+        let (e_start, e_fin) = self.egress[src].admit_relaxed(now, link_t);
+        let (c_start, c_fin) = self.core.admit_relaxed(e_start, core_t);
+        let (_i_start, i_fin) = self.ingress[dst].admit_relaxed(c_start, link_t);
+        self.latency + e_fin.max(c_fin).max(i_fin)
+    }
+
+    /// A small-message round trip between two nodes (an RPC): two
+    /// latencies plus both serializations.
+    pub fn rpc(&mut self, a: usize, b: usize, req_bytes: u64, resp_bytes: u64, now: Nanos) -> Nanos {
+        let arrived = self.transfer(a, b, req_bytes, now);
+        self.transfer(b, a, resp_bytes, arrived)
+    }
+
+    /// Traffic counters for one node.
+    pub fn traffic(&self, node: usize) -> NodeTraffic {
+        self.traffic[node]
+    }
+
+    /// Total bytes moved through the fabric (excluding loopback double
+    /// counting: each transfer counts once).
+    pub fn total_bytes(&self) -> u64 {
+        self.traffic.iter().map(|t| t.tx_bytes).sum()
+    }
+
+    /// Egress-link utilization of a node over `[0, horizon]`.
+    pub fn egress_utilization(&self, node: usize, horizon: Nanos) -> f64 {
+        self.egress[node].utilization(horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric(n: usize) -> Fabric {
+        // 10 Gbit links, 10 us latency, full bisection.
+        Fabric::new(n, 10.0, Nanos::from_micros(10), 1.0)
+    }
+
+    #[test]
+    fn loopback_is_free() {
+        let mut f = fabric(2);
+        let t = f.transfer(0, 0, 1 << 20, Nanos(123));
+        assert_eq!(t, Nanos(123));
+    }
+
+    #[test]
+    fn uncontended_transfer_is_latency_plus_serialization() {
+        let mut f = fabric(2);
+        let bytes = 1_250_000; // 1 ms at 10 Gbit
+        let done = f.transfer(0, 1, bytes as u64, Nanos::ZERO);
+        let expected = Nanos::from_micros(10) + Nanos::from_millis(1);
+        // Cut-through pipelining: within one serialization of the ideal.
+        assert!(done >= expected && done < expected + Nanos::from_millis(1), "done={done}");
+    }
+
+    #[test]
+    fn zero_byte_message_costs_latency() {
+        let mut f = fabric(2);
+        let done = f.transfer(0, 1, 0, Nanos::ZERO);
+        assert_eq!(done, Nanos::from_micros(10));
+    }
+
+    #[test]
+    fn incast_serializes_at_receiver() {
+        let mut f = fabric(5);
+        let bytes = 1_250_000u64; // 1 ms each
+        let mut finishes: Vec<Nanos> = (1..5).map(|s| f.transfer(s, 0, bytes, Nanos::ZERO)).collect();
+        finishes.sort();
+        // Four senders into one link: completions spaced ~1 ms apart.
+        let spread = finishes[3] - finishes[0];
+        assert!(spread >= Nanos::from_millis(2), "incast spread too small: {spread}");
+    }
+
+    #[test]
+    fn sender_link_serializes_fanout() {
+        let mut f = fabric(5);
+        let bytes = 1_250_000u64;
+        let t1 = f.transfer(0, 1, bytes, Nanos::ZERO);
+        let t2 = f.transfer(0, 2, bytes, Nanos::ZERO);
+        assert!(t2 > t1, "second fan-out transfer must queue behind the first");
+    }
+
+    #[test]
+    fn oversubscribed_core_throttles_bisection() {
+        let n = 8;
+        let bytes = 1_250_000u64;
+        let mut full = Fabric::new(n, 10.0, Nanos::ZERO, 1.0);
+        let mut over = Fabric::new(n, 10.0, Nanos::ZERO, 4.0);
+        // Disjoint pairs: (0→1), (2→3), (4→5), (6→7).
+        let full_done: Nanos = (0..4).map(|i| full.transfer(2 * i, 2 * i + 1, bytes, Nanos::ZERO)).max().unwrap();
+        let over_done: Nanos = (0..4).map(|i| over.transfer(2 * i, 2 * i + 1, bytes, Nanos::ZERO)).max().unwrap();
+        assert!(over_done > full_done, "oversubscription must slow disjoint pairs: {over_done} vs {full_done}");
+    }
+
+    #[test]
+    fn rpc_round_trip() {
+        let mut f = fabric(2);
+        let done = f.rpc(0, 1, 100, 100, Nanos::ZERO);
+        assert!(done >= Nanos::from_micros(20), "RPC must pay two latencies, got {done}");
+    }
+
+    #[test]
+    fn traffic_accounting() {
+        let mut f = fabric(3);
+        f.transfer(0, 1, 1000, Nanos::ZERO);
+        f.transfer(0, 2, 500, Nanos::ZERO);
+        f.transfer(1, 0, 200, Nanos::ZERO);
+        assert_eq!(f.traffic(0).tx_bytes, 1500);
+        assert_eq!(f.traffic(0).rx_bytes, 200);
+        assert_eq!(f.traffic(0).tx_msgs, 2);
+        assert_eq!(f.total_bytes(), 1700);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Completion is never before arrival + latency, and repeated
+            /// runs with the same schedule are identical (determinism).
+            #[test]
+            fn transfers_respect_causality_and_determinism(
+                xfers in proptest::collection::vec((0usize..4, 0usize..4, 0u64..1_000_000, 0u64..1_000_000), 1..30)
+            ) {
+                let run = |xfers: &[(usize, usize, u64, u64)]| -> Vec<Nanos> {
+                    let mut f = fabric(4);
+                    let mut sorted = xfers.to_vec();
+                    sorted.sort_by_key(|x| x.3);
+                    sorted.iter().map(|&(s, d, b, t)| f.transfer(s, d, b, Nanos(t))).collect()
+                };
+                let a = run(&xfers);
+                let b = run(&xfers);
+                prop_assert_eq!(&a, &b);
+                let mut sorted = xfers.clone();
+                sorted.sort_by_key(|x| x.3);
+                for (done, (s, d, _, t)) in a.iter().zip(&sorted) {
+                    if s == d {
+                        prop_assert_eq!(*done, Nanos(*t));
+                    } else {
+                        prop_assert!(*done >= Nanos(*t) + Nanos::from_micros(10));
+                    }
+                }
+            }
+        }
+    }
+}

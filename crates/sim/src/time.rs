@@ -1,0 +1,203 @@
+//! Nanosecond-resolution virtual time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (or span of) virtual time, in nanoseconds.
+///
+/// `Nanos` is used both as an instant and as a duration; the simulator
+/// only ever compares and adds them, so a single type keeps the arithmetic
+/// honest. `u64` nanoseconds cover ~584 years of virtual time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Nanos(pub u64);
+
+impl Nanos {
+    /// Zero time.
+    pub const ZERO: Nanos = Nanos(0);
+    /// The largest representable time; used as "never".
+    pub const MAX: Nanos = Nanos(u64::MAX);
+
+    /// From whole nanoseconds.
+    pub const fn from_nanos(n: u64) -> Nanos {
+        Nanos(n)
+    }
+    /// From whole microseconds.
+    pub const fn from_micros(us: u64) -> Nanos {
+        Nanos(us * 1_000)
+    }
+    /// From whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Nanos {
+        Nanos(ms * 1_000_000)
+    }
+    /// From whole seconds.
+    pub const fn from_secs(s: u64) -> Nanos {
+        Nanos(s * 1_000_000_000)
+    }
+    /// From fractional seconds; negative and non-finite inputs clamp to 0.
+    pub fn from_secs_f64(s: f64) -> Nanos {
+        if !s.is_finite() || s <= 0.0 {
+            return Nanos::ZERO;
+        }
+        Nanos((s * 1e9).round().min(u64::MAX as f64) as u64)
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+    /// As fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+    /// As fractional microseconds.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+    /// Raw nanoseconds.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction: `self - other`, or zero.
+    pub fn saturating_sub(self, other: Nanos) -> Nanos {
+        Nanos(self.0.saturating_sub(other.0))
+    }
+
+    /// Scale by a non-negative factor (panics on negative/non-finite).
+    pub fn scale(self, factor: f64) -> Nanos {
+        assert!(factor.is_finite() && factor >= 0.0, "Nanos::scale factor must be finite and >= 0");
+        Nanos((self.0 as f64 * factor).round() as u64)
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: Nanos) -> Nanos {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two times.
+    pub fn min(self, other: Nanos) -> Nanos {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Nanos {
+    type Output = Nanos;
+    fn add(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.checked_add(rhs.0).expect("virtual time overflow"))
+    }
+}
+impl AddAssign for Nanos {
+    fn add_assign(&mut self, rhs: Nanos) {
+        *self = *self + rhs;
+    }
+}
+impl Sub for Nanos {
+    type Output = Nanos;
+    fn sub(self, rhs: Nanos) -> Nanos {
+        Nanos(self.0.checked_sub(rhs.0).expect("virtual time underflow"))
+    }
+}
+impl SubAssign for Nanos {
+    fn sub_assign(&mut self, rhs: Nanos) {
+        *self = *self - rhs;
+    }
+}
+impl Mul<u64> for Nanos {
+    type Output = Nanos;
+    fn mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0.checked_mul(rhs).expect("virtual time overflow"))
+    }
+}
+impl Div<u64> for Nanos {
+    type Output = Nanos;
+    fn div(self, rhs: u64) -> Nanos {
+        Nanos(self.0 / rhs)
+    }
+}
+impl Sum for Nanos {
+    fn sum<I: Iterator<Item = Nanos>>(iter: I) -> Nanos {
+        iter.fold(Nanos::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Nanos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = self.0;
+        if n >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if n >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if n >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{n}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(Nanos::from_secs(2), Nanos(2_000_000_000));
+        assert_eq!(Nanos::from_millis(3), Nanos(3_000_000));
+        assert_eq!(Nanos::from_micros(5), Nanos(5_000));
+        assert_eq!(Nanos::from_secs_f64(1.5), Nanos(1_500_000_000));
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_bad_input() {
+        assert_eq!(Nanos::from_secs_f64(-1.0), Nanos::ZERO);
+        assert_eq!(Nanos::from_secs_f64(f64::NAN), Nanos::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Nanos::from_secs(1);
+        let b = Nanos::from_millis(500);
+        assert_eq!(a + b, Nanos(1_500_000_000));
+        assert_eq!(a - b, Nanos(500_000_000));
+        assert_eq!(b * 4, Nanos::from_secs(2));
+        assert_eq!(a / 4, Nanos::from_millis(250));
+        assert_eq!(b.saturating_sub(a), Nanos::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = Nanos::from_millis(1) - Nanos::from_secs(1);
+    }
+
+    #[test]
+    fn scale_rounds() {
+        assert_eq!(Nanos(100).scale(2.5), Nanos(250));
+        assert_eq!(Nanos(3).scale(0.5), Nanos(2)); // 1.5 rounds to 2
+    }
+
+    #[test]
+    fn display_units() {
+        assert_eq!(Nanos(999).to_string(), "999ns");
+        assert_eq!(Nanos(1_500).to_string(), "1.500us");
+        assert_eq!(Nanos(2_000_000).to_string(), "2.000ms");
+        assert_eq!(Nanos::from_secs(3).to_string(), "3.000s");
+    }
+
+    #[test]
+    fn sum_and_minmax() {
+        let total: Nanos = [Nanos(1), Nanos(2), Nanos(3)].into_iter().sum();
+        assert_eq!(total, Nanos(6));
+        assert_eq!(Nanos(1).max(Nanos(2)), Nanos(2));
+        assert_eq!(Nanos(1).min(Nanos(2)), Nanos(1));
+    }
+}

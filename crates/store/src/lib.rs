@@ -1,0 +1,25 @@
+//! # popper-store
+//!
+//! Dataset and artifact management — the "git-lfs / datapackages /
+//! Artifactory" slot of the Popper toolkit (§Toolkit, *Dataset
+//! Management*). Version-control systems are not designed for large
+//! binary artifacts, so Popper repositories keep datasets *by reference*:
+//! an experiment's `datasets/` folder holds small descriptors whose
+//! content hashes name the real bytes, which live in a chunked,
+//! deduplicated store.
+//!
+//! * [`chunker`] — content-defined chunking with a gear rolling hash
+//!   (FastCDC-style): insertions shift chunk boundaries only locally, so
+//!   revised datasets share most chunks with their ancestors.
+//! * [`chunkstore`] — a content-addressed chunk store with manifests and
+//!   dedup accounting.
+//! * [`datapackage`] — datapackage descriptors and a [`datapackage::Registry`]
+//!   implementing the `dpm install` flow from the paper's weather use
+//!   case (Listing `bootstrap`).
+
+pub mod chunker;
+pub mod chunkstore;
+pub mod datapackage;
+
+pub use chunkstore::{ChunkId, ChunkStore, Manifest};
+pub use datapackage::{DataPackage, Registry, Resource};

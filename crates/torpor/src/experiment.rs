@@ -1,0 +1,146 @@
+//! Figure `torpor-variability`: "Variability profile of a set of
+//! CPU-bound benchmarks. Each data point in the histogram corresponds
+//! to the speedup of a stress-ng microbenchmark that a node in CloudLab
+//! has with respect to one of our machines in our lab, a 10 year old
+//! Xeon. For example, the architectural improvements of the newer
+//! machine cause 7 stressors to have a speedup within the (2.2, 2.3]
+//! range over the base machine."
+
+use crate::profile::PerformanceProfile;
+use crate::variability::{Histogram, VariabilityProfile};
+use popper_format::Table;
+use popper_sim::{platforms, PlatformSpec};
+
+/// Configuration of the variability experiment.
+#[derive(Debug, Clone)]
+pub struct VariabilityExperiment {
+    /// The reference (old) machine.
+    pub base: PlatformSpec,
+    /// The machines to compare against it (the paper shows one of a
+    /// fleet).
+    pub targets: Vec<PlatformSpec>,
+    /// Work units per stressor.
+    pub units: f64,
+    /// Histogram bin width (the paper's figure uses 0.1).
+    pub bin_width: f64,
+}
+
+impl Default for VariabilityExperiment {
+    fn default() -> Self {
+        VariabilityExperiment {
+            base: platforms::xeon_2006(),
+            targets: vec![platforms::cloudlab_c220g(), platforms::ec2_vm(), platforms::hpc_node()],
+            units: 1.0,
+            bin_width: 0.1,
+        }
+    }
+}
+
+/// One target's outcome.
+#[derive(Debug, Clone)]
+pub struct VariabilityResult {
+    /// The derived variability profile.
+    pub profile: VariabilityProfile,
+    /// Its histogram.
+    pub histogram: Histogram,
+}
+
+/// Run the experiment: profile the base once and every target against
+/// it.
+pub fn run_variability_experiment(config: &VariabilityExperiment) -> Vec<VariabilityResult> {
+    let base_profile = PerformanceProfile::of_platform(&config.base, config.units);
+    config
+        .targets
+        .iter()
+        .map(|target| {
+            let target_profile = PerformanceProfile::of_platform(target, config.units);
+            let profile = VariabilityProfile::between(&base_profile, &target_profile)
+                .expect("battery is shared by construction");
+            let histogram = profile.histogram(config.bin_width);
+            VariabilityResult { profile, histogram }
+        })
+        .collect()
+}
+
+/// Concatenate all per-stressor speedups into one long results table.
+pub fn results_table(results: &[VariabilityResult]) -> Table {
+    let mut out: Option<Table> = None;
+    for r in results {
+        let t = r.profile.to_table();
+        match &mut out {
+            None => out = Some(t),
+            Some(acc) => acc.append(&t).expect("same schema"),
+        }
+    }
+    out.unwrap_or_else(|| Table::new(["base", "target", "stressor", "speedup"]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_shape_matches_paper() {
+        let results = run_variability_experiment(&VariabilityExperiment::default());
+        assert_eq!(results.len(), 3);
+        // The CloudLab result is the published panel: every stressor
+        // faster than the old Xeon, with a clustered mode — the paper
+        // calls out 7 stressors in one 0.1-wide bin.
+        let cloudlab = &results[0];
+        assert_eq!(cloudlab.profile.target, "cloudlab-c220g");
+        let (lo, hi) = cloudlab.profile.range();
+        assert!(lo > 1.0, "min speedup {lo}");
+        assert!(hi > 2.0, "max speedup {hi} — architectural gains must show");
+        let modal = cloudlab.histogram.modal_bin();
+        assert!(
+            modal.count >= 3,
+            "a clustered mode like the paper's 7-in-one-bin: got {} in ({},{}]",
+            modal.count,
+            modal.lo,
+            modal.hi
+        );
+        assert_eq!(cloudlab.histogram.total(), cloudlab.profile.speedups.len());
+    }
+
+    #[test]
+    fn vm_target_trails_bare_metal_on_syscalls() {
+        let results = run_variability_experiment(&VariabilityExperiment::default());
+        let bare = &results[0].profile;
+        let vm = &results[1].profile;
+        let s = |p: &VariabilityProfile, n: &str| p.speedups.iter().find(|(m, _)| m == n).unwrap().1;
+        // Hypervisor tax: the syscall stressor speeds up less on the VM.
+        assert!(s(vm, "sys-clock") < s(bare, "sys-clock"));
+        // Pure CPU stressors are unaffected by the tax.
+        let cpu_bare = s(bare, "cpu-fp");
+        let cpu_vm = s(vm, "cpu-fp");
+        assert!((cpu_bare - cpu_vm).abs() < 1e-9);
+    }
+
+    #[test]
+    fn results_table_concatenates_targets() {
+        let results = run_variability_experiment(&VariabilityExperiment::default());
+        let t = results_table(&results);
+        let per_target = results[0].profile.speedups.len();
+        assert_eq!(t.len(), 3 * per_target);
+        let targets = t.distinct("target").unwrap();
+        assert_eq!(targets.len(), 3);
+        // Aver sanity over the published panel: everything faster than
+        // the base machine.
+        let verdict = popper_aver::check(
+            "when target = cloudlab-c220g expect min(speedup) > 1",
+            &t,
+        )
+        .unwrap();
+        assert!(verdict.passed, "{:?}", verdict.failures);
+    }
+
+    #[test]
+    fn experiment_is_deterministic() {
+        let a = run_variability_experiment(&VariabilityExperiment::default());
+        let b = run_variability_experiment(&VariabilityExperiment::default());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.profile, y.profile);
+            assert_eq!(x.histogram, y.histogram);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # popper-torpor
+//!
+//! **Torpor** — "a workload- and architecture-independent technique for
+//! characterizing the performance of a computing platform" (§Use case:
+//! *Quantifying Cross-platform Performance Variability* of the paper's
+//! ASPLOS draft; the Popperized experiment is carried into this paper
+//! "as is").
+//!
+//! Torpor executes a battery of microbenchmarks (the
+//! [`popper_monitor::stressors`] battery) as a platform's *performance
+//! profile*. Given profiles of two platforms A and B, it derives a
+//! *variability profile* — the distribution of per-stressor speedups of
+//! B over A — which (1) bounds the variability any application will see
+//! when moving from A to B, and (2) drives CPU throttling that recreates
+//! A's performance on B.
+//!
+//! * [`profile`] — performance profiles (per-stressor runtimes) on
+//!   simulated platform models or the real local machine.
+//! * [`variability`] — speedup distributions, the histogram of Figure
+//!   `torpor-variability`, prediction ranges, and throttling.
+//! * [`experiment`] — Figure F1: the histogram of a CloudLab node's
+//!   speedups over the 10-year-old Xeon, plus the hypervisor-tax
+//!   ablation.
+
+pub mod experiment;
+pub mod profile;
+pub mod variability;
+
+pub use experiment::{run_variability_experiment, VariabilityExperiment};
+pub use profile::PerformanceProfile;
+pub use variability::{Histogram, VariabilityProfile};

@@ -1,0 +1,309 @@
+//! Variability profiles, histograms, prediction and throttling.
+
+use crate::profile::PerformanceProfile;
+use popper_format::{Table, Value};
+use popper_sim::PlatformSpec;
+
+/// The speedup distribution of a target platform over a base platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariabilityProfile {
+    /// The base (reference) platform name.
+    pub base: String,
+    /// The target platform name.
+    pub target: String,
+    /// `(stressor, speedup = base time / target time)`.
+    pub speedups: Vec<(String, f64)>,
+}
+
+impl VariabilityProfile {
+    /// Derive the variability profile of `target` with respect to
+    /// `base`. Errors if the profiles cover different stressors.
+    pub fn between(base: &PerformanceProfile, target: &PerformanceProfile) -> Result<Self, String> {
+        if base.entries.len() != target.entries.len() {
+            return Err(format!(
+                "profiles cover different batteries ({} vs {} stressors)",
+                base.entries.len(),
+                target.entries.len()
+            ));
+        }
+        let mut speedups = Vec::with_capacity(base.entries.len());
+        for ((name_b, t_b), (name_t, t_t)) in base.entries.iter().zip(&target.entries) {
+            if name_b != name_t {
+                return Err(format!("battery mismatch: '{name_b}' vs '{name_t}'"));
+            }
+            if *t_t <= 0.0 || *t_b <= 0.0 {
+                return Err(format!("non-positive runtime for '{name_b}'"));
+            }
+            speedups.push((name_b.clone(), t_b / t_t));
+        }
+        Ok(VariabilityProfile { base: base.platform.clone(), target: target.platform.clone(), speedups })
+    }
+
+    /// The variability *range* `[min, max]` — Torpor's bound on the
+    /// speedup any application observes moving base → target.
+    pub fn range(&self) -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for (_, s) in &self.speedups {
+            lo = lo.min(*s);
+            hi = hi.max(*s);
+        }
+        (lo, hi)
+    }
+
+    /// Predict the runtime interval on the target of an application
+    /// that took `base_secs` on the base platform.
+    pub fn predict_runtime(&self, base_secs: f64) -> (f64, f64) {
+        let (lo, hi) = self.range();
+        (base_secs / hi, base_secs / lo)
+    }
+
+    /// Histogram of speedups with the given bin width (the figure's
+    /// x-axis granularity; the paper uses 0.1).
+    pub fn histogram(&self, bin_width: f64) -> Histogram {
+        assert!(bin_width > 0.0);
+        let (lo, hi) = self.range();
+        let first_bin = (lo / bin_width).floor() as i64;
+        let last_bin = (hi / bin_width).floor() as i64;
+        let mut bins: Vec<Bin> = (first_bin..=last_bin)
+            .map(|i| Bin { lo: i as f64 * bin_width, hi: (i + 1) as f64 * bin_width, count: 0, stressors: Vec::new() })
+            .collect();
+        for (name, s) in &self.speedups {
+            let idx = ((s / bin_width).floor() as i64 - first_bin) as usize;
+            let idx = idx.min(bins.len() - 1);
+            bins[idx].count += 1;
+            bins[idx].stressors.push(name.clone());
+        }
+        Histogram { bin_width, bins }
+    }
+
+    /// The CPU throttling fraction that would recreate base-platform
+    /// performance on the target for a given stressor: `1 / speedup`.
+    /// Torpor's controller applies this as a cgroup CPU quota.
+    pub fn throttle_fraction(&self, stressor: &str) -> Option<f64> {
+        self.speedups.iter().find(|(n, _)| n == stressor).map(|(_, s)| 1.0 / s)
+    }
+
+    /// Simulate running a stressor on the target under a CPU quota of
+    /// `fraction` and report the achieved runtime. CPU time dilates by
+    /// `1/fraction`; memory/syscall time does not — which is exactly why
+    /// uniform throttling cannot recreate an old machine for
+    /// memory-bound work (Torpor's central observation).
+    pub fn throttled_runtime(target: &PlatformSpec, stressor: &str, fraction: f64, units: f64) -> Option<f64> {
+        assert!(fraction > 0.0 && fraction <= 1.0);
+        let s = popper_monitor::stressors::by_name(stressor)?;
+        let d = s.demand().scaled(units);
+        let hz = target.clock_ghz * 1e9;
+        // CPU-side time dilates under the quota.
+        let cpu = d.int_ops / (hz * target.ipc_int)
+            + d.fp_ops / (hz * target.ipc_fp)
+            + d.simd_ops / (hz * target.ipc_fp * target.simd_lanes)
+            + d.branch_misses * target.branch_miss_ns * 1e-9;
+        // Memory and system time does not.
+        let rest = d.mem_stream_bytes / (target.mem_bw_gib * 1024.0 * 1024.0 * 1024.0)
+            + d.mem_random_accesses * target.mem_lat_ns * 1e-9
+            + d.syscalls * target.syscall_ns * 1e-9 * target.hypervisor_tax;
+        Some(cpu / fraction + rest)
+    }
+
+    /// Export as the figure's data table: `(stressor, speedup)` rows.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(["base", "target", "stressor", "speedup"]);
+        for (name, s) in &self.speedups {
+            t.push_row(vec![
+                Value::from(self.base.as_str()),
+                Value::from(self.target.as_str()),
+                Value::from(name.as_str()),
+                Value::Num(*s),
+            ])
+            .expect("fixed schema");
+        }
+        t
+    }
+}
+
+/// One histogram bin `(lo, hi]`-ish (floor binning: `[lo, hi)`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bin {
+    /// Inclusive lower edge.
+    pub lo: f64,
+    /// Exclusive upper edge.
+    pub hi: f64,
+    /// Stressors in the bin.
+    pub count: usize,
+    /// Their names.
+    pub stressors: Vec<String>,
+}
+
+/// The variability histogram (Figure `torpor-variability`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Bin width.
+    pub bin_width: f64,
+    /// Contiguous bins from the minimum to the maximum speedup.
+    pub bins: Vec<Bin>,
+}
+
+impl Histogram {
+    /// Total stressors binned.
+    pub fn total(&self) -> usize {
+        self.bins.iter().map(|b| b.count).sum()
+    }
+
+    /// The fullest bin.
+    pub fn modal_bin(&self) -> &Bin {
+        self.bins.iter().max_by_key(|b| b.count).expect("histogram has bins")
+    }
+
+    /// ASCII rendering (the figure, in terminal form).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for b in &self.bins {
+            out.push_str(&format!("({:>4.1}, {:>4.1}] {:<3} {}\n", b.lo, b.hi, b.count, "#".repeat(b.count)));
+        }
+        out
+    }
+
+    /// Export as the figure's data table.
+    pub fn to_table(&self) -> Table {
+        let mut t = Table::new(["bin_lo", "bin_hi", "count"]);
+        for b in &self.bins {
+            t.push_row(vec![Value::Num(b.lo), Value::Num(b.hi), Value::from(b.count)])
+                .expect("fixed schema");
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popper_sim::platforms;
+
+    fn variability() -> VariabilityProfile {
+        let base = PerformanceProfile::of_platform(&platforms::xeon_2006(), 1.0);
+        let target = PerformanceProfile::of_platform(&platforms::cloudlab_c220g(), 1.0);
+        VariabilityProfile::between(&base, &target).unwrap()
+    }
+
+    #[test]
+    fn speedups_all_above_one_with_spread() {
+        let v = variability();
+        let (lo, hi) = v.range();
+        assert!(lo > 1.0, "modern node must win everywhere, min {lo}");
+        assert!(hi / lo > 2.0, "expected a wide distribution: {lo}..{hi}");
+    }
+
+    #[test]
+    fn identical_platforms_give_unit_speedups() {
+        let p = PerformanceProfile::of_platform(&platforms::hpc_node(), 1.0);
+        let v = VariabilityProfile::between(&p, &p).unwrap();
+        let (lo, hi) = v.range();
+        assert!((lo - 1.0).abs() < 1e-12 && (hi - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mismatched_batteries_rejected() {
+        let a = PerformanceProfile::of_platform(&platforms::xeon_2006(), 1.0);
+        let mut b = PerformanceProfile::of_platform(&platforms::hpc_node(), 1.0);
+        b.entries.pop();
+        assert!(VariabilityProfile::between(&a, &b).is_err());
+        let mut c = PerformanceProfile::of_platform(&platforms::hpc_node(), 1.0);
+        c.entries[0].0 = "renamed".into();
+        assert!(VariabilityProfile::between(&a, &c).is_err());
+    }
+
+    #[test]
+    fn histogram_partitions_battery() {
+        let v = variability();
+        let h = v.histogram(0.1);
+        assert_eq!(h.total(), v.speedups.len());
+        // Every speedup falls in its bin.
+        for (name, s) in &v.speedups {
+            let bin = h
+                .bins
+                .iter()
+                .find(|b| b.stressors.contains(name))
+                .unwrap_or_else(|| panic!("{name} unbinned"));
+            assert!(*s >= bin.lo - 1e-9 && *s < bin.hi + 1e-9, "{name}: {s} not in [{}, {})", bin.lo, bin.hi);
+        }
+        // Bins are contiguous.
+        for w in h.bins.windows(2) {
+            assert!((w[0].hi - w[1].lo).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wider_bins_concentrate_mass() {
+        let v = variability();
+        let fine = v.histogram(0.05);
+        let coarse = v.histogram(0.5);
+        assert!(coarse.bins.len() < fine.bins.len());
+        assert!(coarse.modal_bin().count >= fine.modal_bin().count);
+        assert_eq!(coarse.total(), fine.total());
+    }
+
+    #[test]
+    fn prediction_brackets_reality() {
+        // An application with a mixed demand must land inside the
+        // predicted range, because its mix is a convex-ish combination
+        // of the battery's extremes.
+        let v = variability();
+        let base_platform = platforms::xeon_2006();
+        let target_platform = platforms::cloudlab_c220g();
+        let app = popper_sim::Demand {
+            int_ops: 5e8,
+            fp_ops: 1e8,
+            mem_stream_bytes: 5e7,
+            mem_random_accesses: 1e5,
+            branch_misses: 1e6,
+            syscalls: 1e4,
+            ..Default::default()
+        };
+        let base_secs = base_platform.execute_secs(&app);
+        let actual = target_platform.execute_secs(&app);
+        let (lo, hi) = v.predict_runtime(base_secs);
+        assert!(actual >= lo * 0.95 && actual <= hi * 1.05, "{actual} not in [{lo}, {hi}]");
+    }
+
+    #[test]
+    fn throttling_recreates_cpu_bound_but_not_memory_bound() {
+        let v = variability();
+        let base = PerformanceProfile::of_platform(&platforms::xeon_2006(), 1.0);
+        let target_platform = platforms::cloudlab_c220g();
+
+        // CPU-bound stressor: quota 1/speedup recreates the old runtime.
+        let f_cpu = v.throttle_fraction("cpu-fp").unwrap();
+        let recreated =
+            VariabilityProfile::throttled_runtime(&target_platform, "cpu-fp", f_cpu, 1.0).unwrap();
+        let original = base.runtime("cpu-fp").unwrap();
+        assert!(
+            (recreated / original - 1.0).abs() < 0.05,
+            "cpu-bound: recreated {recreated} vs original {original}"
+        );
+
+        // Memory-latency-bound stressor: the same trick falls short,
+        // because the quota cannot slow DRAM down.
+        let f_mem = v.throttle_fraction("vm-ptr-chase").unwrap();
+        let recreated_mem =
+            VariabilityProfile::throttled_runtime(&target_platform, "vm-ptr-chase", f_mem, 1.0).unwrap();
+        let original_mem = base.runtime("vm-ptr-chase").unwrap();
+        assert!(
+            recreated_mem < original_mem * 0.97,
+            "memory-bound workloads should stay too fast under CPU quota: {recreated_mem} vs {original_mem}"
+        );
+    }
+
+    #[test]
+    fn render_and_tables() {
+        let v = variability();
+        let h = v.histogram(0.1);
+        let art = h.render();
+        assert!(art.lines().count() == h.bins.len());
+        assert!(art.contains('#'));
+        let t = v.to_table();
+        assert_eq!(t.len(), v.speedups.len());
+        let ht = h.to_table();
+        assert_eq!(ht.len(), h.bins.len());
+    }
+}

@@ -1,0 +1,351 @@
+//! Line-based Myers diff and patch.
+//!
+//! An O((N+M)·D) implementation of Myers' greedy shortest-edit-script
+//! algorithm, the one used by git and GNU diff. The repository uses it
+//! for `status`/`log -p`-style output; its correctness is pinned by the
+//! round-trip law `apply(a, diff(a, b)) == b`, checked with property
+//! tests.
+
+/// One element of an edit script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Edit {
+    /// Line kept as-is (index into the old side).
+    Keep(usize),
+    /// Line deleted from the old side (index into old).
+    Delete(usize),
+    /// Line inserted from the new side (index into new).
+    Insert(usize),
+}
+
+/// Compute the shortest edit script turning `old` into `new`.
+pub fn diff_lines<'a>(old: &[&'a str], new: &[&'a str]) -> Vec<Edit> {
+    let n = old.len();
+    let m = new.len();
+    let max = n + m;
+    if max == 0 {
+        return Vec::new();
+    }
+    // V[k] = furthest x on diagonal k; store per-D snapshots for traceback.
+    let offset = max as isize;
+    let width = 2 * max + 1;
+    let mut v = vec![0usize; width];
+    let mut trace: Vec<Vec<usize>> = Vec::new();
+
+    'outer: {
+        for d in 0..=max {
+            trace.push(v.clone());
+            let d_i = d as isize;
+            let mut k = -d_i;
+            while k <= d_i {
+                let ki = (k + offset) as usize;
+                let mut x = if k == -d_i || (k != d_i && v[ki - 1] < v[ki + 1]) {
+                    v[ki + 1] // move down (insert)
+                } else {
+                    v[ki - 1] + 1 // move right (delete)
+                };
+                let mut y = (x as isize - k) as usize;
+                while x < n && y < m && old[x] == new[y] {
+                    x += 1;
+                    y += 1;
+                }
+                v[ki] = x;
+                if x >= n && y >= m {
+                    break 'outer;
+                }
+                k += 2;
+            }
+        }
+        unreachable!("edit distance bounded by n+m");
+    }
+
+    // Traceback from (n, m).
+    let mut edits = Vec::new();
+    let mut x = n;
+    let mut y = m;
+    for d in (1..trace.len()).rev() {
+        let vd = &trace[d];
+        let d_i = d as isize;
+        let k = x as isize - y as isize;
+        let ki = (k + offset) as usize;
+        let (prev_k, went_down) = if k == -d_i || (k != d_i && vd[ki - 1] < vd[ki + 1]) {
+            (k + 1, true)
+        } else {
+            (k - 1, false)
+        };
+        let prev_x = vd[(prev_k + offset) as usize];
+        let prev_y = (prev_x as isize - prev_k) as usize;
+        // Snake (diagonal run) after the edit.
+        while x > if went_down { prev_x } else { prev_x + 1 }
+            && y > if went_down { prev_y + 1 } else { prev_y }
+        {
+            x -= 1;
+            y -= 1;
+            edits.push(Edit::Keep(x));
+        }
+        if went_down {
+            y -= 1;
+            edits.push(Edit::Insert(y));
+        } else {
+            x -= 1;
+            edits.push(Edit::Delete(x));
+        }
+        debug_assert_eq!((x, y), (prev_x, prev_y));
+    }
+    // Leading snake at D=0.
+    while x > 0 && y > 0 {
+        x -= 1;
+        y -= 1;
+        edits.push(Edit::Keep(x));
+    }
+    debug_assert_eq!((x, y), (0, 0));
+    edits.reverse();
+    edits
+}
+
+/// Apply an edit script produced by [`diff_lines`] to `old`, yielding the
+/// new sequence.
+pub fn apply<'a>(old: &[&'a str], new: &[&'a str], edits: &[Edit]) -> Vec<&'a str> {
+    let mut out = Vec::with_capacity(new.len());
+    for e in edits {
+        match e {
+            Edit::Keep(i) => out.push(old[*i]),
+            Edit::Delete(_) => {}
+            Edit::Insert(j) => out.push(new[*j]),
+        }
+    }
+    out
+}
+
+/// The number of non-keep edits (the Myers D distance).
+pub fn distance(edits: &[Edit]) -> usize {
+    edits.iter().filter(|e| !matches!(e, Edit::Keep(_))).count()
+}
+
+/// Render a unified diff (with `context` lines of context) between two
+/// texts, labeled `a_name`/`b_name`. Returns an empty string when equal.
+pub fn unified(a_name: &str, b_name: &str, old_text: &str, new_text: &str, context: usize) -> String {
+    let old: Vec<&str> = old_text.lines().collect();
+    let new: Vec<&str> = new_text.lines().collect();
+    let edits = diff_lines(&old, &new);
+    if distance(&edits) == 0 {
+        return String::new();
+    }
+
+    let mut out = format!("--- {a_name}\n+++ {b_name}\n");
+    // Old- and new-side line indices at every edit position, for hunk
+    // headers.
+    let mut old_idx = vec![0usize; edits.len() + 1];
+    let mut new_idx = vec![0usize; edits.len() + 1];
+    {
+        let (mut oi, mut nj) = (0usize, 0usize);
+        for (pos, e) in edits.iter().enumerate() {
+            old_idx[pos] = oi;
+            new_idx[pos] = nj;
+            match e {
+                Edit::Keep(_) => {
+                    oi += 1;
+                    nj += 1;
+                }
+                Edit::Delete(_) => oi += 1,
+                Edit::Insert(_) => nj += 1,
+            }
+        }
+        old_idx[edits.len()] = oi;
+        new_idx[edits.len()] = nj;
+    }
+    // Group edits into hunks separated by > 2*context keeps.
+    let mut i = 0;
+    while i < edits.len() {
+        // Skip leading keeps.
+        while i < edits.len() && matches!(edits[i], Edit::Keep(_)) {
+            i += 1;
+        }
+        if i >= edits.len() {
+            break;
+        }
+        // Hunk start: back up `context` keeps.
+        let mut start = i;
+        let mut back = 0;
+        while start > 0 && back < context && matches!(edits[start - 1], Edit::Keep(_)) {
+            start -= 1;
+            back += 1;
+        }
+        // Extend until a run of > 2*context keeps (or the end).
+        let mut end = i;
+        let mut keeps = 0;
+        let mut last_change = i;
+        while end < edits.len() {
+            match edits[end] {
+                Edit::Keep(_) => keeps += 1,
+                _ => {
+                    keeps = 0;
+                    last_change = end;
+                }
+            }
+            if keeps > 2 * context {
+                break;
+            }
+            end += 1;
+        }
+        let hunk_end = (last_change + 1 + context).min(edits.len()).max(start);
+
+        // Hunk header coordinates from the precomputed index maps.
+        let old_count = old_idx[hunk_end] - old_idx[start];
+        let new_count = new_idx[hunk_end] - new_idx[start];
+        out.push_str(&format!(
+            "@@ -{},{} +{},{} @@\n",
+            old_idx[start] + 1,
+            old_count,
+            new_idx[start] + 1,
+            new_count
+        ));
+        for e in &edits[start..hunk_end] {
+            match e {
+                Edit::Keep(oi) => {
+                    out.push(' ');
+                    out.push_str(old[*oi]);
+                }
+                Edit::Delete(oi) => {
+                    out.push('-');
+                    out.push_str(old[*oi]);
+                }
+                Edit::Insert(nj) => {
+                    out.push('+');
+                    out.push_str(new[*nj]);
+                }
+            }
+            out.push('\n');
+        }
+        i = hunk_end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn d(a: &str, b: &str) -> usize {
+        let old: Vec<&str> = a.lines().collect();
+        let new: Vec<&str> = b.lines().collect();
+        distance(&diff_lines(&old, &new))
+    }
+
+    fn check_round_trip(a: &str, b: &str) {
+        let old: Vec<&str> = a.lines().collect();
+        let new: Vec<&str> = b.lines().collect();
+        let edits = diff_lines(&old, &new);
+        assert_eq!(apply(&old, &new, &edits), new, "a={a:?} b={b:?}");
+    }
+
+    #[test]
+    fn equal_texts_have_zero_distance() {
+        assert_eq!(d("a\nb\nc", "a\nb\nc"), 0);
+        assert_eq!(d("", ""), 0);
+    }
+
+    #[test]
+    fn single_insert_delete() {
+        assert_eq!(d("a\nb", "a\nx\nb"), 1);
+        assert_eq!(d("a\nx\nb", "a\nb"), 1);
+        assert_eq!(d("", "a"), 1);
+        assert_eq!(d("a", ""), 1);
+    }
+
+    #[test]
+    fn classic_myers_example() {
+        // ABCABBA -> CBABAC has edit distance 5.
+        let old: Vec<&str> = vec!["A", "B", "C", "A", "B", "B", "A"];
+        let new: Vec<&str> = vec!["C", "B", "A", "B", "A", "C"];
+        let edits = diff_lines(&old, &new);
+        assert_eq!(distance(&edits), 5);
+        assert_eq!(apply(&old, &new, &edits), new);
+    }
+
+    #[test]
+    fn replacement_counts_two() {
+        assert_eq!(d("a\nb\nc", "a\nX\nc"), 2);
+    }
+
+    #[test]
+    fn round_trips() {
+        check_round_trip("a\nb\nc\nd", "a\nc\nd\ne");
+        check_round_trip("", "x\ny");
+        check_round_trip("x\ny", "");
+        check_round_trip("same", "same");
+        check_round_trip("1\n2\n3\n4\n5", "5\n4\n3\n2\n1");
+    }
+
+    #[test]
+    fn unified_empty_for_equal() {
+        assert_eq!(unified("a", "b", "x\ny\n", "x\ny\n", 3), "");
+    }
+
+    #[test]
+    fn unified_shows_change_with_context() {
+        let a = "l1\nl2\nl3\nl4\nl5\nl6\nl7\n";
+        let b = "l1\nl2\nl3\nCHANGED\nl5\nl6\nl7\n";
+        let u = unified("a/f", "b/f", a, b, 1);
+        assert!(u.starts_with("--- a/f\n+++ b/f\n"));
+        assert!(u.contains("-l4\n"));
+        assert!(u.contains("+CHANGED\n"));
+        assert!(u.contains(" l3\n"));
+        assert!(u.contains(" l5\n"));
+        // Far-away lines are not included.
+        assert!(!u.contains("l1"));
+        assert!(!u.contains("l7"));
+    }
+
+    #[test]
+    fn unified_separates_distant_hunks() {
+        let a = "a1\nx\na3\na4\na5\na6\na7\na8\na9\ny\na11\n";
+        let b = "a1\nX\na3\na4\na5\na6\na7\na8\na9\nY\na11\n";
+        let u = unified("f", "f", a, b, 1);
+        assert_eq!(u.matches("@@").count(), 4, "expected two hunks:\n{u}");
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn lines(max: usize) -> impl Strategy<Value = Vec<String>> {
+            proptest::collection::vec("[abc]{0,2}", 0..max)
+        }
+
+        proptest! {
+            #[test]
+            fn apply_reconstructs_new(a in lines(30), b in lines(30)) {
+                let old: Vec<&str> = a.iter().map(String::as_str).collect();
+                let new: Vec<&str> = b.iter().map(String::as_str).collect();
+                let edits = diff_lines(&old, &new);
+                prop_assert_eq!(apply(&old, &new, &edits), new);
+            }
+
+            #[test]
+            fn distance_zero_iff_equal(a in lines(20), b in lines(20)) {
+                let old: Vec<&str> = a.iter().map(String::as_str).collect();
+                let new: Vec<&str> = b.iter().map(String::as_str).collect();
+                let dist = distance(&diff_lines(&old, &new));
+                prop_assert_eq!(dist == 0, a == b);
+            }
+
+            #[test]
+            fn distance_symmetricish(a in lines(20), b in lines(20)) {
+                // Myers distance is symmetric.
+                let av: Vec<&str> = a.iter().map(String::as_str).collect();
+                let bv: Vec<&str> = b.iter().map(String::as_str).collect();
+                let d1 = distance(&diff_lines(&av, &bv));
+                let d2 = distance(&diff_lines(&bv, &av));
+                prop_assert_eq!(d1, d2);
+            }
+
+            #[test]
+            fn distance_bounded(a in lines(20), b in lines(20)) {
+                let av: Vec<&str> = a.iter().map(String::as_str).collect();
+                let bv: Vec<&str> = b.iter().map(String::as_str).collect();
+                let dist = distance(&diff_lines(&av, &bv));
+                prop_assert!(dist <= av.len() + bv.len());
+            }
+        }
+    }
+}

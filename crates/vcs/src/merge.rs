@@ -1,0 +1,543 @@
+//! Three-way merge — the collaboration primitive.
+//!
+//! The paper's convention leans on "version-control systems give
+//! authors, reviewers and readers access to the same code base" and
+//! promises "easy collaboration, as well as making it easier to build
+//! upon existing work". That requires merging diverged branches: a
+//! reviewer's re-parametrized experiment merging back into the authors'
+//! mainline. This module implements file-level three-way merge with
+//! line-level diff3 semantics (built on [`crate::diff`]'s Myers edit
+//! scripts) including conflict markers.
+
+use crate::diff::{diff_lines, Edit};
+use crate::object::ObjectId;
+use crate::repo::{Repository, VcsError};
+use std::collections::BTreeMap;
+
+/// One conflicted path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Conflict {
+    /// Path of the conflicted file.
+    pub path: String,
+    /// The merged content *with conflict markers* (ours/theirs), ready
+    /// to be written for manual resolution.
+    pub marked: Vec<u8>,
+}
+
+/// The result of a snapshot merge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeResult {
+    /// Cleanly merged files (path → content). Conflicted paths carry
+    /// their marked content here too, so the tree stays materializable.
+    pub merged: BTreeMap<String, Vec<u8>>,
+    /// Conflicts, if any.
+    pub conflicts: Vec<Conflict>,
+}
+
+impl MergeResult {
+    /// Did the merge complete without conflicts?
+    pub fn is_clean(&self) -> bool {
+        self.conflicts.is_empty()
+    }
+}
+
+/// A replacement of base lines `[base_start, base_end)` with `lines`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Patch {
+    base_start: usize,
+    base_end: usize,
+    lines: Vec<String>,
+}
+
+/// Turn an edit script (base → derived) into ordered, disjoint patches.
+fn patches(base: &[&str], derived: &[&str]) -> Vec<Patch> {
+    let edits = diff_lines(base, derived);
+    let mut out: Vec<Patch> = Vec::new();
+    let mut base_pos = 0usize;
+    let mut current: Option<Patch> = None;
+    for e in &edits {
+        match e {
+            Edit::Keep(i) => {
+                if let Some(p) = current.take() {
+                    out.push(p);
+                }
+                base_pos = i + 1;
+            }
+            Edit::Delete(i) => {
+                let p = current.get_or_insert(Patch { base_start: *i, base_end: *i, lines: Vec::new() });
+                p.base_end = i + 1;
+            }
+            Edit::Insert(j) => {
+                let p = current.get_or_insert(Patch {
+                    base_start: base_pos,
+                    base_end: base_pos,
+                    lines: Vec::new(),
+                });
+                p.lines.push(derived[*j].to_string());
+            }
+        }
+    }
+    if let Some(p) = current.take() {
+        out.push(p);
+    }
+    out
+}
+
+/// diff3-style line merge. Returns `(merged lines, had_conflict)`.
+pub fn merge_lines(base: &[&str], ours: &[&str], theirs: &[&str]) -> (Vec<String>, bool) {
+    let pa = patches(base, ours);
+    let pb = patches(base, theirs);
+    let mut out: Vec<String> = Vec::new();
+    let mut conflict = false;
+    let mut base_pos = 0usize;
+    let (mut ia, mut ib) = (0usize, 0usize);
+
+    loop {
+        let next_a = pa.get(ia);
+        let next_b = pb.get(ib);
+        // Copy untouched base lines up to the next patch.
+        let next_start = match (next_a, next_b) {
+            (None, None) => base.len(),
+            (Some(a), None) => a.base_start,
+            (None, Some(b)) => b.base_start,
+            (Some(a), Some(b)) => a.base_start.min(b.base_start),
+        };
+        while base_pos < next_start && base_pos < base.len() {
+            out.push(base[base_pos].to_string());
+            base_pos += 1;
+        }
+        match (next_a, next_b) {
+            (None, None) => break,
+            (Some(a), None) => {
+                out.extend(a.lines.iter().cloned());
+                base_pos = a.base_end.max(base_pos);
+                ia += 1;
+            }
+            (None, Some(b)) => {
+                out.extend(b.lines.iter().cloned());
+                base_pos = b.base_end.max(base_pos);
+                ib += 1;
+            }
+            (Some(a), Some(b)) => {
+                // Disjoint patches apply independently (earlier first).
+                if a.base_end <= b.base_start && a.base_start < b.base_start {
+                    out.extend(a.lines.iter().cloned());
+                    base_pos = a.base_end.max(base_pos);
+                    ia += 1;
+                } else if b.base_end <= a.base_start && b.base_start < a.base_start {
+                    out.extend(b.lines.iter().cloned());
+                    base_pos = b.base_end.max(base_pos);
+                    ib += 1;
+                } else if a == b {
+                    // Identical change on both sides.
+                    out.extend(a.lines.iter().cloned());
+                    base_pos = a.base_end.max(base_pos);
+                    ia += 1;
+                    ib += 1;
+                } else {
+                    // Overlapping, different changes: conflict. Consume
+                    // every overlapping patch from both sides into one
+                    // conflict region.
+                    conflict = true;
+                    let mut region_end = a.base_end.max(b.base_end);
+                    let (a_from, b_from) = (ia, ib);
+                    ia += 1;
+                    ib += 1;
+                    loop {
+                        let mut grew = false;
+                        if let Some(p) = pa.get(ia) {
+                            if p.base_start < region_end {
+                                region_end = region_end.max(p.base_end);
+                                ia += 1;
+                                grew = true;
+                            }
+                        }
+                        if let Some(p) = pb.get(ib) {
+                            if p.base_start < region_end {
+                                region_end = region_end.max(p.base_end);
+                                ib += 1;
+                                grew = true;
+                            }
+                        }
+                        if !grew {
+                            break;
+                        }
+                    }
+                    let region_start = pa[a_from].base_start.min(pb[b_from].base_start);
+                    // Reconstruct each side's version of the region.
+                    let side = |ps: &[Patch], from: usize, to: usize| -> Vec<String> {
+                        let mut v = Vec::new();
+                        let mut pos = region_start;
+                        for p in &ps[from..to] {
+                            while pos < p.base_start {
+                                v.push(base[pos].to_string());
+                                pos += 1;
+                            }
+                            v.extend(p.lines.iter().cloned());
+                            pos = p.base_end.max(pos);
+                        }
+                        while pos < region_end {
+                            v.push(base[pos].to_string());
+                            pos += 1;
+                        }
+                        v
+                    };
+                    out.push("<<<<<<< ours".to_string());
+                    out.extend(side(&pa, a_from, ia));
+                    out.push("=======".to_string());
+                    out.extend(side(&pb, b_from, ib));
+                    out.push(">>>>>>> theirs".to_string());
+                    base_pos = region_end.max(base_pos);
+                }
+            }
+        }
+    }
+    (out, conflict)
+}
+
+fn merge_file(base: Option<&[u8]>, ours: Option<&[u8]>, theirs: Option<&[u8]>) -> (Option<Vec<u8>>, bool) {
+    match (base, ours, theirs) {
+        // Unchanged on one side: take the other.
+        (b, o, t) if o == b => (t.map(<[u8]>::to_vec), false),
+        (b, o, t) if t == b => (o.map(<[u8]>::to_vec), false),
+        // Same change on both sides (including both deleted).
+        (_, o, t) if o == t => (o.map(<[u8]>::to_vec), false),
+        // One side deleted, the other modified: conflict, keep the
+        // modified version with markers around it.
+        (_, None, Some(t)) => {
+            let mut marked = b"<<<<<<< ours (deleted)\n=======\n".to_vec();
+            marked.extend_from_slice(t);
+            marked.extend_from_slice(b"\n>>>>>>> theirs\n");
+            (Some(marked), true)
+        }
+        (_, Some(o), None) => {
+            let mut marked = b"<<<<<<< ours\n".to_vec();
+            marked.extend_from_slice(o);
+            marked.extend_from_slice(b"\n=======\n>>>>>>> theirs (deleted)\n");
+            (Some(marked), true)
+        }
+        // Both modified differently: line merge.
+        (b, Some(o), Some(t)) => {
+            let base_text = String::from_utf8_lossy(b.unwrap_or_default()).into_owned();
+            let ours_text = String::from_utf8_lossy(o).into_owned();
+            let theirs_text = String::from_utf8_lossy(t).into_owned();
+            let bl: Vec<&str> = base_text.lines().collect();
+            let ol: Vec<&str> = ours_text.lines().collect();
+            let tl: Vec<&str> = theirs_text.lines().collect();
+            let (merged, conflict) = merge_lines(&bl, &ol, &tl);
+            let mut bytes = merged.join("\n").into_bytes();
+            bytes.push(b'\n');
+            (Some(bytes), conflict)
+        }
+        (_, None, None) => (None, false),
+    }
+}
+
+/// Merge two snapshots against their common base, file by file.
+pub fn merge_snapshots(
+    base: &BTreeMap<String, Vec<u8>>,
+    ours: &BTreeMap<String, Vec<u8>>,
+    theirs: &BTreeMap<String, Vec<u8>>,
+) -> MergeResult {
+    let mut paths: Vec<&String> = base.keys().chain(ours.keys()).chain(theirs.keys()).collect();
+    paths.sort();
+    paths.dedup();
+    let mut merged = BTreeMap::new();
+    let mut conflicts = Vec::new();
+    for path in paths {
+        let (result, conflict) = merge_file(
+            base.get(path).map(Vec::as_slice),
+            ours.get(path).map(Vec::as_slice),
+            theirs.get(path).map(Vec::as_slice),
+        );
+        if let Some(content) = result {
+            if conflict {
+                conflicts.push(Conflict { path: path.clone(), marked: content.clone() });
+            }
+            merged.insert(path.clone(), content);
+        }
+    }
+    MergeResult { merged, conflicts }
+}
+
+/// The outcome of [`Repository::merge_branch`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum MergeOutcome {
+    /// Fast-forward: the current branch was behind; now points at the
+    /// other head.
+    FastForward(ObjectId),
+    /// A merge commit was created.
+    Merged(ObjectId),
+    /// Already up to date; nothing to do.
+    UpToDate,
+    /// Conflicts; the working tree holds marked files, nothing
+    /// committed.
+    Conflicted(Vec<Conflict>),
+}
+
+impl Repository {
+    /// Merge `other` (a branch/tag/commit ref) into the current branch.
+    pub fn merge_branch(&mut self, other: &str, author: &str) -> Result<MergeOutcome, VcsError> {
+        let theirs_id = self.resolve(other)?;
+        let ours_id = self
+            .head_commit()
+            .ok_or_else(|| VcsError::UnknownRef("HEAD (unborn branch)".into()))?;
+        if ours_id == theirs_id {
+            return Ok(MergeOutcome::UpToDate);
+        }
+        let base_id = self
+            .merge_base(ours_id, theirs_id)?
+            .ok_or_else(|| VcsError::Corrupt("no common ancestor".into()))?;
+        if base_id == theirs_id {
+            return Ok(MergeOutcome::UpToDate);
+        }
+        let theirs = self.snapshot_of(theirs_id)?;
+        if base_id == ours_id {
+            // Fast-forward.
+            let branch = self.current_branch().expect("merge_branch needs a branch").to_string();
+            self.force_branch(&branch, theirs_id);
+            self.materialize(&theirs)?;
+            return Ok(MergeOutcome::FastForward(theirs_id));
+        }
+        let base = self.snapshot_of(base_id)?;
+        let ours = self.snapshot_of(ours_id)?;
+        let result = merge_snapshots(&base, &ours, &theirs);
+        self.materialize(&result.merged)?;
+        if !result.is_clean() {
+            return Ok(MergeOutcome::Conflicted(result.conflicts));
+        }
+        self.stage(".")?;
+        let id = self.commit_with_parents(
+            author,
+            &format!("merge '{other}' into {}", self.current_branch().unwrap_or("HEAD")),
+            vec![ours_id, theirs_id],
+        )?;
+        Ok(MergeOutcome::Merged(id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lines(s: &str) -> Vec<&str> {
+        s.lines().collect()
+    }
+
+    #[test]
+    fn non_overlapping_edits_merge_cleanly() {
+        let base = lines("a\nb\nc\nd\ne");
+        let ours = lines("A\nb\nc\nd\ne"); // edit line 1
+        let theirs = lines("a\nb\nc\nd\nE"); // edit line 5
+        let (merged, conflict) = merge_lines(&base, &ours, &theirs);
+        assert!(!conflict);
+        assert_eq!(merged, vec!["A", "b", "c", "d", "E"]);
+    }
+
+    #[test]
+    fn insertions_at_different_points() {
+        let base = lines("a\nb\nc");
+        let ours = lines("a\nX\nb\nc");
+        let theirs = lines("a\nb\nc\nY");
+        let (merged, conflict) = merge_lines(&base, &ours, &theirs);
+        assert!(!conflict);
+        assert_eq!(merged, vec!["a", "X", "b", "c", "Y"]);
+    }
+
+    #[test]
+    fn identical_changes_merge_once() {
+        let base = lines("a\nb\nc");
+        let both = lines("a\nREPLACED\nc");
+        let (merged, conflict) = merge_lines(&base, &both, &both);
+        assert!(!conflict);
+        assert_eq!(merged, vec!["a", "REPLACED", "c"]);
+    }
+
+    #[test]
+    fn overlapping_different_changes_conflict_with_markers() {
+        let base = lines("a\nb\nc");
+        let ours = lines("a\nOURS\nc");
+        let theirs = lines("a\nTHEIRS\nc");
+        let (merged, conflict) = merge_lines(&base, &ours, &theirs);
+        assert!(conflict);
+        let text = merged.join("\n");
+        assert!(text.contains("<<<<<<< ours"));
+        assert!(text.contains("OURS"));
+        assert!(text.contains("======="));
+        assert!(text.contains("THEIRS"));
+        assert!(text.contains(">>>>>>> theirs"));
+        assert!(text.starts_with("a\n"));
+        assert!(text.ends_with("\nc"));
+    }
+
+    #[test]
+    fn one_side_unchanged_takes_other() {
+        let base = lines("x\ny");
+        let changed = lines("x2\ny2");
+        let (m1, c1) = merge_lines(&base, &changed, &base);
+        assert!(!c1);
+        assert_eq!(m1, vec!["x2", "y2"]);
+        let (m2, c2) = merge_lines(&base, &base, &changed);
+        assert!(!c2);
+        assert_eq!(m2, vec!["x2", "y2"]);
+    }
+
+    #[test]
+    fn snapshot_merge_handles_adds_and_deletes() {
+        let base: BTreeMap<String, Vec<u8>> =
+            [("keep".into(), b"k".to_vec()), ("gone".into(), b"g".to_vec()), ("shared".into(), b"1\n".to_vec())]
+                .into_iter()
+                .collect();
+        let mut ours = base.clone();
+        ours.insert("ours-new".into(), b"o".to_vec());
+        ours.remove("gone");
+        let mut theirs = base.clone();
+        theirs.insert("theirs-new".into(), b"t".to_vec());
+        theirs.insert("shared".into(), b"1\n2\n".to_vec());
+        let result = merge_snapshots(&base, &ours, &theirs);
+        assert!(result.is_clean(), "{:?}", result.conflicts);
+        assert!(result.merged.contains_key("ours-new"));
+        assert!(result.merged.contains_key("theirs-new"));
+        assert!(!result.merged.contains_key("gone"));
+        assert_eq!(result.merged["shared"], b"1\n2\n");
+    }
+
+    #[test]
+    fn delete_vs_modify_conflicts() {
+        let base: BTreeMap<String, Vec<u8>> = [("f".into(), b"v1\n".to_vec())].into_iter().collect();
+        let ours = BTreeMap::new(); // deleted
+        let theirs: BTreeMap<String, Vec<u8>> = [("f".into(), b"v2\n".to_vec())].into_iter().collect();
+        let result = merge_snapshots(&base, &ours, &theirs);
+        assert_eq!(result.conflicts.len(), 1);
+        assert!(String::from_utf8_lossy(&result.conflicts[0].marked).contains("deleted"));
+    }
+
+    #[test]
+    fn repository_merge_end_to_end() {
+        let mut r = Repository::init();
+        r.write_file("experiments/e/vars.pml", "nodes: 4\nruns: 10\n").unwrap();
+        r.write_file("paper/paper.md", "# T\n\nintro\n").unwrap();
+        r.stage(".").unwrap();
+        r.commit("author", "base").unwrap();
+
+        // Reviewer branch: re-parametrize the experiment.
+        r.create_branch("reviewer").unwrap();
+        r.write_file("experiments/e/vars.pml", "nodes: 16\nruns: 10\n").unwrap();
+        r.stage(".").unwrap();
+        r.commit("reviewer", "scale up").unwrap();
+
+        // Authors continue on main: edit the paper.
+        r.checkout("main").unwrap();
+        r.write_file("paper/paper.md", "# T\n\nintro\n\n## Eval\n").unwrap();
+        r.stage(".").unwrap();
+        r.commit("author", "add eval section").unwrap();
+
+        // Merge the reviewer's work.
+        let outcome = r.merge_branch("reviewer", "author").unwrap();
+        let id = match outcome {
+            MergeOutcome::Merged(id) => id,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(r.read_file("experiments/e/vars.pml").unwrap(), b"nodes: 16\nruns: 10\n");
+        assert_eq!(r.read_file("paper/paper.md").unwrap(), b"# T\n\nintro\n\n## Eval\n");
+        let info = r.commit_info(id).unwrap();
+        assert_eq!(info.parents.len(), 2);
+        // Merging again is a no-op.
+        assert_eq!(r.merge_branch("reviewer", "author").unwrap(), MergeOutcome::UpToDate);
+    }
+
+    #[test]
+    fn repository_fast_forward() {
+        let mut r = Repository::init();
+        r.write_file("a", "1").unwrap();
+        r.stage(".").unwrap();
+        r.commit("t", "base").unwrap();
+        r.create_branch("feature").unwrap();
+        r.write_file("a", "2").unwrap();
+        r.stage(".").unwrap();
+        let feature_head = r.commit("t", "change").unwrap();
+        r.checkout("main").unwrap();
+        let outcome = r.merge_branch("feature", "t").unwrap();
+        assert_eq!(outcome, MergeOutcome::FastForward(feature_head));
+        assert_eq!(r.head_commit(), Some(feature_head));
+        assert_eq!(r.read_file("a").unwrap(), b"2");
+    }
+
+    #[test]
+    fn repository_merge_conflict_leaves_markers_in_worktree() {
+        let mut r = Repository::init();
+        r.write_file("vars.pml", "nodes: 4\n").unwrap();
+        r.stage(".").unwrap();
+        r.commit("t", "base").unwrap();
+        r.create_branch("b").unwrap();
+        r.write_file("vars.pml", "nodes: 16\n").unwrap();
+        r.stage(".").unwrap();
+        r.commit("t", "b says 16").unwrap();
+        r.checkout("main").unwrap();
+        r.write_file("vars.pml", "nodes: 8\n").unwrap();
+        r.stage(".").unwrap();
+        let main_head = r.commit("t", "main says 8").unwrap();
+        let outcome = r.merge_branch("b", "t").unwrap();
+        match outcome {
+            MergeOutcome::Conflicted(conflicts) => {
+                assert_eq!(conflicts.len(), 1);
+                assert_eq!(conflicts[0].path, "vars.pml");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Nothing committed; worktree has markers.
+        assert_eq!(r.head_commit(), Some(main_head));
+        let text = String::from_utf8_lossy(r.read_file("vars.pml").unwrap()).into_owned();
+        assert!(text.contains("<<<<<<< ours"));
+        assert!(text.contains("nodes: 8"));
+        assert!(text.contains("nodes: 16"));
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_lines() -> impl Strategy<Value = Vec<String>> {
+            proptest::collection::vec("[ab]{0,2}", 0..12)
+        }
+
+        proptest! {
+            /// merge(base, x, base) == x and merge(base, base, x) == x.
+            #[test]
+            fn identity_laws(base in arb_lines(), x in arb_lines()) {
+                let b: Vec<&str> = base.iter().map(String::as_str).collect();
+                let xv: Vec<&str> = x.iter().map(String::as_str).collect();
+                let (m1, c1) = merge_lines(&b, &xv, &b);
+                prop_assert!(!c1);
+                prop_assert_eq!(&m1, &x);
+                let (m2, c2) = merge_lines(&b, &b, &xv);
+                prop_assert!(!c2);
+                prop_assert_eq!(&m2, &x);
+            }
+
+            /// merge(base, x, x) == x with no conflict.
+            #[test]
+            fn convergence_law(base in arb_lines(), x in arb_lines()) {
+                let b: Vec<&str> = base.iter().map(String::as_str).collect();
+                let xv: Vec<&str> = x.iter().map(String::as_str).collect();
+                let (m, c) = merge_lines(&b, &xv, &xv);
+                prop_assert!(!c);
+                prop_assert_eq!(&m, &x);
+            }
+
+            /// Clean merges are symmetric up to side order.
+            #[test]
+            fn symmetry_when_clean(base in arb_lines(), a in arb_lines(), b2 in arb_lines()) {
+                let bl: Vec<&str> = base.iter().map(String::as_str).collect();
+                let al: Vec<&str> = a.iter().map(String::as_str).collect();
+                let tl: Vec<&str> = b2.iter().map(String::as_str).collect();
+                let (m1, c1) = merge_lines(&bl, &al, &tl);
+                let (m2, c2) = merge_lines(&bl, &tl, &al);
+                prop_assert_eq!(c1, c2);
+                if !c1 {
+                    prop_assert_eq!(m1, m2);
+                }
+            }
+        }
+    }
+}

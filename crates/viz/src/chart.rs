@@ -1,0 +1,374 @@
+//! Chart types: line, bar, histogram.
+
+use crate::svg::{ticks, SvgDoc};
+
+const W: u32 = 640;
+const H: u32 = 400;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_B: f64 = 55.0;
+const SERIES_COLORS: &[&str] = &["#4472c4", "#d9534f", "#5cb85c", "#f0ad4e", "#7b68ee", "#20b2aa"];
+
+fn plot_w() -> f64 {
+    W as f64 - MARGIN_L - MARGIN_R
+}
+fn plot_h() -> f64 {
+    H as f64 - MARGIN_T - MARGIN_B
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".into();
+    }
+    let a = v.abs();
+    if !(1e-3..1e6).contains(&a) {
+        format!("{v:.1e}")
+    } else if a >= 100.0 {
+        format!("{v:.0}")
+    } else if (v.round() - v).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+struct Frame {
+    x_lo: f64,
+    x_hi: f64,
+    y_lo: f64,
+    y_hi: f64,
+}
+
+impl Frame {
+    fn x(&self, v: f64) -> f64 {
+        MARGIN_L + (v - self.x_lo) / (self.x_hi - self.x_lo).max(f64::MIN_POSITIVE) * plot_w()
+    }
+    fn y(&self, v: f64) -> f64 {
+        MARGIN_T + plot_h() - (v - self.y_lo) / (self.y_hi - self.y_lo).max(f64::MIN_POSITIVE) * plot_h()
+    }
+
+    fn draw_axes(&self, doc: &mut SvgDoc, title: &str, x_label: &str, y_label: &str) {
+        doc.text(W as f64 / 2.0, 24.0, title, 15, "middle");
+        // Axis lines.
+        doc.line(MARGIN_L, MARGIN_T, MARGIN_L, MARGIN_T + plot_h(), "#333333", 1.0);
+        doc.line(MARGIN_L, MARGIN_T + plot_h(), MARGIN_L + plot_w(), MARGIN_T + plot_h(), "#333333", 1.0);
+        // Ticks + grid.
+        for t in ticks(self.x_lo, self.x_hi, 6) {
+            let x = self.x(t);
+            doc.line(x, MARGIN_T + plot_h(), x, MARGIN_T + plot_h() + 4.0, "#333333", 1.0);
+            doc.line(x, MARGIN_T, x, MARGIN_T + plot_h(), "#e0e0e0", 0.5);
+            doc.text(x, MARGIN_T + plot_h() + 18.0, &fmt_tick(t), 11, "middle");
+        }
+        for t in ticks(self.y_lo, self.y_hi, 5) {
+            let y = self.y(t);
+            doc.line(MARGIN_L - 4.0, y, MARGIN_L, y, "#333333", 1.0);
+            doc.line(MARGIN_L, y, MARGIN_L + plot_w(), y, "#e0e0e0", 0.5);
+            doc.text(MARGIN_L - 8.0, y + 4.0, &fmt_tick(t), 11, "end");
+        }
+        doc.text(W as f64 / 2.0, H as f64 - 12.0, x_label, 12, "middle");
+        doc.text(14.0, MARGIN_T - 10.0, y_label, 12, "start");
+    }
+}
+
+/// A line chart with one or more `(name, points)` series.
+#[derive(Debug, Clone, Default)]
+pub struct LineChart {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// Named series; points need not be sorted (they are sorted by x).
+    pub series: Vec<(String, Vec<(f64, f64)>)>,
+    /// Force the y axis to include zero (honest scaling; default true).
+    pub y_from_zero: bool,
+}
+
+impl LineChart {
+    /// An empty chart with labels.
+    pub fn new(title: &str, x_label: &str, y_label: &str) -> Self {
+        LineChart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            y_from_zero: true,
+        }
+    }
+
+    /// Add a series.
+    pub fn series(mut self, name: &str, mut points: Vec<(f64, f64)>) -> Self {
+        points.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        self.series.push((name.into(), points));
+        self
+    }
+
+    fn frame(&self) -> Option<Frame> {
+        let all: Vec<(f64, f64)> = self.series.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+        if all.is_empty() {
+            return None;
+        }
+        let x_lo = all.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+        let x_hi = all.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+        let mut y_lo = all.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let y_hi = all.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        if self.y_from_zero {
+            y_lo = y_lo.min(0.0);
+        }
+        Some(Frame {
+            x_lo,
+            x_hi: if x_hi > x_lo { x_hi } else { x_lo + 1.0 },
+            y_lo,
+            y_hi: if y_hi > y_lo { y_hi } else { y_lo + 1.0 },
+        })
+    }
+
+    /// Render to SVG.
+    pub fn render_svg(&self) -> String {
+        let mut doc = SvgDoc::new(W, H);
+        let Some(frame) = self.frame() else {
+            doc.text(W as f64 / 2.0, H as f64 / 2.0, "(no data)", 14, "middle");
+            return doc.finish();
+        };
+        frame.draw_axes(&mut doc, &self.title, &self.x_label, &self.y_label);
+        for (i, (name, points)) in self.series.iter().enumerate() {
+            let color = SERIES_COLORS[i % SERIES_COLORS.len()];
+            let mapped: Vec<(f64, f64)> = points.iter().map(|(x, y)| (frame.x(*x), frame.y(*y))).collect();
+            doc.polyline(&mapped, color, 2.0);
+            for (x, y) in &mapped {
+                doc.circle(*x, *y, 3.0, color);
+            }
+            // Legend entry.
+            let ly = MARGIN_T + 14.0 * i as f64;
+            doc.rect(MARGIN_L + plot_w() - 110.0, ly - 8.0, 10.0, 10.0, color);
+            doc.text(MARGIN_L + plot_w() - 95.0, ly, name, 11, "start");
+        }
+        doc.finish()
+    }
+
+    /// Render a terminal-friendly ASCII view (one row per point of the
+    /// first series).
+    pub fn render_ascii(&self) -> String {
+        let mut out = format!("{} ({} vs {})\n", self.title, self.y_label, self.x_label);
+        let Some((_, points)) = self.series.first() else {
+            return out + "(no data)\n";
+        };
+        let y_max = points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max).max(f64::MIN_POSITIVE);
+        for (x, y) in points {
+            let width = ((y / y_max) * 50.0).round().max(0.0) as usize;
+            out.push_str(&format!("{:>10}  {:>12}  |{}\n", fmt_tick(*x), fmt_tick(*y), "*".repeat(width)));
+        }
+        out
+    }
+}
+
+/// A categorical bar chart.
+#[derive(Debug, Clone, Default)]
+pub struct BarChart {
+    /// Chart title.
+    pub title: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// `(category, value)` bars, in order.
+    pub bars: Vec<(String, f64)>,
+}
+
+impl BarChart {
+    /// A chart with bars.
+    pub fn new(title: &str, y_label: &str, bars: Vec<(String, f64)>) -> Self {
+        BarChart { title: title.into(), y_label: y_label.into(), bars }
+    }
+
+    /// Render to SVG.
+    pub fn render_svg(&self) -> String {
+        let mut doc = SvgDoc::new(W, H);
+        if self.bars.is_empty() {
+            doc.text(W as f64 / 2.0, H as f64 / 2.0, "(no data)", 14, "middle");
+            return doc.finish();
+        }
+        let y_hi = self.bars.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max).max(f64::MIN_POSITIVE);
+        let frame = Frame { x_lo: 0.0, x_hi: self.bars.len() as f64, y_lo: 0.0, y_hi };
+        frame.draw_axes(&mut doc, &self.title, "", &self.y_label);
+        let slot = plot_w() / self.bars.len() as f64;
+        for (i, (name, v)) in self.bars.iter().enumerate() {
+            let x = MARGIN_L + slot * i as f64 + slot * 0.15;
+            let y = frame.y(*v);
+            doc.rect(x, y, slot * 0.7, (MARGIN_T + plot_h() - y).max(0.0), SERIES_COLORS[0]);
+            doc.text(x + slot * 0.35, MARGIN_T + plot_h() + 32.0, name, 10, "middle");
+        }
+        doc.finish()
+    }
+
+    /// ASCII rendering.
+    pub fn render_ascii(&self) -> String {
+        let mut out = format!("{} ({})\n", self.title, self.y_label);
+        let max = self.bars.iter().map(|(_, v)| *v).fold(f64::NEG_INFINITY, f64::max).max(f64::MIN_POSITIVE);
+        for (name, v) in &self.bars {
+            let width = ((v / max) * 50.0).round().max(0.0) as usize;
+            out.push_str(&format!("{name:>16}  {:>12}  |{}\n", fmt_tick(*v), "#".repeat(width)));
+        }
+        out
+    }
+}
+
+/// A histogram over raw samples.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// Chart title.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Bin width.
+    pub bin_width: f64,
+    /// The samples.
+    pub samples: Vec<f64>,
+}
+
+impl Histogram {
+    /// A histogram of `samples` with `bin_width` bins.
+    pub fn new(title: &str, x_label: &str, bin_width: f64, samples: Vec<f64>) -> Self {
+        assert!(bin_width > 0.0);
+        Histogram { title: title.into(), x_label: x_label.into(), bin_width, samples }
+    }
+
+    /// The `(bin_lo, count)` pairs, contiguous from min to max.
+    pub fn bins(&self) -> Vec<(f64, usize)> {
+        if self.samples.is_empty() {
+            return Vec::new();
+        }
+        let lo = self.samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = self.samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let first = (lo / self.bin_width).floor() as i64;
+        let last = (hi / self.bin_width).floor() as i64;
+        let mut counts = vec![0usize; (last - first + 1) as usize];
+        let last_idx = counts.len() - 1;
+        for s in &self.samples {
+            let idx = ((s / self.bin_width).floor() as i64 - first) as usize;
+            counts[idx.min(last_idx)] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| ((first + i as i64) as f64 * self.bin_width, c))
+            .collect()
+    }
+
+    /// Render to SVG (bars per bin).
+    pub fn render_svg(&self) -> String {
+        let bins = self.bins();
+        let bars: Vec<(String, f64)> = bins
+            .iter()
+            .map(|(lo, c)| (fmt_tick(*lo), *c as f64))
+            .collect();
+        let mut chart = BarChart::new(&self.title, "count", bars);
+        chart.y_label = "count".into();
+        chart.render_svg()
+    }
+
+    /// ASCII rendering (the figure style of Fig. `torpor-variability`).
+    pub fn render_ascii(&self) -> String {
+        let mut out = format!("{} (bin width {})\n", self.title, fmt_tick(self.bin_width));
+        for (lo, count) in self.bins() {
+            out.push_str(&format!(
+                "({:>6}, {:>6}] {:<3} {}\n",
+                fmt_tick(lo),
+                fmt_tick(lo + self.bin_width),
+                count,
+                "#".repeat(count)
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gassyfs_chart() -> LineChart {
+        LineChart::new("GassyFS scalability", "nodes", "time (s)").series(
+            "git compile",
+            vec![(1.0, 0.9), (2.0, 1.45), (4.0, 1.72), (8.0, 1.85), (16.0, 1.92)],
+        )
+    }
+
+    #[test]
+    fn line_chart_svg_structure() {
+        let svg = gassyfs_chart().render_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("GassyFS scalability"));
+        assert!(svg.contains("<polyline"));
+        assert_eq!(svg.matches("<circle").count(), 5);
+        assert!(svg.contains("nodes"));
+        assert!(svg.contains("time (s)"));
+        // Axis tick labels appear.
+        assert!(svg.contains(">16<") || svg.contains(">15<") || svg.contains(">14<"), "x ticks present");
+    }
+
+    #[test]
+    fn line_chart_points_map_monotonically() {
+        let chart = gassyfs_chart();
+        let frame = chart.frame().unwrap();
+        // Larger x maps right, larger y maps *up* (smaller pixel y).
+        assert!(frame.x(16.0) > frame.x(1.0));
+        assert!(frame.y(1.92) < frame.y(0.9));
+        // y axis includes zero.
+        assert_eq!(frame.y_lo, 0.0);
+    }
+
+    #[test]
+    fn multi_series_and_legend() {
+        let chart = LineChart::new("t", "x", "y")
+            .series("cached", vec![(1.0, 1.0), (2.0, 2.0)])
+            .series("direct-io", vec![(1.0, 2.0), (2.0, 4.0)]);
+        let svg = chart.render_svg();
+        assert!(svg.contains("cached"));
+        assert!(svg.contains("direct-io"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+    }
+
+    #[test]
+    fn empty_charts_do_not_panic() {
+        assert!(LineChart::new("t", "x", "y").render_svg().contains("(no data)"));
+        assert!(BarChart::new("t", "y", vec![]).render_svg().contains("(no data)"));
+        let h = Histogram::new("t", "x", 0.1, vec![]);
+        assert!(h.bins().is_empty());
+        assert!(h.render_ascii().contains("bin width"));
+    }
+
+    #[test]
+    fn ascii_renderings() {
+        let a = gassyfs_chart().render_ascii();
+        assert_eq!(a.lines().count(), 6);
+        assert!(a.contains("|**"));
+        let b = BarChart::new("speeds", "x", vec![("a".into(), 1.0), ("b".into(), 2.0)]).render_ascii();
+        assert!(b.contains("##"));
+    }
+
+    #[test]
+    fn histogram_bins_partition_samples() {
+        let samples = vec![1.28, 1.35, 2.26, 2.44, 2.45, 2.46, 2.49, 3.33, 11.1];
+        let h = Histogram::new("speedups", "speedup", 0.1, samples.clone());
+        let bins = h.bins();
+        let total: usize = bins.iter().map(|(_, c)| *c).sum();
+        assert_eq!(total, samples.len());
+        // The (2.4, 2.5) region holds 4 of these samples.
+        let bin24 = bins.iter().find(|(lo, _)| (*lo - 2.4).abs() < 1e-9).unwrap();
+        assert_eq!(bin24.1, 4);
+        // Contiguous bins.
+        for w in bins.windows(2) {
+            assert!((w[1].0 - w[0].0 - 0.1).abs() < 1e-9);
+        }
+        let art = h.render_ascii();
+        assert!(art.contains("####"));
+        let svg = h.render_svg();
+        assert!(svg.contains("<rect"));
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(gassyfs_chart().render_svg(), gassyfs_chart().render_svg());
+    }
+}

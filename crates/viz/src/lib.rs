@@ -1,0 +1,24 @@
+//! # popper-viz
+//!
+//! Chart rendering — the "Jupyter / Gnuplot / Paraview slot" of the
+//! Popper toolkit (§Toolkit, *Data Analysis and Visualization*). The
+//! paper's workflow ends with figures generated *from the versioned
+//! results* ("the result of executing the Gnuplot script generates
+//! [the figure]"); this crate is that scriptable plotter:
+//!
+//! * [`svg`] — a minimal, dependency-free SVG document builder.
+//! * [`chart`] — line charts, bar charts and histograms with axes,
+//!   ticks and titles, rendered to SVG (`figure.svg`) or ASCII
+//!   (`figure.txt`, terminal-friendly).
+//! * [`spec`] — a declarative figure specification (`figure:` block in
+//!   an experiment's `vars.pml`) binding table columns to a chart, so
+//!   `popper run` regenerates the figure mechanically from
+//!   `results.csv` — no "manually paste into Excel" step (§Common
+//!   Practice, *Data Analysis Ad-hoc Approaches*).
+
+pub mod chart;
+pub mod spec;
+pub mod svg;
+
+pub use chart::{BarChart, Histogram, LineChart};
+pub use spec::{render_from_spec, FigureSpec};

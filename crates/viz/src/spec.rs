@@ -1,0 +1,202 @@
+//! Declarative figure specifications.
+//!
+//! An experiment's `vars.pml` may carry a `figure:` block binding its
+//! `results.csv` columns to a chart:
+//!
+//! ```text
+//! figure:
+//!   kind: line            # line | bar | histogram
+//!   title: GassyFS scalability
+//!   x: nodes
+//!   y: time
+//!   group_by: machine     # optional: one series per distinct value
+//! ```
+//!
+//! `popper run` renders the spec against the results table into
+//! `figure.svg` and `figure.txt` — the figure is a pure function of the
+//! versioned results, which is the whole point.
+
+use crate::chart::{BarChart, Histogram, LineChart};
+use popper_format::{Table, Value};
+
+/// A parsed figure spec.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureSpec {
+    /// Chart kind: `line`, `bar` or `histogram`.
+    pub kind: String,
+    /// Title (defaults to the experiment name).
+    pub title: String,
+    /// X column (line/bar: category or numeric; histogram: the sampled
+    /// column).
+    pub x: String,
+    /// Y column (line/bar; unused for histogram).
+    pub y: Option<String>,
+    /// Optional grouping column: one series/category group per value.
+    pub group_by: Option<String>,
+    /// Histogram bin width (default 0.1).
+    pub bin_width: f64,
+}
+
+impl FigureSpec {
+    /// Parse from the `figure:` value of a vars map. Returns `None` when
+    /// the experiment declares no figure.
+    pub fn from_vars(vars: &Value, default_title: &str) -> Result<Option<FigureSpec>, String> {
+        let Some(spec) = vars.get("figure") else {
+            return Ok(None);
+        };
+        let kind = spec.get_str("kind").unwrap_or("line").to_string();
+        if !["line", "bar", "histogram"].contains(&kind.as_str()) {
+            return Err(format!("figure: unknown kind '{kind}'"));
+        }
+        let x = spec
+            .get_str("x")
+            .ok_or("figure: missing 'x' column")?
+            .to_string();
+        let y = spec.get_str("y").map(str::to_string);
+        if kind != "histogram" && y.is_none() {
+            return Err(format!("figure: kind '{kind}' needs a 'y' column"));
+        }
+        Ok(Some(FigureSpec {
+            kind,
+            title: spec.get_str("title").unwrap_or(default_title).to_string(),
+            x,
+            y,
+            group_by: spec.get_str("group_by").map(str::to_string),
+            bin_width: spec.get_num("bin_width").unwrap_or(0.1),
+        }))
+    }
+}
+
+/// Render a spec against a results table; returns `(svg, ascii)`.
+pub fn render_from_spec(spec: &FigureSpec, table: &Table) -> Result<(String, String), String> {
+    match spec.kind.as_str() {
+        "line" => {
+            let y = spec.y.as_deref().expect("validated at parse");
+            let mut chart = LineChart::new(&spec.title, &spec.x, y);
+            match &spec.group_by {
+                Some(g) => {
+                    for (key, sub) in table.group_by(&[g]).map_err(|e| e.to_string())? {
+                        let points = xy_points(&sub, &spec.x, y)?;
+                        chart = chart.series(&key[0].to_display_string(), points);
+                    }
+                }
+                None => {
+                    chart = chart.series(y, xy_points(table, &spec.x, y)?);
+                }
+            }
+            Ok((chart.render_svg(), chart.render_ascii()))
+        }
+        "bar" => {
+            let y = spec.y.as_deref().expect("validated at parse");
+            let labels = table.string_column(&spec.x).map_err(|e| e.to_string())?;
+            let values = table.numeric_column(y).map_err(|e| e.to_string())?;
+            if labels.len() != values.len() {
+                return Err(format!("figure: '{}' and '{y}' have different non-null counts", spec.x));
+            }
+            let chart = BarChart::new(&spec.title, y, labels.into_iter().zip(values).collect());
+            Ok((chart.render_svg(), chart.render_ascii()))
+        }
+        "histogram" => {
+            let samples = table.numeric_column(&spec.x).map_err(|e| e.to_string())?;
+            let h = Histogram::new(&spec.title, &spec.x, spec.bin_width, samples);
+            Ok((h.render_svg(), h.render_ascii()))
+        }
+        other => Err(format!("figure: unknown kind '{other}'")),
+    }
+}
+
+fn xy_points(table: &Table, x: &str, y: &str) -> Result<Vec<(f64, f64)>, String> {
+    let xs = table.numeric_column(x).map_err(|e| e.to_string())?;
+    let ys = table.numeric_column(y).map_err(|e| e.to_string())?;
+    if xs.len() != ys.len() {
+        return Err(format!("figure: '{x}' and '{y}' have different non-null counts"));
+    }
+    Ok(xs.into_iter().zip(ys).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popper_format::pml;
+
+    fn results() -> Table {
+        Table::from_csv(
+            "workload,machine,nodes,time\n\
+             git,cloudlab,1,0.9\ngit,cloudlab,2,1.45\ngit,cloudlab,4,1.72\n\
+             git,ec2,1,1.2\ngit,ec2,2,1.9\ngit,ec2,4,2.3\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_spec_from_vars() {
+        let vars = pml::parse(
+            "runner: x\nfigure:\n  kind: line\n  title: Scaling\n  x: nodes\n  y: time\n  group_by: machine\n",
+        )
+        .unwrap();
+        let spec = FigureSpec::from_vars(&vars, "exp").unwrap().unwrap();
+        assert_eq!(spec.kind, "line");
+        assert_eq!(spec.title, "Scaling");
+        assert_eq!(spec.group_by.as_deref(), Some("machine"));
+        // Absent figure block -> None.
+        let vars = pml::parse("runner: x\n").unwrap();
+        assert_eq!(FigureSpec::from_vars(&vars, "exp").unwrap(), None);
+        // Bad kinds / missing columns are errors.
+        let vars = pml::parse("figure:\n  kind: pie\n  x: a\n  y: b\n").unwrap();
+        assert!(FigureSpec::from_vars(&vars, "e").is_err());
+        let vars = pml::parse("figure:\n  kind: line\n  x: a\n").unwrap();
+        assert!(FigureSpec::from_vars(&vars, "e").is_err());
+    }
+
+    #[test]
+    fn grouped_line_figure() {
+        let spec = FigureSpec {
+            kind: "line".into(),
+            title: "Scaling".into(),
+            x: "nodes".into(),
+            y: Some("time".into()),
+            group_by: Some("machine".into()),
+            bin_width: 0.1,
+        };
+        let (svg, ascii) = render_from_spec(&spec, &results()).unwrap();
+        assert!(svg.contains("cloudlab"));
+        assert!(svg.contains("ec2"));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+        assert!(ascii.contains("Scaling"));
+    }
+
+    #[test]
+    fn histogram_figure() {
+        let t = Table::from_csv("speedup\n1.3\n2.44\n2.45\n2.48\n3.3\n").unwrap();
+        let spec = FigureSpec {
+            kind: "histogram".into(),
+            title: "variability".into(),
+            x: "speedup".into(),
+            y: None,
+            group_by: None,
+            bin_width: 0.1,
+        };
+        let (svg, ascii) = render_from_spec(&spec, &t).unwrap();
+        assert!(svg.contains("<rect"));
+        assert!(ascii.contains("###"), "{ascii}");
+    }
+
+    #[test]
+    fn bar_figure_and_errors() {
+        let t = Table::from_csv("scenario,time\nquiet,0.33\nos-noise,0.36\nneighbor,0.45\n").unwrap();
+        let spec = FigureSpec {
+            kind: "bar".into(),
+            title: "mpi".into(),
+            x: "scenario".into(),
+            y: Some("time".into()),
+            group_by: None,
+            bin_width: 0.1,
+        };
+        let (svg, ascii) = render_from_spec(&spec, &t).unwrap();
+        assert!(svg.contains("neighbor"));
+        assert!(ascii.contains("quiet"));
+        // Unknown column errors cleanly.
+        let bad = FigureSpec { x: "ghost".into(), ..spec };
+        assert!(render_from_spec(&bad, &t).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! A minimal SVG document builder.
+//!
+//! Only the handful of primitives charts need; output is stable,
+//! human-readable XML so that figures diff cleanly in the VCS (a Popper
+//! artifact requirement).
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgDoc {
+    width: u32,
+    height: u32,
+    body: String,
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;").replace('"', "&quot;")
+}
+
+/// Format a coordinate with one decimal (stable output, no float noise).
+fn c(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+impl SvgDoc {
+    /// A document of the given pixel size.
+    pub fn new(width: u32, height: u32) -> Self {
+        SvgDoc { width, height, body: String::new() }
+    }
+
+    /// Document width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Document height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// A straight line.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        writeln!(
+            self.body,
+            r#"  <line x1="{}" y1="{}" x2="{}" y2="{}" stroke="{stroke}" stroke-width="{}"/>"#,
+            c(x1),
+            c(y1),
+            c(x2),
+            c(y2),
+            c(width)
+        )
+        .expect("string write");
+    }
+
+    /// A filled rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) {
+        writeln!(
+            self.body,
+            r#"  <rect x="{}" y="{}" width="{}" height="{}" fill="{fill}"/>"#,
+            c(x),
+            c(y),
+            c(w),
+            c(h)
+        )
+        .expect("string write");
+    }
+
+    /// A polyline through the given points.
+    pub fn polyline(&mut self, points: &[(f64, f64)], stroke: &str, width: f64) {
+        let pts: Vec<String> = points.iter().map(|(x, y)| format!("{},{}", c(*x), c(*y))).collect();
+        writeln!(
+            self.body,
+            r#"  <polyline points="{}" fill="none" stroke="{stroke}" stroke-width="{}"/>"#,
+            pts.join(" "),
+            c(width)
+        )
+        .expect("string write");
+    }
+
+    /// A small filled circle (data-point marker).
+    pub fn circle(&mut self, x: f64, y: f64, r: f64, fill: &str) {
+        writeln!(self.body, r#"  <circle cx="{}" cy="{}" r="{}" fill="{fill}"/>"#, c(x), c(y), c(r))
+            .expect("string write");
+    }
+
+    /// Text anchored per `anchor` ("start" | "middle" | "end").
+    pub fn text(&mut self, x: f64, y: f64, content: &str, size: u32, anchor: &str) {
+        writeln!(
+            self.body,
+            r#"  <text x="{}" y="{}" font-size="{size}" font-family="monospace" text-anchor="{anchor}">{}</text>"#,
+            c(x),
+            c(y),
+            escape(content)
+        )
+        .expect("string write");
+    }
+
+    /// Finish the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{}\" height=\"{}\" viewBox=\"0 0 {} {}\">\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+/// Nice tick positions covering `[lo, hi]` (1/2/5 ladder).
+pub fn ticks(lo: f64, hi: f64, target: usize) -> Vec<f64> {
+    if !(lo.is_finite() && hi.is_finite()) || hi <= lo || target == 0 {
+        return vec![lo];
+    }
+    let span = hi - lo;
+    let raw_step = span / target as f64;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let step = [1.0, 2.0, 5.0, 10.0]
+        .iter()
+        .map(|m| m * mag)
+        .find(|s| span / s <= target as f64)
+        .unwrap_or(10.0 * mag);
+    let first = (lo / step).ceil() * step;
+    let mut out = Vec::new();
+    let mut v = first;
+    while v <= hi + step * 1e-9 {
+        // Snap tiny float noise to zero.
+        out.push(if v.abs() < step * 1e-9 { 0.0 } else { v });
+        v += step;
+    }
+    if out.is_empty() {
+        // No ladder value landed inside a narrow/offset range; fall back
+        // to the endpoints so axes always get at least two labels.
+        out.push(lo);
+        out.push(hi);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure() {
+        let mut doc = SvgDoc::new(320, 200);
+        doc.line(0.0, 0.0, 10.0, 10.0, "black", 1.0);
+        doc.rect(5.0, 5.0, 20.0, 8.0, "#4472c4");
+        doc.circle(1.0, 2.0, 3.0, "red");
+        doc.polyline(&[(0.0, 0.0), (1.0, 2.0)], "blue", 1.5);
+        doc.text(10.0, 20.0, "hello <world> & \"quotes\"", 12, "middle");
+        let out = doc.finish();
+        assert!(out.starts_with("<svg "));
+        assert!(out.trim_end().ends_with("</svg>"));
+        assert!(out.contains(r#"width="320""#));
+        assert!(out.contains("<line "));
+        assert!(out.contains("<rect "));
+        assert!(out.contains("<circle "));
+        assert!(out.contains("<polyline "));
+        assert!(out.contains("hello &lt;world&gt; &amp; &quot;quotes&quot;"));
+        // Well-formed-ish: line/rect/circle/polyline self-close, text has
+        // a closing tag.
+        assert_eq!(out.matches("/>").count(), 4);
+        assert_eq!(out.matches("</text>").count(), 1);
+    }
+
+    #[test]
+    fn coordinates_are_stable() {
+        let mut a = SvgDoc::new(10, 10);
+        a.line(1.0 / 3.0, 2.0 / 3.0, 1.0, 1.0, "k", 1.0);
+        let mut b = SvgDoc::new(10, 10);
+        b.line(1.0 / 3.0, 2.0 / 3.0, 1.0, 1.0, "k", 1.0);
+        assert_eq!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn tick_ladder() {
+        assert_eq!(ticks(0.0, 10.0, 5), vec![0.0, 2.0, 4.0, 6.0, 8.0, 10.0]);
+        let t01 = ticks(0.0, 1.0, 5);
+        assert_eq!(t01.len(), 6);
+        assert!((t01[1] - 0.2).abs() < 1e-12);
+        let t = ticks(3.0, 97.0, 5);
+        assert!(t.len() >= 3 && t.len() <= 6, "{t:?}");
+        assert!(t.first().unwrap() >= &3.0 && t.last().unwrap() <= &97.0);
+        // Degenerate ranges don't panic.
+        assert_eq!(ticks(5.0, 5.0, 4), vec![5.0]);
+        assert!(ticks(f64::NAN, 1.0, 4)[0].is_nan());
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn ticks_within_range(lo in -1e6f64..1e6, span in 1e-3f64..1e6, target in 2usize..12) {
+                let hi = lo + span;
+                let t = ticks(lo, hi, target);
+                prop_assert!(!t.is_empty());
+                for v in &t {
+                    prop_assert!(*v >= lo - span * 1e-9 && *v <= hi + span * 1e-6, "{v} not in [{lo}, {hi}]");
+                }
+                // Monotone.
+                for w in t.windows(2) {
+                    prop_assert!(w[1] > w[0]);
+                }
+                // Never absurdly many ticks.
+                prop_assert!(t.len() <= 2 * target + 2);
+            }
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! A labeled `time × lat × lon` gridded dataset.
+
+/// A gridded scalar field (air temperature in Kelvin for this use
+/// case) with labeled coordinates, stored row-major as
+/// `data[t][lat][lon]` flattened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    /// Time labels, `(year, month 1..=12)`.
+    pub times: Vec<(i32, u32)>,
+    /// Latitudes in degrees, north positive, descending (NCEP order).
+    pub lats: Vec<f64>,
+    /// Longitudes in degrees east, `[0, 360)`.
+    pub lons: Vec<f64>,
+    data: Vec<f64>,
+}
+
+impl Grid {
+    /// An all-zero grid with the given coordinates.
+    pub fn zeros(times: Vec<(i32, u32)>, lats: Vec<f64>, lons: Vec<f64>) -> Grid {
+        assert!(!times.is_empty() && !lats.is_empty() && !lons.is_empty());
+        assert!(times.iter().all(|(_, m)| (1..=12).contains(m)), "months must be 1..=12");
+        let len = times.len() * lats.len() * lons.len();
+        Grid { times, lats, lons, data: vec![0.0; len] }
+    }
+
+    fn idx(&self, t: usize, la: usize, lo: usize) -> usize {
+        debug_assert!(t < self.times.len() && la < self.lats.len() && lo < self.lons.len());
+        (t * self.lats.len() + la) * self.lons.len() + lo
+    }
+
+    /// Read one cell.
+    pub fn get(&self, t: usize, la: usize, lo: usize) -> f64 {
+        self.data[self.idx(t, la, lo)]
+    }
+
+    /// Write one cell.
+    pub fn set(&mut self, t: usize, la: usize, lo: usize, v: f64) {
+        let i = self.idx(t, la, lo);
+        self.data[i] = v;
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the grid has no cells (never constructible).
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Area weight of a latitude band: `cos(lat)` (cells shrink toward
+    /// the poles on a regular lat/lon grid).
+    fn weight(lat_deg: f64) -> f64 {
+        lat_deg.to_radians().cos().max(0.0)
+    }
+
+    /// Area-weighted global mean at one time step.
+    pub fn global_mean(&self, t: usize) -> f64 {
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for (la, &lat) in self.lats.iter().enumerate() {
+            let w = Self::weight(lat);
+            for lo in 0..self.lons.len() {
+                num += w * self.get(t, la, lo);
+                den += w;
+            }
+        }
+        num / den
+    }
+
+    /// Global-mean time series.
+    pub fn global_mean_series(&self) -> Vec<f64> {
+        (0..self.times.len()).map(|t| self.global_mean(t)).collect()
+    }
+
+    /// Zonal mean (average over longitude and time) per latitude.
+    pub fn zonal_mean(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.lats.len());
+        for la in 0..self.lats.len() {
+            let mut sum = 0.0;
+            for t in 0..self.times.len() {
+                for lo in 0..self.lons.len() {
+                    sum += self.get(t, la, lo);
+                }
+            }
+            out.push(sum / (self.times.len() * self.lons.len()) as f64);
+        }
+        out
+    }
+
+    /// Monthly climatology: for each calendar month present, the mean
+    /// field over all years, returned as `(month, lat-major means)`
+    /// averaged over longitude.
+    pub fn monthly_climatology(&self) -> Vec<(u32, Vec<f64>)> {
+        let mut months: Vec<u32> = self.times.iter().map(|(_, m)| *m).collect();
+        months.sort_unstable();
+        months.dedup();
+        months
+            .into_iter()
+            .map(|month| {
+                let steps: Vec<usize> = self
+                    .times
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, (_, m))| *m == month)
+                    .map(|(i, _)| i)
+                    .collect();
+                let mut by_lat = Vec::with_capacity(self.lats.len());
+                for la in 0..self.lats.len() {
+                    let mut sum = 0.0;
+                    for &t in &steps {
+                        for lo in 0..self.lons.len() {
+                            sum += self.get(t, la, lo);
+                        }
+                    }
+                    by_lat.push(sum / (steps.len() * self.lons.len()) as f64);
+                }
+                (month, by_lat)
+            })
+            .collect()
+    }
+
+    /// Seasonal amplitude per latitude: max minus min of the monthly
+    /// climatology.
+    pub fn seasonal_amplitude(&self) -> Vec<f64> {
+        let clim = self.monthly_climatology();
+        (0..self.lats.len())
+            .map(|la| {
+                let mut mn = f64::INFINITY;
+                let mut mx = f64::NEG_INFINITY;
+                for (_, by_lat) in &clim {
+                    mn = mn.min(by_lat[la]);
+                    mx = mx.max(by_lat[la]);
+                }
+                mx - mn
+            })
+            .collect()
+    }
+
+    /// Anomaly grid: every cell minus its calendar-month climatological
+    /// zonal value at that latitude.
+    pub fn anomalies(&self) -> Grid {
+        let clim = self.monthly_climatology();
+        let mut out = self.clone();
+        for (t, (_, month)) in self.times.iter().enumerate() {
+            let (_, by_lat) = clim.iter().find(|(m, _)| m == month).expect("month in climatology");
+            for (la, lat_mean) in by_lat.iter().enumerate() {
+                for lo in 0..self.lons.len() {
+                    out.set(t, la, lo, self.get(t, la, lo) - lat_mean);
+                }
+            }
+        }
+        out
+    }
+
+    /// Index of the latitude closest to `deg`.
+    pub fn lat_index(&self, deg: f64) -> usize {
+        self.lats
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                (*a - deg).abs().partial_cmp(&(*b - deg).abs()).expect("finite lats")
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty lats")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Grid {
+        // 2 times, 3 lats (60N, 0, 60S), 2 lons.
+        Grid::zeros(vec![(2020, 1), (2020, 7)], vec![60.0, 0.0, -60.0], vec![0.0, 180.0])
+    }
+
+    #[test]
+    fn get_set_round_trip() {
+        let mut g = tiny();
+        g.set(1, 2, 0, 273.15);
+        assert_eq!(g.get(1, 2, 0), 273.15);
+        assert_eq!(g.get(0, 0, 0), 0.0);
+        assert_eq!(g.len(), 12);
+    }
+
+    #[test]
+    fn global_mean_is_area_weighted() {
+        let mut g = tiny();
+        // Equator = 10, poles-ish = 0: weighted mean must exceed the
+        // unweighted 10/3 because cos(0) = 1 > cos(60) = 0.5.
+        for lo in 0..2 {
+            g.set(0, 1, lo, 10.0);
+        }
+        let m = g.global_mean(0);
+        let unweighted = 10.0 / 3.0;
+        assert!(m > unweighted, "{m} should exceed {unweighted}");
+        // Exact: (0.5·0 + 1·10 + 0.5·0) / 2 = 5.
+        assert!((m - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zonal_mean_averages_time_and_lon() {
+        let mut g = tiny();
+        g.set(0, 0, 0, 1.0);
+        g.set(0, 0, 1, 3.0);
+        g.set(1, 0, 0, 5.0);
+        g.set(1, 0, 1, 7.0);
+        let z = g.zonal_mean();
+        assert_eq!(z[0], 4.0);
+        assert_eq!(z[1], 0.0);
+    }
+
+    #[test]
+    fn climatology_and_amplitude() {
+        let mut g = Grid::zeros(
+            vec![(2020, 1), (2020, 7), (2021, 1), (2021, 7)],
+            vec![45.0],
+            vec![0.0],
+        );
+        // January 10 K colder than July; second year 2 K warmer overall.
+        g.set(0, 0, 0, 270.0);
+        g.set(1, 0, 0, 280.0);
+        g.set(2, 0, 0, 272.0);
+        g.set(3, 0, 0, 282.0);
+        let clim = g.monthly_climatology();
+        assert_eq!(clim.len(), 2);
+        assert_eq!(clim[0].0, 1);
+        assert_eq!(clim[0].1[0], 271.0);
+        assert_eq!(clim[1].1[0], 281.0);
+        assert_eq!(g.seasonal_amplitude()[0], 10.0);
+    }
+
+    #[test]
+    fn anomalies_remove_seasonal_cycle() {
+        let mut g = Grid::zeros(
+            vec![(2020, 1), (2020, 7), (2021, 1), (2021, 7)],
+            vec![45.0],
+            vec![0.0],
+        );
+        g.set(0, 0, 0, 270.0);
+        g.set(1, 0, 0, 280.0);
+        g.set(2, 0, 0, 272.0);
+        g.set(3, 0, 0, 282.0);
+        let a = g.anomalies();
+        assert_eq!(a.get(0, 0, 0), -1.0);
+        assert_eq!(a.get(2, 0, 0), 1.0);
+        assert_eq!(a.get(1, 0, 0), -1.0);
+    }
+
+    #[test]
+    fn lat_index_finds_nearest() {
+        let g = tiny();
+        assert_eq!(g.lat_index(58.0), 0);
+        assert_eq!(g.lat_index(5.0), 1);
+        assert_eq!(g.lat_index(-90.0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "months must be 1..=12")]
+    fn invalid_month_rejected() {
+        let _ = Grid::zeros(vec![(2020, 13)], vec![0.0], vec![0.0]);
+    }
+}

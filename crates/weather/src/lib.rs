@@ -1,0 +1,34 @@
+//! # popper-weather
+//!
+//! The data-centric use case (§Numerical Weather Prediction of the
+//! paper's draft; the Big Weather Web template): a data-science
+//! experiment whose dataset is referenced through the datapackage
+//! manager and whose analysis (the paper uses `xarray` in a Jupyter
+//! notebook) produces Figure `bww-airtemp` — "the output of analysis of
+//! weather prediction data … the data corresponds to the NCEP/NCAR
+//! Reanalysis 1" surface air temperature.
+//!
+//! The real Reanalysis-1 files are not redistributable here, so per the
+//! substitution rule the generator produces a synthetic dataset with
+//! the same dimensions (monthly × 73 lat × 144 lon on the 2.5° grid)
+//! and the same gross physics: a latitudinal temperature gradient, a
+//! hemisphere-opposed seasonal cycle, longitudinal land/ocean texture
+//! and weather noise.
+//!
+//! * [`grid`] — a labeled `time × lat × lon` array with the xarray-ish
+//!   reductions the analysis needs (area-weighted global mean, zonal
+//!   mean, monthly climatology, anomalies).
+//! * [`reanalysis`] — the synthetic NCEP/NCAR-like generator and its
+//!   CSV (de)serialization — the artifact the datapackage registry
+//!   serves.
+//! * [`analysis`] — the notebook's computation: global-mean time
+//!   series, zonal-mean profile and seasonal amplitude — the three
+//!   panels behind Fig. `bww-airtemp`.
+
+pub mod analysis;
+pub mod grid;
+pub mod reanalysis;
+
+pub use analysis::{analyze, AirTempAnalysis};
+pub use grid::Grid;
+pub use reanalysis::{generate, ReanalysisConfig};

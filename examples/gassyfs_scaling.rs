@@ -1,0 +1,49 @@
+//! Figure `gassyfs-git`: GassyFS scalability as the GASNet cluster
+//! grows, workload = compiling Git — including the Listing-3 Aver
+//! assertion that guards the result.
+//!
+//! ```text
+//! cargo run --release --example gassyfs_scaling
+//! ```
+
+use popper::aver;
+use popper::gassyfs::experiment::{run_scalability, to_table, ScalabilityConfig, LISTING3_ASSERTION};
+use popper::gassyfs::workload::CompileWorkload;
+
+fn main() -> Result<(), String> {
+    println!("GassyFS scalability (the paper's Fig. `gassyfs-git`)");
+    println!("workload: synthetic git compile ({} TUs)\n", CompileWorkload::git().translation_units);
+
+    let config = ScalabilityConfig::default();
+    let points = run_scalability(&config).map_err(|e| e.to_string())?;
+
+    println!("{:>6} {:>12} {:>10} {:>8}", "nodes", "time (s)", "remote %", "ops");
+    let t1 = points[0].time_secs;
+    for p in &points {
+        let bar = "#".repeat((p.time_secs / t1 * 20.0) as usize);
+        println!(
+            "{:>6} {:>12.3} {:>9.1}% {:>8}  {bar}",
+            p.nodes,
+            p.time_secs,
+            p.remote_fraction * 100.0,
+            p.ops
+        );
+    }
+
+    // The paper's automated validation, verbatim from Listing 3.
+    let table = to_table(&points, "git", &config.machine_label);
+    println!("\nAver assertion: {LISTING3_ASSERTION}");
+    let verdict = aver::check(LISTING3_ASSERTION, &table).map_err(|e| e.to_string())?;
+    println!("verdict: {verdict}");
+    if !verdict.passed {
+        return Err("scalability result failed validation".into());
+    }
+
+    // Shape summary (EXPERIMENTS.md records this against the paper).
+    let slowdown = points.last().unwrap().time_secs / t1;
+    println!(
+        "\nshape: time degrades {slowdown:.2}x from 1 to {} nodes, sublinearly (paper: \"performance\ndegrades sublinearly … which is expected for workloads such as the one in question\").",
+        points.last().unwrap().nodes
+    );
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Figure `torpor-variability`: the histogram of per-stressor speedups
+//! of a CloudLab node over a 10-year-old Xeon.
+//!
+//! ```text
+//! cargo run --release --example torpor_variability
+//! ```
+
+use popper::torpor::experiment::{run_variability_experiment, VariabilityExperiment};
+use popper::torpor::variability::VariabilityProfile;
+
+fn main() {
+    let config = VariabilityExperiment::default();
+    let results = run_variability_experiment(&config);
+
+    for r in &results {
+        let (lo, hi) = r.profile.range();
+        println!(
+            "=== speedups of {} over {} (range {:.2}x – {:.2}x) ===",
+            r.profile.target, r.profile.base, lo, hi
+        );
+        println!("{}", r.histogram.render());
+        let modal = r.histogram.modal_bin();
+        println!(
+            "modal bin ({:.1}, {:.1}]: {} stressors — {}",
+            modal.lo,
+            modal.hi,
+            modal.count,
+            modal.stressors.join(", ")
+        );
+        println!(
+            "(the paper's figure calls out 7 stressors in one 0.1-wide bin for\n the CloudLab panel)\n"
+        );
+    }
+
+    // Torpor's application: predict and recreate performance.
+    let cloudlab = &results[0].profile;
+    let (p_lo, p_hi) = cloudlab.predict_runtime(60.0);
+    println!("an application taking 60 s on the old Xeon is predicted to take");
+    println!("between {p_lo:.1} s and {p_hi:.1} s on the CloudLab node.");
+
+    let f = cloudlab.throttle_fraction("cpu-fp").expect("battery stressor");
+    let recreated = VariabilityProfile::throttled_runtime(
+        &popper::sim::platforms::cloudlab_c220g(),
+        "cpu-fp",
+        f,
+        1.0,
+    )
+    .expect("battery stressor");
+    println!(
+        "\nthrottling the new machine to a {:.0}% CPU quota recreates the old\nmachine's cpu-fp runtime: {recreated:.4} s (old: {:.4} s)",
+        f * 100.0,
+        popper::torpor::profile::PerformanceProfile::of_platform(
+            &popper::sim::platforms::xeon_2006(),
+            1.0
+        )
+        .runtime("cpu-fp")
+        .unwrap()
+    );
+}

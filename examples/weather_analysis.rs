@@ -1,0 +1,48 @@
+//! Figure `bww-airtemp`: the weather use case end to end — publish the
+//! dataset as a datapackage, `dpm install` it, run the analysis, render
+//! the figure.
+//!
+//! ```text
+//! cargo run --release --example weather_analysis
+//! ```
+
+use popper::store::Registry;
+use popper::weather::{analyze, generate, reanalysis, ReanalysisConfig};
+
+fn main() -> Result<(), String> {
+    // The dataset is generated elsewhere (its creation is not part of
+    // the experiment) and published to a datapackage registry.
+    let config = ReanalysisConfig { years: 4, ..ReanalysisConfig::default() };
+    let grid = generate(&config);
+    let csv = reanalysis::to_csv(&grid);
+    let mut registry = Registry::new();
+    let pkg = registry
+        .publish(
+            "air-temperature",
+            "1.0.0",
+            "NCEP/NCAR Reanalysis 1 surface air temperature (synthetic stand-in)",
+            &[("grid", "air-temperature/air.mon.mean.csv", csv.as_bytes())],
+        )
+        .map_err(|e| e.to_string())?;
+    println!("published datapackage '{}' v{} ({} resource(s))", pkg.name, pkg.version, pkg.resources.len());
+    println!("descriptor:\n{}", pkg.to_pml());
+
+    // $ dpm install datapackages/air-temperature
+    let files = registry.install("air-temperature").map_err(|e| e.to_string())?;
+    println!("-- installed {} file(s), {} bytes", files.len(), files[0].1.len());
+
+    // The "notebook": parse the installed CSV back and analyze.
+    let text = String::from_utf8_lossy(&files[0].1);
+    let installed = reanalysis::from_csv(&text)?;
+    let analysis = analyze(&installed);
+    println!("\n{}", analysis.render());
+
+    // Validation (what the notebook's last cell asserts).
+    let verdict = popper::aver::check(
+        "expect min(temp_k) > 200 and max(temp_k) < 330",
+        &analysis.zonal_table(),
+    )
+    .map_err(|e| e.to_string())?;
+    println!("validation: {verdict}");
+    Ok(())
+}

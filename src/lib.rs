@@ -1,0 +1,41 @@
+//! # popper — the umbrella crate
+//!
+//! Re-exports the whole Popper-convention reproduction so the examples
+//! and the cross-crate integration tests have one import surface. See
+//! the individual crates for the substance:
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`popper_core`] | the convention: repos, templates, lifecycle, compliance |
+//! | [`popper_cli`] | the `popper` command-line tool |
+//! | [`popper_format`] | JSON / PML / CSV / tables |
+//! | [`popper_vcs`] | content-addressed version control |
+//! | [`popper_store`] | chunked dataset storage + datapackages |
+//! | [`popper_container`] | container engine (images, Popperfile, runtime) |
+//! | [`popper_orchestra`] | multi-node orchestration (inventories, playbooks) |
+//! | [`popper_aver`] | the Aver validation language |
+//! | [`popper_monitor`] | metrics, stressor battery, baselines, regression tests |
+//! | [`popper_ci`] | the CI engine |
+//! | [`popper_sim`] | the deterministic cluster simulator |
+//! | [`popper_gassyfs`] | GassyFS use case (Fig. `gassyfs-git`) |
+//! | [`popper_torpor`] | Torpor use case (Fig. `torpor-variability`) |
+//! | [`popper_minimpi`] | MPI/LULESH use case (§5.3) |
+//! | [`popper_weather`] | weather-analysis use case (Fig. `bww-airtemp`) |
+//! | [`popper_viz`] | chart rendering — SVG and ASCII (the Jupyter/Gnuplot slot) |
+
+pub use popper_aver as aver;
+pub use popper_ci as ci;
+pub use popper_cli as cli;
+pub use popper_container as container;
+pub use popper_core as core;
+pub use popper_format as format;
+pub use popper_gassyfs as gassyfs;
+pub use popper_minimpi as minimpi;
+pub use popper_monitor as monitor;
+pub use popper_orchestra as orchestra;
+pub use popper_sim as sim;
+pub use popper_store as store;
+pub use popper_torpor as torpor;
+pub use popper_vcs as vcs;
+pub use popper_viz as viz;
+pub use popper_weather as weather;

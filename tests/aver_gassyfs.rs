@@ -1,0 +1,88 @@
+//! L3 — Listing 3 of the paper: the Aver assertion guarding the
+//! GassyFS scalability figure, exercised against the real (simulated)
+//! experiment and against its persisted `results.csv` artifact.
+
+use popper::aver;
+use popper::format::Table;
+use popper::gassyfs::experiment::{run_scalability, to_table, ScalabilityConfig, LISTING3_ASSERTION};
+use popper::gassyfs::workload::CompileWorkload;
+
+fn small_points() -> Vec<popper::gassyfs::ScalabilityPoint> {
+    run_scalability(&ScalabilityConfig {
+        node_counts: vec![1, 2, 4, 8],
+        workload: CompileWorkload::small(),
+        ..Default::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn listing_three_holds_on_the_real_experiment() {
+    let points = small_points();
+    let table = to_table(&points, "git", "cloudlab");
+    let verdict = aver::check(LISTING3_ASSERTION, &table).unwrap();
+    assert!(verdict.passed, "{verdict}");
+    assert_eq!(verdict.assertions, 1);
+    assert_eq!(verdict.groups, 1); // one (workload, machine) combination
+}
+
+#[test]
+fn listing_three_groups_over_multiple_machines() {
+    // The wildcard semantics: one verdict per (workload, machine).
+    let mut table = to_table(&small_points(), "git", "cloudlab");
+    let ec2 = to_table(&small_points(), "git", "ec2");
+    table.append(&ec2).unwrap();
+    let verdict = aver::check(LISTING3_ASSERTION, &table).unwrap();
+    assert!(verdict.passed);
+    assert_eq!(verdict.groups, 2);
+}
+
+#[test]
+fn assertion_survives_the_results_csv_artifact() {
+    // Validation runs against the *versioned artifact*, not in-memory
+    // state: round-trip through CSV first.
+    let table = to_table(&small_points(), "git", "cloudlab");
+    let csv = table.to_csv();
+    let loaded = Table::from_csv(&csv).unwrap();
+    let verdict = aver::check(LISTING3_ASSERTION, &loaded).unwrap();
+    assert!(verdict.passed);
+}
+
+#[test]
+fn falsification_works() {
+    // Karl Popper's demarcation criterion, applied: the assertion can
+    // fail. Linear-or-worse degradation is rejected.
+    let mut table = Table::new(["workload", "machine", "nodes", "time"]);
+    for (n, t) in [(1, 100.0), (2, 210.0), (4, 460.0), (8, 1000.0)] {
+        table
+            .push_row(vec![
+                popper::format::Value::from("git"),
+                popper::format::Value::from("cloudlab"),
+                popper::format::Value::from(n as i64),
+                popper::format::Value::Num(t),
+            ])
+            .unwrap();
+    }
+    let verdict = aver::check(LISTING3_ASSERTION, &table).unwrap();
+    assert!(!verdict.passed, "superlinear degradation must be rejected");
+}
+
+#[test]
+fn mount_option_ablation_affects_the_curve_but_not_the_shape() {
+    // The paper's motivation for Popperizing GassyFS is its huge
+    // configuration space ("FUSE … more than 30 different options").
+    // Ablate the page cache: slower everywhere, still sublinear.
+    let cached = small_points();
+    let uncached = run_scalability(&ScalabilityConfig {
+        node_counts: vec![1, 2, 4, 8],
+        workload: CompileWorkload::small(),
+        mount: popper::gassyfs::MountOptions { page_cache_pages: 0, ..Default::default() },
+        ..Default::default()
+    })
+    .unwrap();
+    for (c, u) in cached.iter().zip(&uncached) {
+        assert!(u.time_secs >= c.time_secs, "direct_io must not be faster (n={})", c.nodes);
+    }
+    let table = to_table(&uncached, "git", "cloudlab-direct-io");
+    assert!(aver::check(LISTING3_ASSERTION, &table).unwrap().passed);
+}

@@ -1,0 +1,86 @@
+//! V2 — §Automated Validation, the baseline-fingerprint sanitization:
+//! "If the baseline performance cannot be reproduced, there is no point
+//! in executing the experiment."
+
+use popper::core::{templates, ExperimentEngine, PopperRepo};
+use popper::monitor::{Baseline, BaselineGate, GateOutcome};
+use popper::sim::platforms;
+
+fn repo_with(tpl: &str, name: &str) -> PopperRepo {
+    let mut repo = PopperRepo::init("t").unwrap();
+    for (path, contents) in templates::find_template(tpl).unwrap().files(name) {
+        repo.write(&path, contents).unwrap();
+    }
+    repo.commit("add").unwrap();
+    repo
+}
+
+#[test]
+fn first_run_records_fingerprint_second_run_checks_it() {
+    let mut repo = repo_with("ceph-rados", "e");
+    let engine = ExperimentEngine::new();
+    assert!(!repo.exists("experiments/e/datasets/baseline.csv"));
+    let r1 = engine.run(&mut repo, "e").unwrap();
+    assert!(r1.gate.may_run());
+    assert!(repo.exists("experiments/e/datasets/baseline.csv"));
+    // The stored fingerprint is the committed artifact; a second run
+    // revalidates against it.
+    let r2 = engine.run(&mut repo, "e").unwrap();
+    assert!(r2.gate.may_run());
+}
+
+#[test]
+fn environment_drift_blocks_execution_and_names_the_dimension() {
+    let mut repo = repo_with("ceph-rados", "e");
+    let engine = ExperimentEngine::new();
+    engine.run(&mut repo, "e").unwrap();
+
+    // The re-execution platform silently became a VM: hypervisor tax on
+    // syscalls. The gate names the offending dimension.
+    let vars = repo.read("experiments/e/vars.pml").unwrap();
+    repo.write("experiments/e/vars.pml", vars.replace("cloudlab-c220g", "ec2-vm")).unwrap();
+    repo.commit("silent platform swap").unwrap();
+    let report = engine.run(&mut repo, "e").unwrap();
+    match &report.gate {
+        GateOutcome::Blocked(offenders) => {
+            assert!(offenders.iter().any(|(dim, ..)| dim == "syscall"), "{offenders:?}");
+        }
+        GateOutcome::Proceed => panic!("a hypervisor tax must trip the gate"),
+    }
+    assert!(!report.success());
+}
+
+#[test]
+fn gate_math_example_from_the_paper() {
+    // §Automated Validation's storage-vs-network example: results from
+    // an HDD-bottlenecked environment won't transfer to one where
+    // storage is fast — the fingerprint captures that before any run.
+    let hdd_era = Baseline::of_platform(&platforms::xeon_2006()); // HDD, 1GbE
+    let modern = Baseline::of_platform(&platforms::cloudlab_c220g()); // SSD, 10GbE
+    let gate = BaselineGate::new(hdd_era, 0.5);
+    match gate.check(&modern) {
+        GateOutcome::Blocked(offenders) => {
+            // Every offender is reported with expected/actual/deviation.
+            for (dim, expected, actual, dev) in &offenders {
+                assert!(!dim.is_empty() && expected.is_finite() && actual.is_finite());
+                assert!(*dev > 0.5);
+            }
+        }
+        GateOutcome::Proceed => panic!("a decade of hardware drift must not pass"),
+    }
+}
+
+#[test]
+fn tolerance_is_configurable_per_engine() {
+    let mut repo = repo_with("ceph-rados", "e");
+    // An absurdly tolerant engine lets even a platform swap through —
+    // the knob exists so communities can set their own bar.
+    let mut engine = ExperimentEngine::new();
+    engine.baseline_tolerance = 1e6;
+    engine.run(&mut repo, "e").unwrap();
+    let vars = repo.read("experiments/e/vars.pml").unwrap();
+    repo.write("experiments/e/vars.pml", vars.replace("cloudlab-c220g", "xeon-2006")).unwrap();
+    repo.commit("swap").unwrap();
+    let report = engine.run(&mut repo, "e").unwrap();
+    assert!(report.gate.may_run(), "tolerance 1e6 admits anything");
+}

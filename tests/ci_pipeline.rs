@@ -1,0 +1,104 @@
+//! V1 — §Automated Validation, first category: CI integrity checks of
+//! the experimentation logic (the paper builds; orchestration syntax is
+//! correct; the pipeline itself is valid), plus build history/badges.
+
+use parking_lot::Mutex;
+use popper::ci::{badge, BuildHistory};
+use popper::cli::runners::full_engine;
+use popper::core::{cipipeline::run_ci, templates, PopperRepo};
+use std::sync::Arc;
+
+fn repo_with(tpl: &str, name: &str) -> PopperRepo {
+    let mut repo = PopperRepo::init("ci-tester").unwrap();
+    for (path, contents) in templates::find_template(tpl).unwrap().files(name) {
+        repo.write(&path, contents).unwrap();
+    }
+    repo.commit("add experiment").unwrap();
+    repo
+}
+
+#[test]
+fn integrity_checks_catch_each_breakage() {
+    // Green first.
+    let repo = Arc::new(Mutex::new(repo_with("zlog", "z")));
+    let engine = Arc::new(full_engine());
+    let report = run_ci(repo.clone(), engine.clone(), 2).unwrap();
+    assert!(report.passed(), "{}", report.summary());
+
+    // Break the orchestration syntax: lint stage fails.
+    {
+        let mut r = repo.lock();
+        r.write("experiments/z/setup.pml", "- name: broken\n  tasks: []\n").unwrap();
+        r.commit("break playbook").unwrap();
+    }
+    let report = run_ci(repo.clone(), engine.clone(), 2).unwrap();
+    assert!(!report.passed());
+    let lint = report.stage("lint");
+    assert!(lint.iter().any(|j| j.log.contains("setup.pml")), "{}", report.summary());
+
+    // Fix the playbook; break the paper instead.
+    {
+        let mut r = repo.lock();
+        r.write("experiments/z/setup.pml", "- name: ok\n  hosts: all\n  tasks:\n    - name: t\n      command: x\n")
+            .unwrap();
+        r.write("paper/paper.md", "# T\n\n![ghost](experiments/ghost/figure.txt)\n").unwrap();
+        r.commit("break paper").unwrap();
+    }
+    let report = run_ci(repo.clone(), engine.clone(), 2).unwrap();
+    assert!(!report.passed());
+    assert!(report
+        .stage("build")
+        .iter()
+        .any(|j| j.log.contains("figure") && j.log.contains("ghost")));
+}
+
+#[test]
+fn build_history_and_badge_track_outcomes() {
+    let repo = Arc::new(Mutex::new(repo_with("proteustm", "p")));
+    let engine = Arc::new(full_engine());
+    let mut history = BuildHistory::new();
+
+    let good = run_ci(repo.clone(), engine.clone(), 2).unwrap();
+    history.record("commit-1", &good);
+    assert_eq!(badge(&history), "build: passing");
+
+    {
+        let mut r = repo.lock();
+        r.write(".popper-ci.pml", "stages: [t]\njobs:\n  - name: j\n    stage: t\n    steps: [frobnicate]\n")
+            .unwrap();
+        r.commit("bad step").unwrap();
+    }
+    let bad = run_ci(repo.clone(), engine.clone(), 2).unwrap();
+    history.record("commit-2", &bad);
+    assert_eq!(badge(&history), "build: failing");
+    assert_eq!(history.last_good().unwrap().commit, "commit-1");
+    assert_eq!(history.pass_rate(), 0.5);
+}
+
+#[test]
+fn matrix_pipeline_runs_experiment_per_machine() {
+    // The build matrix: the same experiment validated on two platform
+    // models — "re-executing experiments on multiple platforms is more
+    // practical" (the paper's abstract claim, in CI form).
+    let repo = Arc::new(Mutex::new(repo_with("malacology", "m")));
+    {
+        let mut r = repo.lock();
+        r.write(
+            ".popper-ci.pml",
+            "stages: [test]\n\
+             matrix:\n\
+             \x20 machine: [cloudlab-c220g, hpc-node]\n\
+             jobs:\n\
+             \x20 - name: exp\n\
+             \x20   stage: test\n\
+             \x20   steps: [validate-playbooks]\n",
+        )
+        .unwrap();
+        r.commit("matrix").unwrap();
+    }
+    let report = run_ci(repo, Arc::new(full_engine()), 4).unwrap();
+    assert!(report.passed());
+    assert_eq!(report.jobs.len(), 2);
+    assert!(report.jobs.iter().any(|j| j.name.contains("machine=cloudlab-c220g")));
+    assert!(report.jobs.iter().any(|j| j.name.contains("machine=hpc-node")));
+}

@@ -1,0 +1,77 @@
+//! Figures as versioned artifacts: every use-case template's `figure:`
+//! spec renders an SVG + ASCII figure from `results.csv`, committed
+//! alongside it — "many of the graphs included in the article can come
+//! directly from running analysis scripts on top of this data".
+
+use popper::cli::runners::full_engine;
+use popper::core::{templates, PopperRepo};
+
+fn run_template(tpl: &str, shrink: &[(&str, &str)]) -> PopperRepo {
+    let mut repo = PopperRepo::init("fig-tester").unwrap();
+    for (path, contents) in templates::find_template(tpl).unwrap().files("e") {
+        let contents = if path.ends_with("vars.pml") {
+            shrink.iter().fold(contents, |acc, (from, to)| acc.replace(from, to))
+        } else {
+            contents
+        };
+        repo.write(&path, contents).unwrap();
+    }
+    repo.commit("add").unwrap();
+    let engine = full_engine();
+    let report = engine.run(&mut repo, "e").unwrap();
+    assert!(report.success(), "{tpl}: {:?}", report.verdict.failures);
+    repo
+}
+
+#[test]
+fn gassyfs_figure_is_the_scalability_line_chart() {
+    let repo = run_template(
+        "gassyfs",
+        &[("nodes: [1, 2, 4, 8, 16]", "nodes: [1, 2, 4]\ntranslation_units: 40\njobs: 4")],
+    );
+    let svg = repo.read("experiments/e/figure.svg").unwrap();
+    assert!(svg.starts_with("<svg"));
+    assert!(svg.contains("GassyFS git-compile scalability"));
+    assert!(svg.contains("<polyline"));
+    assert!(svg.contains("gassyfs-node"), "series named after the machine");
+    let ascii = repo.read("experiments/e/figure.txt").unwrap();
+    assert!(ascii.contains("time"), "{ascii}");
+    // The figure is committed (clean worktree).
+    assert!(repo.vcs.status().unwrap().is_empty());
+}
+
+#[test]
+fn torpor_figure_is_the_speedup_histogram() {
+    let repo = run_template("torpor", &[]);
+    let svg = repo.read("experiments/e/figure.svg").unwrap();
+    assert!(svg.contains("Speedup variability profile"));
+    assert!(svg.contains("<rect"), "histogram bars");
+    let ascii = repo.read("experiments/e/figure.txt").unwrap();
+    // The modal bin shows up as a run of #'s (the paper's 7-in-one-bin).
+    assert!(ascii.contains("#######"), "{ascii}");
+}
+
+#[test]
+fn mpi_figure_shows_one_series_per_scenario() {
+    let repo = run_template(
+        "mpi-comm-variability",
+        &[("elements: 20", "elements: 10"), ("iterations: 20", "iterations: 6")],
+    );
+    let svg = repo.read("experiments/e/figure.svg").unwrap();
+    for scenario in ["quiet", "os-noise", "neighbor"] {
+        assert!(svg.contains(scenario), "missing series {scenario}");
+    }
+    assert_eq!(svg.matches("<polyline").count(), 3);
+}
+
+#[test]
+fn figures_regenerate_identically() {
+    let shrink: &[(&str, &str)] = &[("years: 2", "years: 1")];
+    let a = run_template("jupyter-bww", shrink);
+    let b = run_template("jupyter-bww", shrink);
+    assert_eq!(
+        a.read("experiments/e/figure.svg").unwrap(),
+        b.read("experiments/e/figure.svg").unwrap(),
+        "figures are a pure function of the versioned results"
+    );
+}

@@ -1,0 +1,72 @@
+//! L1 — Listing 1 of the paper: the canonical Popper repository layout.
+
+use popper::core::{templates, PopperRepo};
+
+#[test]
+fn init_plus_add_produces_listing_one_layout() {
+    let mut repo = PopperRepo::init("t").unwrap();
+    let template = templates::find_template("gassyfs").unwrap();
+    for (path, contents) in template.files("myexp") {
+        repo.write(&path, contents).unwrap();
+    }
+    repo.commit("popper add gassyfs myexp").unwrap();
+
+    // Listing 1's tree, adapted to this reproduction's file names
+    // (.travis.yml → .popper-ci.pml, paper.tex → paper.md).
+    for path in [
+        "README.md",
+        ".popper-ci.pml",
+        "experiments/myexp/datasets/README.md",
+        "experiments/myexp/process-result.sh",
+        "experiments/myexp/setup.pml",
+        "experiments/myexp/run.sh",
+        "experiments/myexp/validations.aver",
+        "experiments/myexp/vars.pml",
+        "paper/build.sh",
+        "paper/paper.md",
+        "paper/references.bib",
+    ] {
+        assert!(repo.exists(path), "Listing 1 path missing: {path}");
+    }
+
+    // After a run, results.csv and figure.png (figure.txt here) join.
+    let engine = {
+        let mut e = popper::core::ExperimentEngine::new();
+        popper::cli::runners::register_builtin_runners(&mut e);
+        e
+    };
+    // Shrink the workload through vars to keep the test quick.
+    let vars = repo.read("experiments/myexp/vars.pml").unwrap();
+    repo.write("experiments/myexp/vars.pml", format!("{vars}translation_units: 50\n")).unwrap();
+    repo.commit("shrink").unwrap();
+    let report = engine.run(&mut repo, "myexp").unwrap();
+    assert!(report.success(), "{:?}", report.verdict.failures);
+    assert!(repo.exists("experiments/myexp/results.csv"));
+    assert!(repo.exists("experiments/myexp/figure.txt"));
+
+    // The rendered tree resembles the listing.
+    let tree = repo.tree();
+    assert!(tree.starts_with("paper-repo"));
+    for name in ["run.sh", "vars.pml", "validations.aver", "results.csv", "build.sh", "references.bib"] {
+        assert!(tree.contains(name), "tree missing {name}:\n{tree}");
+    }
+}
+
+#[test]
+fn every_experiment_is_self_contained_in_one_repository() {
+    // The self-containment definition of §The Popper Convention.
+    let mut repo = PopperRepo::init("t").unwrap();
+    for t in templates::experiment_templates() {
+        for (path, contents) in t.files(t.name) {
+            repo.write(&path, contents).unwrap();
+        }
+    }
+    repo.commit("add everything").unwrap();
+    assert_eq!(repo.experiments().len(), templates::experiment_templates().len());
+    let violations = popper::core::check::check_compliance(&repo);
+    assert!(
+        violations.iter().all(|v| !v.fatal),
+        "fatals: {:?}",
+        violations.iter().filter(|v| v.fatal).collect::<Vec<_>>()
+    );
+}
