@@ -1,0 +1,14 @@
+stages: [build, test, bench]
+jobs:
+  - name: build
+    stage: build
+    steps: [cargo build --workspace --release]
+  - name: test
+    stage: test
+    steps: [cargo test --workspace]
+  - name: trace-determinism
+    stage: test
+    steps: [cargo test --test trace_pipeline]
+  - name: trace-overhead-smoke
+    stage: bench
+    steps: [cargo bench --bench ablations trace_overhead]

@@ -1,0 +1,286 @@
+//! Offline stand-in for the `criterion` crate surface this workspace uses.
+//!
+//! Not a statistics engine — a small wall-clock harness with the same
+//! API shape (`criterion_group!`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Throughput`, `black_box`). Each benchmark is
+//! warmed up briefly, then timed over enough iterations to fill a short
+//! measurement window; the median per-iteration time is reported on
+//! stderr in criterion's familiar one-line format.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// An opaque identity function the optimizer cannot see through.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Benchmark identifier, e.g. `from_parameter(8)` → `"8"`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build an id from a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{parameter}", function.into()))
+    }
+
+    /// Build an id from the parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId(s.to_string())
+    }
+}
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId(s)
+    }
+}
+
+/// Throughput annotation (recorded, reported alongside the timing).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The measurement loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over the configured number of iterations.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10, measurement_window: Duration::from_millis(200) }
+    }
+}
+
+impl Criterion {
+    /// Accept (and ignore) CLI arguments, like the real harness.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Set the per-benchmark sample count.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            window: self.measurement_window,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Print the closing summary line.
+    pub fn final_summary(&self) {
+        eprintln!("(benchmarks complete)");
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    window: Duration,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<I: Into<BenchmarkId>>(
+        &mut self,
+        id: I,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(&id.0, &mut f);
+        self
+    }
+
+    /// Run one parameterized benchmark.
+    pub fn bench_with_input<P, I: Into<BenchmarkId>>(
+        &mut self,
+        id: I,
+        input: &P,
+        mut f: impl FnMut(&mut Bencher, &P),
+    ) -> &mut Self {
+        let id = id.into();
+        self.run_one(&id.0, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    fn run_one(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        // Calibrate: run once to estimate per-iteration cost.
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        let budget = self.window.max(per_iter) .as_nanos() / self.sample_size.max(1) as u128;
+        let iters = (budget / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters, elapsed: Duration::ZERO };
+            f(&mut b);
+            samples.push(b.elapsed.as_secs_f64() / iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let lo = samples[0];
+        let hi = samples[samples.len() - 1];
+        let tp = match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                format!("  thrpt: {:>11}/s", human_bytes(n as f64 / median))
+            }
+            Some(Throughput::Elements(n)) => {
+                format!("  thrpt: {:>9.3e} elem/s", n as f64 / median)
+            }
+            None => String::new(),
+        };
+        eprintln!(
+            "{:<50} time: [{} {} {}]{tp}",
+            format!("{}/{id}", self.name),
+            human_time(lo),
+            human_time(median),
+            human_time(hi),
+        );
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn human_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+fn human_bytes(bps: f64) -> String {
+    const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+    const MIB: f64 = 1024.0 * 1024.0;
+    const KIB: f64 = 1024.0;
+    if bps >= GIB {
+        format!("{:.3} GiB", bps / GIB)
+    } else if bps >= MIB {
+        format!("{:.3} MiB", bps / MIB)
+    } else if bps >= KIB {
+        format!("{:.3} KiB", bps / KIB)
+    } else {
+        format!("{bps:.1} B")
+    }
+}
+
+/// Define a function that runs a list of benchmark functions, mirroring
+/// criterion's macro of the same name (both invocation forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main` from a list of group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+            $crate::Criterion::default().configure_from_args().final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(1024));
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_quickly() {
+        let started = Instant::now();
+        let mut c = Criterion::default().sample_size(3);
+        c.measurement_window = Duration::from_millis(10);
+        sample_bench(&mut c);
+        assert!(started.elapsed() < Duration::from_secs(10));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(human_time(2.0), "2.0000 s");
+        assert_eq!(human_time(2e-3), "2.0000 ms");
+        assert_eq!(human_time(2e-9), "2.0000 ns");
+        assert!(human_bytes(3.0 * 1024.0 * 1024.0).ends_with("MiB"));
+        assert_eq!(BenchmarkId::from_parameter(8).0, "8");
+        assert_eq!(BenchmarkId::new("f", 8).0, "f/8");
+    }
+}

@@ -9,6 +9,9 @@
 //!   two hypothesis tests on realistic runtime samples.
 //! * **FUSE writeback option** — the packaging-choice effect the
 //!   GassyFS use case motivates.
+//! * **tracing overhead** (`ablate_trace_overhead`) — the sim hot path
+//!   with a disabled vs. an enabled `popper-trace` sink; a disabled
+//!   sink must stay below 5% so instrumentation can ship always-on.
 
 use criterion::{criterion_group, Criterion};
 use popper_monitor::stressors::STRESSORS;
@@ -78,6 +81,125 @@ fn bench_statistics(c: &mut Criterion) {
     group.finish();
 }
 
+/// The instrumented sim hot path: a burst of fabric transfers. Each
+/// call to [`popper_sim::Fabric::transfer`] consults the ambient tracer
+/// (one TLS read + branch when disabled, two span records when enabled).
+fn transfer_loop(n: u64) -> u64 {
+    use popper_sim::{Fabric, Nanos};
+    let mut fabric = Fabric::new(8, 10.0, Nanos::from_micros(5), 1.0);
+    let mut acc = 0u64;
+    for i in 0..n {
+        let done = fabric.transfer(
+            (i % 8) as usize,
+            ((i + 3) % 8) as usize,
+            4096 + (i * 37) % 65536,
+            Nanos(i * 1_000),
+        );
+        acc ^= done.0;
+    }
+    acc
+}
+
+/// The engine hot path: a self-rescheduling tick chain dispatched
+/// `n` times. The engine holds its tracer as a field, so a disabled
+/// sink costs exactly one branch per dispatch.
+fn dispatch_loop(tracer: Option<popper_trace::Tracer>, n: u64) -> u64 {
+    use popper_sim::{Nanos, Sim};
+    fn tick(s: &mut Sim<u64>) {
+        s.world = s.world.wrapping_mul(6364136223846793005).wrapping_add(1);
+        s.schedule_in(Nanos(1 + (s.world >> 60)), tick);
+    }
+    let mut sim: Sim<u64> = Sim::new(0x9e3779b9);
+    if let Some(t) = tracer {
+        sim.set_tracer(t);
+    }
+    sim.schedule_in(Nanos(1), tick);
+    sim.run_capped(n);
+    sim.world
+}
+
+fn print_trace_overhead_ablation() {
+    use popper_trace::{ClockDomain, TraceSink, Tracer};
+    use std::time::Instant;
+    const N: u64 = 500_000;
+    eprintln!("{}", popper_bench::banner("A3: tracing overhead (disabled vs enabled sink)"));
+
+    // Warm the code paths.
+    dispatch_loop(None, 10_000);
+
+    let t0 = Instant::now();
+    let a = dispatch_loop(None, N);
+    let disabled = t0.elapsed().as_secs_f64();
+
+    let sink = TraceSink::new();
+    let tracer = sink.tracer(ClockDomain::Virtual);
+    let t0 = Instant::now();
+    let b = dispatch_loop(Some(tracer.clone()), N);
+    tracer.flush();
+    let enabled = t0.elapsed().as_secs_f64();
+    let events = sink.drain().len();
+    criterion::black_box(a ^ b);
+
+    // Marginal cost of the disabled-sink branch in isolation.
+    let off = Tracer::disabled();
+    let t0 = Instant::now();
+    let mut hits = 0u64;
+    for _ in 0..N {
+        if criterion::black_box(&off).is_enabled() {
+            hits += 1;
+        }
+    }
+    criterion::black_box(hits);
+    let check = t0.elapsed().as_secs_f64();
+
+    eprintln!("{N} engine dispatches:");
+    eprintln!("  disabled sink: {:>9.3} ms", disabled * 1e3);
+    eprintln!("  enabled sink:  {:>9.3} ms  ({events} events collected)", enabled * 1e3);
+    eprintln!(
+        "  disabled-sink branch alone: {:.3} ms = {:.2}% of the dispatch path",
+        check * 1e3,
+        check / disabled * 100.0
+    );
+    eprintln!("shape: a disabled sink is one branch per dispatch — under the 5% budget.\n");
+}
+
+fn ablate_trace_overhead(c: &mut Criterion) {
+    use popper_trace::{ClockDomain, TraceSink, Tracer};
+    let mut group = c.benchmark_group("ablations/trace_overhead");
+    group.bench_function("dispatch_disabled", |b| {
+        b.iter(|| criterion::black_box(dispatch_loop(None, 10_000)));
+    });
+    let sink = TraceSink::new();
+    let tracer = sink.tracer(ClockDomain::Virtual);
+    group.bench_function("dispatch_enabled", |b| {
+        b.iter(|| {
+            let out = criterion::black_box(dispatch_loop(Some(tracer.clone()), 10_000));
+            tracer.flush();
+            out ^ sink.drain().len() as u64
+        });
+    });
+    // The ambient-tracer sites (fabric, RPCs, collectives) pay a TLS
+    // read on top of the branch; keep them visible too.
+    group.bench_function("transfers_disabled", |b| {
+        b.iter(|| {
+            popper_trace::with_current(Tracer::disabled(), || {
+                criterion::black_box(transfer_loop(2_000))
+            })
+        });
+    });
+    let xfer_tracer = sink.tracer(ClockDomain::Virtual);
+    group.bench_function("transfers_enabled", |b| {
+        b.iter(|| {
+            let out = popper_trace::with_current(xfer_tracer.clone(), || {
+                criterion::black_box(transfer_loop(2_000))
+            });
+            xfer_tracer.flush();
+            out ^ sink.drain().len() as u64
+        });
+    });
+    group.finish();
+}
+
 fn bench_writeback_ablation(c: &mut Criterion) {
     use popper_gassyfs::fs::{GassyFs, MountOptions};
     use popper_gassyfs::workload::{run_compile, CompileWorkload};
@@ -110,11 +232,18 @@ fn print_checkpoint_ablation() {
     eprintln!("shape: pauses fall and the loss window grows with the interval;\nincremental dedup keeps stored << ingested.\n");
 }
 
-criterion_group!(benches, bench_baseline_gate, bench_statistics, bench_writeback_ablation);
+criterion_group!(
+    benches,
+    bench_baseline_gate,
+    bench_statistics,
+    ablate_trace_overhead,
+    bench_writeback_ablation
+);
 
 fn main() {
     print_hypervisor_ablation();
     print_statistics_ablation();
+    print_trace_overhead_ablation();
     print_checkpoint_ablation();
     benches();
     criterion::Criterion::default().configure_from_args().final_summary();

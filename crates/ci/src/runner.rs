@@ -116,6 +116,18 @@ impl fmt::Display for BuildReport {
 /// in a stage, later stages are canceled (their jobs report
 /// [`JobStatus::Canceled`]).
 pub fn run_pipeline(config: &PipelineConfig, executor: Executor, workers: usize) -> BuildReport {
+    run_pipeline_traced(config, executor, workers, popper_trace::Tracer::disabled())
+}
+
+/// [`run_pipeline`] with a wall-clock [`popper_trace::Tracer`]: one span
+/// per stage (`ci/pipeline` track) and one span per job on the worker
+/// thread that ran it (`ci/worker-N` tracks).
+pub fn run_pipeline_traced(
+    config: &PipelineConfig,
+    executor: Executor,
+    workers: usize,
+    tracer: popper_trace::Tracer,
+) -> BuildReport {
     assert!(workers >= 1);
     let all_jobs = config.expanded_jobs();
     let mut report = BuildReport { jobs: Vec::with_capacity(all_jobs.len()) };
@@ -148,17 +160,22 @@ pub fn run_pipeline(config: &PipelineConfig, executor: Executor, workers: usize)
         let results: Vec<parking_lot::Mutex<Option<JobResult>>> =
             stage_jobs.iter().map(|_| parking_lot::Mutex::new(None)).collect();
 
+        let _stage_span = tracer.span("ci", "ci/pipeline", format!("stage {stage}"));
         crossbeam::scope(|scope| {
-            for _ in 0..workers.min(stage_jobs.len()) {
+            for w in 0..workers.min(stage_jobs.len()) {
                 let rx = rx.clone();
                 let executor = executor.clone();
                 let results = &results;
                 let stage_jobs = &stage_jobs;
+                let tracer = tracer.clone();
                 scope.spawn(move |_| {
                     while let Ok(i) = rx.recv() {
                         let job = stage_jobs[i];
+                        let _job_span = tracer.span("ci", format!("ci/worker-{w}"), &job.name);
                         *results[i].lock() = Some(run_job(job, &executor));
                     }
+                    // Scoped threads exit here; the TLS destructor
+                    // flushes this worker's trace buffer.
                 });
             }
         })

@@ -231,12 +231,51 @@ pub fn dispatch(parsed: &Parsed, dir: &Path) -> Result<String, String> {
             let mut cache = popper_container::BuildCache::new();
             let image = popper_core::pack::pack_experiment(&repo, name, &mut registry, &mut cache)
                 .map_err(|e| e.to_string())?;
+            let commit = image
+                .config
+                .labels
+                .get("org.popper.commit")
+                .and_then(|c| c.get(..10))
+                .unwrap_or("?");
             Ok(format!(
-                "-- packed experiment '{name}' as {} ({} layer(s), commit {})\n",
+                "-- packed experiment '{name}' as {} ({} layer(s), commit {commit})\n",
                 image.reference(),
                 image.layers.len(),
-                image.config.labels["org.popper.commit"].get(..10).unwrap_or("?")
             ))
+        }
+        Some("trace") => {
+            let name = parsed.pos(1).ok_or("usage: popper trace <experiment>")?;
+            let mut repo = persist::load(dir, &author)?;
+            let engine = full_engine();
+            // Trace the whole lifecycle: wall-clock spans from the
+            // engine/CI/orchestra layers, explicit-timestamp spans from
+            // any simulation the runner drives.
+            let sink = popper_trace::TraceSink::new();
+            let tracer = sink.tracer(popper_trace::ClockDomain::Wall);
+            let report =
+                popper_trace::with_current(tracer.clone(), || engine.run(&mut repo, name))?;
+            tracer.flush();
+            let events = sink.drain();
+            let json = popper_trace::chrome_trace_json(&events);
+            let svg = popper_trace::timeline_svg(&events);
+            repo.write(&format!("experiments/{name}/trace.json"), json.into_bytes())
+                .map_err(|e| e.to_string())?;
+            repo.write(&format!("experiments/{name}/trace.svg"), svg.into_bytes())
+                .map_err(|e| e.to_string())?;
+            repo.commit(&format!("popper trace {name}: record trace"))
+                .map_err(|e| e.to_string())?;
+            persist::save(&repo, dir)?;
+            let out = format!(
+                "{}\n-- traced {} event(s) -> experiments/{name}/trace.json, trace.svg\n{}",
+                report,
+                events.len(),
+                popper_trace::summary_table(&events),
+            );
+            if report.success() {
+                Ok(out)
+            } else {
+                Err(out)
+            }
         }
         Some("commit") => {
             let mut repo = persist::load(dir, &author)?;
@@ -318,6 +357,7 @@ COMMANDS:
     paper build               assemble the article (resolves figures)
     check                     compliance check (is this Popperized?)
     run <experiment>          run the full experiment lifecycle
+    trace <experiment>        run with tracing; records trace.json + trace.svg
     validate <experiment>     re-check Aver validations on stored results\n    verify <experiment>       numerical reproducibility: re-execute and compare bytes
     pack <experiment>         build a provenance-labeled container image\n    ci [--workers N]          run .popper-ci.pml
     status | log | commit     repository plumbing\n    branch | checkout | merge collaboration plumbing

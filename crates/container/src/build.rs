@@ -208,8 +208,13 @@ pub fn build_image(
         chain.update(&l.0);
     }
 
+    let tracer = popper_trace::current();
+    let _build_span = tracer.span("container", "container/build", format!("build {name}:{tag}"));
+
     for instruction in &popperfile.instructions {
         let text = instruction_text(instruction);
+        let _step_span =
+            if tracer.is_enabled() { Some(tracer.span("container", "container/build", &text)) } else { None };
         // Metadata-only instructions mutate config, not layers.
         match instruction {
             Instruction::Env(k, v) => {
@@ -241,9 +246,11 @@ pub fn build_image(
 
         let layer_id = if let Some(&cached) = cache.steps.get(&key) {
             cache.hits += 1;
+            tracer.instant("container", "container/build", "cache-hit");
             cached
         } else {
             cache.misses += 1;
+            tracer.instant("container", "container/build", "cache-miss");
             // Execute the step on the layers so far.
             let stack = layers
                 .iter()

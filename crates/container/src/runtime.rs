@@ -219,6 +219,12 @@ impl Container {
             .cloned()
             .ok_or_else(|| RuntimeError::UnknownProgram("<empty argv>".into()))?;
         let program = programs.get(&name).ok_or(RuntimeError::UnknownProgram(name))?;
+        let tracer = popper_trace::current();
+        let _run_span = if tracer.is_enabled() {
+            Some(tracer.span("container", "container/runtime", format!("run {}", args[0])))
+        } else {
+            None
+        };
         let mut ctx = ExecCtx { fs: &mut self.fs, args, env: self.env.clone(), stdout: String::new() };
         let code = program(&mut ctx);
         Ok(ExitStatus { code, stdout: ctx.stdout })

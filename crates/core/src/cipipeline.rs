@@ -13,7 +13,7 @@ use crate::experiment::ExperimentEngine;
 use crate::paper::build_paper;
 use crate::repo::PopperRepo;
 use parking_lot::Mutex;
-use popper_ci::{run_pipeline, BuildReport, PipelineConfig, StepCtx, StepOutcome};
+use popper_ci::{BuildReport, PipelineConfig, StepCtx, StepOutcome};
 use popper_format::Table;
 use popper_monitor::RegressionCheck;
 use popper_orchestra::Playbook;
@@ -191,7 +191,8 @@ pub fn run_ci(
         .ok_or(".popper-ci.pml missing")?;
     let config = PipelineConfig::from_pml(&config_text)?;
     let executor = popper_steps(repo, engine);
-    Ok(run_pipeline(&config, executor, workers))
+    // Propagate the caller's ambient tracer into the worker pool.
+    Ok(popper_ci::run_pipeline_traced(&config, executor, workers, popper_trace::current()))
 }
 
 #[cfg(test)]

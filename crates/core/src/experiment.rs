@@ -21,7 +21,7 @@ use crate::repo::PopperRepo;
 use popper_aver::Verdict;
 use popper_format::{Table, Value};
 use popper_monitor::{Baseline, BaselineGate, GateOutcome};
-use popper_orchestra::{run_playbook, Inventory, Playbook};
+use popper_orchestra::{Inventory, Playbook};
 use popper_sim::platforms;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -109,8 +109,12 @@ impl ExperimentEngine {
         self.runners.keys().map(String::as_str).collect()
     }
 
-    /// Run one experiment end to end.
+    /// Run one experiment end to end. With an ambient wall-clock
+    /// [`popper_trace::current`] tracer, each lifecycle stage records a
+    /// span on the `core/lifecycle` track.
     pub fn run(&self, repo: &mut PopperRepo, experiment: &str) -> Result<RunReport, String> {
+        let tracer = popper_trace::current();
+        let _run_span = tracer.span("core", "core/lifecycle", format!("run {experiment}"));
         let vars = repo.experiment_vars(experiment)?;
         let runner_name = vars
             .get_str("runner")
@@ -122,7 +126,10 @@ impl ExperimentEngine {
             .ok_or_else(|| format!("unknown runner '{runner_name}' (registered: {:?})", self.runners()))?;
 
         // 1. Sanitize: baseline fingerprint gate.
-        let gate = self.baseline_gate(repo, experiment, &vars)?;
+        let gate = {
+            let _s = tracer.span("core", "core/lifecycle", "sanitize");
+            self.baseline_gate(repo, experiment, &vars)?
+        };
         if !gate.may_run() {
             return Ok(RunReport {
                 experiment: experiment.to_string(),
@@ -135,15 +142,22 @@ impl ExperimentEngine {
         }
 
         // 2. Orchestrate.
-        let orchestration = self.orchestrate(repo, experiment, &vars)?;
+        let orchestration = {
+            let _s = tracer.span("core", "core/lifecycle", "orchestrate");
+            self.orchestrate(repo, experiment, &vars)?
+        };
 
         // 3. Execute.
-        let results = runner(&vars)?;
+        let results = {
+            let _s = tracer.span("core", "core/lifecycle", "execute");
+            runner(&vars)?
+        };
 
         // 4. Record: results.csv + figures, committed. With a `figure:`
         // spec in vars.pml the figure is a chart rendered from the
         // results (SVG + ASCII); otherwise figure.txt is the pretty
         // table.
+        let record_span = tracer.span("core", "core/lifecycle", "record");
         repo.write(&format!("experiments/{experiment}/results.csv"), results.to_csv().into_bytes())
             .map_err(|e| e.to_string())?;
         match popper_viz::FigureSpec::from_vars(&vars, experiment)? {
@@ -165,11 +179,15 @@ impl ExperimentEngine {
         let commit = repo
             .commit(&format!("popper run {experiment}: record results"))
             .map_err(|e| e.to_string())?;
+        drop(record_span);
 
         // 5. Validate.
-        let verdict = match repo.experiment_validations(experiment) {
-            Some(src) => popper_aver::check(&src, &results).map_err(|e| e.to_string())?,
-            None => Verdict { passed: true, failures: vec![], assertions: 0, groups: 0 },
+        let verdict = {
+            let _s = tracer.span("core", "core/lifecycle", "validate");
+            match repo.experiment_validations(experiment) {
+                Some(src) => popper_aver::check(&src, &results).map_err(|e| e.to_string())?,
+                None => Verdict { passed: true, failures: vec![], assertions: 0, groups: 0 },
+            }
         };
 
         Ok(RunReport {
@@ -230,7 +248,13 @@ impl ExperimentEngine {
                 Some((rel, data))
             })
             .collect();
-        let report = run_playbook(&playbook, &inventory, BTreeMap::new(), controller);
+        let report = popper_orchestra::run_playbook_traced(
+            &playbook,
+            &inventory,
+            BTreeMap::new(),
+            controller,
+            popper_trace::current(),
+        );
         if !report.success() {
             return Err(format!("orchestration failed:\n{}", report.recap()));
         }

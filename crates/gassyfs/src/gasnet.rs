@@ -107,7 +107,17 @@ impl GasnetStore {
         } else {
             self.stats.remote += 1;
             let arrived = cluster.transfer(self.client, node, Self::CTRL_BYTES, now);
-            cluster.transfer(node, self.client, PAGE_SIZE, arrived)
+            let done = cluster.transfer(node, self.client, PAGE_SIZE, arrived);
+            Self::trace_rpc("read_page", node, now, done);
+            done
+        }
+    }
+
+    /// Record one remote-page RPC on the serving node's track.
+    fn trace_rpc(name: &'static str, node: usize, start: Nanos, end: Nanos) {
+        let tracer = popper_trace::current();
+        if tracer.is_enabled() {
+            tracer.span_at("rpc", format!("gassyfs/node{node}"), name, start.0, end.0);
         }
     }
 
@@ -121,7 +131,9 @@ impl GasnetStore {
         } else {
             self.stats.remote += 1;
             let arrived = cluster.transfer(self.client, node, PAGE_SIZE, now);
-            cluster.transfer(node, self.client, Self::CTRL_BYTES, arrived)
+            let done = cluster.transfer(node, self.client, Self::CTRL_BYTES, arrived);
+            Self::trace_rpc("write_page", node, now, done);
+            done
         }
     }
 

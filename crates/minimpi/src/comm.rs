@@ -52,6 +52,15 @@ impl MpiWorld {
         self.rank_time.iter().copied().max().unwrap_or(Nanos::ZERO)
     }
 
+    /// Record one operation's span on `rank`'s timeline track (virtual
+    /// time). No-op without an ambient tracer.
+    fn trace_op(name: &'static str, rank: usize, start: Nanos, end: Nanos) {
+        let tracer = popper_trace::current();
+        if tracer.is_enabled() && end > start {
+            tracer.span_at("mpi", format!("mpi/rank{rank}"), name, start.0, end.0);
+        }
+    }
+
     /// Rank `r` computes `demand` (noise on its node applies).
     pub fn compute(&mut self, rank: usize, demand: &Demand) {
         let node = self.rank_node[rank];
@@ -62,6 +71,7 @@ impl MpiWorld {
             None => start + base,
         };
         self.profile.record_app(rank, finish - start);
+        Self::trace_op("compute", rank, start, finish);
         self.rank_time[rank] = finish;
     }
 
@@ -92,6 +102,9 @@ impl MpiWorld {
             }
         }
         for (r, t) in done.into_iter().enumerate() {
+            if t > self.rank_time[r] {
+                Self::trace_op("exchange", r, before[r], t);
+            }
             self.rank_time[r] = self.rank_time[r].max(t);
         }
     }
@@ -116,6 +129,7 @@ impl MpiWorld {
         for r in 0..self.size() {
             let waited = done - self.rank_time[r];
             self.profile.record_mpi(r, MpiOp::Barrier, waited, 0);
+            Self::trace_op("barrier", r, self.rank_time[r], done);
             self.rank_time[r] = done;
         }
     }
@@ -128,6 +142,7 @@ impl MpiWorld {
         for r in 0..self.size() {
             let waited = done - self.rank_time[r];
             self.profile.record_mpi(r, MpiOp::Allreduce, waited, bytes);
+            Self::trace_op("allreduce", r, self.rank_time[r], done);
             self.rank_time[r] = done;
         }
     }
@@ -140,6 +155,7 @@ impl MpiWorld {
         for r in 0..self.size() {
             let waited = done.saturating_sub(self.rank_time[r]);
             self.profile.record_mpi(r, MpiOp::Bcast, waited, if r == root { bytes } else { 0 });
+            Self::trace_op("bcast", r, self.rank_time[r], done);
             self.rank_time[r] = self.rank_time[r].max(done);
         }
     }
@@ -152,6 +168,7 @@ impl MpiWorld {
         let done = arrive + cost;
         let waited_root = done - self.rank_time[root];
         self.profile.record_mpi(root, MpiOp::Reduce, waited_root, 0);
+        Self::trace_op("reduce", root, self.rank_time[root], done);
         self.rank_time[root] = done;
         for r in 0..self.size() {
             if r != root {

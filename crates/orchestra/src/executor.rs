@@ -98,8 +98,21 @@ impl fmt::Display for PlaybookReport {
 pub fn run_playbook(
     playbook: &Playbook,
     inventory: &Inventory,
+    initial_states: BTreeMap<String, HostState>,
+    controller_files: BTreeMap<String, Vec<u8>>,
+) -> PlaybookReport {
+    run_playbook_traced(playbook, inventory, initial_states, controller_files, popper_trace::Tracer::disabled())
+}
+
+/// [`run_playbook`] with a wall-clock [`popper_trace::Tracer`]: one span
+/// per play on the `orchestra/controller` track and one span per
+/// `(task, host)` on that host's thread (`orchestra/<host>` tracks).
+pub fn run_playbook_traced(
+    playbook: &Playbook,
+    inventory: &Inventory,
     mut initial_states: BTreeMap<String, HostState>,
     controller_files: BTreeMap<String, Vec<u8>>,
+    tracer: popper_trace::Tracer,
 ) -> PlaybookReport {
     let mut report = PlaybookReport { controller_files, ..Default::default() };
 
@@ -122,6 +135,7 @@ pub fn run_playbook(
     }
 
     for play in &playbook.plays {
+        let _play_span = tracer.span("orchestra", "orchestra/controller", format!("play {}", play.name));
         let selected: Vec<String> = inventory.select(&play.hosts).iter().map(|h| h.name.clone()).collect();
         let mut dead: BTreeMap<String, bool> = selected.iter().map(|h| (h.clone(), false)).collect();
 
@@ -139,7 +153,10 @@ pub fn run_playbook(
                     let mut state = report.states.get(host_name).cloned().expect("state exists");
                     let slot = &results[i];
                     let controller = &controller;
+                    let tracer = tracer.clone();
                     scope.spawn(move |_| {
+                        let _task_span =
+                            tracer.span("orchestra", format!("orchestra/{host_name}"), &task.name);
                         let status = run_task_on_host(task, &mut state, controller);
                         *slot.lock() = Some((status, state));
                     });

@@ -23,7 +23,7 @@ pub mod inventory;
 pub mod modules;
 pub mod playbook;
 
-pub use executor::{run_playbook, HostReport, PlaybookReport, TaskStatus};
+pub use executor::{run_playbook, run_playbook_traced, HostReport, PlaybookReport, TaskStatus};
 pub use inventory::{Host, Inventory};
 pub use modules::HostState;
 pub use playbook::{Play, Playbook, Task};

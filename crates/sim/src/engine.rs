@@ -8,6 +8,7 @@
 //! makes every simulation a deterministic function of its inputs.
 
 use crate::time::Nanos;
+use popper_trace::Tracer;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -38,20 +39,40 @@ impl<W> Ord for Event<W> {
     }
 }
 
+/// How many dispatches between `pending` counter samples in a trace.
+/// Sampling (rather than recording every queue length) keeps tracing
+/// overhead bounded on event-dense models.
+const COUNTER_EVERY: u64 = 64;
+
 /// A discrete-event simulator over a world `W`.
 pub struct Sim<W> {
     now: Nanos,
     seq: u64,
     fired: u64,
     queue: BinaryHeap<Event<W>>,
+    tracer: Tracer,
     /// The modeled system's state, freely accessible to event actions.
     pub world: W,
 }
 
 impl<W> Sim<W> {
-    /// Create a simulator at time zero around `world`.
+    /// Create a simulator at time zero around `world`. Captures the
+    /// ambient [`popper_trace::current`] tracer; a virtual-domain tracer
+    /// makes the engine emit a dispatch timeline in simulated time.
     pub fn new(world: W) -> Self {
-        Sim { now: Nanos::ZERO, seq: 0, fired: 0, queue: BinaryHeap::new(), world }
+        Sim {
+            now: Nanos::ZERO,
+            seq: 0,
+            fired: 0,
+            queue: BinaryHeap::new(),
+            tracer: popper_trace::current(),
+            world,
+        }
+    }
+
+    /// Replace the tracer captured at construction.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// Current virtual time.
@@ -91,6 +112,12 @@ impl<W> Sim<W> {
         debug_assert!(ev.at >= self.now);
         self.now = ev.at;
         self.fired += 1;
+        if self.tracer.is_enabled() {
+            self.tracer.instant_at("sim", "sim/engine", "dispatch", self.now.0);
+            if self.fired % COUNTER_EVERY == 1 {
+                self.tracer.counter_at("sim/engine", "pending", self.queue.len() as f64, self.now.0);
+            }
+        }
         (ev.action)(self);
         true
     }

@@ -95,7 +95,29 @@ impl Fabric {
         let (e_start, e_fin) = self.egress[src].admit_relaxed(now, link_t);
         let (c_start, c_fin) = self.core.admit_relaxed(e_start, core_t);
         let (_i_start, i_fin) = self.ingress[dst].admit_relaxed(c_start, link_t);
-        self.latency + e_fin.max(c_fin).max(i_fin)
+        let done = self.latency + e_fin.max(c_fin).max(i_fin);
+        let tracer = popper_trace::current();
+        if tracer.is_enabled() {
+            // One span per transfer on the sender's egress track, from
+            // egress admission to receiver completion, plus a child span
+            // for the queueing-sensitive egress stage itself.
+            let xfer = tracer.span_at(
+                "net",
+                format!("sim/net/node{src}"),
+                format!("xfer {bytes}B ->{dst}"),
+                e_start.0,
+                done.0,
+            );
+            tracer.span_at_child(
+                xfer,
+                "net",
+                format!("sim/net/node{src}"),
+                "egress",
+                e_start.0,
+                e_fin.0,
+            );
+        }
+        done
     }
 
     /// A small-message round trip between two nodes (an RPC): two

@@ -1,0 +1,153 @@
+//! Exporters: Chrome `trace_event` JSON and an ASCII summary table.
+
+use crate::event::{EventKind, TraceEvent};
+use popper_format::Value;
+use std::collections::BTreeMap;
+
+/// Microseconds as f64, the unit `chrome://tracing` expects. Exact for
+/// any virtual time below ~104 days, and deterministic always.
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1000.0
+}
+
+/// Stable track → tid assignment: sorted track names, tids from 1.
+fn track_ids(events: &[TraceEvent]) -> BTreeMap<&str, u64> {
+    let mut tracks: Vec<&str> = events.iter().map(|e| e.track.as_str()).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    tracks.into_iter().zip(1u64..).collect()
+}
+
+/// Build a Chrome `trace_event` document (the object form, with a
+/// `traceEvents` array) as a [`popper_format::Value`]. Load the JSON in
+/// `chrome://tracing` or Perfetto.
+pub fn chrome_trace(events: &[TraceEvent]) -> Value {
+    let tids = track_ids(events);
+    let mut out: Vec<Value> = Vec::with_capacity(events.len() + tids.len() + 1);
+
+    let meta = |name: &str, tid: Option<u64>, value: &str| {
+        let mut m = vec![
+            ("name".to_string(), Value::Str(name.to_string())),
+            ("ph".to_string(), Value::Str("M".to_string())),
+            ("pid".to_string(), Value::Num(1.0)),
+        ];
+        if let Some(tid) = tid {
+            m.push(("tid".to_string(), Value::Num(tid as f64)));
+        }
+        m.push((
+            "args".to_string(),
+            Value::Map(vec![("name".to_string(), Value::Str(value.to_string()))]),
+        ));
+        Value::Map(m)
+    };
+    out.push(meta("process_name", None, "popper"));
+    for (track, tid) in &tids {
+        out.push(meta("thread_name", Some(*tid), track));
+    }
+
+    for e in events {
+        let tid = tids[e.track.as_str()];
+        let mut m = vec![
+            ("name".to_string(), Value::Str(e.name.clone())),
+            ("cat".to_string(), Value::Str(e.category.to_string())),
+            ("pid".to_string(), Value::Num(1.0)),
+            ("tid".to_string(), Value::Num(tid as f64)),
+        ];
+        match e.kind {
+            EventKind::Span { start_ns, end_ns } => {
+                m.push(("ph".to_string(), Value::Str("X".to_string())));
+                m.push(("ts".to_string(), Value::Num(us(start_ns))));
+                m.push(("dur".to_string(), Value::Num(us(end_ns - start_ns))));
+                let mut args = vec![("id".to_string(), Value::Num(e.id.0 as f64))];
+                if !e.parent.is_none() {
+                    args.push(("parent".to_string(), Value::Num(e.parent.0 as f64)));
+                }
+                m.push(("args".to_string(), Value::Map(args)));
+            }
+            EventKind::Instant { ts_ns } => {
+                m.push(("ph".to_string(), Value::Str("i".to_string())));
+                m.push(("ts".to_string(), Value::Num(us(ts_ns))));
+                m.push(("s".to_string(), Value::Str("t".to_string())));
+            }
+            EventKind::Counter { ts_ns, value } => {
+                m.push(("ph".to_string(), Value::Str("C".to_string())));
+                m.push(("ts".to_string(), Value::Num(us(ts_ns))));
+                m.push((
+                    "args".to_string(),
+                    Value::Map(vec![(e.name.clone(), Value::Num(value))]),
+                ));
+            }
+        }
+        out.push(Value::Map(m));
+    }
+
+    Value::Map(vec![
+        ("traceEvents".to_string(), Value::List(out)),
+        ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),
+    ])
+}
+
+/// Chrome trace as a JSON string (stable output: same events ⇒ same
+/// bytes).
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    popper_format::json::to_string(&chrome_trace(events))
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// A fixed-width per-(track, span-name) summary: call count, total,
+/// mean and max duration. The `popper trace` command prints this.
+pub fn summary_table(events: &[TraceEvent]) -> String {
+    #[derive(Default)]
+    struct Agg {
+        count: u64,
+        total: u64,
+        max: u64,
+    }
+    let mut rows: BTreeMap<(String, String), Agg> = BTreeMap::new();
+    let mut instants = 0u64;
+    let mut counters = 0u64;
+    for e in events {
+        match e.kind {
+            EventKind::Span { .. } => {
+                let a = rows.entry((e.track.clone(), e.name.clone())).or_default();
+                a.count += 1;
+                a.total += e.duration_ns();
+                a.max = a.max.max(e.duration_ns());
+            }
+            EventKind::Instant { .. } => instants += 1,
+            EventKind::Counter { .. } => counters += 1,
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:<24} {:>7} {:>10} {:>10} {:>10}\n",
+        "track", "span", "count", "total", "mean", "max"
+    ));
+    for ((track, name), a) in &rows {
+        out.push_str(&format!(
+            "{:<28} {:<24} {:>7} {:>10} {:>10} {:>10}\n",
+            track,
+            name,
+            a.count,
+            fmt_ns(a.total),
+            fmt_ns(a.total / a.count.max(1)),
+            fmt_ns(a.max),
+        ));
+    }
+    out.push_str(&format!(
+        "({} span kinds, {instants} instants, {counters} counter samples)\n",
+        rows.len()
+    ));
+    out
+}

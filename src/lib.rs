@@ -22,6 +22,7 @@
 //! | [`popper_minimpi`] | MPI/LULESH use case (§5.3) |
 //! | [`popper_weather`] | weather-analysis use case (Fig. `bww-airtemp`) |
 //! | [`popper_viz`] | chart rendering — SVG and ASCII (the Jupyter/Gnuplot slot) |
+//! | [`popper_trace`] | structured tracing: spans, timelines, Chrome trace export |
 
 pub use popper_aver as aver;
 pub use popper_ci as ci;
@@ -36,6 +37,7 @@ pub use popper_orchestra as orchestra;
 pub use popper_sim as sim;
 pub use popper_store as store;
 pub use popper_torpor as torpor;
+pub use popper_trace as trace;
 pub use popper_vcs as vcs;
 pub use popper_viz as viz;
 pub use popper_weather as weather;
