@@ -9,6 +9,13 @@ jobs:
   - name: trace-determinism
     stage: test
     steps: [cargo test --test trace_pipeline]
+  - name: chaos-determinism
+    stage: test
+    steps: [cargo test --test chaos_pipeline]
+    retries: 1
   - name: trace-overhead-smoke
     stage: bench
     steps: [cargo bench --bench ablations trace_overhead]
+  - name: fault-overhead-smoke
+    stage: bench
+    steps: [cargo bench --bench ablations fault_overhead]

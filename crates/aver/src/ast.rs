@@ -116,6 +116,12 @@ pub enum BoolFn {
     Constant,
     /// `within(a, b, pct)` — |a-b| ≤ pct% of |b|.
     Within,
+    /// `recovers_within(col, bound)` — every recovery time in `col` is
+    /// at most `bound` (chaos experiments: recovery deadline held).
+    RecoversWithin,
+    /// `degraded_at_most(col, x)` — every degradation measure in `col`
+    /// is at most `x` (chaos experiments: degraded-mode share bounded).
+    DegradedAtMost,
 }
 
 impl BoolFn {
@@ -129,6 +135,8 @@ impl BoolFn {
             "decreasing" => BoolFn::Decreasing,
             "constant" => BoolFn::Constant,
             "within" => BoolFn::Within,
+            "recovers_within" => BoolFn::RecoversWithin,
+            "degraded_at_most" => BoolFn::DegradedAtMost,
             _ => return None,
         })
     }
@@ -139,6 +147,7 @@ impl BoolFn {
             BoolFn::Sublinear | BoolFn::Superlinear | BoolFn::Linear | BoolFn::Increasing | BoolFn::Decreasing => 2..=2,
             BoolFn::Constant => 1..=2,
             BoolFn::Within => 3..=3,
+            BoolFn::RecoversWithin | BoolFn::DegradedAtMost => 2..=2,
         }
     }
 
@@ -152,6 +161,8 @@ impl BoolFn {
             BoolFn::Decreasing => "decreasing",
             BoolFn::Constant => "constant",
             BoolFn::Within => "within",
+            BoolFn::RecoversWithin => "recovers_within",
+            BoolFn::DegradedAtMost => "degraded_at_most",
         }
     }
 }
@@ -270,6 +281,8 @@ mod tests {
             BoolFn::Decreasing,
             BoolFn::Constant,
             BoolFn::Within,
+            BoolFn::RecoversWithin,
+            BoolFn::DegradedAtMost,
         ] {
             assert_eq!(BoolFn::from_name(f.name()), Some(f));
         }

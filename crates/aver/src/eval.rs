@@ -282,6 +282,15 @@ fn eval_call(f: BoolFn, args: &[Arg], group: &Table) -> Result<bool, AverError> 
             }
             Ok(((a - b) / b).abs() * 100.0 <= pct)
         }
+        BoolFn::RecoversWithin | BoolFn::DegradedAtMost => {
+            let col = arg_column(&args[0], f.name())?;
+            let ys = numeric(group, col)?;
+            if ys.is_empty() {
+                return Err(AverError::Eval(format!("{}: empty column '{col}'", f.name())));
+            }
+            let bound = eval_arith(arg_arith(&args[1])?, group)?;
+            Ok(ys.iter().all(|y| *y <= bound))
+        }
     }
 }
 
@@ -519,6 +528,27 @@ mod tests {
         assert_fails("expect constant(v, 0.5)", &t);
         assert_passes("expect within(avg(v), 100, 1)", &t);
         assert_fails("expect within(avg(v), 90, 1)", &t);
+    }
+
+    #[test]
+    fn chaos_recovery_predicates() {
+        let t = Table::from_csv(
+            "schedule,recovery_ms,degraded_fraction\n\
+             node-crash,84.2,0.21\n\
+             node-crash,84.2,0.21\n\
+             partition,70.0,0.33\n",
+        )
+        .unwrap();
+        assert_passes("when schedule=* expect recovers_within(recovery_ms, 5000)", &t);
+        assert_fails("when schedule=* expect recovers_within(recovery_ms, 80)", &t);
+        assert_passes("expect degraded_at_most(degraded_fraction, 0.5)", &t);
+        assert_fails("expect degraded_at_most(degraded_fraction, 0.3)", &t);
+        // Bounds may be arithmetic, columns must be columns.
+        assert_passes("expect recovers_within(recovery_ms, 50 + 50)", &t);
+        assert!(matches!(
+            check("expect recovers_within(bogus, 1)", &t),
+            Err(AverError::Eval(_))
+        ));
     }
 
     #[test]

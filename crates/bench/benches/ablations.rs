@@ -12,6 +12,10 @@
 //! * **tracing overhead** (`ablate_trace_overhead`) — the sim hot path
 //!   with a disabled vs. an enabled `popper-trace` sink; a disabled
 //!   sink must stay below 5% so instrumentation can ship always-on.
+//! * **fault-plane overhead** (`ablate_fault_overhead`) — the fabric
+//!   admit path with a healthy vs. an active `FaultPlane`; a healthy
+//!   plane is one branch per transfer and must stay below 5% so fault
+//!   support can stay compiled into every run.
 
 use criterion::{criterion_group, Criterion};
 use popper_monitor::stressors::STRESSORS;
@@ -116,6 +120,81 @@ fn dispatch_loop(tracer: Option<popper_trace::Tracer>, n: u64) -> u64 {
     sim.schedule_in(Nanos(1), tick);
     sim.run_capped(n);
     sim.world
+}
+
+/// The fabric admit path under an optionally-active fault plane. With
+/// a healthy plane [`popper_sim::Fabric::try_transfer`] pays exactly
+/// one `is_active()` branch; with faults injected it also consults
+/// per-link latency factors, loss, and reachability.
+fn fault_loop(faulted: bool, n: u64) -> u64 {
+    use popper_sim::{Fabric, Nanos};
+    let mut fabric = Fabric::new(8, 10.0, Nanos::from_micros(5), 1.0);
+    if faulted {
+        fabric.faults_mut().set_seed(11);
+        fabric.faults_mut().set_latency_factor(1, 4.0);
+        fabric.faults_mut().set_loss(2, 0.05);
+    }
+    let mut acc = 0u64;
+    for i in 0..n {
+        let done = fabric.transfer(
+            (i % 8) as usize,
+            ((i + 3) % 8) as usize,
+            4096 + (i * 37) % 65536,
+            Nanos(i * 1_000),
+        );
+        acc ^= done.0;
+    }
+    acc
+}
+
+fn print_fault_overhead_ablation() {
+    use popper_sim::FaultPlane;
+    use std::time::Instant;
+    const N: u64 = 500_000;
+    eprintln!("{}", popper_bench::banner("A4: fault-plane overhead (healthy vs active)"));
+
+    // Warm the code paths.
+    fault_loop(false, 10_000);
+
+    let t0 = Instant::now();
+    let a = fault_loop(false, N);
+    let healthy = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let b = fault_loop(true, N);
+    let active = t0.elapsed().as_secs_f64();
+    criterion::black_box(a ^ b);
+
+    // Marginal cost of the healthy-plane branch in isolation.
+    let plane = FaultPlane::new(8);
+    let t0 = Instant::now();
+    let mut hits = 0u64;
+    for _ in 0..N {
+        if criterion::black_box(&plane).is_active() {
+            hits += 1;
+        }
+    }
+    criterion::black_box(hits);
+    let check = t0.elapsed().as_secs_f64();
+
+    eprintln!("{N} fabric transfers:");
+    eprintln!("  healthy plane: {:>9.3} ms", healthy * 1e3);
+    eprintln!("  active plane:  {:>9.3} ms  (latency x4 + 5% loss)", active * 1e3);
+    let pct = check / healthy * 100.0;
+    eprintln!("  healthy-plane branch alone: {:.3} ms = {pct:.2}% of the admit path", check * 1e3);
+    assert!(pct < 5.0, "healthy FaultPlane branch exceeds the 5% budget: {pct:.2}%");
+    eprintln!("shape: a healthy plane is one branch per admit — under the 5% budget.\n");
+}
+
+fn ablate_fault_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/fault_overhead");
+    group.bench_function("admit_healthy", |b| {
+        b.iter(|| criterion::black_box(fault_loop(false, 2_000)));
+    });
+    group.bench_function("admit_faulted", |b| {
+        b.iter(|| criterion::black_box(fault_loop(true, 2_000)));
+    });
+    group.finish();
 }
 
 fn print_trace_overhead_ablation() {
@@ -237,6 +316,7 @@ criterion_group!(
     bench_baseline_gate,
     bench_statistics,
     ablate_trace_overhead,
+    ablate_fault_overhead,
     bench_writeback_ablation
 );
 
@@ -244,6 +324,7 @@ fn main() {
     print_hypervisor_ablation();
     print_statistics_ablation();
     print_trace_overhead_ablation();
+    print_fault_overhead_ablation();
     print_checkpoint_ablation();
     benches();
     criterion::Criterion::default().configure_from_args().final_summary();

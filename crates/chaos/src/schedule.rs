@@ -1,0 +1,427 @@
+//! Fault schedules: what breaks, and when.
+
+use popper_format::{json, Value};
+use popper_sim::Nanos;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One kind of infrastructure fault (or repair).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultKind {
+    /// Node stops sending and receiving.
+    Crash { node: usize },
+    /// Crashed node comes back (its in-memory state is gone; layers
+    /// with replicas rebuild it).
+    Restart { node: usize },
+    /// Split the cluster: `side` vs everyone else.
+    Partition { side: Vec<usize> },
+    /// Heal any partition.
+    Heal,
+    /// Packet loss on links touching `node`.
+    Loss { node: usize, p: f64 },
+    /// Latency inflation on links touching `node`.
+    Latency { node: usize, factor: f64 },
+    /// Disk slowdown on `node`.
+    DiskSlow { node: usize, factor: f64 },
+    /// Clear loss/latency/disk degradation.
+    ClearDegradation,
+}
+
+impl FaultKind {
+    /// Short human/trace label, e.g. `crash node2`.
+    pub fn label(&self) -> String {
+        match self {
+            FaultKind::Crash { node } => format!("crash node{node}"),
+            FaultKind::Restart { node } => format!("restart node{node}"),
+            FaultKind::Partition { side } => format!("partition {side:?}"),
+            FaultKind::Heal => "heal partition".to_string(),
+            FaultKind::Loss { node, p } => format!("loss node{node} p={p}"),
+            FaultKind::Latency { node, factor } => format!("latency node{node} x{factor}"),
+            FaultKind::DiskSlow { node, factor } => format!("disk-slow node{node} x{factor}"),
+            FaultKind::ClearDegradation => "clear degradation".to_string(),
+        }
+    }
+
+    /// The `kind:` string used in PML specs and `faults.json`.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            FaultKind::Crash { .. } => "crash",
+            FaultKind::Restart { .. } => "restart",
+            FaultKind::Partition { .. } => "partition",
+            FaultKind::Heal => "heal",
+            FaultKind::Loss { .. } => "loss",
+            FaultKind::Latency { .. } => "latency",
+            FaultKind::DiskSlow { .. } => "disk-slow",
+            FaultKind::ClearDegradation => "clear",
+        }
+    }
+}
+
+/// A fault at a point in virtual time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// When the fault fires.
+    pub at: Nanos,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A named, seeded, sorted schedule of fault events over a cluster of
+/// `nodes` endpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSchedule {
+    /// Schedule name (a built-in name, or `custom` for PML event lists).
+    pub name: String,
+    /// Seed for loss sampling and gremlin generation.
+    pub seed: u64,
+    /// Cluster size the schedule targets.
+    pub nodes: usize,
+    /// Events sorted by time (stable for equal times).
+    pub events: Vec<FaultEvent>,
+}
+
+/// The built-in schedule names accepted by `FaultSchedule::named` and
+/// the `popper chaos --schedule` flag.
+pub const BUILTIN_SCHEDULES: &[&str] =
+    &["node-crash", "partition", "packet-loss", "slow-disk", "gremlin"];
+
+impl FaultSchedule {
+    /// A built-in schedule by name. Node 0 is assumed to be the client
+    /// (FUSE mount / rank 0 home) and is never crashed.
+    pub fn named(name: &str, nodes: usize, seed: u64) -> Result<FaultSchedule, String> {
+        let ms = Nanos::from_millis;
+        // The last node, or 0 for a single-node cluster. Node 0 is the
+        // client, so multi-node schedules never crash it.
+        let victim = if nodes > 1 { nodes - 1 } else { 0 };
+        let events = match name {
+            "node-crash" => vec![
+                FaultEvent { at: ms(40), kind: FaultKind::Crash { node: victim } },
+                FaultEvent { at: ms(120), kind: FaultKind::Restart { node: victim } },
+            ],
+            "partition" => vec![
+                FaultEvent {
+                    at: ms(30),
+                    kind: FaultKind::Partition { side: (0..nodes.div_ceil(2)).collect() },
+                },
+                FaultEvent { at: ms(100), kind: FaultKind::Heal },
+            ],
+            "packet-loss" => {
+                let mut ev: Vec<FaultEvent> = (1..nodes)
+                    .map(|n| FaultEvent { at: ms(20), kind: FaultKind::Loss { node: n, p: 0.25 } })
+                    .collect();
+                ev.push(FaultEvent { at: ms(140), kind: FaultKind::ClearDegradation });
+                ev
+            }
+            "slow-disk" => vec![
+                FaultEvent { at: ms(10), kind: FaultKind::DiskSlow { node: 0, factor: 8.0 } },
+                FaultEvent { at: ms(150), kind: FaultKind::ClearDegradation },
+            ],
+            "gremlin" => return Ok(FaultSchedule::gremlin(nodes, seed)),
+            other => {
+                return Err(format!(
+                    "unknown fault schedule '{other}' (built-ins: {})",
+                    BUILTIN_SCHEDULES.join(", ")
+                ))
+            }
+        };
+        Ok(FaultSchedule { name: name.to_string(), seed, nodes, events })
+    }
+
+    /// A seeded random schedule: a handful of crash/restart pairs and
+    /// link degradations over a ~200 ms horizon. Node 0 never crashes;
+    /// every crash is paired with a restart; degradation is cleared at
+    /// the end, so the schedule always ends healthy.
+    pub fn gremlin(nodes: usize, seed: u64) -> FaultSchedule {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut events = Vec::new();
+        let faults = 2 + (rng.gen_range(0..3u32) as usize);
+        for _ in 0..faults {
+            let at = Nanos::from_millis(10 + rng.gen_range(0..120u64));
+            match rng.gen_range(0..4u32) {
+                0 if nodes > 1 => {
+                    let node = rng.gen_range(1..nodes);
+                    events.push(FaultEvent { at, kind: FaultKind::Crash { node } });
+                    events.push(FaultEvent {
+                        at: at + Nanos::from_millis(30 + rng.gen_range(0..40u64)),
+                        kind: FaultKind::Restart { node },
+                    });
+                }
+                1 => {
+                    let node = rng.gen_range(0..nodes);
+                    events.push(FaultEvent {
+                        at,
+                        kind: FaultKind::Loss { node, p: 0.1 + rng.gen::<f64>() * 0.3 },
+                    });
+                }
+                2 => {
+                    let node = rng.gen_range(0..nodes);
+                    events.push(FaultEvent {
+                        at,
+                        kind: FaultKind::Latency { node, factor: 2.0 + rng.gen::<f64>() * 6.0 },
+                    });
+                }
+                _ => {
+                    let node = rng.gen_range(0..nodes);
+                    events.push(FaultEvent {
+                        at,
+                        kind: FaultKind::DiskSlow { node, factor: 2.0 + rng.gen::<f64>() * 6.0 },
+                    });
+                }
+            }
+        }
+        events.push(FaultEvent { at: Nanos::from_millis(200), kind: FaultKind::ClearDegradation });
+        let mut s = FaultSchedule { name: "gremlin".to_string(), seed, nodes, events };
+        s.sort();
+        s
+    }
+
+    /// Decode a schedule from an experiment's `vars.pml` value. Returns
+    /// `Ok(None)` when there is no `faults:` key. The spec is either
+    ///
+    /// ```text
+    /// faults:
+    ///   schedule: node-crash     # a built-in name
+    ///   seed: 7
+    /// ```
+    ///
+    /// or an explicit event list:
+    ///
+    /// ```text
+    /// faults:
+    ///   seed: 7
+    ///   events:
+    ///     - {at_ms: 40, kind: crash, node: 2}
+    ///     - {at_ms: 90, kind: loss, node: 1, p: 0.2}
+    ///     - {at_ms: 120, kind: restart, node: 2}
+    /// ```
+    ///
+    /// The cluster size comes from `faults.nodes`, else the max of a
+    /// top-level `nodes` list, else a top-level `nodes` number, else 8.
+    pub fn from_vars(vars: &Value) -> Result<Option<FaultSchedule>, String> {
+        let Some(spec) = vars.get("faults") else { return Ok(None) };
+        let nodes = spec
+            .get_num("nodes")
+            .or_else(|| {
+                vars.get_list("nodes").map(|l| {
+                    l.iter().filter_map(Value::as_num).fold(0.0f64, f64::max)
+                })
+            })
+            .or_else(|| vars.get_num("nodes"))
+            .filter(|n| *n >= 1.0)
+            .unwrap_or(8.0) as usize;
+        let seed = spec.get_num("seed").unwrap_or(1.0) as u64;
+        if let Some(name) = spec.get_str("schedule") {
+            return FaultSchedule::named(name, nodes, seed).map(Some);
+        }
+        let Some(list) = spec.get_list("events") else {
+            return Err("faults: needs either 'schedule: <name>' or an 'events:' list".into());
+        };
+        let mut events = Vec::with_capacity(list.len());
+        for (i, ev) in list.iter().enumerate() {
+            events.push(decode_event(ev).map_err(|e| format!("faults.events[{i}]: {e}"))?);
+        }
+        let mut s = FaultSchedule { name: "custom".to_string(), seed, nodes, events };
+        s.sort();
+        Ok(Some(s))
+    }
+
+    fn sort(&mut self) {
+        self.events.sort_by_key(|e| e.at);
+    }
+
+    /// Virtual time of the first crash event, if any (recovery clocks
+    /// start here).
+    pub fn first_crash(&self) -> Option<Nanos> {
+        self.events.iter().find_map(|e| match e.kind {
+            FaultKind::Crash { .. } => Some(e.at),
+            _ => None,
+        })
+    }
+
+    /// Time of the last event.
+    pub fn horizon(&self) -> Nanos {
+        self.events.last().map(|e| e.at).unwrap_or(Nanos::ZERO)
+    }
+
+    /// Serialize to the deterministic `faults.json` artifact.
+    pub fn to_json(&self) -> String {
+        let mut doc = Value::empty_map();
+        doc.insert("schedule", Value::Str(self.name.clone()));
+        doc.insert("seed", Value::Num(self.seed as f64));
+        doc.insert("nodes", Value::Num(self.nodes as f64));
+        let events: Vec<Value> = self
+            .events
+            .iter()
+            .map(|e| {
+                let mut m = Value::empty_map();
+                m.insert("at_ms", Value::Num(e.at.as_millis_f64()));
+                m.insert("kind", Value::Str(e.kind.kind_name().to_string()));
+                match &e.kind {
+                    FaultKind::Crash { node } | FaultKind::Restart { node } => {
+                        m.insert("node", Value::Num(*node as f64));
+                    }
+                    FaultKind::Partition { side } => {
+                        m.insert(
+                            "side",
+                            Value::List(side.iter().map(|n| Value::Num(*n as f64)).collect()),
+                        );
+                    }
+                    FaultKind::Loss { node, p } => {
+                        m.insert("node", Value::Num(*node as f64));
+                        m.insert("p", Value::Num(*p));
+                    }
+                    FaultKind::Latency { node, factor } | FaultKind::DiskSlow { node, factor } => {
+                        m.insert("node", Value::Num(*node as f64));
+                        m.insert("factor", Value::Num(*factor));
+                    }
+                    FaultKind::Heal | FaultKind::ClearDegradation => {}
+                }
+                m
+            })
+            .collect();
+        doc.insert("events", Value::List(events));
+        json::to_string_pretty(&doc)
+    }
+}
+
+fn decode_event(ev: &Value) -> Result<FaultEvent, String> {
+    let at_ms = ev.get_num("at_ms").ok_or("missing at_ms")?;
+    if at_ms < 0.0 {
+        return Err("at_ms must be >= 0".into());
+    }
+    let at = Nanos::from_secs_f64(at_ms / 1e3);
+    let kind = ev.get_str("kind").ok_or("missing kind")?;
+    let node = || -> Result<usize, String> {
+        ev.get_num("node").map(|n| n as usize).ok_or_else(|| format!("{kind} needs node"))
+    };
+    let kind = match kind {
+        "crash" => FaultKind::Crash { node: node()? },
+        "restart" => FaultKind::Restart { node: node()? },
+        "partition" => {
+            let side = ev
+                .get_list("side")
+                .ok_or("partition needs side")?
+                .iter()
+                .filter_map(Value::as_num)
+                .map(|n| n as usize)
+                .collect();
+            FaultKind::Partition { side }
+        }
+        "heal" => FaultKind::Heal,
+        "loss" => FaultKind::Loss { node: node()?, p: ev.get_num("p").ok_or("loss needs p")? },
+        "latency" => FaultKind::Latency {
+            node: node()?,
+            factor: ev.get_num("factor").ok_or("latency needs factor")?,
+        },
+        "disk-slow" => FaultKind::DiskSlow {
+            node: node()?,
+            factor: ev.get_num("factor").ok_or("disk-slow needs factor")?,
+        },
+        "clear" => FaultKind::ClearDegradation,
+        other => return Err(format!("unknown fault kind '{other}'")),
+    };
+    Ok(FaultEvent { at, kind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popper_format::pml;
+
+    #[test]
+    fn builtins_resolve_and_sort() {
+        for name in BUILTIN_SCHEDULES {
+            let s = FaultSchedule::named(name, 8, 1).unwrap();
+            assert_eq!(&s.name, name);
+            assert!(!s.events.is_empty(), "{name} must have events");
+            assert!(s.events.windows(2).all(|w| w[0].at <= w[1].at), "{name} sorted");
+        }
+        assert!(FaultSchedule::named("nope", 8, 1).is_err());
+    }
+
+    #[test]
+    fn node_crash_pairs_crash_with_restart() {
+        let s = FaultSchedule::named("node-crash", 4, 1).unwrap();
+        assert_eq!(s.events[0].kind, FaultKind::Crash { node: 3 });
+        assert_eq!(s.events[1].kind, FaultKind::Restart { node: 3 });
+        assert_eq!(s.first_crash(), Some(Nanos::from_millis(40)));
+        assert_eq!(s.horizon(), Nanos::from_millis(120));
+    }
+
+    #[test]
+    fn gremlin_is_seed_deterministic_and_spares_node0() {
+        let a = FaultSchedule::gremlin(6, 42);
+        let b = FaultSchedule::gremlin(6, 42);
+        assert_eq!(a, b);
+        assert_ne!(a, FaultSchedule::gremlin(6, 43));
+        for e in &a.events {
+            if let FaultKind::Crash { node } = e.kind {
+                assert_ne!(node, 0, "gremlin must never crash the client");
+            }
+        }
+        // Every crash has a matching restart.
+        let crashes: Vec<usize> = a
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::Crash { node } => Some(node),
+                _ => None,
+            })
+            .collect();
+        for n in crashes {
+            assert!(a
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, FaultKind::Restart { node } if node == n)));
+        }
+    }
+
+    #[test]
+    fn from_vars_reads_builtin_spec() {
+        let vars =
+            pml::parse("nodes: [1, 2, 4]\nfaults:\n  schedule: node-crash\n  seed: 9\n").unwrap();
+        let s = FaultSchedule::from_vars(&vars).unwrap().unwrap();
+        assert_eq!(s.name, "node-crash");
+        assert_eq!(s.seed, 9);
+        assert_eq!(s.nodes, 4, "nodes from the max of the top-level list");
+        assert_eq!(s.events[0].kind, FaultKind::Crash { node: 3 });
+    }
+
+    #[test]
+    fn from_vars_reads_event_list() {
+        let vars = pml::parse(
+            "faults:\n  nodes: 4\n  events:\n    - {at_ms: 90, kind: loss, node: 1, p: 0.2}\n    - {at_ms: 40, kind: crash, node: 2}\n    - {at_ms: 120, kind: restart, node: 2}\n",
+        )
+        .unwrap();
+        let s = FaultSchedule::from_vars(&vars).unwrap().unwrap();
+        assert_eq!(s.name, "custom");
+        // Sorted by time regardless of spec order.
+        assert_eq!(s.events[0].kind, FaultKind::Crash { node: 2 });
+        assert_eq!(s.events[1].kind, FaultKind::Loss { node: 1, p: 0.2 });
+    }
+
+    #[test]
+    fn from_vars_absent_and_malformed() {
+        assert_eq!(FaultSchedule::from_vars(&pml::parse("x: 1\n").unwrap()).unwrap(), None);
+        assert!(FaultSchedule::from_vars(&pml::parse("faults: {seed: 1}\n").unwrap()).is_err());
+        assert!(FaultSchedule::from_vars(
+            &pml::parse("faults: {events: [{at_ms: 1, kind: warp}]}\n").unwrap()
+        )
+        .is_err());
+        assert!(FaultSchedule::from_vars(
+            &pml::parse("faults: {schedule: frob}\n").unwrap()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn faults_json_is_deterministic_and_parses() {
+        let s = FaultSchedule::named("gremlin", 8, 5).unwrap();
+        let a = s.to_json();
+        assert_eq!(a, s.to_json());
+        let doc = json::parse(&a).unwrap();
+        assert_eq!(doc.get_str("schedule"), Some("gremlin"));
+        assert_eq!(doc.get_num("nodes"), Some(8.0));
+        assert!(!doc.get_list("events").unwrap().is_empty());
+    }
+}

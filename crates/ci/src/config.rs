@@ -17,6 +17,10 @@ pub struct Job {
     /// If true, a failure does not fail the build (Travis's
     /// `allow_failures`).
     pub allow_failure: bool,
+    /// Re-run a failing step up to this many extra times before
+    /// counting the job as failed (the flaky-job retry policy);
+    /// 0 means fail on the first error.
+    pub retries: u32,
 }
 
 /// A build matrix: named axes, each with a list of values. Jobs are
@@ -128,7 +132,14 @@ impl PipelineConfig {
                 }
             }
             let allow_failure = j.get_bool("allow_failure").unwrap_or(false);
-            jobs.push(Job { name, stage, steps, env, allow_failure });
+            let retries = match j.get_num("retries") {
+                Some(n) if n < 0.0 => {
+                    return Err(format!("job '{name}': 'retries' must be >= 0"));
+                }
+                Some(n) => n as u32,
+                None => 0,
+            };
+            jobs.push(Job { name, stage, steps, env, allow_failure, retries });
         }
         if jobs.is_empty() {
             return Err("pipeline has no jobs".into());

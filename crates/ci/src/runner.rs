@@ -199,8 +199,21 @@ fn run_job(job: &Job, executor: &Executor) -> JobResult {
     for step in &job.steps {
         steps_run += 1;
         let ctx = StepCtx { command: step.clone(), env: job.env.clone(), job: job.name.clone() };
-        let outcome = executor(&ctx);
+        // Flaky-job policy: a failing step gets `retries` extra attempts
+        // before it fails the job; every attempt is logged.
+        let mut outcome = executor(&ctx);
         log.push_str(&format!("$ {step}\n{}\n", outcome.log.trim_end()));
+        let mut attempt = 1;
+        while !outcome.success && attempt <= job.retries {
+            attempt += 1;
+            outcome = executor(&ctx);
+            log.push_str(&format!(
+                "$ {step} (retry {}/{})\n{}\n",
+                attempt - 1,
+                job.retries,
+                outcome.log.trim_end()
+            ));
+        }
         if !outcome.success {
             failed = true;
             break;
@@ -294,6 +307,50 @@ jobs:
         let report = run_pipeline(&config(src), echo_executor(), 2);
         assert!(report.passed());
         assert!(report.jobs.iter().any(|j| j.status == JobStatus::SoftFailed));
+    }
+
+    #[test]
+    fn retries_rescue_flaky_jobs_and_log_attempts() {
+        let src = "\
+stages: [test]
+jobs:
+  - name: flaky
+    stage: test
+    steps: [sometimes]
+    retries: 2
+  - name: fragile
+    stage: test
+    steps: [sometimes]
+";
+        // Fails the first two calls per run, then passes: the retried
+        // job recovers, the unretried one does not.
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c2 = calls.clone();
+        let executor: Executor = Arc::new(move |ctx: &StepCtx| {
+            // Count per job: the first two attempts of 'flaky' fail, the
+            // single attempt of 'fragile' fails.
+            if ctx.job == "flaky" && c2.fetch_add(1, Ordering::SeqCst) < 2 {
+                StepOutcome::fail("transient network burp")
+            } else if ctx.job == "fragile" {
+                StepOutcome::fail("no retries for me")
+            } else {
+                StepOutcome::pass("made it")
+            }
+        });
+        let report = run_pipeline(&config(src), executor, 1);
+        let flaky = report.jobs.iter().find(|j| j.name == "flaky").unwrap();
+        assert_eq!(flaky.status, JobStatus::Passed, "{}", flaky.log);
+        assert!(flaky.log.contains("(retry 1/2)"), "{}", flaky.log);
+        assert!(flaky.log.contains("(retry 2/2)"), "{}", flaky.log);
+        let fragile = report.jobs.iter().find(|j| j.name == "fragile").unwrap();
+        assert_eq!(fragile.status, JobStatus::Failed);
+        assert!(!fragile.log.contains("retry"));
+    }
+
+    #[test]
+    fn negative_retries_rejected() {
+        let src = "stages: [t]\njobs:\n  - name: j\n    stage: t\n    steps: [x]\n    retries: -1\n";
+        assert!(PipelineConfig::from_pml(src).unwrap_err().contains("retries"));
     }
 
     #[test]

@@ -277,6 +277,45 @@ pub fn dispatch(parsed: &Parsed, dir: &Path) -> Result<String, String> {
                 Err(out)
             }
         }
+        Some("chaos") => {
+            let name = parsed
+                .pos(1)
+                .ok_or("usage: popper chaos <experiment> [--schedule <name>] [--seed <n>]")?;
+            let schedule = parsed.flag_value("schedule");
+            let seed = match parsed.flag_value("seed") {
+                None => None,
+                Some(v) => Some(
+                    v.parse::<u64>()
+                        .map_err(|_| format!("--seed expects an unsigned integer, got '{v}'"))?,
+                ),
+            };
+            let mut repo = persist::load(dir, &author)?;
+            let engine = full_engine();
+            // Trace the run so faults and failovers are visible on the
+            // recorded timeline next to the lifecycle spans.
+            let sink = popper_trace::TraceSink::new();
+            let tracer = sink.tracer(popper_trace::ClockDomain::Wall);
+            let report = popper_trace::with_current(tracer.clone(), || {
+                engine.run_chaos(&mut repo, name, schedule, seed)
+            })?;
+            tracer.flush();
+            let events = sink.drain();
+            let json = popper_trace::chrome_trace_json(&events);
+            repo.write(&format!("experiments/{name}/trace.json"), json.into_bytes())
+                .map_err(|e| e.to_string())?;
+            repo.commit(&format!("popper chaos {name}: record trace"))
+                .map_err(|e| e.to_string())?;
+            persist::save(&repo, dir)?;
+            let out = format!(
+                "{report}\n-- recorded experiments/{name}/faults.json, recovery.json, trace.json ({} event(s))\n",
+                events.len(),
+            );
+            if report.success() {
+                Ok(out)
+            } else {
+                Err(out)
+            }
+        }
         Some("commit") => {
             let mut repo = persist::load(dir, &author)?;
             let message = parsed.pos(1).unwrap_or("checkpoint").to_string();
@@ -358,6 +397,8 @@ COMMANDS:
     check                     compliance check (is this Popperized?)
     run <experiment>          run the full experiment lifecycle
     trace <experiment>        run with tracing; records trace.json + trace.svg
+    chaos <experiment>        run under fault injection; records faults.json + recovery.json
+                              [--schedule node-crash|partition|packet-loss|slow-disk|gremlin] [--seed N]
     validate <experiment>     re-check Aver validations on stored results\n    verify <experiment>       numerical reproducibility: re-execute and compare bytes
     pack <experiment>         build a provenance-labeled container image\n    ci [--workers N]          run .popper-ci.pml
     status | log | commit     repository plumbing\n    branch | checkout | merge collaboration plumbing
@@ -473,6 +514,27 @@ mod tests {
         assert!(out.contains("working tree clean"));
         let out = run(&["log"], &dir).unwrap();
         assert!(out.contains("edit readme"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chaos_via_cli() {
+        let dir = temp_dir("chaos");
+        run(&["init"], &dir).unwrap();
+        run(&["add", "gassyfs", "g"], &dir).unwrap();
+        let out = run(&["chaos", "g", "--schedule", "node-crash", "--seed", "7"], &dir).unwrap();
+        assert!(out.contains("SURVIVED"), "{out}");
+        assert!(out.contains("recovery:"), "{out}");
+        for artifact in ["faults.json", "recovery.json", "results.csv", "trace.json"] {
+            assert!(dir.join(format!("experiments/g/{artifact}")).is_file(), "missing {artifact}");
+        }
+        let faults = fs::read_to_string(dir.join("experiments/g/faults.json")).unwrap();
+        assert!(faults.contains("\"crash\""), "{faults}");
+        let trace = fs::read_to_string(dir.join("experiments/g/trace.json")).unwrap();
+        assert!(trace.contains("chaos"), "fault injections must appear in the trace");
+        let log = run(&["log"], &dir).unwrap();
+        assert!(log.contains("record fault timeline"), "{log}");
+        assert!(run(&["chaos", "g", "--schedule", "warp"], &dir).is_err());
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -36,6 +36,28 @@ fn num_list(vars: &Value, key: &str) -> Option<Vec<f64>> {
 }
 
 fn gassyfs_runner(vars: &Value) -> Result<Table, String> {
+    // A `faults:` spec flips the runner into chaos mode: same cluster,
+    // same workload shape, but a fault schedule plays out against the
+    // verify-read sweep and the table carries recovery metrics.
+    if let Some(schedule) = popper_chaos::FaultSchedule::from_vars(vars)? {
+        let machine = vars.get_str("machine").unwrap_or("gassyfs-node");
+        let platform =
+            platforms::by_name(machine).ok_or_else(|| format!("unknown machine '{machine}'"))?;
+        let mut config = popper_gassyfs::ChaosConfig {
+            nodes: schedule.nodes,
+            platform,
+            machine_label: machine.to_string(),
+            ..Default::default()
+        };
+        if let Some(e) = vars.get_num("epochs") {
+            config.epochs = e.max(1.0) as usize;
+        }
+        if let Some(f) = vars.get_num("files") {
+            config.files = f.max(1.0) as usize;
+        }
+        let report = popper_gassyfs::run_fault_tolerance(&config, &schedule)?;
+        return Ok(popper_gassyfs::chaos::to_table(&report, machine));
+    }
     let nodes: Vec<usize> = num_list(vars, "nodes")
         .unwrap_or_else(|| vec![1.0, 2.0, 4.0, 8.0, 16.0])
         .into_iter()

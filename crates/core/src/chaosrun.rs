@@ -1,0 +1,255 @@
+//! The chaos experiment lifecycle: `popper chaos <experiment>`.
+//!
+//! A chaos run is the ordinary lifecycle with a fault plane switched
+//! on: resolve the fault schedule (from `--schedule`/`--seed`
+//! overrides, the experiment's `faults:` spec in `vars.pml`, or the
+//! `node-crash` default), hand the augmented vars to the experiment's
+//! runner (fault-aware runners drive a [`popper_chaos::ChaosDriver`]
+//! against the simulated cluster), then record `results.csv`,
+//! `faults.json` and `recovery.json` as committed artifacts and check
+//! the experiment's `chaos.aver` (or the
+//! [`popper_chaos::DEFAULT_ASSERTIONS`]) over the results.
+
+use crate::experiment::ExperimentEngine;
+use crate::repo::PopperRepo;
+use popper_aver::Verdict;
+use popper_chaos::FaultSchedule;
+use popper_format::{json, Table, Value};
+use std::fmt;
+
+/// The outcome of one `popper chaos` run.
+#[derive(Debug)]
+pub struct ChaosRunReport {
+    /// Experiment name.
+    pub experiment: String,
+    /// The resolved fault schedule (what `faults.json` records).
+    pub schedule: FaultSchedule,
+    /// The results table.
+    pub results: Table,
+    /// The recovery metrics recorded to `recovery.json`.
+    pub metrics: Value,
+    /// The Aver verdict over the results (`chaos.aver` or defaults).
+    pub verdict: Verdict,
+    /// The commit that recorded the artifacts.
+    pub commit: Option<popper_vcs::ObjectId>,
+}
+
+impl ChaosRunReport {
+    /// Did the system survive the schedule (validations hold)?
+    pub fn success(&self) -> bool {
+        self.verdict.passed
+    }
+}
+
+impl fmt::Display for ChaosRunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "chaos '{}' [{} seed {}]: {}",
+            self.experiment,
+            self.schedule.name,
+            self.schedule.seed,
+            if self.success() { "SURVIVED" } else { "FAILED" }
+        )?;
+        writeln!(f, "  faults: {} events over {} nodes", self.schedule.events.len(), self.schedule.nodes)?;
+        if let Some(r) = self.metrics.get_num("recovery_ms") {
+            writeln!(f, "  recovery: {r:.2} ms")?;
+        }
+        if let Some(d) = self.metrics.get_num("degraded_fraction") {
+            writeln!(f, "  degraded: {:.1}% of accesses", d * 100.0)?;
+        }
+        write!(f, "  validation: {}", self.verdict)
+    }
+}
+
+impl ExperimentEngine {
+    /// Run one chaos experiment end to end. `schedule`/`seed` override
+    /// the experiment's own `faults:` spec; with neither, `node-crash`
+    /// is assumed. Lifecycle stages are traced on `core/lifecycle`.
+    pub fn run_chaos(
+        &self,
+        repo: &mut PopperRepo,
+        experiment: &str,
+        schedule: Option<&str>,
+        seed: Option<u64>,
+    ) -> Result<ChaosRunReport, String> {
+        let tracer = popper_trace::current();
+        let _run_span = tracer.span("core", "core/lifecycle", format!("chaos {experiment}"));
+        let mut vars = repo.experiment_vars(experiment)?;
+        let runner_name = vars
+            .get_str("runner")
+            .ok_or_else(|| format!("experiment '{experiment}': vars.pml has no 'runner'"))?
+            .to_string();
+        let runner = self
+            .runner(&runner_name)
+            .ok_or_else(|| format!("unknown runner '{runner_name}' (registered: {:?})", self.runners()))?;
+
+        // Resolve the schedule: overrides > vars.pml faults: > default.
+        let sched = {
+            let _s = tracer.span("core", "core/lifecycle", "schedule");
+            let mut faults = vars.get("faults").cloned().unwrap_or_else(Value::empty_map);
+            if let Some(name) = schedule {
+                faults.insert("schedule", Value::from(name));
+                faults.remove("events");
+            }
+            if let Some(seed) = seed {
+                faults.insert("seed", Value::from(seed as i64));
+            }
+            if faults.get("schedule").is_none() && faults.get("events").is_none() {
+                faults.insert("schedule", Value::from("node-crash"));
+            }
+            vars.insert("faults", faults);
+            FaultSchedule::from_vars(&vars)?
+                .ok_or_else(|| format!("experiment '{experiment}': no fault schedule resolved"))?
+        };
+
+        // Execute with the fault plane on (the runner sees `faults:`).
+        let results = {
+            let _s = tracer.span("core", "core/lifecycle", "execute");
+            runner(&vars)?
+        };
+        let metrics = recovery_metrics(&results, &sched);
+
+        // Record: results + fault timeline + recovery metrics, committed.
+        let record_span = tracer.span("core", "core/lifecycle", "record");
+        let dir = format!("experiments/{experiment}");
+        repo.write(&format!("{dir}/results.csv"), results.to_csv().into_bytes())
+            .map_err(|e| e.to_string())?;
+        repo.write(&format!("{dir}/faults.json"), sched.to_json().into_bytes())
+            .map_err(|e| e.to_string())?;
+        repo.write(&format!("{dir}/recovery.json"), json::to_string_pretty(&metrics).into_bytes())
+            .map_err(|e| e.to_string())?;
+        repo.write(&format!("{dir}/figure.txt"), results.to_pretty().into_bytes())
+            .map_err(|e| e.to_string())?;
+        let commit = repo
+            .commit(&format!("popper chaos {experiment}: record fault timeline + recovery metrics"))
+            .map_err(|e| e.to_string())?;
+        drop(record_span);
+
+        // Validate resilience claims.
+        let verdict = {
+            let _s = tracer.span("core", "core/lifecycle", "validate");
+            let src = repo
+                .read(&format!("{dir}/chaos.aver"))
+                .unwrap_or_else(|| popper_chaos::DEFAULT_ASSERTIONS.to_string());
+            popper_aver::check(&src, &results).map_err(|e| e.to_string())?
+        };
+
+        Ok(ChaosRunReport {
+            experiment: experiment.to_string(),
+            schedule: sched,
+            results,
+            metrics,
+            verdict,
+            commit: Some(commit),
+        })
+    }
+}
+
+/// Distill recovery metrics from a chaos results table. Aggregate
+/// columns (`recovery_ms`, `degraded_fraction`, `corrupt`) repeat per
+/// row, so they reduce by max; per-epoch counters reduce by sum.
+fn recovery_metrics(results: &Table, sched: &FaultSchedule) -> Value {
+    let mut m = Value::empty_map();
+    m.insert("schedule", Value::from(sched.name.as_str()));
+    m.insert("seed", Value::from(sched.seed as i64));
+    m.insert("faults", Value::from(sched.events.len()));
+    let col = |name: &str| results.numeric_column(name).ok();
+    for (name, vals) in [("recovery_ms", col("recovery_ms")), ("degraded_fraction", col("degraded_fraction")), ("corrupt", col("corrupt"))] {
+        if let Some(vals) = vals {
+            m.insert(name, Value::Num(vals.iter().cloned().fold(0.0f64, f64::max)));
+        }
+    }
+    for (name, vals) in [("failovers", col("failovers")), ("reads", col("reads"))] {
+        if let Some(vals) = vals {
+            m.insert(name, Value::Num(vals.iter().sum()));
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::find_template;
+
+    fn chaos_repo() -> PopperRepo {
+        let mut repo = PopperRepo::init("t").unwrap();
+        for (path, contents) in find_template("gassyfs").unwrap().files("g") {
+            repo.write(&path, contents).unwrap();
+        }
+        repo.commit("popper add gassyfs g").unwrap();
+        repo
+    }
+
+    /// A miniature fault-aware runner: shapes its table like the real
+    /// gassyfs chaos runner, driven entirely by the `faults:` vars.
+    fn stub_engine() -> ExperimentEngine {
+        let mut engine = ExperimentEngine::new();
+        engine.register("gassyfs-scalability", |vars| {
+            let sched = FaultSchedule::from_vars(vars)?.expect("chaos vars present");
+            let mut t = Table::new(["schedule", "epoch", "recovery_ms", "degraded_fraction", "corrupt", "failovers"]);
+            for epoch in 0..4u32 {
+                t.push_row(vec![
+                    Value::from(sched.name.as_str()),
+                    Value::from(epoch as i64),
+                    Value::Num(80.0 + sched.seed as f64),
+                    Value::Num(0.2),
+                    Value::Num(0.0),
+                    Value::Num(epoch as f64),
+                ])
+                .unwrap();
+            }
+            Ok(t)
+        });
+        engine
+    }
+
+    #[test]
+    fn chaos_lifecycle_records_artifacts_and_validates() {
+        let mut repo = chaos_repo();
+        let engine = stub_engine();
+        let report = engine.run_chaos(&mut repo, "g", Some("node-crash"), Some(7)).unwrap();
+        assert!(report.success(), "{:?}", report.verdict.failures);
+        assert_eq!(report.schedule.name, "node-crash");
+        assert_eq!(report.schedule.seed, 7);
+        assert!(repo.exists("experiments/g/results.csv"));
+        assert!(repo.exists("experiments/g/faults.json"));
+        assert!(repo.exists("experiments/g/recovery.json"));
+        assert!(repo.vcs.status().unwrap().is_empty(), "artifacts must be committed");
+        assert_eq!(report.metrics.get_num("recovery_ms"), Some(87.0));
+        assert_eq!(report.metrics.get_num("failovers"), Some(6.0));
+        let faults = repo.read("experiments/g/faults.json").unwrap();
+        assert!(faults.contains("crash"), "{faults}");
+    }
+
+    #[test]
+    fn same_seed_records_identical_fault_timeline() {
+        let run = |seed| {
+            let mut repo = chaos_repo();
+            stub_engine().run_chaos(&mut repo, "g", Some("gremlin"), Some(seed)).unwrap();
+            repo.read("experiments/g/faults.json").unwrap()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn chaos_aver_overrides_default_assertions() {
+        let mut repo = chaos_repo();
+        repo.write("experiments/g/chaos.aver", "expect max(recovery_ms) < 1\n").unwrap();
+        repo.commit("impossible chaos bound").unwrap();
+        let report = stub_engine().run_chaos(&mut repo, "g", None, None).unwrap();
+        assert!(!report.success(), "1ms recovery bound must fail");
+        // Default schedule kicked in even with no overrides.
+        assert_eq!(report.schedule.name, "node-crash");
+    }
+
+    #[test]
+    fn unknown_runner_is_an_error() {
+        let mut repo = chaos_repo();
+        let engine = ExperimentEngine::new();
+        let err = engine.run_chaos(&mut repo, "g", None, None).unwrap_err();
+        assert!(err.contains("unknown runner"), "{err}");
+    }
+}

@@ -109,6 +109,11 @@ impl ExperimentEngine {
         self.runners.keys().map(String::as_str).collect()
     }
 
+    /// Look up a registered runner by name.
+    pub(crate) fn runner(&self, name: &str) -> Option<&RunnerFn> {
+        self.runners.get(name)
+    }
+
     /// Run one experiment end to end. With an ambient wall-clock
     /// [`popper_trace::current`] tracer, each lifecycle stage records a
     /// span on the `core/lifecycle` track.

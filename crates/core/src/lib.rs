@@ -31,6 +31,7 @@
 //!   the paper's two validation categories (integrity of the
 //!   experimentation logic; integrity of the results).
 
+pub mod chaosrun;
 pub mod check;
 pub mod pack;
 pub mod cipipeline;
@@ -39,6 +40,7 @@ pub mod paper;
 pub mod repo;
 pub mod templates;
 
+pub use chaosrun::ChaosRunReport;
 pub use check::{check_compliance, Violation};
 pub use pack::pack_experiment;
 pub use experiment::{ExperimentEngine, RunReport, RunnerFn};

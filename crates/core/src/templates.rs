@@ -71,13 +71,20 @@ fn synthetic_vars(workload: &str, trend: &str, x0: f64, k: f64, points: &str) ->
 }
 
 fn t_gassyfs(target: &str) -> Vec<(String, String)> {
-    base_files(
+    let mut files = base_files(
         target,
         "gassyfs-scalability",
         "workload: git\nmachine: gassyfs-node\nnodes: [1, 2, 4, 8, 16]\nfigure:\n  kind: line\n  title: GassyFS git-compile scalability\n  x: nodes\n  y: time\n  group_by: machine\n",
         "# Listing 3 of the paper, verbatim.\nwhen\n  workload=* and machine=*\nexpect\n  sublinear(nodes, time)\n",
         &generic_playbook("gassyfs", "gassyfs"),
-    )
+    );
+    // Resilience claims for `popper chaos`: checked against the chaos
+    // results table instead of validations.aver.
+    files.push((
+        format!("experiments/{target}/chaos.aver"),
+        popper_chaos::DEFAULT_ASSERTIONS.to_string(),
+    ));
+    files
 }
 
 fn t_torpor(target: &str) -> Vec<(String, String)> {
@@ -286,6 +293,9 @@ mod tests {
                 .unwrap_or_else(|e| panic!("{} playbook: {e}", t.name));
             let aver = files.iter().find(|(p, _)| p.ends_with("validations.aver")).unwrap();
             popper_aver::parse(&aver.1).unwrap_or_else(|e| panic!("{} validations: {e}", t.name));
+            if let Some((_, chaos)) = files.iter().find(|(p, _)| p.ends_with("chaos.aver")) {
+                popper_aver::parse(chaos).unwrap_or_else(|e| panic!("{} chaos: {e}", t.name));
+            }
         }
     }
 

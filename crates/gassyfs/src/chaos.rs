@@ -1,0 +1,344 @@
+//! The fault-tolerance experiment: GassyFS under a chaos schedule.
+//!
+//! The scalability experiment asks "how fast?"; this one asks "does it
+//! *survive*?". A [`ChaosDriver`] injects a deterministic
+//! [`FaultSchedule`] into the cluster's fault plane while the client
+//! sweeps verify-reads over a pre-written dataset in fixed epochs.
+//! Every byte is checked against the expected contents, so the headline
+//! claim — *degraded but correct* — is measured, not assumed. The
+//! report carries the recovery metrics the Aver assertions
+//! (`recovers_within`, `degraded_at_most`) are written against.
+
+use crate::fs::{GassyFs, MountOptions};
+use crate::gasnet::PAGE_SIZE;
+use popper_chaos::{ChaosDriver, FaultKind, FaultSchedule};
+use popper_format::{Table, Value};
+use popper_sim::{Cluster, Nanos, PlatformSpec};
+
+/// Configuration of a chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Cluster size.
+    pub nodes: usize,
+    /// Number of files pre-written before faults start.
+    pub files: usize,
+    /// Pages per file.
+    pub file_pages: usize,
+    /// Verify-read epochs to sweep.
+    pub epochs: usize,
+    /// Virtual-time gap between epochs (the schedule plays out against
+    /// this clock).
+    pub epoch_gap: Nanos,
+    /// The node platform.
+    pub platform: PlatformSpec,
+    /// Mount options (the default disables the page cache so every read
+    /// exercises the fabric — otherwise failovers would be invisible).
+    pub mount: MountOptions,
+    /// Label recorded in the `machine` column.
+    pub machine_label: String,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            nodes: 8,
+            files: 12,
+            file_pages: 4,
+            epochs: 10,
+            epoch_gap: Nanos::from_millis(20),
+            platform: popper_sim::platforms::gassyfs_node(),
+            mount: MountOptions { page_cache_pages: 0, ..Default::default() },
+            machine_label: "gassyfs-node".into(),
+        }
+    }
+}
+
+/// One verify-read epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosEpoch {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Virtual start time.
+    pub start: Nanos,
+    /// Sweep duration.
+    pub duration: Nanos,
+    /// Page accesses this epoch.
+    pub reads: u64,
+    /// Accesses served by replicas this epoch.
+    pub failovers: u64,
+    /// Fault labels injected just before this epoch's sweep.
+    pub faults: Vec<String>,
+}
+
+/// The result of a chaos run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// Schedule name.
+    pub schedule: String,
+    /// Schedule seed.
+    pub seed: u64,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Per-epoch measurements.
+    pub epochs: Vec<ChaosEpoch>,
+    /// Total faults injected.
+    pub faults_injected: usize,
+    /// Total accesses served by replicas.
+    pub failovers: u64,
+    /// Total page accesses over all epochs.
+    pub total_reads: u64,
+    /// Files whose bytes came back wrong (must be 0).
+    pub corrupt: u64,
+    /// Pages re-fetched while rebuilding restarted nodes.
+    pub repaired_pages: usize,
+    /// Time from the first fault to full recovery, in milliseconds:
+    /// rebuild completion for crash schedules, the healing event for
+    /// degradation-only schedules, 0 for an empty schedule.
+    pub recovery_ms: f64,
+    /// Fraction of epoch accesses served in degraded mode.
+    pub degraded_fraction: f64,
+    /// Virtual end time of the run.
+    pub elapsed: Nanos,
+}
+
+impl ChaosReport {
+    /// The recovery metrics as a JSON-able map (what `popper chaos`
+    /// records next to `faults.json`).
+    pub fn metrics(&self) -> Value {
+        let mut m = Value::empty_map();
+        m.insert("schedule", Value::from(self.schedule.as_str()));
+        m.insert("seed", Value::from(self.seed as i64));
+        m.insert("nodes", Value::from(self.nodes));
+        m.insert("epochs", Value::from(self.epochs.len()));
+        m.insert("faults_injected", Value::from(self.faults_injected));
+        m.insert("failovers", Value::from(self.failovers as i64));
+        m.insert("total_reads", Value::from(self.total_reads as i64));
+        m.insert("corrupt", Value::from(self.corrupt as i64));
+        m.insert("repaired_pages", Value::from(self.repaired_pages));
+        m.insert("recovery_ms", Value::Num(self.recovery_ms));
+        m.insert("degraded_fraction", Value::Num(self.degraded_fraction));
+        m.insert("elapsed_ms", Value::Num(self.elapsed.0 as f64 / 1e6));
+        m
+    }
+}
+
+/// Deterministic file contents: distinct per file, byte-checkable.
+fn pattern(file: usize, len: usize) -> Vec<u8> {
+    (0..len).map(|b| ((b as u32).wrapping_mul(31).wrapping_add(file as u32 * 7) % 251) as u8).collect()
+}
+
+/// Run the fault-tolerance experiment.
+pub fn run_fault_tolerance(
+    cfg: &ChaosConfig,
+    schedule: &FaultSchedule,
+) -> Result<ChaosReport, String> {
+    let cluster = Cluster::new(cfg.platform.clone(), cfg.nodes);
+    let mut fs = GassyFs::mount(cluster, cfg.mount.clone());
+    let tracer = popper_trace::current();
+
+    // Pre-write the dataset (healthy cluster).
+    let file_len = cfg.file_pages * PAGE_SIZE as usize;
+    let mut t = fs.mkdir_p("/data", Nanos::ZERO).map_err(|e| e.to_string())?;
+    let expected: Vec<Vec<u8>> = (0..cfg.files).map(|i| pattern(i, file_len)).collect();
+    for (i, data) in expected.iter().enumerate() {
+        t = fs.write_file(&format!("/data/f{i}"), data, t).map_err(|e| e.to_string())?;
+    }
+
+    let mut driver = ChaosDriver::new(schedule.clone());
+    let mut epochs = Vec::with_capacity(cfg.epochs);
+    let mut corrupt = 0u64;
+    let mut recovery_end: Option<Nanos> = None;
+
+    for epoch in 0..cfg.epochs {
+        // Inject everything due, rebuilding any node that restarted.
+        let before_inj = driver.injected();
+        let labels = driver.advance(fs.cluster.faults_mut(), t);
+        let fired = driver.schedule().events[before_inj..driver.injected()].to_vec();
+        for ev in &fired {
+            if let FaultKind::Restart { node } = ev.kind {
+                let (_pages, done) = fs.rebuild_node(node, t);
+                t = done;
+                recovery_end = Some(done);
+            }
+        }
+
+        // Verify-read sweep: every file, every byte.
+        let stats_before = fs.access_stats();
+        let start = t;
+        for (i, want) in expected.iter().enumerate() {
+            let (back, done) =
+                fs.read_file(&format!("/data/f{i}"), t).map_err(|e| e.to_string())?;
+            if &back != want {
+                corrupt += 1;
+            }
+            t = done;
+        }
+        let stats = fs.access_stats();
+        let reads = (stats.local + stats.remote) - (stats_before.local + stats_before.remote);
+        let failovers = stats.failover - stats_before.failover;
+        if tracer.is_enabled() {
+            tracer.span_at("chaos", "chaos/epochs", format!("epoch{epoch}"), start.0, t.0);
+            tracer.counter_at("chaos/metrics", "failovers", stats.failover as f64, t.0);
+        }
+        epochs.push(ChaosEpoch { epoch, start, duration: t.saturating_sub(start), reads, failovers, faults: labels });
+        t = t + cfg.epoch_gap;
+    }
+
+    // Drain events scheduled past the last epoch (e.g. a late restart)
+    // so recovery always completes within the run.
+    while !driver.done() {
+        let at = driver.schedule().events[driver.injected()].at.max(t);
+        let before_inj = driver.injected();
+        driver.advance(fs.cluster.faults_mut(), at);
+        t = at;
+        for ev in driver.schedule().events[before_inj..driver.injected()].to_vec() {
+            if let FaultKind::Restart { node } = ev.kind {
+                let (_pages, done) = fs.rebuild_node(node, t);
+                t = done;
+                recovery_end = Some(done);
+            }
+        }
+    }
+
+    let total_reads: u64 = epochs.iter().map(|e| e.reads).sum();
+    let failovers: u64 = epochs.iter().map(|e| e.failovers).sum();
+    let recovery_ms = match (schedule.events.first(), schedule.first_crash()) {
+        (None, _) => 0.0,
+        (Some(first), crash) => {
+            let start = crash.unwrap_or(first.at);
+            let end = recovery_end.unwrap_or_else(|| schedule.horizon());
+            end.saturating_sub(start).0 as f64 / 1e6
+        }
+    };
+    Ok(ChaosReport {
+        schedule: schedule.name.clone(),
+        seed: schedule.seed,
+        nodes: cfg.nodes,
+        faults_injected: driver.injected(),
+        failovers,
+        total_reads,
+        corrupt,
+        repaired_pages: fs.access_stats().repaired as usize,
+        recovery_ms,
+        degraded_fraction: if total_reads == 0 { 0.0 } else { failovers as f64 / total_reads as f64 },
+        elapsed: t,
+        epochs,
+    })
+}
+
+/// Render a chaos report as the experiment's `results.csv` table with
+/// the columns the chaos Aver assertions name. The aggregate recovery
+/// metrics repeat on every row so `recovers_within` / `degraded_at_most`
+/// can be asserted over any grouping.
+pub fn to_table(report: &ChaosReport, machine: &str) -> Table {
+    let mut t = Table::new([
+        "schedule",
+        "machine",
+        "nodes",
+        "epoch",
+        "time_ms",
+        "reads",
+        "failovers",
+        "corrupt",
+        "recovery_ms",
+        "degraded_fraction",
+    ]);
+    for e in &report.epochs {
+        t.push_row(vec![
+            Value::from(report.schedule.as_str()),
+            Value::from(machine),
+            Value::from(report.nodes),
+            Value::from(e.epoch),
+            Value::Num(e.duration.0 as f64 / 1e6),
+            Value::from(e.reads as i64),
+            Value::from(e.failovers as i64),
+            Value::from(report.corrupt as i64),
+            Value::Num(report.recovery_ms),
+            Value::Num(report.degraded_fraction),
+        ])
+        .expect("fixed schema");
+    }
+    t
+}
+
+/// The default chaos assertions, checked when an experiment ships no
+/// `chaos.aver` of its own.
+pub use popper_chaos::DEFAULT_ASSERTIONS as DEFAULT_CHAOS_ASSERTIONS;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ChaosConfig {
+        ChaosConfig { nodes: 4, files: 6, epochs: 8, ..Default::default() }
+    }
+
+    #[test]
+    fn node_crash_degrades_but_stays_correct() {
+        let cfg = small();
+        let s = FaultSchedule::named("node-crash", cfg.nodes, 1).unwrap();
+        let r = run_fault_tolerance(&cfg, &s).unwrap();
+        assert_eq!(r.corrupt, 0, "degraded reads must return correct bytes");
+        assert!(r.failovers > 0, "crash must force replica failovers");
+        assert!(r.repaired_pages > 0, "restart must trigger a rebuild");
+        assert!(r.recovery_ms > 0.0);
+        assert!(r.degraded_fraction > 0.0 && r.degraded_fraction < 1.0);
+        assert_eq!(r.faults_injected, 2);
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_reports() {
+        let cfg = small();
+        let s = FaultSchedule::named("gremlin", cfg.nodes, 42).unwrap();
+        let a = run_fault_tolerance(&cfg, &s).unwrap();
+        let b = run_fault_tolerance(&cfg, &s).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_schedule_is_fault_free() {
+        let cfg = small();
+        let s = FaultSchedule { name: "none".into(), seed: 1, nodes: cfg.nodes, events: vec![] };
+        let r = run_fault_tolerance(&cfg, &s).unwrap();
+        assert_eq!(r.failovers, 0);
+        assert_eq!(r.recovery_ms, 0.0);
+        assert_eq!(r.degraded_fraction, 0.0);
+        assert_eq!(r.corrupt, 0);
+    }
+
+    #[test]
+    fn default_assertions_pass_on_crash_run() {
+        let cfg = small();
+        let s = FaultSchedule::named("node-crash", cfg.nodes, 1).unwrap();
+        let r = run_fault_tolerance(&cfg, &s).unwrap();
+        let table = to_table(&r, &cfg.machine_label);
+        for line in DEFAULT_CHAOS_ASSERTIONS.lines().filter(|l| !l.trim().is_empty()) {
+            let verdict = popper_aver::check(line, &table).unwrap();
+            assert!(verdict.passed, "{line}: {:?}", verdict.failures);
+        }
+    }
+
+    #[test]
+    fn packet_loss_slows_epochs_without_failover() {
+        let cfg = small();
+        let s = FaultSchedule::named("packet-loss", cfg.nodes, 7).unwrap();
+        let r = run_fault_tolerance(&cfg, &s).unwrap();
+        assert_eq!(r.corrupt, 0);
+        assert_eq!(r.failovers, 0, "loss degrades latency, not placement");
+        // Epochs under loss are slower than the first (healthy) epoch.
+        let healthy = r.epochs[0].duration;
+        let lossy = r.epochs.iter().map(|e| e.duration).max().unwrap();
+        assert!(lossy > healthy, "lossy {lossy} vs healthy {healthy}");
+    }
+
+    #[test]
+    fn table_round_trips_through_csv() {
+        let cfg = small();
+        let s = FaultSchedule::named("partition", cfg.nodes, 1).unwrap();
+        let r = run_fault_tolerance(&cfg, &s).unwrap();
+        let t = to_table(&r, "gassyfs-node");
+        assert_eq!(t.len(), cfg.epochs);
+        let t2 = Table::from_csv(&t.to_csv()).unwrap();
+        assert_eq!(t, t2);
+    }
+}

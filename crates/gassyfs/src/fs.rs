@@ -214,6 +214,24 @@ impl GassyFs {
         self.ops
     }
 
+    // ---- resilience (degraded mode + repair) ----
+
+    /// Re-fetch the page stripes of a restarted node from their
+    /// replicas, restoring full redundancy. Returns `(pages, done)`.
+    pub fn rebuild_node(&mut self, node: usize, now: Nanos) -> (usize, Nanos) {
+        self.store.rebuild_node(&mut self.cluster, node, now)
+    }
+
+    /// The disk-slowdown factor currently applied to the client's disk
+    /// (1.0 when the fault plane is healthy).
+    fn disk_factor(&self) -> f64 {
+        if self.cluster.faults().is_active() {
+            self.cluster.faults().disk_factor(self.store.client)
+        } else {
+            1.0
+        }
+    }
+
     // ---- persistence (the paper: "file systems in GassyFS are
     // ephemeral … explicitly saved/loaded to/from durable storage,
     // e.g. local disk or Amazon S3") ----
@@ -231,8 +249,8 @@ impl GassyFs {
         let files = self.vfs.walk_files();
         for (path, _ino) in files {
             let (data, t2) = self.read_file(&path, t)?;
-            // Disk write on the client.
-            let disk = self.cluster.platform().disk_io(data.len() as u64);
+            // Disk write on the client (inflated under a disk-slowdown fault).
+            let disk = self.cluster.platform().disk_io(data.len() as u64).scale(self.disk_factor());
             t = t2 + disk;
             out.push((path.clone(), durable.put(&data)));
         }
@@ -254,7 +272,7 @@ impl GassyFs {
                     self.mkdir_p(&path[..dir], t)?;
                 }
             }
-            let disk = self.cluster.platform().disk_io(data.len() as u64);
+            let disk = self.cluster.platform().disk_io(data.len() as u64).scale(self.disk_factor());
             t = self.write_file(path, &data, t + disk)?;
         }
         Ok(t)
@@ -384,6 +402,45 @@ mod tests {
         assert_eq!(a, b"int a;");
         let (mk, _) = fresh.read_file("/proj/Makefile", Nanos::ZERO).unwrap();
         assert_eq!(mk, b"all: a.o");
+    }
+
+    #[test]
+    fn reads_survive_a_node_crash_with_correct_bytes() {
+        let data: Vec<u8> = (0..40_000u32).map(|i| (i % 249) as u8).collect();
+        let mut fs = GassyFs::mount(
+            Cluster::new(platforms::gassyfs_node(), 4),
+            MountOptions { page_cache_pages: 0, ..Default::default() },
+        );
+        fs.write_file("/f", &data, Nanos::ZERO).unwrap();
+        fs.cluster.faults_mut().crash(2);
+        let (back, t) = fs.read_file("/f", Nanos::ZERO).unwrap();
+        assert_eq!(back, data, "degraded read must stay correct");
+        assert!(t > Nanos::ZERO);
+        assert!(fs.access_stats().failover > 0, "pages on node 2 must fail over");
+        // Restart and rebuild: redundancy restored, failovers stop.
+        fs.cluster.faults_mut().restart(2);
+        let (repaired, _) = fs.rebuild_node(2, Nanos::ZERO);
+        assert!(repaired > 0);
+        let before = fs.access_stats().failover;
+        fs.read_file("/f", Nanos::ZERO).unwrap();
+        assert_eq!(fs.access_stats().failover, before);
+    }
+
+    #[test]
+    fn disk_slowdown_inflates_checkpoint_time() {
+        let mk = || {
+            let mut fs = mount(2);
+            fs.write_file("/big", &vec![3u8; 64 * PAGE_SIZE as usize], Nanos::ZERO).unwrap();
+            fs
+        };
+        let mut healthy = mk();
+        let mut slow = mk();
+        slow.cluster.faults_mut().set_disk_factor(0, 8.0);
+        let mut d1 = ChunkStore::new();
+        let mut d2 = ChunkStore::new();
+        let (_, t_healthy) = healthy.checkpoint(&mut d1, Nanos::ZERO).unwrap();
+        let (_, t_slow) = slow.checkpoint(&mut d2, Nanos::ZERO).unwrap();
+        assert!(t_slow > t_healthy, "slow disk {t_slow} must beat healthy {t_healthy}");
     }
 
     #[test]

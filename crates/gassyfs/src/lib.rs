@@ -27,6 +27,7 @@
 //!   with the Listing-3 Aver assertion (`sublinear(nodes, time)`)
 //!   checked over the result table.
 
+pub mod chaos;
 pub mod checkpointing;
 pub mod experiment;
 pub mod fs;
@@ -34,6 +35,7 @@ pub mod gasnet;
 pub mod vfs;
 pub mod workload;
 
+pub use chaos::{run_fault_tolerance, ChaosConfig, ChaosReport};
 pub use checkpointing::{run_checkpoint_study, CheckpointStudy};
 pub use experiment::{run_scalability, ScalabilityConfig, ScalabilityPoint};
 pub use fs::{GassyFs, MountOptions};

@@ -10,6 +10,72 @@
 
 use crate::profiler::{MpiOp, MpiProfile};
 use popper_sim::{Cluster, Demand, Nanos};
+use std::fmt;
+
+/// A typed MPI failure surfaced by the fault-aware `try_*` operations.
+/// Without these, an operation against a crashed peer would simply
+/// charge the fault plane's timeout and carry on — the `try_*` family
+/// turns that into an error the application can react to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MpiError {
+    /// A peer's node is crashed or partitioned away; every retry timed
+    /// out.
+    PeerUnreachable {
+        /// The unreachable rank.
+        rank: usize,
+        /// The node hosting it.
+        node: usize,
+        /// Send attempts made before giving up.
+        attempts: u32,
+        /// Virtual time when the operation gave up.
+        gave_up_at: Nanos,
+    },
+}
+
+impl fmt::Display for MpiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MpiError::PeerUnreachable { rank, node, attempts, gave_up_at } => write!(
+                f,
+                "rank {rank} (node {node}) unreachable after {attempts} attempts (gave up at {gave_up_at})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MpiError {}
+
+/// Retry-with-exponential-backoff policy for fault-aware operations:
+/// attempt `max_attempts` times, waiting `base_delay * 2^(n-1)` after
+/// the n-th timeout. All delays are charged to the involved ranks'
+/// virtual clocks, so resilience has a measurable (and deterministic)
+/// cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts before giving up (>= 1).
+    pub max_attempts: u32,
+    /// Backoff after the first failed attempt; doubles per attempt.
+    pub base_delay: Nanos,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_attempts: 4, base_delay: Nanos::from_micros(50) }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff slept after failed attempt `attempt` (1-based).
+    pub fn backoff(&self, attempt: u32) -> Nanos {
+        self.base_delay * 2u64.saturating_pow(attempt.saturating_sub(1))
+    }
+
+    /// Total virtual time burned by a full round of failed attempts,
+    /// given the fault plane's per-attempt `timeout`.
+    pub fn total_penalty(&self, timeout: Nanos) -> Nanos {
+        (1..=self.max_attempts.max(1)).fold(Nanos::ZERO, |acc, a| acc + timeout + self.backoff(a))
+    }
+}
 
 /// The world: a communicator over a simulated cluster.
 #[derive(Debug, Clone)]
@@ -20,6 +86,7 @@ pub struct MpiWorld {
     rank_time: Vec<Nanos>,
     /// The mpiP-style profiler.
     pub profile: MpiProfile,
+    retry: RetryPolicy,
 }
 
 impl MpiWorld {
@@ -29,7 +96,23 @@ impl MpiWorld {
         assert!(ranks >= 1);
         let nodes = cluster.len();
         let rank_node = (0..ranks).map(|r| r % nodes).collect();
-        MpiWorld { cluster, rank_node, rank_time: vec![Nanos::ZERO; ranks], profile: MpiProfile::new(ranks) }
+        MpiWorld {
+            cluster,
+            rank_node,
+            rank_time: vec![Nanos::ZERO; ranks],
+            profile: MpiProfile::new(ranks),
+            retry: RetryPolicy::default(),
+        }
+    }
+
+    /// The retry policy used by the `try_*` operations.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Replace the retry policy.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
     }
 
     /// Number of ranks.
@@ -158,6 +241,118 @@ impl MpiWorld {
             Self::trace_op("bcast", r, self.rank_time[r], done);
             self.rank_time[r] = self.rank_time[r].max(done);
         }
+    }
+
+    // ---- fault-aware operations ----
+
+    /// The first rank whose node is crashed or cut off from rank 0's
+    /// side of a partition, if any.
+    fn unreachable_participant(&self) -> Option<(usize, usize)> {
+        if !self.cluster.faults().is_active() {
+            return None;
+        }
+        for r in 0..self.size() {
+            let n = self.rank_node[r];
+            if self.cluster.faults().is_crashed(n) {
+                return Some((r, n));
+            }
+        }
+        let n0 = self.rank_node[0];
+        for r in 1..self.size() {
+            let n = self.rank_node[r];
+            if !self.cluster.faults().reachable(n0, n) {
+                return Some((r, n));
+            }
+        }
+        None
+    }
+
+    /// Charge a full round of failed attempts (timeouts + exponential
+    /// backoff) to `ranks` and build the resulting error.
+    fn give_up(&mut self, op: MpiOp, name: &'static str, ranks: &[usize], rank: usize, node: usize) -> MpiError {
+        let penalty = self.retry.total_penalty(self.cluster.faults().timeout());
+        let tracer = popper_trace::current();
+        let mut gave_up_at = Nanos::ZERO;
+        for &r in ranks {
+            let start = self.rank_time[r];
+            let end = start + penalty;
+            self.profile.record_mpi(r, op, penalty, 0);
+            Self::trace_op(name, r, start, end);
+            self.rank_time[r] = end;
+            gave_up_at = gave_up_at.max(end);
+        }
+        if tracer.is_enabled() {
+            tracer.instant_at("chaos", format!("mpi/rank{rank}"), "peer unreachable", gave_up_at.0);
+        }
+        MpiError::PeerUnreachable { rank, node, attempts: self.retry.max_attempts, gave_up_at }
+    }
+
+    /// Fault-aware point-to-point send (`from` → `to`, the receiver
+    /// blocked in a matching recv). Against a healthy plane this is one
+    /// directed transfer; when the peer is crashed or partitioned away
+    /// it retries with exponential backoff and returns
+    /// [`MpiError::PeerUnreachable`] instead of hanging.
+    pub fn try_send(&mut self, from: usize, to: usize, bytes: u64) -> Result<(), MpiError> {
+        assert!(from != to, "self-send");
+        let (nf, nt) = (self.rank_node[from], self.rank_node[to]);
+        let start = self.rank_time[from];
+        match self.cluster.try_transfer(nf, nt, bytes, start) {
+            Ok(done) => {
+                let done = done.max(self.rank_time[to]);
+                for r in [from, to] {
+                    self.profile.record_mpi(r, MpiOp::Exchange, done.saturating_sub(self.rank_time[r]), bytes);
+                    Self::trace_op("send", r, self.rank_time[r], done);
+                    self.rank_time[r] = done;
+                }
+                Ok(())
+            }
+            Err(u) => {
+                let node = u.crashed.unwrap_or(nt);
+                let rank = if node == nf { from } else { to };
+                Err(self.give_up(MpiOp::Exchange, "send (unreachable)", &[from, to], rank, node))
+            }
+        }
+    }
+
+    /// Fault-aware halo exchange: checks every pair's reachability up
+    /// front, then delegates to [`exchange`](Self::exchange). On an
+    /// unreachable pair, all involved ranks pay the retry penalty.
+    pub fn try_exchange(&mut self, pairs: &[(usize, usize, u64)]) -> Result<(), MpiError> {
+        if self.cluster.faults().is_active() {
+            for &(a, b, _) in pairs {
+                let (na, nb) = (self.rank_node[a], self.rank_node[b]);
+                if na != nb && !self.cluster.faults().reachable(na, nb) {
+                    let node = self.cluster.faults().crashed_endpoint(na, nb).unwrap_or(nb);
+                    let rank = if node == na { a } else { b };
+                    let involved: Vec<usize> =
+                        pairs.iter().flat_map(|&(x, y, _)| [x, y]).collect();
+                    return Err(self.give_up(MpiOp::Exchange, "exchange (unreachable)", &involved, rank, node));
+                }
+            }
+        }
+        self.exchange(pairs);
+        Ok(())
+    }
+
+    /// Fault-aware barrier: fails with the first unreachable
+    /// participant after charging the retry penalty to every rank.
+    pub fn try_barrier(&mut self) -> Result<(), MpiError> {
+        if let Some((rank, node)) = self.unreachable_participant() {
+            let all: Vec<usize> = (0..self.size()).collect();
+            return Err(self.give_up(MpiOp::Barrier, "barrier (unreachable)", &all, rank, node));
+        }
+        self.barrier();
+        Ok(())
+    }
+
+    /// Fault-aware allreduce; see [`try_barrier`](Self::try_barrier).
+    pub fn try_allreduce(&mut self, bytes: u64) -> Result<(), MpiError> {
+        if let Some((rank, node)) = self.unreachable_participant() {
+            let all: Vec<usize> = (0..self.size()).collect();
+            return Err(self.give_up(MpiOp::Allreduce, "allreduce (unreachable)", &all, rank, node));
+        }
+        self.allreduce(bytes);
+        Ok(())
     }
 
     /// Reduce to `root` (⌈log2 n⌉ rounds); only the root advances to the
@@ -305,6 +500,72 @@ mod tests {
         w.compute(0, &d);
         w.compute(1, &d);
         assert!(w.time_of(1) > w.time_of(0));
+    }
+
+    #[test]
+    fn try_send_to_crashed_peer_errors_instead_of_hanging() {
+        let mut w = world(4, 4);
+        w.cluster.faults_mut().crash(1);
+        let before = w.time_of(0);
+        let err = w.try_send(0, 1, 4096).unwrap_err();
+        match err {
+            MpiError::PeerUnreachable { rank, node, attempts, gave_up_at } => {
+                assert_eq!((rank, node), (1, 1));
+                assert_eq!(attempts, w.retry_policy().max_attempts);
+                assert!(gave_up_at > before, "retries must burn virtual time");
+                assert_eq!(w.time_of(0), gave_up_at);
+            }
+        }
+        // Healthy peers still work.
+        assert!(w.try_send(0, 2, 4096).is_ok());
+    }
+
+    #[test]
+    fn try_collectives_fail_under_partition_then_recover() {
+        let mut w = world(4, 4);
+        w.cluster.faults_mut().partition(&[0, 1]);
+        assert!(w.try_barrier().is_err());
+        assert!(w.try_allreduce(8).is_err());
+        assert!(w.try_exchange(&[(0, 2, 1024)]).is_err());
+        let stalled = w.elapsed();
+        assert!(stalled > Nanos::ZERO, "failed collectives must charge their timeouts");
+        w.cluster.faults_mut().heal_partition();
+        assert!(w.try_barrier().is_ok());
+        assert!(w.try_exchange(&[(0, 2, 1024)]).is_ok());
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_and_scales_penalty() {
+        let p = RetryPolicy { max_attempts: 3, base_delay: Nanos::from_micros(10) };
+        assert_eq!(p.backoff(1), Nanos::from_micros(10));
+        assert_eq!(p.backoff(2), Nanos::from_micros(20));
+        assert_eq!(p.backoff(3), Nanos::from_micros(40));
+        let timeout = Nanos::from_millis(1);
+        let short = RetryPolicy { max_attempts: 2, ..p }.total_penalty(timeout);
+        let long = RetryPolicy { max_attempts: 5, ..p }.total_penalty(timeout);
+        assert!(long > short * 2);
+    }
+
+    #[test]
+    fn healthy_plane_try_ops_match_plain_ops() {
+        let run = |fallible: bool| {
+            let mut w = world(3, 6);
+            let d = Demand { fp_ops: 2e8, ..Default::default() };
+            for r in 0..6 {
+                w.compute(r, &d);
+            }
+            if fallible {
+                w.try_exchange(&[(0, 1, 8192)]).unwrap();
+                w.try_allreduce(8).unwrap();
+                w.try_barrier().unwrap();
+            } else {
+                w.exchange(&[(0, 1, 8192)]);
+                w.allreduce(8);
+                w.barrier();
+            }
+            w.elapsed()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -29,7 +29,7 @@ pub mod experiment;
 pub mod lulesh;
 pub mod profiler;
 
-pub use comm::MpiWorld;
+pub use comm::{MpiError, MpiWorld, RetryPolicy};
 pub use experiment::{run_variability_study, NoiseScenario, VariabilityStudy};
 pub use lulesh::{LuleshConfig, LuleshResult};
 pub use profiler::{MpiOp, MpiProfile};

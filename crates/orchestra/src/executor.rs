@@ -157,7 +157,8 @@ pub fn run_playbook_traced(
                     scope.spawn(move |_| {
                         let _task_span =
                             tracer.span("orchestra", format!("orchestra/{host_name}"), &task.name);
-                        let status = run_task_on_host(task, &mut state, controller);
+                        let status =
+                            run_task_on_host(task, host_name, &mut state, controller, &tracer);
                         *slot.lock() = Some((status, state));
                     });
                 }
@@ -187,7 +188,38 @@ pub fn run_playbook_traced(
     report
 }
 
+/// Run one task on one host, retrying failures up to the task's
+/// `max_attempts` (the host-unreachable resilience knob). Each retry is
+/// an instant on the host's trace track; the final failure message
+/// carries the attempt count.
 fn run_task_on_host(
+    task: &crate::playbook::Task,
+    host_name: &str,
+    state: &mut HostState,
+    controller: &Mutex<BTreeMap<String, Vec<u8>>>,
+    tracer: &popper_trace::Tracer,
+) -> TaskStatus {
+    let attempts = task.max_attempts.max(1);
+    let mut status = run_task_attempt(task, state, controller);
+    let mut made = 1;
+    while status.is_failed() && made < attempts {
+        made += 1;
+        tracer.instant(
+            "chaos",
+            format!("orchestra/{host_name}"),
+            format!("retry '{}' (attempt {made}/{attempts}, after {}ms)", task.name, task.retry_delay_ms),
+        );
+        status = run_task_attempt(task, state, controller);
+    }
+    match status {
+        TaskStatus::Failed(msg) if attempts > 1 => {
+            TaskStatus::Failed(format!("{msg} (after {attempts} attempts)"))
+        }
+        other => other,
+    }
+}
+
+fn run_task_attempt(
     task: &crate::playbook::Task,
     state: &mut HostState,
     controller: &Mutex<BTreeMap<String, Vec<u8>>>,
@@ -367,6 +399,55 @@ mod tests {
         assert_eq!(report.hosts["node1"].entries[1].2, TaskStatus::Unreachable);
         assert_eq!(report.states["node0"].command_log, vec!["echo done"]);
         assert!(report.states["node1"].command_log.is_empty());
+    }
+
+    #[test]
+    fn retries_exhaust_and_report_attempt_count() {
+        let pb = Playbook::from_pml(
+            "\
+- name: p
+  hosts: all
+  tasks:
+    - name: fetch the missing file
+      fetch: {src: ghost.txt, dest: out.txt}
+      max_attempts: 3
+      retry_delay: 10
+    - name: unretried failure
+      fetch: {src: ghost.txt, dest: out.txt}
+",
+        )
+        .unwrap();
+        let mut inv = Inventory::new();
+        inv.add_cluster("n", 1, &[]);
+        let report = run_playbook(&pb, &inv, BTreeMap::new(), BTreeMap::new());
+        assert!(!report.success());
+        match &report.hosts["n0"].entries[0].2 {
+            TaskStatus::Failed(msg) => {
+                assert!(msg.contains("after 3 attempts"), "{msg}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // The host is dead after the first task; no second attempt count.
+        assert_eq!(report.hosts["n0"].entries[1].2, TaskStatus::Unreachable);
+    }
+
+    #[test]
+    fn retries_emit_chaos_instants_on_the_host_track() {
+        let pb = Playbook::from_pml(
+            "- name: p\n  hosts: all\n  tasks:\n    - name: t\n      fetch: {src: nope, dest: d}\n      max_attempts: 2\n",
+        )
+        .unwrap();
+        let mut inv = Inventory::new();
+        inv.add_cluster("n", 1, &[]);
+        let sink = popper_trace::TraceSink::new();
+        let tracer = sink.tracer(popper_trace::ClockDomain::Wall);
+        run_playbook_traced(&pb, &inv, BTreeMap::new(), BTreeMap::new(), tracer.clone());
+        tracer.flush();
+        let events = sink.drain();
+        assert!(
+            events.iter().any(|e| e.category == "chaos" && e.name.contains("retry 't'")),
+            "{events:?}"
+        );
     }
 
     #[test]

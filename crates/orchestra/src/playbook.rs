@@ -19,6 +19,12 @@ pub struct Task {
     /// Run the task once per item, with `{{ item }}` bound
     /// (Ansible's `with_items`).
     pub with_items: Option<Vec<Value>>,
+    /// Total attempts when the task fails (Ansible's `retries` — the
+    /// host-unreachable resilience knob); 1 means no retries.
+    pub max_attempts: u32,
+    /// Delay between attempts, in milliseconds (recorded on the trace;
+    /// simulated hosts do not actually sleep).
+    pub retry_delay_ms: f64,
 }
 
 /// A play: a host pattern plus an ordered task list.
@@ -98,6 +104,8 @@ fn parse_task(v: &Value, play: &str, index: usize) -> Result<Task, String> {
     let mut register = None;
     let mut when = None;
     let mut with_items = None;
+    let mut max_attempts = 1u32;
+    let mut retry_delay_ms = 0.0f64;
     for (key, val) in entries {
         match key.as_str() {
             "name" => {
@@ -127,6 +135,20 @@ fn parse_task(v: &Value, play: &str, index: usize) -> Result<Task, String> {
                         .to_vec(),
                 );
             }
+            "max_attempts" => {
+                let n = val
+                    .as_num()
+                    .ok_or_else(|| format!("play '{play}': 'max_attempts' must be a number"))?;
+                if n < 1.0 {
+                    return Err(format!("play '{play}': 'max_attempts' must be >= 1"));
+                }
+                max_attempts = n as u32;
+            }
+            "retry_delay" => {
+                retry_delay_ms = val
+                    .as_num()
+                    .ok_or_else(|| format!("play '{play}': 'retry_delay' must be a number (ms)"))?;
+            }
             module_name => {
                 if !KNOWN_MODULES.contains(&module_name) {
                     return Err(format!(
@@ -143,7 +165,7 @@ fn parse_task(v: &Value, play: &str, index: usize) -> Result<Task, String> {
     }
     let (module, args) =
         module.ok_or_else(|| format!("play '{play}', task '{name}': no module specified"))?;
-    Ok(Task { name, module, args, register, when, with_items })
+    Ok(Task { name, module, args, register, when, with_items, max_attempts, retry_delay_ms })
 }
 
 /// Substitute `{{ var }}` occurrences in all string leaves of `args`
@@ -261,6 +283,24 @@ mod tests {
         assert_eq!(p0.tasks[1].when.as_deref(), Some("role == coordinator"));
         assert_eq!(p0.tasks[2].register.as_deref(), Some("bench_out"));
         assert_eq!(pb.plays[1].tasks[0].module, "fetch");
+    }
+
+    #[test]
+    fn parses_retry_knobs_and_validates_them() {
+        let pb = Playbook::from_pml(
+            "- name: p\n  hosts: all\n  tasks:\n    - name: t\n      command: x\n      max_attempts: 4\n      retry_delay: 250\n",
+        )
+        .unwrap();
+        assert_eq!(pb.plays[0].tasks[0].max_attempts, 4);
+        assert_eq!(pb.plays[0].tasks[0].retry_delay_ms, 250.0);
+        // Defaults: one attempt, no delay.
+        let pb = Playbook::from_pml("- name: p\n  hosts: all\n  tasks:\n    - name: t\n      command: x\n").unwrap();
+        assert_eq!(pb.plays[0].tasks[0].max_attempts, 1);
+        let err = Playbook::from_pml(
+            "- name: p\n  hosts: all\n  tasks:\n    - name: t\n      command: x\n      max_attempts: 0\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("max_attempts"), "{err}");
     }
 
     #[test]

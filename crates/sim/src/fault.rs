@@ -1,0 +1,347 @@
+//! The fault plane: deterministic infrastructure faults for the simulator.
+//!
+//! A [`FaultPlane`] holds the *current* fault state of a cluster — which
+//! nodes are crashed, how the network is partitioned, per-node packet
+//! loss and latency inflation, and disk slowdown. The fabric consults it
+//! on every admission; higher layers (GassyFS failover, MPI retries)
+//! consult it to decide whether a peer is worth waiting for. Schedules
+//! of fault *events* live one layer up in `popper-chaos`; this type is
+//! only the state they mutate, so `popper-sim` stays dependency-free.
+//!
+//! Determinism is preserved: packet loss is not sampled from a global
+//! RNG but derived from a counter hashed with the plane's seed, so the
+//! same sequence of transfers sees the same sequence of drops.
+
+use crate::time::Nanos;
+
+/// Default virtual time a sender waits before declaring a peer
+/// unreachable (the "timeout path" that replaces an infinite hang).
+pub const DEFAULT_TIMEOUT: Nanos = Nanos(10_000_000); // 10 ms
+
+/// Cap on loss-driven retransmissions of a single message.
+pub const MAX_RETRANSMITS: u32 = 8;
+
+/// Why a transfer could not be delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unreachable {
+    /// Sending endpoint.
+    pub src: usize,
+    /// Receiving endpoint.
+    pub dst: usize,
+    /// The crashed endpoint, if the cause was a crash (`None` means the
+    /// endpoints are alive but partitioned from each other).
+    pub crashed: Option<usize>,
+    /// Virtual time at which the sender gives up (`now + timeout`).
+    pub gave_up_at: Nanos,
+}
+
+impl std::fmt::Display for Unreachable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.crashed {
+            Some(n) => write!(f, "node {n} crashed ({} -> {} undeliverable)", self.src, self.dst),
+            None => write!(f, "nodes {} and {} partitioned", self.src, self.dst),
+        }
+    }
+}
+
+/// Current fault state of a cluster. Starts fully healthy; a healthy
+/// plane costs exactly one branch on the fabric admit path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlane {
+    /// True iff any fault is in effect (the fast-path gate).
+    active: bool,
+    crashed: Vec<bool>,
+    /// Partition group per node; nodes in different groups can't talk.
+    group: Vec<u8>,
+    /// Per-node packet-loss probability on links touching the node.
+    loss: Vec<f64>,
+    /// Per-node latency inflation factor (>= 1.0).
+    latency_factor: Vec<f64>,
+    /// Per-node disk-slowdown factor (>= 1.0), consulted by layers that
+    /// model durable I/O (GassyFS checkpoint/restore).
+    disk_factor: Vec<f64>,
+    seed: u64,
+    /// Monotonic draw counter for deterministic loss sampling.
+    draws: u64,
+    timeout: Nanos,
+}
+
+impl FaultPlane {
+    /// A healthy plane for `nodes` endpoints.
+    pub fn new(nodes: usize) -> Self {
+        FaultPlane {
+            active: false,
+            crashed: vec![false; nodes],
+            group: vec![0; nodes],
+            loss: vec![0.0; nodes],
+            latency_factor: vec![1.0; nodes],
+            disk_factor: vec![1.0; nodes],
+            seed: 0,
+            draws: 0,
+            timeout: DEFAULT_TIMEOUT,
+        }
+    }
+
+    /// Number of endpoints covered.
+    pub fn nodes(&self) -> usize {
+        self.crashed.len()
+    }
+
+    /// True iff any fault is currently in effect.
+    #[inline]
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    fn refresh(&mut self) {
+        self.active = self.crashed.iter().any(|c| *c)
+            || self.group.iter().any(|g| *g != 0)
+            || self.loss.iter().any(|p| *p > 0.0)
+            || self.latency_factor.iter().any(|f| *f != 1.0)
+            || self.disk_factor.iter().any(|f| *f != 1.0);
+    }
+
+    /// Seed the deterministic loss sampler.
+    pub fn set_seed(&mut self, seed: u64) {
+        self.seed = seed;
+    }
+
+    /// Override the unreachable-peer timeout.
+    pub fn set_timeout(&mut self, timeout: Nanos) {
+        self.timeout = timeout;
+    }
+
+    /// The unreachable-peer timeout.
+    pub fn timeout(&self) -> Nanos {
+        self.timeout
+    }
+
+    // ---- node crash / restart ----
+
+    /// Crash a node: it can neither send nor receive.
+    pub fn crash(&mut self, node: usize) {
+        self.crashed[node] = true;
+        self.refresh();
+    }
+
+    /// Restart a crashed node.
+    pub fn restart(&mut self, node: usize) {
+        self.crashed[node] = false;
+        self.refresh();
+    }
+
+    /// Is `node` currently crashed?
+    pub fn is_crashed(&self, node: usize) -> bool {
+        self.crashed[node]
+    }
+
+    /// Currently crashed nodes, ascending.
+    pub fn crashed_nodes(&self) -> Vec<usize> {
+        (0..self.crashed.len()).filter(|n| self.crashed[*n]).collect()
+    }
+
+    /// The crashed endpoint of a prospective transfer, if any (`src`
+    /// first, mirroring who notices first).
+    pub fn crashed_endpoint(&self, src: usize, dst: usize) -> Option<usize> {
+        if self.crashed[src] {
+            Some(src)
+        } else if self.crashed[dst] {
+            Some(dst)
+        } else {
+            None
+        }
+    }
+
+    // ---- network partitions ----
+
+    /// Partition the cluster: the listed nodes form one side, everyone
+    /// else the other. Replaces any previous partition.
+    pub fn partition(&mut self, side: &[usize]) {
+        for g in self.group.iter_mut() {
+            *g = 0;
+        }
+        for n in side {
+            self.group[*n] = 1;
+        }
+        self.refresh();
+    }
+
+    /// Heal any partition.
+    pub fn heal_partition(&mut self) {
+        for g in self.group.iter_mut() {
+            *g = 0;
+        }
+        self.refresh();
+    }
+
+    /// Can `src` and `dst` exchange messages (both alive, same side)?
+    pub fn reachable(&self, src: usize, dst: usize) -> bool {
+        !self.crashed[src] && !self.crashed[dst] && self.group[src] == self.group[dst]
+    }
+
+    // ---- link degradation ----
+
+    /// Set the packet-loss probability on links touching `node`.
+    pub fn set_loss(&mut self, node: usize, p: f64) {
+        self.loss[node] = p.clamp(0.0, 0.99);
+        self.refresh();
+    }
+
+    /// Set the latency inflation factor on links touching `node`.
+    pub fn set_latency_factor(&mut self, node: usize, factor: f64) {
+        self.latency_factor[node] = factor.max(1.0);
+        self.refresh();
+    }
+
+    /// Set the disk-slowdown factor on `node`.
+    pub fn set_disk_factor(&mut self, node: usize, factor: f64) {
+        self.disk_factor[node] = factor.max(1.0);
+        self.refresh();
+    }
+
+    /// Clear loss, latency and disk degradation (crashes and partitions
+    /// are untouched).
+    pub fn clear_degradation(&mut self) {
+        for p in self.loss.iter_mut() {
+            *p = 0.0;
+        }
+        for f in self.latency_factor.iter_mut() {
+            *f = 1.0;
+        }
+        for f in self.disk_factor.iter_mut() {
+            *f = 1.0;
+        }
+        self.refresh();
+    }
+
+    /// Return the plane to fully healthy.
+    pub fn heal_all(&mut self) {
+        for c in self.crashed.iter_mut() {
+            *c = false;
+        }
+        self.heal_partition();
+        self.clear_degradation();
+    }
+
+    /// Latency inflation for a transfer between two nodes.
+    pub fn latency_factor_between(&self, src: usize, dst: usize) -> f64 {
+        self.latency_factor[src].max(self.latency_factor[dst])
+    }
+
+    /// Disk-slowdown factor for a node.
+    pub fn disk_factor(&self, node: usize) -> f64 {
+        self.disk_factor[node]
+    }
+
+    /// Number of retransmissions a message between `src` and `dst`
+    /// suffers, sampled deterministically from the plane's seed and a
+    /// monotonic draw counter (same transfer sequence ⇒ same drops).
+    pub fn retransmits(&mut self, src: usize, dst: usize) -> u32 {
+        let p = self.loss[src].max(self.loss[dst]);
+        if p <= 0.0 {
+            return 0;
+        }
+        let mut n = 0u32;
+        while n < MAX_RETRANSMITS {
+            self.draws += 1;
+            let h = splitmix64(self.seed ^ self.draws.wrapping_mul(0x2545f4914f6cdd1d));
+            // Map the hash to [0, 1) and compare against the loss rate.
+            let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+            if u >= p {
+                break;
+            }
+            n += 1;
+        }
+        n
+    }
+}
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_plane_is_inactive() {
+        let p = FaultPlane::new(4);
+        assert!(!p.is_active());
+        assert!(p.reachable(0, 3));
+        assert_eq!(p.crashed_nodes(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn crash_restart_round_trip() {
+        let mut p = FaultPlane::new(4);
+        p.crash(2);
+        assert!(p.is_active());
+        assert!(p.is_crashed(2));
+        assert!(!p.reachable(0, 2));
+        assert_eq!(p.crashed_endpoint(0, 2), Some(2));
+        assert_eq!(p.crashed_endpoint(2, 0), Some(2));
+        p.restart(2);
+        assert!(!p.is_active());
+        assert!(p.reachable(0, 2));
+    }
+
+    #[test]
+    fn partition_splits_and_heals() {
+        let mut p = FaultPlane::new(4);
+        p.partition(&[0, 1]);
+        assert!(p.reachable(0, 1));
+        assert!(p.reachable(2, 3));
+        assert!(!p.reachable(0, 2));
+        p.heal_partition();
+        assert!(p.reachable(0, 2));
+        assert!(!p.is_active());
+    }
+
+    #[test]
+    fn loss_draws_are_deterministic() {
+        let run = || {
+            let mut p = FaultPlane::new(2);
+            p.set_seed(7);
+            p.set_loss(1, 0.5);
+            (0..64).map(|_| p.retransmits(0, 1)).collect::<Vec<u32>>()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a.iter().any(|n| *n > 0), "50% loss must retransmit sometimes");
+        assert!(a.iter().all(|n| *n <= MAX_RETRANSMITS));
+    }
+
+    #[test]
+    fn zero_loss_never_retransmits() {
+        let mut p = FaultPlane::new(2);
+        assert_eq!(p.retransmits(0, 1), 0);
+    }
+
+    #[test]
+    fn degradation_factors_clamp_and_clear() {
+        let mut p = FaultPlane::new(2);
+        p.set_latency_factor(0, 0.5); // clamped up to 1.0
+        assert!(!p.is_active());
+        p.set_latency_factor(0, 3.0);
+        p.set_disk_factor(1, 8.0);
+        assert!(p.is_active());
+        assert_eq!(p.latency_factor_between(0, 1), 3.0);
+        assert_eq!(p.disk_factor(1), 8.0);
+        p.clear_degradation();
+        assert!(!p.is_active());
+    }
+
+    #[test]
+    fn heal_all_resets_everything() {
+        let mut p = FaultPlane::new(3);
+        p.crash(1);
+        p.partition(&[0]);
+        p.set_loss(2, 0.3);
+        p.heal_all();
+        assert_eq!(p, { let mut q = FaultPlane::new(3); q.draws = p.draws; q.seed = p.seed; q });
+    }
+}

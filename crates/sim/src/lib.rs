@@ -22,6 +22,9 @@
 //!   workload is a vector of demands; runtime is their inner product.
 //! * [`network`] — a switched-fabric model with per-node ingress/egress
 //!   serialization and a core-capacity term.
+//! * [`fault`] — the [`FaultPlane`]: node crashes, partitions, packet
+//!   loss, latency inflation and disk slowdown, consulted by the fabric
+//!   (one branch when healthy) and driven by `popper-chaos` schedules.
 //! * [`noise`] — OS-noise and noisy-neighbor models used by the MPI
 //!   variability use case.
 //! * [`platforms`] — calibrated presets for the machines the paper names.
@@ -34,6 +37,7 @@
 
 pub mod cluster;
 pub mod engine;
+pub mod fault;
 pub mod hardware;
 pub mod network;
 pub mod noise;
@@ -43,6 +47,7 @@ pub mod time;
 
 pub use cluster::Cluster;
 pub use engine::Sim;
+pub use fault::{FaultPlane, Unreachable};
 pub use hardware::{Demand, PlatformSpec, ResourceDim};
 pub use network::Fabric;
 pub use time::Nanos;

@@ -10,6 +10,7 @@
 //! serialize at the ingress link) and bisection saturation (the core
 //! capacity term).
 
+use crate::fault::{FaultPlane, Unreachable};
 use crate::resource::Serial;
 use crate::time::Nanos;
 
@@ -36,6 +37,7 @@ pub struct Fabric {
     ingress: Vec<Serial>,
     core: Serial,
     traffic: Vec<NodeTraffic>,
+    faults: FaultPlane,
 }
 
 impl Fabric {
@@ -52,7 +54,18 @@ impl Fabric {
             ingress: vec![Serial::new(); nodes],
             core: Serial::new(),
             traffic: vec![NodeTraffic::default(); nodes],
+            faults: FaultPlane::new(nodes),
         }
+    }
+
+    /// The fault plane (healthy by default).
+    pub fn faults(&self) -> &FaultPlane {
+        &self.faults
+    }
+
+    /// Mutably borrow the fault plane to inject or heal faults.
+    pub fn faults_mut(&mut self) -> &mut FaultPlane {
+        &mut self.faults
     }
 
     /// Number of endpoints.
@@ -78,24 +91,65 @@ impl Fabric {
     /// completion time at the receiver. A loopback transfer (src == dst)
     /// completes immediately — locality is free, which is exactly the
     /// property GassyFS scalability hinges on.
+    ///
+    /// On a faulted fabric an unreachable destination is charged the
+    /// fault plane's timeout and the message is silently dropped; use
+    /// [`try_transfer`](Self::try_transfer) to observe the failure.
     pub fn transfer(&mut self, src: usize, dst: usize, bytes: u64, now: Nanos) -> Nanos {
+        match self.try_transfer(src, dst, bytes, now) {
+            Ok(done) => done,
+            Err(u) => u.gave_up_at,
+        }
+    }
+
+    /// Fallible transfer: returns [`Unreachable`] when a crash or
+    /// partition makes delivery impossible (the sender still pays the
+    /// timeout encoded in `gave_up_at`). Packet loss and latency
+    /// inflation degrade the completion time but never fail delivery.
+    pub fn try_transfer(
+        &mut self,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        now: Nanos,
+    ) -> Result<Nanos, Unreachable> {
         assert!(src < self.nodes() && dst < self.nodes(), "endpoint out of range");
+        // The healthy-plane cost of fault support is this one branch.
+        let mut latency = self.latency;
+        let mut tries = 1u64;
+        if self.faults.is_active() {
+            if self.faults.crashed_endpoint(src, dst).is_some() || !self.faults.reachable(src, dst) {
+                return Err(Unreachable {
+                    src,
+                    dst,
+                    crashed: self.faults.crashed_endpoint(src, dst),
+                    gave_up_at: now + self.faults.timeout(),
+                });
+            }
+            if src != dst {
+                latency = latency.scale(self.faults.latency_factor_between(src, dst));
+                tries += self.faults.retransmits(src, dst) as u64;
+            }
+        }
         self.traffic[src].tx_bytes += bytes;
         self.traffic[src].tx_msgs += 1;
         self.traffic[dst].rx_bytes += bytes;
         self.traffic[dst].rx_msgs += 1;
         if src == dst {
-            return now;
+            return Ok(now);
         }
-        let link_t = self.serialize_time(bytes, self.link_gbit);
-        let core_t = self.serialize_time(bytes, self.core_gbit);
+        // Each lost attempt re-serializes the message and pays the
+        // (possibly inflated) propagation latency again.
+        let link_t = self.serialize_time(bytes, self.link_gbit) * tries;
+        let core_t = self.serialize_time(bytes, self.core_gbit) * tries;
+        let latency = latency * tries;
         // Relaxed admission: senders are independent virtual-time
         // cursors, so arrivals are not globally ordered (see
         // `Serial::admit_relaxed`).
         let (e_start, e_fin) = self.egress[src].admit_relaxed(now, link_t);
         let (c_start, c_fin) = self.core.admit_relaxed(e_start, core_t);
         let (_i_start, i_fin) = self.ingress[dst].admit_relaxed(c_start, link_t);
-        let done = self.latency + e_fin.max(c_fin).max(i_fin);
+        let done = latency + e_fin.max(c_fin).max(i_fin);
         let tracer = popper_trace::current();
         if tracer.is_enabled() {
             // One span per transfer on the sender's egress track, from
@@ -117,7 +171,7 @@ impl Fabric {
                 e_fin.0,
             );
         }
-        done
+        Ok(done)
     }
 
     /// A small-message round trip between two nodes (an RPC): two
@@ -125,6 +179,19 @@ impl Fabric {
     pub fn rpc(&mut self, a: usize, b: usize, req_bytes: u64, resp_bytes: u64, now: Nanos) -> Nanos {
         let arrived = self.transfer(a, b, req_bytes, now);
         self.transfer(b, a, resp_bytes, arrived)
+    }
+
+    /// Fallible RPC; fails if either direction is undeliverable.
+    pub fn try_rpc(
+        &mut self,
+        a: usize,
+        b: usize,
+        req_bytes: u64,
+        resp_bytes: u64,
+        now: Nanos,
+    ) -> Result<Nanos, Unreachable> {
+        let arrived = self.try_transfer(a, b, req_bytes, now)?;
+        self.try_transfer(b, a, resp_bytes, arrived)
     }
 
     /// Traffic counters for one node.
@@ -226,6 +293,49 @@ mod tests {
         assert_eq!(f.traffic(0).rx_bytes, 200);
         assert_eq!(f.traffic(0).tx_msgs, 2);
         assert_eq!(f.total_bytes(), 1700);
+    }
+
+    #[test]
+    fn crashed_destination_times_out() {
+        let mut f = fabric(3);
+        f.faults_mut().crash(2);
+        let err = f.try_transfer(0, 2, 1000, Nanos(50)).unwrap_err();
+        assert_eq!(err.crashed, Some(2));
+        assert_eq!(err.gave_up_at, Nanos(50) + f.faults().timeout());
+        // The infallible path charges the timeout instead of hanging.
+        assert_eq!(f.transfer(0, 2, 1000, Nanos(50)), Nanos(50) + f.faults().timeout());
+        // Unrelated traffic is unaffected.
+        assert!(f.try_transfer(0, 1, 1000, Nanos(50)).is_ok());
+        // Dropped messages are not counted as delivered traffic.
+        assert_eq!(f.traffic(2).rx_msgs, 0);
+    }
+
+    #[test]
+    fn partition_blocks_cross_traffic_until_heal() {
+        let mut f = fabric(4);
+        f.faults_mut().partition(&[0, 1]);
+        assert!(f.try_transfer(0, 1, 100, Nanos::ZERO).is_ok());
+        assert!(f.try_transfer(2, 3, 100, Nanos::ZERO).is_ok());
+        let err = f.try_transfer(0, 2, 100, Nanos::ZERO).unwrap_err();
+        assert_eq!(err.crashed, None);
+        f.faults_mut().heal_partition();
+        assert!(f.try_transfer(0, 2, 100, Nanos::ZERO).is_ok());
+    }
+
+    #[test]
+    fn loss_and_latency_inflation_degrade_but_deliver() {
+        let bytes = 1_250_000u64;
+        let clean = fabric(2).transfer(0, 1, bytes, Nanos::ZERO);
+        let mut lossy = fabric(2);
+        lossy.faults_mut().set_seed(3);
+        lossy.faults_mut().set_loss(1, 0.6);
+        let worst: Nanos =
+            (0..20).map(|i| lossy.transfer(0, 1, bytes, Nanos::from_millis(100 * i))).max().unwrap();
+        assert!(worst.saturating_sub(Nanos::from_millis(100 * 19)) > clean, "loss must retransmit");
+        let mut slow = fabric(2);
+        slow.faults_mut().set_latency_factor(0, 10.0);
+        let t = slow.transfer(0, 1, 0, Nanos::ZERO);
+        assert_eq!(t, Nanos::from_micros(100), "latency factor scales propagation");
     }
 
     mod prop {

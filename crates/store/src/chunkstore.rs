@@ -165,6 +165,8 @@ impl ChunkStore {
     /// Ingest a blob; returns its manifest. Chunks already present are
     /// not stored again.
     pub fn put(&mut self, data: &[u8]) -> Manifest {
+        let tracer = popper_trace::current();
+        let _span = tracer.span("store", "store/chunks", format!("put {}B", data.len()));
         self.ingested += data.len() as u64;
         let blob_hash = sha256::digest(data);
         let mut chunks = Vec::new();
@@ -179,6 +181,12 @@ impl ChunkStore {
     /// Reassemble a blob from its manifest, verifying whole-blob
     /// integrity.
     pub fn get(&self, manifest: &Manifest) -> Result<Vec<u8>, StoreError> {
+        let tracer = popper_trace::current();
+        let _span = tracer.span(
+            "store",
+            "store/chunks",
+            format!("get {} chunk(s), {}B", manifest.chunks.len(), manifest.total_len),
+        );
         let mut out = Vec::with_capacity(manifest.total_len as usize);
         for (id, _len) in &manifest.chunks {
             let piece = self

@@ -156,6 +156,8 @@ impl Repository {
     /// fully describes the snapshot (paths absent from the index are
     /// absent from the commit).
     pub fn commit(&mut self, author: &str, message: &str) -> Result<ObjectId, VcsError> {
+        let tracer = popper_trace::current();
+        let _span = tracer.span("vcs", "vcs/repo", format!("commit ({} path(s))", self.index.len()));
         if self.index.is_empty() {
             return Err(VcsError::NothingStaged);
         }
@@ -235,6 +237,8 @@ impl Repository {
     /// Switch HEAD to an existing branch and materialize its snapshot
     /// into the working tree and index.
     pub fn checkout(&mut self, name: &str) -> Result<(), VcsError> {
+        let tracer = popper_trace::current();
+        let _span = tracer.span("vcs", "vcs/repo", format!("checkout {name}"));
         let target = *self.branches.get(name).ok_or_else(|| VcsError::UnknownRef(name.to_string()))?;
         let snapshot = self.snapshot_of(target)?;
         self.worktree = snapshot.clone();

@@ -23,8 +23,10 @@
 //! | [`popper_weather`] | weather-analysis use case (Fig. `bww-airtemp`) |
 //! | [`popper_viz`] | chart rendering — SVG and ASCII (the Jupyter/Gnuplot slot) |
 //! | [`popper_trace`] | structured tracing: spans, timelines, Chrome trace export |
+//! | [`popper_chaos`] | deterministic fault injection: schedules, gremlins, `faults.json` |
 
 pub use popper_aver as aver;
+pub use popper_chaos as chaos;
 pub use popper_ci as ci;
 pub use popper_cli as cli;
 pub use popper_container as container;
