@@ -13,6 +13,9 @@ jobs:
     stage: test
     steps: [cargo test --test chaos_pipeline]
     retries: 1
+  - name: trace-diff-selfcheck
+    stage: test
+    steps: [cargo test --test trace_diff]
   - name: trace-overhead-smoke
     stage: bench
     steps: [cargo bench --bench ablations trace_overhead]

@@ -122,6 +122,12 @@ pub enum BoolFn {
     /// `degraded_at_most(col, x)` — every degradation measure in `col`
     /// is at most `x` (chaos experiments: degraded-mode share bounded).
     DegradedAtMost,
+    /// `trace_equivalent` / `trace_equivalent within <tol>` — evaluated
+    /// over a trace-diff summary table: no structural divergence
+    /// (`structural` column all zero) and every observed drift
+    /// (`max_drift_pct`) at most `tol` percent (default 0 — exact,
+    /// right for virtual-time traces).
+    TraceEquivalent,
 }
 
 impl BoolFn {
@@ -137,6 +143,7 @@ impl BoolFn {
             "within" => BoolFn::Within,
             "recovers_within" => BoolFn::RecoversWithin,
             "degraded_at_most" => BoolFn::DegradedAtMost,
+            "trace_equivalent" => BoolFn::TraceEquivalent,
             _ => return None,
         })
     }
@@ -148,6 +155,7 @@ impl BoolFn {
             BoolFn::Constant => 1..=2,
             BoolFn::Within => 3..=3,
             BoolFn::RecoversWithin | BoolFn::DegradedAtMost => 2..=2,
+            BoolFn::TraceEquivalent => 0..=1,
         }
     }
 
@@ -163,6 +171,7 @@ impl BoolFn {
             BoolFn::Within => "within",
             BoolFn::RecoversWithin => "recovers_within",
             BoolFn::DegradedAtMost => "degraded_at_most",
+            BoolFn::TraceEquivalent => "trace_equivalent",
         }
     }
 }
@@ -283,6 +292,7 @@ mod tests {
             BoolFn::Within,
             BoolFn::RecoversWithin,
             BoolFn::DegradedAtMost,
+            BoolFn::TraceEquivalent,
         ] {
             assert_eq!(BoolFn::from_name(f.name()), Some(f));
         }

@@ -291,6 +291,23 @@ fn eval_call(f: BoolFn, args: &[Arg], group: &Table) -> Result<bool, AverError> 
             let bound = eval_arith(arg_arith(&args[1])?, group)?;
             Ok(ys.iter().all(|y| *y <= bound))
         }
+        BoolFn::TraceEquivalent => {
+            // Evaluates over a trace-diff summary table (one row per
+            // diff): zero structural divergences, and all observed
+            // drift within the tolerance (default 0% — exact).
+            let tol = match args.first() {
+                Some(arg) => eval_arith(arg_arith(arg)?, group)?,
+                None => 0.0,
+            };
+            let structural = numeric(group, "structural")?;
+            let drift = numeric(group, "max_drift_pct")?;
+            if structural.is_empty() {
+                return Err(AverError::Eval(
+                    "trace_equivalent: empty 'structural' column (not a trace-diff summary table?)".into(),
+                ));
+            }
+            Ok(structural.iter().all(|s| *s == 0.0) && drift.iter().all(|d| *d <= tol))
+        }
     }
 }
 
@@ -549,6 +566,37 @@ mod tests {
             check("expect recovers_within(bogus, 1)", &t),
             Err(AverError::Eval(_))
         ));
+    }
+
+    #[test]
+    fn trace_equivalent_over_summary_table() {
+        // The shape `TraceDiff::to_table()` produces.
+        let clean = Table::from_csv(
+            "events_a,events_b,divergences,structural,max_drift_pct\n12,12,0,0,0\n",
+        )
+        .unwrap();
+        assert_passes("expect trace_equivalent", &clean);
+        assert_passes("expect trace_equivalent within 5", &clean);
+        assert_passes("expect trace_equivalent(5)", &clean);
+
+        let drifted = Table::from_csv(
+            "events_a,events_b,divergences,structural,max_drift_pct\n12,12,1,0,3.4\n",
+        )
+        .unwrap();
+        assert_fails("expect trace_equivalent", &drifted);
+        assert_passes("expect trace_equivalent within 5", &drifted);
+        assert_fails("expect trace_equivalent within 2", &drifted);
+
+        let structural = Table::from_csv(
+            "events_a,events_b,divergences,structural,max_drift_pct\n12,13,1,1,0\n",
+        )
+        .unwrap();
+        // Structural divergence fails regardless of tolerance.
+        assert_fails("expect trace_equivalent within 1000", &structural);
+
+        // Not a summary table: error, not a silent pass.
+        let t = gassyfs_table();
+        assert!(matches!(check("expect trace_equivalent", &t), Err(AverError::Eval(_))));
     }
 
     #[test]

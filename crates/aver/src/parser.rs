@@ -198,6 +198,18 @@ impl<'a> Parser<'a> {
                     }
                     return Ok(Expr::Call(f, args));
                 }
+                // `trace_equivalent` stands alone or takes the sugar
+                // form `trace_equivalent within <tol>` ("within" is an
+                // ordinary identifier here, not the 3-arg function).
+                if f == BoolFn::TraceEquivalent {
+                    self.pos += 1;
+                    if matches!(self.peek(), Some(Token::Ident(w)) if w == "within") {
+                        self.pos += 1;
+                        let tol = self.parse_arith()?;
+                        return Ok(Expr::Call(f, vec![Arg::Arith(tol)]));
+                    }
+                    return Ok(Expr::Call(f, Vec::new()));
+                }
             }
         }
         // Parenthesized boolean expression vs parenthesized arithmetic:
@@ -464,6 +476,31 @@ mod tests {
             Expr::Call(BoolFn::Within, args) => assert_eq!(args.len(), 3),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn trace_equivalent_forms() {
+        let a = parse_one("expect trace_equivalent");
+        assert_eq!(a.expect, Expr::Call(BoolFn::TraceEquivalent, vec![]));
+
+        let a = parse_one("expect trace_equivalent within 2.5");
+        match &a.expect {
+            Expr::Call(BoolFn::TraceEquivalent, args) => {
+                assert_eq!(args, &[Arg::Arith(Arith::Num(2.5))]);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        let a = parse_one("expect trace_equivalent(2.5)");
+        assert!(matches!(&a.expect, Expr::Call(BoolFn::TraceEquivalent, args) if args.len() == 1));
+
+        // Composes with other boolean terms.
+        let a = parse_one("expect trace_equivalent within 1 and count(structural) = 1");
+        assert!(matches!(a.expect, Expr::And(..)));
+
+        // `within(a, b, pct)` the 3-arg function is unaffected.
+        let a = parse_one("expect within(avg(x), 100, 5)");
+        assert!(matches!(a.expect, Expr::Call(BoolFn::Within, _)));
     }
 
     #[test]

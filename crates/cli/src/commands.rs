@@ -277,6 +277,33 @@ pub fn dispatch(parsed: &Parsed, dir: &Path) -> Result<String, String> {
                 Err(out)
             }
         }
+        Some("trace-diff") => {
+            let usage = "usage: popper trace-diff <experiment> <refA>..<refB> [--tolerance <pct>] [--structure-only]";
+            let name = parsed.pos(1).ok_or(usage)?;
+            let range = parsed.pos(2).ok_or(usage)?;
+            let (ref_a, ref_b) = range
+                .split_once("..")
+                .filter(|(a, b)| !a.is_empty() && !b.is_empty())
+                .ok_or(usage)?;
+            let tolerance = parsed.flag_num("tolerance", 0.0)?;
+            let options = if parsed.has_flag("structure-only") {
+                popper_trace::DiffOptions::structure_only()
+            } else {
+                popper_trace::DiffOptions { tolerance_pct: tolerance, compare_durations: true }
+            };
+            let mut repo = persist::load(dir, &author)?;
+            let engine = full_engine();
+            let report = engine.trace_diff(&mut repo, name, ref_a, ref_b, options)?;
+            persist::save(&repo, dir)?;
+            let out = format!(
+                "{report}\n-- recorded experiments/{name}/trace-diff.json, trace-diff.txt\n"
+            );
+            if report.success() {
+                Ok(out)
+            } else {
+                Err(out)
+            }
+        }
         Some("chaos") => {
             let name = parsed
                 .pos(1)
@@ -397,6 +424,8 @@ COMMANDS:
     check                     compliance check (is this Popperized?)
     run <experiment>          run the full experiment lifecycle
     trace <experiment>        run with tracing; records trace.json + trace.svg
+    trace-diff <exp> <a>..<b> diff recorded traces between two commits; exit 1 on divergence
+                              [--tolerance <pct>] [--structure-only]
     chaos <experiment>        run under fault injection; records faults.json + recovery.json
                               [--schedule node-crash|partition|packet-loss|slow-disk|gremlin] [--seed N]
     validate <experiment>     re-check Aver validations on stored results\n    verify <experiment>       numerical reproducibility: re-execute and compare bytes

@@ -31,6 +31,10 @@ use std::sync::Arc;
 ///   `results.csv` without re-running.
 /// * `regression-gate <name> <column>` — compare the stored results
 ///   column against the previous commit's version with Welch's t-test.
+/// * `trace-diff-selfcheck <name>` — run the traced lifecycle twice at
+///   the same source state and assert the two recorded timelines are
+///   structurally equivalent (dogfoods execution-provenance
+///   determinism; wall-domain, so durations are not compared).
 pub fn popper_steps(
     repo: Arc<Mutex<PopperRepo>>,
     engine: Arc<ExperimentEngine>,
@@ -127,6 +131,40 @@ pub fn popper_steps(
                 let repo = repo.lock();
                 regression_gate(&repo, name, column)
             }
+            "trace-diff-selfcheck" => {
+                let Some(name) = args.first() else {
+                    return StepOutcome::fail("trace-diff-selfcheck needs an experiment name");
+                };
+                let mut repo = repo.lock();
+                if let Err(e) = selfcheck_warm_up(&mut repo, &engine, name) {
+                    return StepOutcome::fail(e);
+                }
+                let first = match record_traced_run(&mut repo, &engine, name, "1/2") {
+                    Ok(c) => c,
+                    Err(e) => return StepOutcome::fail(e),
+                };
+                let second = match record_traced_run(&mut repo, &engine, name, "2/2") {
+                    Ok(c) => c,
+                    Err(e) => return StepOutcome::fail(e),
+                };
+                // Wall-domain traces: compare structure only.
+                match engine.trace_diff(
+                    &mut repo,
+                    name,
+                    &first.to_hex(),
+                    &second.to_hex(),
+                    popper_trace::DiffOptions::structure_only(),
+                ) {
+                    Ok(report) if report.diff.divergences.is_empty() => StepOutcome::pass(format!(
+                        "two runs of '{name}' produced equivalent timelines ({} events)",
+                        report.diff.events_a
+                    )),
+                    Ok(report) => StepOutcome::fail(format!(
+                        "execution provenance not deterministic:\n{report}"
+                    )),
+                    Err(e) => StepOutcome::fail(e),
+                }
+            }
             other => StepOutcome::fail(format!("unknown CI step '{other}'")),
         }
     })
@@ -177,6 +215,54 @@ fn regression_gate(repo: &PopperRepo, experiment: &str, column: &str) -> StepOut
         &cand,
         &RegressionCheck::default(),
     )
+}
+
+/// Put the repository in a state where two consecutive traced runs of
+/// `experiment` execute *identical* lifecycles: an untraced warm-up run
+/// records the baseline fingerprint (a first run commits it, which
+/// would otherwise appear as an extra span), and a seeded `trace.json`
+/// keeps the committed path set — which the vcs layer's span names
+/// include — the same across both recordings.
+fn selfcheck_warm_up(
+    repo: &mut PopperRepo,
+    engine: &ExperimentEngine,
+    experiment: &str,
+) -> Result<(), String> {
+    let report = engine.run(repo, experiment)?;
+    if !report.success() {
+        return Err(format!("selfcheck warm-up run of '{experiment}' failed: {report}"));
+    }
+    let path = format!("experiments/{experiment}/trace.json");
+    if !repo.exists(&path) {
+        repo.write(&path, b"{\"traceEvents\": []}\n".to_vec()).map_err(|e| e.to_string())?;
+        repo.commit(&format!("popper trace {experiment}: seed trace artifact"))
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(())
+}
+
+/// One traced lifecycle run for the self-check: execute the experiment
+/// under a fresh wall-clock tracer and commit the recorded timeline as
+/// `experiments/<name>/trace.json` (same recording the `popper trace`
+/// command performs).
+fn record_traced_run(
+    repo: &mut PopperRepo,
+    engine: &ExperimentEngine,
+    name: &str,
+    label: &str,
+) -> Result<popper_vcs::ObjectId, String> {
+    let sink = popper_trace::TraceSink::new();
+    let tracer = sink.tracer(popper_trace::ClockDomain::Wall);
+    let report = popper_trace::with_current(tracer.clone(), || engine.run(repo, name))?;
+    if !report.success() {
+        return Err(format!("selfcheck run {label} of '{name}' failed: {report}"));
+    }
+    tracer.flush();
+    let json = popper_trace::chrome_trace_json(&sink.drain());
+    repo.write(&format!("experiments/{name}/trace.json"), json.into_bytes())
+        .map_err(|e| e.to_string())?;
+    repo.commit(&format!("popper trace {name}: selfcheck recording {label}"))
+        .map_err(|e| e.to_string())
 }
 
 /// Run the repository's own `.popper-ci.pml`.
@@ -322,6 +408,38 @@ mod tests {
             job: "perf".into(),
         });
         assert!(outcome.success, "{}", outcome.log);
+    }
+
+    #[test]
+    fn trace_diff_selfcheck_passes_for_deterministic_experiment() {
+        let repo = shared_repo_with("ceph-rados", "e");
+        let executor = popper_steps(repo.clone(), Arc::new(ExperimentEngine::new()));
+        let outcome = executor(&StepCtx {
+            command: "trace-diff-selfcheck e".into(),
+            env: Default::default(),
+            job: "provenance".into(),
+        });
+        assert!(outcome.success, "{}", outcome.log);
+        assert!(outcome.log.contains("equivalent timelines"), "{}", outcome.log);
+        // The step recorded the diff artifacts, all committed.
+        let r = repo.lock();
+        assert!(r.exists("experiments/e/trace-diff.json"));
+        assert!(r.vcs.status().unwrap().is_empty());
+        // Missing-name and unknown-experiment error paths.
+        drop(r);
+        let executor2 = popper_steps(shared_repo_with("ceph-rados", "e"), Arc::new(ExperimentEngine::new()));
+        let outcome = executor2(&StepCtx {
+            command: "trace-diff-selfcheck".into(),
+            env: Default::default(),
+            job: "provenance".into(),
+        });
+        assert!(!outcome.success);
+        let outcome = executor2(&StepCtx {
+            command: "trace-diff-selfcheck ghost".into(),
+            env: Default::default(),
+            job: "provenance".into(),
+        });
+        assert!(!outcome.success);
     }
 
     #[test]

@@ -1,0 +1,283 @@
+//! The trace-diff lifecycle: `popper trace-diff <exp> <a>..<b>`.
+//!
+//! Execution-provenance regression gating: both commits already carry a
+//! committed `experiments/<exp>/trace.json` artifact (recorded by
+//! `popper trace` / `popper chaos`), so the lifecycle loads the two
+//! artifacts straight out of the object store, aligns them with
+//! [`popper_trace::diff_traces`], records `trace-diff.json` plus an
+//! ASCII divergence report as committed artifacts, and gates on the
+//! experiment's `trace.aver` (default: `expect trace_equivalent within
+//! <tol>`). Virtual-time traces are byte-identical for identical
+//! workloads, so any divergence is signal; wall-domain traces should be
+//! compared structure-only or under a tolerance.
+
+use crate::experiment::ExperimentEngine;
+use crate::repo::PopperRepo;
+use popper_aver::Verdict;
+use popper_format::json;
+use popper_trace::{diff_traces, parse_chrome_trace, DiffOptions, TraceDiff};
+use popper_vcs::{ObjectId, VcsError};
+use std::fmt;
+
+/// The outcome of one `popper trace-diff` run.
+#[derive(Debug)]
+pub struct TraceDiffReport {
+    /// Experiment name.
+    pub experiment: String,
+    /// Resolved left-hand commit.
+    pub commit_a: ObjectId,
+    /// Resolved right-hand commit.
+    pub commit_b: ObjectId,
+    /// The aligned diff.
+    pub diff: TraceDiff,
+    /// The Aver verdict (`trace.aver` or the default equivalence gate).
+    pub verdict: Verdict,
+    /// The commit that recorded the artifacts (`None` when this exact
+    /// diff was already committed — re-running is idempotent).
+    pub commit: Option<ObjectId>,
+}
+
+impl TraceDiffReport {
+    /// Did the provenance gate hold?
+    pub fn success(&self) -> bool {
+        self.verdict.passed
+    }
+}
+
+impl fmt::Display for TraceDiffReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "trace-diff '{}' {}..{}: {}",
+            self.experiment,
+            self.commit_a.short(),
+            self.commit_b.short(),
+            if self.success() { "EQUIVALENT" } else { "DIVERGED" }
+        )?;
+        write!(f, "{}", self.diff.report())?;
+        write!(f, "  validation: {}", self.verdict)
+    }
+}
+
+impl ExperimentEngine {
+    /// Diff the recorded traces of one experiment between two commits
+    /// (any ref `resolve` accepts: branch, tag, hex or unique hex
+    /// prefix). Lifecycle stages are traced on `core/lifecycle`.
+    pub fn trace_diff(
+        &self,
+        repo: &mut PopperRepo,
+        experiment: &str,
+        ref_a: &str,
+        ref_b: &str,
+        options: DiffOptions,
+    ) -> Result<TraceDiffReport, String> {
+        let tracer = popper_trace::current();
+        let _run_span = tracer.span("core", "core/lifecycle", format!("trace-diff {experiment}"));
+
+        // Resolve both commits and pull their committed trace artifacts
+        // straight from the object store (no working-tree checkout).
+        let artifact = format!("experiments/{experiment}/trace.json");
+        let (commit_a, commit_b, trace_a, trace_b) = {
+            let _s = tracer.span("core", "core/lifecycle", "checkout");
+            let commit_a = repo.vcs.resolve(ref_a).map_err(|e| e.to_string())?;
+            let commit_b = repo.vcs.resolve(ref_b).map_err(|e| e.to_string())?;
+            let load = |commit: ObjectId, name: &str| -> Result<String, String> {
+                let bytes = repo
+                    .vcs
+                    .file_at(commit, &artifact)
+                    .map_err(|e| e.to_string())?
+                    .ok_or_else(|| {
+                        format!(
+                            "commit {} ('{name}') has no {artifact} — run `popper trace {experiment}` at that commit first",
+                            commit.short()
+                        )
+                    })?;
+                String::from_utf8(bytes).map_err(|_| format!("{artifact} at {} is not UTF-8", commit.short()))
+            };
+            let trace_a = load(commit_a, ref_a)?;
+            let trace_b = load(commit_b, ref_b)?;
+            (commit_a, commit_b, trace_a, trace_b)
+        };
+
+        // Align span-by-span and classify divergences.
+        let diff = {
+            let _s = tracer.span("core", "core/lifecycle", "align");
+            let a = parse_chrome_trace(&trace_a)
+                .map_err(|e| format!("{artifact} at {}: {e}", commit_a.short()))?;
+            let b = parse_chrome_trace(&trace_b)
+                .map_err(|e| format!("{artifact} at {}: {e}", commit_b.short()))?;
+            diff_traces(&a, &b, options)
+        };
+
+        // Record the diff itself as committed artifacts. The outputs
+        // are pure functions of the inputs, so re-diffing the same
+        // commits is idempotent: identical bytes are not re-committed.
+        let record_span = tracer.span("core", "core/lifecycle", "record");
+        let dir = format!("experiments/{experiment}");
+        let mut body = diff.to_value();
+        body.insert("experiment", popper_format::Value::Str(experiment.to_string()));
+        body.insert("commit_a", popper_format::Value::Str(commit_a.to_hex()));
+        body.insert("commit_b", popper_format::Value::Str(commit_b.to_hex()));
+        let body_json = json::to_string_pretty(&body);
+        let report_txt = format!(
+            "trace-diff {experiment} {}..{}\n{}",
+            commit_a.short(),
+            commit_b.short(),
+            diff.report()
+        );
+        let json_path = format!("{dir}/trace-diff.json");
+        let txt_path = format!("{dir}/trace-diff.txt");
+        let unchanged = repo.read(&json_path).as_deref() == Some(body_json.as_str())
+            && repo.read(&txt_path).as_deref() == Some(report_txt.as_str());
+        let commit = if unchanged {
+            None
+        } else {
+            repo.write(&json_path, body_json.into_bytes()).map_err(|e| e.to_string())?;
+            repo.write(&txt_path, report_txt.into_bytes()).map_err(|e| e.to_string())?;
+            match repo.commit(&format!(
+                "popper trace-diff {experiment}: {} divergence(s) between {} and {}",
+                diff.divergences.len(),
+                commit_a.short(),
+                commit_b.short()
+            )) {
+                Ok(c) => Some(c),
+                Err(VcsError::NothingStaged) => None,
+                Err(e) => return Err(e.to_string()),
+            }
+        };
+        drop(record_span);
+
+        // Gate: the experiment's trace.aver, or exact/tolerant default.
+        let verdict = {
+            let _s = tracer.span("core", "core/lifecycle", "validate");
+            let src = repo.read(&format!("{dir}/trace.aver")).unwrap_or_else(|| {
+                format!("expect trace_equivalent within {}", options.tolerance_pct)
+            });
+            popper_aver::check(&src, &diff.to_table()).map_err(|e| e.to_string())?
+        };
+
+        Ok(TraceDiffReport {
+            experiment: experiment.to_string(),
+            commit_a,
+            commit_b,
+            diff,
+            verdict,
+            commit,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::find_template;
+    use popper_trace::{chrome_trace_json, ClockDomain, TraceSink};
+
+    fn trace_json(fault_ts: u64) -> String {
+        let sink = TraceSink::new();
+        let t = sink.tracer(ClockDomain::Virtual);
+        let s = t.span_at("sim", "sim/serial", "admit", 100, 200);
+        t.span_at_child(s, "sim", "sim/serial", "service", 120, 180);
+        t.instant_at("chaos", "chaos/faults", "crash", fault_ts);
+        t.counter_at("sim/engine", "pending", 2.0, 160);
+        t.flush();
+        chrome_trace_json(&sink.drain())
+    }
+
+    /// A repo whose history carries a trace.json at two commits:
+    /// `base` tag (fault at 150ns) and HEAD (fault at `head_fault_ts`).
+    fn repo_with_traces(head_fault_ts: u64) -> PopperRepo {
+        let mut repo = PopperRepo::init("t").unwrap();
+        for (path, contents) in find_template("gassyfs").unwrap().files("g") {
+            repo.write(&path, contents).unwrap();
+        }
+        repo.write("experiments/g/trace.json", trace_json(150)).unwrap();
+        repo.commit("popper trace g: record timeline").unwrap();
+        repo.vcs.tag("base", None).unwrap();
+        repo.write("experiments/g/trace.json", trace_json(head_fault_ts)).unwrap();
+        // An unrelated change keeps the commit non-empty even when the
+        // trace is identical.
+        repo.write("notes.md", format!("fault at {head_fault_ts}\n")).unwrap();
+        repo.commit("popper trace g: record timeline again").unwrap();
+        repo
+    }
+
+    #[test]
+    fn identical_traces_pass_and_record_artifacts() {
+        let mut repo = repo_with_traces(150);
+        let engine = ExperimentEngine::new();
+        // Pin the right-hand side: `main` itself moves when the diff's
+        // own recording commit lands.
+        let head = repo.vcs.head_commit().unwrap().to_hex();
+        let report = engine
+            .trace_diff(&mut repo, "g", "base", &head, DiffOptions::default())
+            .unwrap();
+        assert!(report.success(), "{:?}", report.verdict.failures);
+        assert!(report.diff.divergences.is_empty());
+        assert!(report.commit.is_some());
+        assert!(repo.exists("experiments/g/trace-diff.json"));
+        assert!(repo.exists("experiments/g/trace-diff.txt"));
+        assert!(repo.vcs.status().unwrap().is_empty(), "artifacts must be committed");
+        let body = repo.read("experiments/g/trace-diff.json").unwrap();
+        assert!(body.contains("\"divergences\": 0"), "{body}");
+
+        // Re-running the same diff is idempotent: identical artifacts,
+        // no new commit, byte-stable report.
+        let txt1 = repo.read("experiments/g/trace-diff.txt").unwrap();
+        let again = engine
+            .trace_diff(&mut repo, "g", "base", &head, DiffOptions::default())
+            .unwrap();
+        assert!(again.commit.is_none());
+        assert_eq!(repo.read("experiments/g/trace-diff.txt").unwrap(), txt1);
+    }
+
+    #[test]
+    fn moved_fault_instant_diverges_and_is_named() {
+        let mut repo = repo_with_traces(155);
+        let engine = ExperimentEngine::new();
+        let report = engine
+            .trace_diff(&mut repo, "g", "base", "main", DiffOptions::default())
+            .unwrap();
+        assert!(!report.success());
+        assert_eq!(report.diff.structural_count(), 1);
+        let body = repo.read("experiments/g/trace-diff.json").unwrap();
+        assert!(body.contains("fault-mismatch"), "{body}");
+        assert!(body.contains("crash"), "{body}");
+        assert!(report.to_string().contains("DIVERGED"));
+
+        // Structure-only comparison ignores the timestamp move.
+        let relaxed = engine
+            .trace_diff(&mut repo, "g", "base", "main", DiffOptions::structure_only())
+            .unwrap();
+        assert!(relaxed.success(), "{:?}", relaxed.verdict.failures);
+    }
+
+    #[test]
+    fn trace_aver_overrides_default_gate() {
+        let mut repo = repo_with_traces(150);
+        repo.write("experiments/g/trace.aver", "expect count(structural) = 99\n").unwrap();
+        repo.commit("impossible trace gate").unwrap();
+        let report = ExperimentEngine::new()
+            .trace_diff(&mut repo, "g", "base", "main", DiffOptions::default())
+            .unwrap();
+        assert!(!report.success(), "custom trace.aver must be consulted");
+    }
+
+    #[test]
+    fn missing_artifact_is_a_clear_error() {
+        let mut repo = PopperRepo::init("t").unwrap();
+        for (path, contents) in find_template("gassyfs").unwrap().files("g") {
+            repo.write(&path, contents).unwrap();
+        }
+        repo.commit("popper add gassyfs g").unwrap();
+        repo.vcs.tag("base", None).unwrap();
+        let err = ExperimentEngine::new()
+            .trace_diff(&mut repo, "g", "base", "main", DiffOptions::default())
+            .unwrap_err();
+        assert!(err.contains("popper trace g"), "{err}");
+        let err = ExperimentEngine::new()
+            .trace_diff(&mut repo, "g", "nope", "main", DiffOptions::default())
+            .unwrap_err();
+        assert!(err.contains("nope"), "{err}");
+    }
+}

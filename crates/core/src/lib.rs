@@ -33,6 +33,7 @@
 
 pub mod chaosrun;
 pub mod check;
+pub mod diffrun;
 pub mod pack;
 pub mod cipipeline;
 pub mod experiment;
@@ -42,6 +43,7 @@ pub mod templates;
 
 pub use chaosrun::ChaosRunReport;
 pub use check::{check_compliance, Violation};
+pub use diffrun::TraceDiffReport;
 pub use pack::pack_experiment;
 pub use experiment::{ExperimentEngine, RunReport, RunnerFn};
 pub use repo::PopperRepo;

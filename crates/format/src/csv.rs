@@ -19,6 +19,11 @@ pub fn parse(input: &str) -> Result<Vec<Vec<String>>> {
     let mut field = String::new();
     let mut chars = input.chars().peekable();
     let mut in_quotes = false;
+    // The current field was opened with a quote. Stays set after the
+    // closing quote so (a) a lone `""` with no trailing newline still
+    // flushes as one empty field, and (b) text after the close-quote is
+    // rejected instead of silently concatenated.
+    let mut quoted = false;
     let mut line = 1usize;
     let mut any = false;
 
@@ -44,13 +49,18 @@ pub fn parse(input: &str) -> Result<Vec<Vec<String>>> {
         }
         match c {
             '"' => {
+                if quoted {
+                    return Err(FormatError::at("csv", "quote after closing quote", line, 0));
+                }
                 if !field.is_empty() {
                     return Err(FormatError::at("csv", "quote inside unquoted field", line, 0));
                 }
                 in_quotes = true;
+                quoted = true;
             }
             ',' => {
                 row.push(std::mem::take(&mut field));
+                quoted = false;
             }
             '\r' => {
                 if chars.peek() == Some(&'\n') {
@@ -58,20 +68,27 @@ pub fn parse(input: &str) -> Result<Vec<Vec<String>>> {
                 }
                 row.push(std::mem::take(&mut field));
                 rows.push(std::mem::take(&mut row));
+                quoted = false;
                 line += 1;
             }
             '\n' => {
                 row.push(std::mem::take(&mut field));
                 rows.push(std::mem::take(&mut row));
+                quoted = false;
                 line += 1;
             }
-            c => field.push(c),
+            c => {
+                if quoted {
+                    return Err(FormatError::at("csv", "text after closing quote", line, 0));
+                }
+                field.push(c);
+            }
         }
     }
     if in_quotes {
         return Err(FormatError::at("csv", "unterminated quoted field", line, 0));
     }
-    if any && (!field.is_empty() || !row.is_empty()) {
+    if any && (!field.is_empty() || !row.is_empty() || quoted) {
         row.push(field);
         rows.push(row);
     }
@@ -170,6 +187,37 @@ mod tests {
         assert!(parse("ab\"c\n").is_err());
     }
 
+    /// Regression: a lone quoted empty field with no trailing newline
+    /// used to parse to zero rows (the end-of-input flush never learned
+    /// a quoted field had been seen).
+    #[test]
+    fn lone_quoted_empty_field_is_one_row() {
+        assert_eq!(rows("\"\""), vec![vec![String::new()]]);
+        assert_eq!(rows("\"\"\n"), vec![vec![String::new()]]);
+        assert_eq!(rows("a,\"\""), vec![vec!["a".to_string(), String::new()]]);
+        assert_eq!(rows("\"\",\"\""), vec![vec![String::new(), String::new()]]);
+        // Quoted-but-empty round trip: write, re-parse.
+        let one = vec![vec![String::new()]];
+        assert_eq!(parse(to_string(&one).trim_end_matches('\n')).unwrap().len(), 0); // bare "" writes as "\n"
+        assert_eq!(parse(&to_string(&one)).unwrap(), one);
+    }
+
+    /// Regression: text after a closing quote used to be silently
+    /// concatenated (`"ab"cd` → `abcd`); now it is a positioned error,
+    /// like the symmetric quote-inside-unquoted-field case.
+    #[test]
+    fn rejects_text_after_closing_quote() {
+        let err = parse("\"ab\"cd\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.message.contains("after closing quote"));
+        let err = parse("x,y\n\"ab\"cd").unwrap_err();
+        assert_eq!(err.line, 2);
+        // A second quote right after the close is also rejected.
+        assert!(parse("\"ab\" \"cd\"\n").is_err());
+        // Escaped quotes inside a quoted field still work.
+        assert_eq!(rows("\"a\"\"b\"\n"), vec![vec!["a\"b".to_string()]]);
+    }
+
     #[test]
     fn writer_quotes_when_needed() {
         let input = vec![vec!["plain".to_string(), "a,b".to_string(), "q\"x".to_string(), " pad ".to_string()]];
@@ -182,11 +230,49 @@ mod tests {
         use super::*;
         use proptest::prelude::*;
 
+        /// Fields that exercise every quoting path: empty, embedded
+        /// quotes/commas/newlines/CR, leading/trailing spaces.
+        fn field() -> impl Strategy<Value = String> {
+            prop_oneof![
+                Just(String::new()),
+                Just(" lead".to_string()),
+                Just("trail ".to_string()),
+                Just("a,b".to_string()),
+                Just("q\"x\"".to_string()),
+                Just("\"".to_string()),
+                Just("multi\nline".to_string()),
+                Just("cr\rhere".to_string()),
+                "[ -~\n]{0,12}".boxed(),
+            ]
+        }
+
         proptest! {
             #[test]
             fn round_trip(rows in proptest::collection::vec(
-                proptest::collection::vec("[ -~\n]{0,12}", 1..6), 0..8)) {
+                proptest::collection::vec(field(), 1..6), 0..8)) {
                 let s = to_string(&rows);
+                prop_assert_eq!(parse(&s).unwrap(), rows);
+            }
+
+            /// The writer emits a trailing newline, so the plain round
+            /// trip never ends at a bare close-quote; quoting every
+            /// field and dropping the final newline pins the
+            /// end-of-input flush too (this is the property that
+            /// catches the `""` bug).
+            #[test]
+            fn round_trip_all_quoted_without_trailing_newline(
+                rows in proptest::collection::vec(
+                    proptest::collection::vec(field(), 1..6), 1..8)) {
+                let s = rows
+                    .iter()
+                    .map(|row| {
+                        row.iter()
+                            .map(|f| format!("\"{}\"", f.replace('"', "\"\"")))
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    })
+                    .collect::<Vec<_>>()
+                    .join("\n");
                 prop_assert_eq!(parse(&s).unwrap(), rows);
             }
 

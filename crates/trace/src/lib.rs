@@ -29,14 +29,16 @@
 //! popper-orchestra) take an explicit tracer in their `*_traced` entry
 //! points and re-enter `with_current` on each worker.
 
+pub mod diff;
 pub mod event;
 pub mod export;
 pub mod sink;
 pub mod svg;
 pub mod tracer;
 
+pub use diff::{diff_traces, DiffOptions, Divergence, DivergenceKind, TraceDiff};
 pub use event::{EventKind, SpanId, TraceEvent};
-pub use export::{chrome_trace, chrome_trace_json, summary_table};
+pub use export::{chrome_trace, chrome_trace_json, parse_chrome_trace, summary_table};
 pub use sink::TraceSink;
 pub use svg::timeline_svg;
 pub use tracer::{current, with_current, ClockDomain, SpanGuard, Tracer};

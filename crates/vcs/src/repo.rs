@@ -261,7 +261,8 @@ impl Repository {
         Ok(())
     }
 
-    /// Resolve a ref name: branch, tag, or full hex commit id.
+    /// Resolve a ref name: branch, tag, full hex commit id, or a unique
+    /// hex prefix of at least 4 characters (what `log` prints).
     pub fn resolve(&self, name: &str) -> Result<ObjectId, VcsError> {
         if let Some(id) = self.branches.get(name).or_else(|| self.tags.get(name)) {
             return Ok(*id);
@@ -271,7 +272,55 @@ impl Repository {
                 return Ok(id);
             }
         }
+        if name.len() >= 4 && name.len() < 64 && name.chars().all(|c| c.is_ascii_hexdigit()) {
+            let mut matches = self
+                .objects
+                .keys()
+                .filter(|id| id.to_hex().starts_with(name) && self.commit_info(**id).is_ok());
+            if let Some(first) = matches.next() {
+                if matches.next().is_some() {
+                    return Err(VcsError::UnknownRef(format!("ambiguous commit prefix '{name}'")));
+                }
+                return Ok(*first);
+            }
+        }
         Err(VcsError::UnknownRef(name.to_string()))
+    }
+
+    /// Read one file out of a commit's tree without materializing the
+    /// whole snapshot. `Ok(None)` when the path is absent.
+    pub fn file_at(&self, commit: ObjectId, path: &str) -> Result<Option<Vec<u8>>, VcsError> {
+        let c = self.commit_info(commit)?;
+        let mut tree = c.tree;
+        let mut parts = path.split('/').filter(|p| !p.is_empty()).peekable();
+        while let Some(part) = parts.next() {
+            let entries = match self.get(tree)? {
+                Object::Tree(e) => e,
+                other => {
+                    return Err(VcsError::Corrupt(format!("expected tree, found {}", other.type_name())))
+                }
+            };
+            let Some(entry) = entries.iter().find(|e| e.name == part) else {
+                return Ok(None);
+            };
+            if parts.peek().is_some() {
+                if !entry.is_tree {
+                    return Ok(None);
+                }
+                tree = entry.id;
+            } else {
+                if entry.is_tree {
+                    return Ok(None);
+                }
+                return match self.get(entry.id)? {
+                    Object::Blob(data) => Ok(Some(data)),
+                    other => {
+                        Err(VcsError::Corrupt(format!("expected blob, found {}", other.type_name())))
+                    }
+                };
+            }
+        }
+        Ok(None)
     }
 
     /// Branch names.
@@ -580,6 +629,33 @@ mod tests {
         assert_eq!(snap.len(), 2);
         assert_eq!(snap["README.md"], b"# paper\n");
         assert_eq!(snap["experiments/gassyfs/run.sh"], b"./run\n");
+    }
+
+    #[test]
+    fn resolve_accepts_unique_commit_prefix() {
+        let (r, c) = repo_with_commit();
+        let hex = c.to_hex();
+        assert_eq!(r.resolve(&hex).unwrap(), c);
+        assert_eq!(r.resolve(&hex[..10]).unwrap(), c);
+        assert_eq!(r.resolve(&hex[..4]).unwrap(), c);
+        assert!(r.resolve(&hex[..3]).is_err(), "prefixes shorter than 4 are rejected");
+        assert!(r.resolve("zzzz").is_err());
+    }
+
+    #[test]
+    fn file_at_reads_without_checkout() {
+        let (mut r, c1) = repo_with_commit();
+        r.write_file("experiments/gassyfs/run.sh", "./run --fast\n").unwrap();
+        r.stage(".").unwrap();
+        let c2 = r.commit("tester <t@t>", "tweak run").unwrap();
+        assert_eq!(r.file_at(c1, "experiments/gassyfs/run.sh").unwrap().unwrap(), b"./run\n");
+        assert_eq!(
+            r.file_at(c2, "experiments/gassyfs/run.sh").unwrap().unwrap(),
+            b"./run --fast\n"
+        );
+        assert_eq!(r.file_at(c1, "experiments/gassyfs/nope.sh").unwrap(), None);
+        assert_eq!(r.file_at(c1, "experiments").unwrap(), None, "a directory is not a file");
+        assert_eq!(r.file_at(c1, "nope/deep/path").unwrap(), None);
     }
 
     #[test]
