@@ -16,6 +16,12 @@ jobs:
   - name: trace-diff-selfcheck
     stage: test
     steps: [cargo test --test trace_diff]
+  - name: lifecycle-parity
+    stage: test
+    steps: [cargo test --test lifecycle_parity]
+  - name: core-lint
+    stage: test
+    steps: [cargo clippy -p popper-core -- -D warnings]
   - name: trace-overhead-smoke
     stage: bench
     steps: [cargo bench --bench ablations trace_overhead]

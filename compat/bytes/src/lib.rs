@@ -31,11 +31,6 @@ impl Bytes {
         self.0.is_empty()
     }
 
-    /// View as a slice.
-    pub fn as_ref(&self) -> &[u8] {
-        &self.0
-    }
-
     /// Copy out into a `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
         self.0.to_vec()

@@ -66,6 +66,7 @@ fn apply(kind: &FaultKind, plane: &mut FaultPlane) {
         FaultKind::Partition { side } => plane.partition(side),
         FaultKind::Heal => plane.heal_partition(),
         FaultKind::Loss { node, p } => plane.set_loss(*node, *p),
+        FaultKind::LossOneWay { from, to, p } => plane.set_loss_oneway(*from, *to, *p),
         FaultKind::Latency { node, factor } => plane.set_latency_factor(*node, *factor),
         FaultKind::DiskSlow { node, factor } => plane.set_disk_factor(*node, *factor),
         FaultKind::ClearDegradation => plane.clear_degradation(),

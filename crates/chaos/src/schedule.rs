@@ -19,6 +19,9 @@ pub enum FaultKind {
     Heal,
     /// Packet loss on links touching `node`.
     Loss { node: usize, p: f64 },
+    /// Packet loss on the directed link `from` → `to` only (asymmetric
+    /// routes: acks flow, data doesn't).
+    LossOneWay { from: usize, to: usize, p: f64 },
     /// Latency inflation on links touching `node`.
     Latency { node: usize, factor: f64 },
     /// Disk slowdown on `node`.
@@ -36,6 +39,9 @@ impl FaultKind {
             FaultKind::Partition { side } => format!("partition {side:?}"),
             FaultKind::Heal => "heal partition".to_string(),
             FaultKind::Loss { node, p } => format!("loss node{node} p={p}"),
+            FaultKind::LossOneWay { from, to, p } => {
+                format!("loss node{from}->node{to} p={p}")
+            }
             FaultKind::Latency { node, factor } => format!("latency node{node} x{factor}"),
             FaultKind::DiskSlow { node, factor } => format!("disk-slow node{node} x{factor}"),
             FaultKind::ClearDegradation => "clear degradation".to_string(),
@@ -50,6 +56,7 @@ impl FaultKind {
             FaultKind::Partition { .. } => "partition",
             FaultKind::Heal => "heal",
             FaultKind::Loss { .. } => "loss",
+            FaultKind::LossOneWay { .. } => "loss-oneway",
             FaultKind::Latency { .. } => "latency",
             FaultKind::DiskSlow { .. } => "disk-slow",
             FaultKind::ClearDegradation => "clear",
@@ -92,7 +99,7 @@ impl FaultSchedule {
         let ms = Nanos::from_millis;
         // The last node, or 0 for a single-node cluster. Node 0 is the
         // client, so multi-node schedules never crash it.
-        let victim = if nodes > 1 { nodes - 1 } else { 0 };
+        let victim = nodes.saturating_sub(1);
         let events = match name {
             "node-crash" => vec![
                 FaultEvent { at: ms(40), kind: FaultKind::Crash { node: victim } },
@@ -127,17 +134,19 @@ impl FaultSchedule {
         Ok(FaultSchedule { name: name.to_string(), seed, nodes, events })
     }
 
-    /// A seeded random schedule: a handful of crash/restart pairs and
-    /// link degradations over a ~200 ms horizon. Node 0 never crashes;
-    /// every crash is paired with a restart; degradation is cleared at
-    /// the end, so the schedule always ends healthy.
+    /// A seeded random schedule: a handful of crash/restart pairs,
+    /// link degradations (including one-way link loss), and flapping
+    /// partitions over a ~200 ms horizon. Node 0 never crashes; every
+    /// crash is paired with a restart; every partition is healed (a
+    /// flap's last event is a heal); degradation is cleared at the end,
+    /// so the schedule always ends healthy.
     pub fn gremlin(nodes: usize, seed: u64) -> FaultSchedule {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut events = Vec::new();
         let faults = 2 + (rng.gen_range(0..3u32) as usize);
         for _ in 0..faults {
             let at = Nanos::from_millis(10 + rng.gen_range(0..120u64));
-            match rng.gen_range(0..4u32) {
+            match rng.gen_range(0..6u32) {
                 0 if nodes > 1 => {
                     let node = rng.gen_range(1..nodes);
                     events.push(FaultEvent { at, kind: FaultKind::Crash { node } });
@@ -160,6 +169,35 @@ impl FaultSchedule {
                         kind: FaultKind::Latency { node, factor: 2.0 + rng.gen::<f64>() * 6.0 },
                     });
                 }
+                3 if nodes > 1 => {
+                    // One-way link loss: data path degraded, ack path
+                    // clean (the asymmetric-route failure mode).
+                    let from = rng.gen_range(0..nodes);
+                    let mut to = rng.gen_range(0..nodes - 1);
+                    if to >= from {
+                        to += 1;
+                    }
+                    events.push(FaultEvent {
+                        at,
+                        kind: FaultKind::LossOneWay { from, to, p: 0.2 + rng.gen::<f64>() * 0.5 },
+                    });
+                }
+                4 if nodes > 1 => {
+                    // Flapping partition: split, heal, re-partition on a
+                    // schedule. The final event of the flap is a heal.
+                    let side: Vec<usize> = (0..1 + rng.gen_range(0..nodes)).collect();
+                    let cycles = 2 + rng.gen_range(0..2u32);
+                    let mut t = at;
+                    for _ in 0..cycles {
+                        events.push(FaultEvent {
+                            at: t,
+                            kind: FaultKind::Partition { side: side.clone() },
+                        });
+                        t += Nanos::from_millis(5 + rng.gen_range(0..15u64));
+                        events.push(FaultEvent { at: t, kind: FaultKind::Heal });
+                        t += Nanos::from_millis(5 + rng.gen_range(0..15u64));
+                    }
+                }
                 _ => {
                     let node = rng.gen_range(0..nodes);
                     events.push(FaultEvent {
@@ -169,7 +207,16 @@ impl FaultSchedule {
                 }
             }
         }
-        events.push(FaultEvent { at: Nanos::from_millis(200), kind: FaultKind::ClearDegradation });
+        // Close the horizon healthy: heal any in-flight partition and
+        // clear degradation strictly after the last scheduled fault.
+        let end = events
+            .iter()
+            .map(|e| e.at)
+            .max()
+            .unwrap_or(Nanos::ZERO)
+            .max(Nanos::from_millis(200));
+        events.push(FaultEvent { at: end, kind: FaultKind::Heal });
+        events.push(FaultEvent { at: end, kind: FaultKind::ClearDegradation });
         let mut s = FaultSchedule { name: "gremlin".to_string(), seed, nodes, events };
         s.sort();
         s
@@ -270,6 +317,11 @@ impl FaultSchedule {
                         m.insert("node", Value::Num(*node as f64));
                         m.insert("p", Value::Num(*p));
                     }
+                    FaultKind::LossOneWay { from, to, p } => {
+                        m.insert("from", Value::Num(*from as f64));
+                        m.insert("to", Value::Num(*to as f64));
+                        m.insert("p", Value::Num(*p));
+                    }
                     FaultKind::Latency { node, factor } | FaultKind::DiskSlow { node, factor } => {
                         m.insert("node", Value::Num(*node as f64));
                         m.insert("factor", Value::Num(*factor));
@@ -309,6 +361,11 @@ fn decode_event(ev: &Value) -> Result<FaultEvent, String> {
         }
         "heal" => FaultKind::Heal,
         "loss" => FaultKind::Loss { node: node()?, p: ev.get_num("p").ok_or("loss needs p")? },
+        "loss-oneway" => FaultKind::LossOneWay {
+            from: ev.get_num("from").map(|n| n as usize).ok_or("loss-oneway needs from")?,
+            to: ev.get_num("to").map(|n| n as usize).ok_or("loss-oneway needs to")?,
+            p: ev.get_num("p").ok_or("loss-oneway needs p")?,
+        },
         "latency" => FaultKind::Latency {
             node: node()?,
             factor: ev.get_num("factor").ok_or("latency needs factor")?,
@@ -373,6 +430,64 @@ mod tests {
                 .events
                 .iter()
                 .any(|e| matches!(e.kind, FaultKind::Restart { node } if node == n)));
+        }
+    }
+
+    #[test]
+    fn one_way_loss_round_trips_through_events_spec() {
+        let vars = pml::parse(
+            "faults:\n  nodes: 4\n  events:\n    - {at_ms: 30, kind: loss-oneway, from: 2, to: 0, p: 0.4}\n",
+        )
+        .unwrap();
+        let s = FaultSchedule::from_vars(&vars).unwrap().unwrap();
+        assert_eq!(s.events[0].kind, FaultKind::LossOneWay { from: 2, to: 0, p: 0.4 });
+        assert_eq!(s.events[0].kind.kind_name(), "loss-oneway");
+        assert_eq!(s.events[0].kind.label(), "loss node2->node0 p=0.4");
+        let doc = json::parse(&s.to_json()).unwrap();
+        let ev = &doc.get_list("events").unwrap()[0];
+        assert_eq!(ev.get_num("from"), Some(2.0));
+        assert_eq!(ev.get_num("to"), Some(0.0));
+        assert_eq!(ev.get_num("p"), Some(0.4));
+        // Missing direction fields are spec errors.
+        assert!(FaultSchedule::from_vars(
+            &pml::parse("faults: {events: [{at_ms: 1, kind: loss-oneway, from: 1, p: 0.2}]}\n")
+                .unwrap()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn gremlin_covers_oneway_loss_and_flapping_partitions() {
+        // Over a pool of seeds the generator must exercise the new
+        // arms: directed loss and partition flaps (≥ 2 cycles).
+        let mut saw_oneway = false;
+        let mut saw_flap = false;
+        for seed in 0..64 {
+            let s = FaultSchedule::gremlin(6, seed);
+            saw_oneway |= s
+                .events
+                .iter()
+                .any(|e| matches!(e.kind, FaultKind::LossOneWay { .. }));
+            let partitions =
+                s.events.iter().filter(|e| matches!(e.kind, FaultKind::Partition { .. })).count();
+            saw_flap |= partitions >= 2;
+        }
+        assert!(saw_oneway, "some seed must generate one-way link loss");
+        assert!(saw_flap, "some seed must generate a flapping partition");
+    }
+
+    #[test]
+    fn gremlin_always_ends_healed() {
+        use crate::driver::ChaosDriver;
+        use popper_sim::FaultPlane;
+        for seed in 0..64 {
+            let s = FaultSchedule::gremlin(6, seed);
+            let horizon = s.horizon();
+            let mut plane = FaultPlane::new(6);
+            let mut d = ChaosDriver::new(s);
+            d.advance(&mut plane, horizon);
+            assert!(d.done(), "seed {seed}: all events due by the horizon");
+            assert!(!plane.is_active(), "seed {seed}: schedule must end healthy");
         }
     }
 

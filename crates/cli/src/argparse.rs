@@ -44,7 +44,8 @@ impl Parsed {
 }
 
 /// Known flags that take a value; everything else is boolean.
-const VALUE_FLAGS: &[&str] = &["author", "workers", "nodes", "seed", "column", "schedule", "tolerance"];
+const VALUE_FLAGS: &[&str] =
+    &["author", "workers", "nodes", "seed", "column", "schedule", "tolerance", "trace-buffer"];
 
 /// Parse argv (program name already stripped).
 pub fn parse(argv: &[&str]) -> Result<Parsed, String> {

@@ -161,7 +161,7 @@ pub fn dispatch(parsed: &Parsed, dir: &Path) -> Result<String, String> {
             let engine = full_engine();
             let verdict = engine.verify(&repo, name)?;
             match verdict {
-                popper_core::experiment::ReproVerdict::Identical => Ok(format!("{verdict}\n")),
+                popper_core::ReproVerdict::Identical => Ok(format!("{verdict}\n")),
                 other => Err(other.to_string()),
             }
         }
@@ -247,29 +247,29 @@ pub fn dispatch(parsed: &Parsed, dir: &Path) -> Result<String, String> {
             let name = parsed.pos(1).ok_or("usage: popper trace <experiment>")?;
             let mut repo = persist::load(dir, &author)?;
             let engine = full_engine();
-            // Trace the whole lifecycle: wall-clock spans from the
-            // engine/CI/orchestra layers, explicit-timestamp spans from
-            // any simulation the runner drives.
-            let sink = popper_trace::TraceSink::new();
-            let tracer = sink.tracer(popper_trace::ClockDomain::Wall);
-            let report =
-                popper_trace::with_current(tracer.clone(), || engine.run(&mut repo, name))?;
-            tracer.flush();
-            let events = sink.drain();
-            let json = popper_trace::chrome_trace_json(&events);
-            let svg = popper_trace::timeline_svg(&events);
-            repo.write(&format!("experiments/{name}/trace.json"), json.into_bytes())
-                .map_err(|e| e.to_string())?;
-            repo.write(&format!("experiments/{name}/trace.svg"), svg.into_bytes())
-                .map_err(|e| e.to_string())?;
-            repo.commit(&format!("popper trace {name}: record trace"))
-                .map_err(|e| e.to_string())?;
+            // The run pipeline with an ordered recorder attached: the
+            // recorder buffers the whole lifecycle (engine/CI/orchestra
+            // wall-clock spans plus any simulation the runner drives)
+            // so the SVG and summary can render from the events.
+            let mut ctx = popper_core::RunContext::for_experiment(&repo, name)?
+                .with_recorder(popper_trace::TraceRecorder::ordered());
+            engine.run_pipeline(&mut repo, &mut ctx)?;
+            let mut artifacts = std::mem::take(&mut ctx.artifacts);
+            let recording = ctx.finish_recording().expect("recorder attached");
+            let report = popper_core::experiment::RunReport::from_ctx(ctx);
+            let svg = popper_trace::timeline_svg(&recording.events);
+            let summary = recording.summary();
+            artifacts.stage(format!("experiments/{name}/trace.json"), recording.json.into_bytes());
+            artifacts.stage(format!("experiments/{name}/trace.svg"), svg.into_bytes());
+            artifacts.commit_into(
+                &mut repo,
+                &format!("popper trace {name}: record trace"),
+                popper_core::CommitPolicy::Always,
+            )?;
             persist::save(&repo, dir)?;
             let out = format!(
-                "{}\n-- traced {} event(s) -> experiments/{name}/trace.json, trace.svg\n{}",
-                report,
-                events.len(),
-                popper_trace::summary_table(&events),
+                "{}\n-- traced {} event(s) -> experiments/{name}/trace.json, trace.svg\n{summary}",
+                report, recording.count,
             );
             if report.success() {
                 Ok(out)
@@ -316,26 +316,38 @@ pub fn dispatch(parsed: &Parsed, dir: &Path) -> Result<String, String> {
                         .map_err(|_| format!("--seed expects an unsigned integer, got '{v}'"))?,
                 ),
             };
+            // Trace the run so faults and failovers are visible on the
+            // recorded timeline next to the lifecycle spans. Chaos
+            // soaks can be long, so the default sink is the streaming
+            // Chrome exporter; `--trace-buffer N` bounds the ring
+            // between stage absorbs (older events are shed + counted).
+            let recorder = match parsed.flag_value("trace-buffer") {
+                None => popper_trace::TraceRecorder::streaming(),
+                Some(v) => {
+                    let cap = v.parse::<usize>().map_err(|_| {
+                        format!("--trace-buffer expects an unsigned integer, got '{v}'")
+                    })?;
+                    popper_trace::TraceRecorder::streaming_with_capacity(cap)
+                }
+            };
             let mut repo = persist::load(dir, &author)?;
             let engine = full_engine();
-            // Trace the run so faults and failovers are visible on the
-            // recorded timeline next to the lifecycle spans.
-            let sink = popper_trace::TraceSink::new();
-            let tracer = sink.tracer(popper_trace::ClockDomain::Wall);
-            let report = popper_trace::with_current(tracer.clone(), || {
-                engine.run_chaos(&mut repo, name, schedule, seed)
-            })?;
-            tracer.flush();
-            let events = sink.drain();
-            let json = popper_trace::chrome_trace_json(&events);
-            repo.write(&format!("experiments/{name}/trace.json"), json.into_bytes())
-                .map_err(|e| e.to_string())?;
-            repo.commit(&format!("popper chaos {name}: record trace"))
-                .map_err(|e| e.to_string())?;
+            let mut ctx =
+                popper_core::RunContext::for_experiment(&repo, name)?.with_recorder(recorder);
+            engine.chaos_pipeline(&mut repo, &mut ctx, schedule, seed)?;
+            let mut artifacts = std::mem::take(&mut ctx.artifacts);
+            let recording = ctx.finish_recording().expect("recorder attached");
+            let report = popper_core::chaosrun::ChaosRunReport::from_ctx(ctx)?;
+            artifacts.stage(format!("experiments/{name}/trace.json"), recording.json.into_bytes());
+            artifacts.commit_into(
+                &mut repo,
+                &format!("popper chaos {name}: record trace"),
+                popper_core::CommitPolicy::Always,
+            )?;
             persist::save(&repo, dir)?;
             let out = format!(
                 "{report}\n-- recorded experiments/{name}/faults.json, recovery.json, trace.json ({} event(s))\n",
-                events.len(),
+                recording.count,
             );
             if report.success() {
                 Ok(out)
@@ -428,6 +440,7 @@ COMMANDS:
                               [--tolerance <pct>] [--structure-only]
     chaos <experiment>        run under fault injection; records faults.json + recovery.json
                               [--schedule node-crash|partition|packet-loss|slow-disk|gremlin] [--seed N]
+                              [--trace-buffer N] bound the in-flight trace ring during long soaks
     validate <experiment>     re-check Aver validations on stored results\n    verify <experiment>       numerical reproducibility: re-execute and compare bytes
     pack <experiment>         build a provenance-labeled container image\n    ci [--workers N]          run .popper-ci.pml
     status | log | commit     repository plumbing\n    branch | checkout | merge collaboration plumbing

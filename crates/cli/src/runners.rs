@@ -144,6 +144,18 @@ fn bww_runner(vars: &Value) -> Result<Table, String> {
             config.n_lon = (grid[1] as usize).max(2);
         }
     }
+    // A `faults:` spec flips the runner into chaos mode: the same
+    // dataset, but fetched chunk-by-chunk from datapackage mirrors
+    // under the fault schedule, with retry/backoff and failover; the
+    // table carries the recovery metrics the chaos gate asserts on.
+    if let Some(schedule) = popper_chaos::FaultSchedule::from_vars(vars)? {
+        let mut fetch = popper_weather::FetchConfig { data: config, ..Default::default() };
+        if let Some(b) = vars.get_num("fetch_ms") {
+            fetch.base_ms = b.max(0.1);
+        }
+        let report = popper_weather::fetch_with_faults(&fetch, &schedule)?;
+        return Ok(popper_weather::chaos::to_table(&report));
+    }
     let data = generate(&config);
     let analysis = analyze(&data);
     Ok(analysis.zonal_table())
@@ -208,6 +220,43 @@ mod tests {
         let report = run_template("jupyter-bww");
         assert!(report.success(), "{:?}", report.verdict.failures);
         assert_eq!(report.results.len(), 19);
+    }
+
+    #[test]
+    fn bww_chaos_fetch_survives_node_crash() {
+        let mut repo = PopperRepo::init("t").unwrap();
+        for (path, contents) in find_template("jupyter-bww").unwrap().files("e") {
+            repo.write(&path, contents).unwrap();
+        }
+        repo.commit("add").unwrap();
+        let engine = full_engine();
+        let report = engine.run_chaos(&mut repo, "e", Some("node-crash"), Some(7)).unwrap();
+        assert!(report.success(), "{:?}", report.verdict.failures);
+        // The fetch failed over and the template's tighter degraded
+        // bound (25% of the record) held.
+        assert!(report.metrics.get_num("failovers").unwrap_or(0.0) > 0.0);
+        assert!(report.metrics.get_num("degraded_fraction").unwrap() <= 0.25);
+        assert_eq!(report.metrics.get_num("corrupt"), Some(0.0));
+        let csv = repo.read("experiments/e/results.csv").unwrap();
+        assert!(csv.starts_with("schedule,mirrors,epoch"), "{csv}");
+    }
+
+    #[test]
+    fn bww_chaos_same_seed_is_byte_identical() {
+        let run = |seed| {
+            let mut repo = PopperRepo::init("t").unwrap();
+            for (path, contents) in find_template("jupyter-bww").unwrap().files("e") {
+                repo.write(&path, contents).unwrap();
+            }
+            repo.commit("add").unwrap();
+            full_engine().run_chaos(&mut repo, "e", Some("gremlin"), Some(seed)).unwrap();
+            (
+                repo.read("experiments/e/results.csv").unwrap(),
+                repo.read("experiments/e/faults.json").unwrap(),
+            )
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5).1, run(6).1);
     }
 
     #[test]

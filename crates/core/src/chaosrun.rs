@@ -11,6 +11,7 @@
 //! [`popper_chaos::DEFAULT_ASSERTIONS`]) over the results.
 
 use crate::experiment::ExperimentEngine;
+use crate::pipeline::{stages, CommitPolicy, Pipeline, RunContext, StageControl};
 use crate::repo::PopperRepo;
 use popper_aver::Verdict;
 use popper_chaos::FaultSchedule;
@@ -38,6 +39,24 @@ impl ChaosRunReport {
     /// Did the system survive the schedule (validations hold)?
     pub fn success(&self) -> bool {
         self.verdict.passed
+    }
+
+    /// Distill a completed chaos pipeline context into the report.
+    pub fn from_ctx(ctx: RunContext) -> Result<ChaosRunReport, String> {
+        let schedule = ctx
+            .schedule
+            .ok_or_else(|| format!("experiment '{}': no fault schedule resolved", ctx.experiment))?;
+        let verdict = ctx
+            .verdict
+            .unwrap_or(Verdict { passed: true, failures: vec![], assertions: 0, groups: 0 });
+        Ok(ChaosRunReport {
+            experiment: ctx.experiment,
+            schedule,
+            results: ctx.results.unwrap_or_else(|| Table::new(["empty"])),
+            metrics: ctx.metrics,
+            verdict,
+            commit: ctx.commit,
+        })
     }
 }
 
@@ -73,76 +92,82 @@ impl ExperimentEngine {
         schedule: Option<&str>,
         seed: Option<u64>,
     ) -> Result<ChaosRunReport, String> {
-        let tracer = popper_trace::current();
-        let _run_span = tracer.span("core", "core/lifecycle", format!("chaos {experiment}"));
-        let mut vars = repo.experiment_vars(experiment)?;
-        let runner_name = vars
-            .get_str("runner")
-            .ok_or_else(|| format!("experiment '{experiment}': vars.pml has no 'runner'"))?
-            .to_string();
-        let runner = self
-            .runner(&runner_name)
-            .ok_or_else(|| format!("unknown runner '{runner_name}' (registered: {:?})", self.runners()))?;
+        let mut ctx = RunContext::for_experiment(repo, experiment)?;
+        self.chaos_pipeline(repo, &mut ctx, schedule, seed)?;
+        ChaosRunReport::from_ctx(ctx)
+    }
 
-        // Resolve the schedule: overrides > vars.pml faults: > default.
-        let sched = {
-            let _s = tracer.span("core", "core/lifecycle", "schedule");
-            let mut faults = vars.get("faults").cloned().unwrap_or_else(Value::empty_map);
-            if let Some(name) = schedule {
-                faults.insert("schedule", Value::from(name));
-                faults.remove("events");
-            }
-            if let Some(seed) = seed {
-                faults.insert("seed", Value::from(seed as i64));
-            }
-            if faults.get("schedule").is_none() && faults.get("events").is_none() {
-                faults.insert("schedule", Value::from("node-crash"));
-            }
-            vars.insert("faults", faults);
-            FaultSchedule::from_vars(&vars)?
-                .ok_or_else(|| format!("experiment '{experiment}': no fault schedule resolved"))?
-        };
+    /// The `popper chaos` stage composition: the ordinary lifecycle
+    /// with a fault-arming decorator ahead of the *shared* execute
+    /// stage — schedule → execute → record → validate.
+    pub fn chaos_pipeline(
+        &self,
+        repo: &mut PopperRepo,
+        ctx: &mut RunContext,
+        schedule: Option<&str>,
+        seed: Option<u64>,
+    ) -> Result<(), String> {
+        let runner_name = ctx.runner_name()?;
+        if self.runner(runner_name).is_none() {
+            return Err(format!("unknown runner '{runner_name}' (registered: {:?})", self.runners()));
+        }
+        Pipeline::new(format!("chaos {}", ctx.experiment))
+            .stage("schedule", arm_faults(schedule.map(str::to_string), seed))
+            .stage("execute", stages::execute(self))
+            .stage("record", record_chaos())
+            .stage("validate", stages::validate(stages::ValidationSource::Chaos))
+            .run(repo, ctx)
+    }
+}
 
-        // Execute with the fault plane on (the runner sees `faults:`).
-        let results = {
-            let _s = tracer.span("core", "core/lifecycle", "execute");
-            runner(&vars)?
-        };
-        let metrics = recovery_metrics(&results, &sched);
+/// The fault-replay decorator: resolve the schedule (overrides >
+/// `vars.pml` `faults:` > the `node-crash` default), arm it on the
+/// context, and augment the vars so the shared execute stage's runner
+/// replays it.
+fn arm_faults(
+    schedule: Option<String>,
+    seed: Option<u64>,
+) -> impl FnOnce(&mut PopperRepo, &mut RunContext) -> Result<StageControl, String> {
+    move |_repo, ctx| {
+        let mut faults = ctx.vars.get("faults").cloned().unwrap_or_else(Value::empty_map);
+        if let Some(name) = schedule {
+            faults.insert("schedule", Value::from(name.as_str()));
+            faults.remove("events");
+        }
+        if let Some(seed) = seed {
+            faults.insert("seed", Value::from(seed as i64));
+        }
+        if faults.get("schedule").is_none() && faults.get("events").is_none() {
+            faults.insert("schedule", Value::from("node-crash"));
+        }
+        ctx.vars.insert("faults", faults);
+        ctx.schedule = Some(FaultSchedule::from_vars(&ctx.vars)?.ok_or_else(|| {
+            format!("experiment '{}': no fault schedule resolved", ctx.experiment)
+        })?);
+        Ok(StageControl::Continue)
+    }
+}
 
-        // Record: results + fault timeline + recovery metrics, committed.
-        let record_span = tracer.span("core", "core/lifecycle", "record");
-        let dir = format!("experiments/{experiment}");
-        repo.write(&format!("{dir}/results.csv"), results.to_csv().into_bytes())
-            .map_err(|e| e.to_string())?;
-        repo.write(&format!("{dir}/faults.json"), sched.to_json().into_bytes())
-            .map_err(|e| e.to_string())?;
-        repo.write(&format!("{dir}/recovery.json"), json::to_string_pretty(&metrics).into_bytes())
-            .map_err(|e| e.to_string())?;
-        repo.write(&format!("{dir}/figure.txt"), results.to_pretty().into_bytes())
-            .map_err(|e| e.to_string())?;
-        let commit = repo
-            .commit(&format!("popper chaos {experiment}: record fault timeline + recovery metrics"))
-            .map_err(|e| e.to_string())?;
-        drop(record_span);
-
-        // Validate resilience claims.
-        let verdict = {
-            let _s = tracer.span("core", "core/lifecycle", "validate");
-            let src = repo
-                .read(&format!("{dir}/chaos.aver"))
-                .unwrap_or_else(|| popper_chaos::DEFAULT_ASSERTIONS.to_string());
-            popper_aver::check(&src, &results).map_err(|e| e.to_string())?
-        };
-
-        Ok(ChaosRunReport {
-            experiment: experiment.to_string(),
-            schedule: sched,
-            results,
-            metrics,
-            verdict,
-            commit: Some(commit),
-        })
+/// The chaos record stage: results + fault timeline + recovery
+/// metrics + figure, committed as one atomic unit.
+fn record_chaos() -> impl FnOnce(&mut PopperRepo, &mut RunContext) -> Result<StageControl, String> {
+    move |repo, ctx| {
+        let results = ctx.results.as_ref().ok_or("record: no results to record")?;
+        let sched = ctx.schedule.as_ref().ok_or("record: no fault schedule armed")?;
+        ctx.metrics = recovery_metrics(results, sched);
+        let staged = vec![
+            (ctx.artifact_path("results.csv"), results.to_csv()),
+            (ctx.artifact_path("faults.json"), sched.to_json()),
+            (ctx.artifact_path("recovery.json"), json::to_string_pretty(&ctx.metrics)),
+            (ctx.artifact_path("figure.txt"), results.to_pretty()),
+        ];
+        for (path, bytes) in staged {
+            ctx.artifacts.stage(path, bytes);
+        }
+        let msg =
+            format!("popper chaos {}: record fault timeline + recovery metrics", ctx.experiment);
+        ctx.commit = ctx.artifacts.commit_into(repo, &msg, CommitPolicy::Always)?;
+        Ok(StageControl::Continue)
     }
 }
 

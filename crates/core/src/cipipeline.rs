@@ -11,6 +11,7 @@
 use crate::check::check_compliance;
 use crate::experiment::ExperimentEngine;
 use crate::paper::build_paper;
+use crate::pipeline::{ArtifactSet, CommitPolicy, RunContext};
 use crate::repo::PopperRepo;
 use parking_lot::Mutex;
 use popper_ci::{BuildReport, PipelineConfig, StepCtx, StepOutcome};
@@ -234,15 +235,19 @@ fn selfcheck_warm_up(
     }
     let path = format!("experiments/{experiment}/trace.json");
     if !repo.exists(&path) {
-        repo.write(&path, b"{\"traceEvents\": []}\n".to_vec()).map_err(|e| e.to_string())?;
-        repo.commit(&format!("popper trace {experiment}: seed trace artifact"))
-            .map_err(|e| e.to_string())?;
+        let mut set = ArtifactSet::default();
+        set.stage(path.as_str(), b"{\"traceEvents\": []}\n".to_vec());
+        set.commit_into(
+            repo,
+            &format!("popper trace {experiment}: seed trace artifact"),
+            CommitPolicy::Always,
+        )?;
     }
     Ok(())
 }
 
-/// One traced lifecycle run for the self-check: execute the experiment
-/// under a fresh wall-clock tracer and commit the recorded timeline as
+/// One traced lifecycle run for the self-check: execute the run
+/// pipeline under a fresh recorder and commit the recorded timeline as
 /// `experiments/<name>/trace.json` (same recording the `popper trace`
 /// command performs).
 fn record_traced_run(
@@ -251,18 +256,23 @@ fn record_traced_run(
     name: &str,
     label: &str,
 ) -> Result<popper_vcs::ObjectId, String> {
-    let sink = popper_trace::TraceSink::new();
-    let tracer = sink.tracer(popper_trace::ClockDomain::Wall);
-    let report = popper_trace::with_current(tracer.clone(), || engine.run(repo, name))?;
+    let mut ctx = RunContext::for_experiment(repo, name)?
+        .with_recorder(popper_trace::TraceRecorder::ordered());
+    engine.run_pipeline(repo, &mut ctx)?;
+    let mut artifacts = std::mem::take(&mut ctx.artifacts);
+    let recording = ctx.finish_recording().expect("recorder attached");
+    let report = crate::experiment::RunReport::from_ctx(ctx);
     if !report.success() {
         return Err(format!("selfcheck run {label} of '{name}' failed: {report}"));
     }
-    tracer.flush();
-    let json = popper_trace::chrome_trace_json(&sink.drain());
-    repo.write(&format!("experiments/{name}/trace.json"), json.into_bytes())
-        .map_err(|e| e.to_string())?;
-    repo.commit(&format!("popper trace {name}: selfcheck recording {label}"))
-        .map_err(|e| e.to_string())
+    artifacts.stage(format!("experiments/{name}/trace.json"), recording.json);
+    artifacts
+        .commit_into(
+            repo,
+            &format!("popper trace {name}: selfcheck recording {label}"),
+            CommitPolicy::Always,
+        )?
+        .ok_or_else(|| format!("selfcheck recording {label} of '{name}' produced no commit"))
 }
 
 /// Run the repository's own `.popper-ci.pml`.

@@ -12,12 +12,15 @@
 //! compared structure-only or under a tolerance.
 
 use crate::experiment::ExperimentEngine;
+use crate::pipeline::{CommitPolicy, Pipeline, RunContext, StageControl};
 use crate::repo::PopperRepo;
 use popper_aver::Verdict;
 use popper_format::json;
 use popper_trace::{diff_traces, parse_chrome_trace, DiffOptions, TraceDiff};
-use popper_vcs::{ObjectId, VcsError};
+use popper_vcs::ObjectId;
+use std::cell::RefCell;
 use std::fmt;
+use std::rc::Rc;
 
 /// The outcome of one `popper trace-diff` run.
 #[derive(Debug)]
@@ -71,98 +74,138 @@ impl ExperimentEngine {
         ref_b: &str,
         options: DiffOptions,
     ) -> Result<TraceDiffReport, String> {
-        let tracer = popper_trace::current();
-        let _run_span = tracer.span("core", "core/lifecycle", format!("trace-diff {experiment}"));
+        // The compare stage carries one lightweight side-state per
+        // commit between stages; trace-diff needs no vars.pml.
+        #[derive(Default)]
+        struct Side {
+            commit: Option<ObjectId>,
+            trace: String,
+        }
+        #[derive(Default)]
+        struct DiffState {
+            a: Side,
+            b: Side,
+            diff: Option<TraceDiff>,
+        }
+        let state = Rc::new(RefCell::new(DiffState::default()));
+        let mut ctx = RunContext::new(experiment, popper_format::Value::empty_map());
+        let artifact = ctx.artifact_path("trace.json");
 
-        // Resolve both commits and pull their committed trace artifacts
-        // straight from the object store (no working-tree checkout).
-        let artifact = format!("experiments/{experiment}/trace.json");
-        let (commit_a, commit_b, trace_a, trace_b) = {
-            let _s = tracer.span("core", "core/lifecycle", "checkout");
-            let commit_a = repo.vcs.resolve(ref_a).map_err(|e| e.to_string())?;
-            let commit_b = repo.vcs.resolve(ref_b).map_err(|e| e.to_string())?;
-            let load = |commit: ObjectId, name: &str| -> Result<String, String> {
-                let bytes = repo
-                    .vcs
-                    .file_at(commit, &artifact)
-                    .map_err(|e| e.to_string())?
-                    .ok_or_else(|| {
-                        format!(
-                            "commit {} ('{name}') has no {artifact} — run `popper trace {experiment}` at that commit first",
-                            commit.short()
-                        )
-                    })?;
-                String::from_utf8(bytes).map_err(|_| format!("{artifact} at {} is not UTF-8", commit.short()))
-            };
-            let trace_a = load(commit_a, ref_a)?;
-            let trace_b = load(commit_b, ref_b)?;
-            (commit_a, commit_b, trace_a, trace_b)
-        };
-
-        // Align span-by-span and classify divergences.
-        let diff = {
-            let _s = tracer.span("core", "core/lifecycle", "align");
-            let a = parse_chrome_trace(&trace_a)
-                .map_err(|e| format!("{artifact} at {}: {e}", commit_a.short()))?;
-            let b = parse_chrome_trace(&trace_b)
-                .map_err(|e| format!("{artifact} at {}: {e}", commit_b.short()))?;
-            diff_traces(&a, &b, options)
-        };
-
-        // Record the diff itself as committed artifacts. The outputs
-        // are pure functions of the inputs, so re-diffing the same
-        // commits is idempotent: identical bytes are not re-committed.
-        let record_span = tracer.span("core", "core/lifecycle", "record");
-        let dir = format!("experiments/{experiment}");
-        let mut body = diff.to_value();
-        body.insert("experiment", popper_format::Value::Str(experiment.to_string()));
-        body.insert("commit_a", popper_format::Value::Str(commit_a.to_hex()));
-        body.insert("commit_b", popper_format::Value::Str(commit_b.to_hex()));
-        let body_json = json::to_string_pretty(&body);
-        let report_txt = format!(
-            "trace-diff {experiment} {}..{}\n{}",
-            commit_a.short(),
-            commit_b.short(),
-            diff.report()
-        );
-        let json_path = format!("{dir}/trace-diff.json");
-        let txt_path = format!("{dir}/trace-diff.txt");
-        let unchanged = repo.read(&json_path).as_deref() == Some(body_json.as_str())
-            && repo.read(&txt_path).as_deref() == Some(report_txt.as_str());
-        let commit = if unchanged {
-            None
-        } else {
-            repo.write(&json_path, body_json.into_bytes()).map_err(|e| e.to_string())?;
-            repo.write(&txt_path, report_txt.into_bytes()).map_err(|e| e.to_string())?;
-            match repo.commit(&format!(
-                "popper trace-diff {experiment}: {} divergence(s) between {} and {}",
-                diff.divergences.len(),
-                commit_a.short(),
-                commit_b.short()
-            )) {
-                Ok(c) => Some(c),
-                Err(VcsError::NothingStaged) => None,
-                Err(e) => return Err(e.to_string()),
+        let checkout = {
+            let state = Rc::clone(&state);
+            let (ref_a, ref_b) = (ref_a.to_string(), ref_b.to_string());
+            let artifact = artifact.clone();
+            move |repo: &mut PopperRepo, ctx: &mut RunContext| {
+                // Resolve both commits and pull their committed trace
+                // artifacts straight from the object store (no
+                // working-tree checkout).
+                let load = |refname: &str| -> Result<Side, String> {
+                    let commit = repo.vcs.resolve(refname).map_err(|e| e.to_string())?;
+                    let bytes = repo
+                        .vcs
+                        .file_at(commit, &artifact)
+                        .map_err(|e| e.to_string())?
+                        .ok_or_else(|| {
+                            format!(
+                                "commit {} ('{refname}') has no {artifact} — run `popper trace {}` at that commit first",
+                                commit.short(),
+                                ctx.experiment
+                            )
+                        })?;
+                    let trace = String::from_utf8(bytes)
+                        .map_err(|_| format!("{artifact} at {} is not UTF-8", commit.short()))?;
+                    Ok(Side { commit: Some(commit), trace })
+                };
+                let mut s = state.borrow_mut();
+                s.a = load(&ref_a)?;
+                s.b = load(&ref_b)?;
+                Ok(StageControl::Continue)
             }
         };
-        drop(record_span);
 
-        // Gate: the experiment's trace.aver, or exact/tolerant default.
-        let verdict = {
-            let _s = tracer.span("core", "core/lifecycle", "validate");
-            let src = repo.read(&format!("{dir}/trace.aver")).unwrap_or_else(|| {
-                format!("expect trace_equivalent within {}", options.tolerance_pct)
-            });
-            popper_aver::check(&src, &diff.to_table()).map_err(|e| e.to_string())?
+        let align = {
+            let state = Rc::clone(&state);
+            let artifact = artifact.clone();
+            move |_repo: &mut PopperRepo, _ctx: &mut RunContext| {
+                // Align span-by-span and classify divergences.
+                let mut s = state.borrow_mut();
+                let parse = |side: &Side| {
+                    parse_chrome_trace(&side.trace).map_err(|e| {
+                        format!("{artifact} at {}: {e}", side.commit.expect("checked out").short())
+                    })
+                };
+                let (a, b) = (parse(&s.a)?, parse(&s.b)?);
+                s.diff = Some(diff_traces(&a, &b, options));
+                Ok(StageControl::Continue)
+            }
         };
 
+        let record = {
+            let state = Rc::clone(&state);
+            move |repo: &mut PopperRepo, ctx: &mut RunContext| {
+                // The outputs are pure functions of the committed
+                // inputs, so re-diffing the same commits is idempotent:
+                // identical bytes are not re-committed.
+                let s = state.borrow();
+                let diff = s.diff.as_ref().expect("aligned");
+                let (commit_a, commit_b) =
+                    (s.a.commit.expect("checked out"), s.b.commit.expect("checked out"));
+                let mut body = diff.to_value();
+                body.insert("experiment", popper_format::Value::Str(ctx.experiment.clone()));
+                body.insert("commit_a", popper_format::Value::Str(commit_a.to_hex()));
+                body.insert("commit_b", popper_format::Value::Str(commit_b.to_hex()));
+                let report_txt = format!(
+                    "trace-diff {} {}..{}\n{}",
+                    ctx.experiment,
+                    commit_a.short(),
+                    commit_b.short(),
+                    diff.report()
+                );
+                ctx.artifacts.stage(ctx.artifact_path("trace-diff.json"), json::to_string_pretty(&body));
+                ctx.artifacts.stage(ctx.artifact_path("trace-diff.txt"), report_txt);
+                let msg = format!(
+                    "popper trace-diff {}: {} divergence(s) between {} and {}",
+                    ctx.experiment,
+                    diff.divergences.len(),
+                    commit_a.short(),
+                    commit_b.short()
+                );
+                ctx.commit = ctx.artifacts.commit_into(repo, &msg, CommitPolicy::IfChanged)?;
+                Ok(StageControl::Continue)
+            }
+        };
+
+        let validate = {
+            let state = Rc::clone(&state);
+            move |repo: &mut PopperRepo, ctx: &mut RunContext| {
+                // Gate: the experiment's trace.aver, or the default
+                // exact/tolerant equivalence predicate.
+                let s = state.borrow();
+                let diff = s.diff.as_ref().expect("aligned");
+                let src = repo.read(&ctx.artifact_path("trace.aver")).unwrap_or_else(|| {
+                    format!("expect trace_equivalent within {}", options.tolerance_pct)
+                });
+                ctx.verdict =
+                    Some(popper_aver::check(&src, &diff.to_table()).map_err(|e| e.to_string())?);
+                Ok(StageControl::Continue)
+            }
+        };
+
+        Pipeline::new(format!("trace-diff {experiment}"))
+            .stage("checkout", checkout)
+            .stage("align", align)
+            .stage("record", record)
+            .stage("validate", validate)
+            .run(repo, &mut ctx)?;
+
+        let s = Rc::try_unwrap(state).ok().expect("pipeline done").into_inner();
         Ok(TraceDiffReport {
-            experiment: experiment.to_string(),
-            commit_a,
-            commit_b,
-            diff,
-            verdict,
-            commit,
+            experiment: ctx.experiment,
+            commit_a: s.a.commit.expect("checked out"),
+            commit_b: s.b.commit.expect("checked out"),
+            diff: s.diff.expect("aligned"),
+            verdict: ctx.verdict.expect("validated"),
+            commit: ctx.commit,
         })
     }
 }

@@ -17,6 +17,7 @@
 //!    ("validate and version the results").
 //! 5. **validate** — check `validations.aver` against the results.
 
+use crate::pipeline::{stages, ArtifactSet, CommitPolicy, Pipeline, RunContext, StageControl};
 use crate::repo::PopperRepo;
 use popper_aver::Verdict;
 use popper_format::{Table, Value};
@@ -53,6 +54,32 @@ impl RunReport {
     /// validations hold)?
     pub fn success(&self) -> bool {
         self.gate.may_run() && self.verdict.passed
+    }
+
+    /// Distill a completed (or gate-stopped) pipeline context into the
+    /// report the callers and tests consume.
+    pub fn from_ctx(ctx: RunContext) -> RunReport {
+        let gate = ctx.gate.unwrap_or(GateOutcome::Proceed);
+        let verdict = ctx.verdict.unwrap_or_else(|| {
+            if gate.may_run() {
+                Verdict { passed: true, failures: vec![], assertions: 0, groups: 0 }
+            } else {
+                Verdict {
+                    passed: false,
+                    failures: vec!["baseline gate blocked execution".into()],
+                    assertions: 0,
+                    groups: 0,
+                }
+            }
+        });
+        RunReport {
+            experiment: ctx.experiment,
+            gate,
+            orchestration: ctx.orchestration,
+            results: ctx.results.unwrap_or_else(|| Table::new(["empty"])),
+            verdict,
+            commit: ctx.commit,
+        }
     }
 }
 
@@ -118,91 +145,35 @@ impl ExperimentEngine {
     /// [`popper_trace::current`] tracer, each lifecycle stage records a
     /// span on the `core/lifecycle` track.
     pub fn run(&self, repo: &mut PopperRepo, experiment: &str) -> Result<RunReport, String> {
-        let tracer = popper_trace::current();
-        let _run_span = tracer.span("core", "core/lifecycle", format!("run {experiment}"));
-        let vars = repo.experiment_vars(experiment)?;
-        let runner_name = vars
-            .get_str("runner")
-            .ok_or_else(|| format!("experiment '{experiment}': vars.pml has no 'runner'"))?
-            .to_string();
-        let runner = self
-            .runners
-            .get(&runner_name)
-            .ok_or_else(|| format!("unknown runner '{runner_name}' (registered: {:?})", self.runners()))?;
+        let mut ctx = RunContext::for_experiment(repo, experiment)?;
+        self.run_pipeline(repo, &mut ctx)?;
+        Ok(RunReport::from_ctx(ctx))
+    }
 
-        // 1. Sanitize: baseline fingerprint gate.
-        let gate = {
-            let _s = tracer.span("core", "core/lifecycle", "sanitize");
-            self.baseline_gate(repo, experiment, &vars)?
-        };
-        if !gate.may_run() {
-            return Ok(RunReport {
-                experiment: experiment.to_string(),
-                gate,
-                orchestration: String::new(),
-                results: Table::new(["empty"]),
-                verdict: Verdict { passed: false, failures: vec!["baseline gate blocked execution".into()], assertions: 0, groups: 0 },
-                commit: None,
-            });
+    /// The `popper run` stage composition (the paper's Figure 1):
+    /// sanitize → orchestrate → execute → record → validate, over a
+    /// caller-built context (which may carry a trace recorder).
+    pub fn run_pipeline(&self, repo: &mut PopperRepo, ctx: &mut RunContext) -> Result<(), String> {
+        let runner_name = ctx.runner_name()?;
+        if self.runner(runner_name).is_none() {
+            return Err(format!("unknown runner '{runner_name}' (registered: {:?})", self.runners()));
         }
-
-        // 2. Orchestrate.
-        let orchestration = {
-            let _s = tracer.span("core", "core/lifecycle", "orchestrate");
-            self.orchestrate(repo, experiment, &vars)?
-        };
-
-        // 3. Execute.
-        let results = {
-            let _s = tracer.span("core", "core/lifecycle", "execute");
-            runner(&vars)?
-        };
-
-        // 4. Record: results.csv + figures, committed. With a `figure:`
-        // spec in vars.pml the figure is a chart rendered from the
-        // results (SVG + ASCII); otherwise figure.txt is the pretty
-        // table.
-        let record_span = tracer.span("core", "core/lifecycle", "record");
-        repo.write(&format!("experiments/{experiment}/results.csv"), results.to_csv().into_bytes())
-            .map_err(|e| e.to_string())?;
-        match popper_viz::FigureSpec::from_vars(&vars, experiment)? {
-            Some(spec) => {
-                let (svg, ascii) = popper_viz::render_from_spec(&spec, &results)?;
-                repo.write(&format!("experiments/{experiment}/figure.svg"), svg.into_bytes())
-                    .map_err(|e| e.to_string())?;
-                repo.write(&format!("experiments/{experiment}/figure.txt"), ascii.into_bytes())
-                    .map_err(|e| e.to_string())?;
-            }
-            None => {
-                repo.write(
-                    &format!("experiments/{experiment}/figure.txt"),
-                    results.to_pretty().into_bytes(),
-                )
-                .map_err(|e| e.to_string())?;
-            }
-        }
-        let commit = repo
-            .commit(&format!("popper run {experiment}: record results"))
-            .map_err(|e| e.to_string())?;
-        drop(record_span);
-
-        // 5. Validate.
-        let verdict = {
-            let _s = tracer.span("core", "core/lifecycle", "validate");
-            match repo.experiment_validations(experiment) {
-                Some(src) => popper_aver::check(&src, &results).map_err(|e| e.to_string())?,
-                None => Verdict { passed: true, failures: vec![], assertions: 0, groups: 0 },
-            }
-        };
-
-        Ok(RunReport {
-            experiment: experiment.to_string(),
-            gate,
-            orchestration,
-            results,
-            verdict,
-            commit: Some(commit),
-        })
+        Pipeline::new(format!("run {}", ctx.experiment))
+            .stage("sanitize", |repo, ctx| {
+                let gate = self.baseline_gate(repo, &ctx.experiment, &ctx.vars)?;
+                let control =
+                    if gate.may_run() { StageControl::Continue } else { StageControl::Stop };
+                ctx.gate = Some(gate);
+                Ok(control)
+            })
+            .stage("orchestrate", |repo, ctx| {
+                ctx.orchestration = self.orchestrate(repo, &ctx.experiment, &ctx.vars)?;
+                Ok(StageControl::Continue)
+            })
+            .stage("execute", stages::execute(self))
+            .stage("record", stages::record_results())
+            .stage("validate", stages::validate(stages::ValidationSource::Validations))
+            .run(repo, ctx)
     }
 
     /// The baseline fingerprint check. The platform named in
@@ -227,10 +198,13 @@ impl ExperimentEngine {
             }
             None => {
                 // First run: record the fingerprint with the experiment.
-                repo.write(&path, current.to_table().to_csv().into_bytes())
-                    .map_err(|e| e.to_string())?;
-                repo.commit(&format!("record baseline fingerprint for '{experiment}'"))
-                    .map_err(|e| e.to_string())?;
+                let mut set = ArtifactSet::default();
+                set.stage(path.as_str(), current.to_table().to_csv());
+                set.commit_into(
+                    repo,
+                    &format!("record baseline fingerprint for '{experiment}'"),
+                    CommitPolicy::Always,
+                )?;
                 Ok(GateOutcome::Proceed)
             }
         }
@@ -573,111 +547,5 @@ mod figure_tests {
         let engine = ExperimentEngine::new();
         let err = engine.run(&mut repo, "z").unwrap_err();
         assert!(err.contains("nope"), "{err}");
-    }
-}
-
-/// The outcome of a numerical-reproducibility check
-/// (§Discussion, *Numerical vs. Performance Reproducibility*): does
-/// re-executing the experiment produce the *same numerical values* as
-/// the recorded artifact?
-#[derive(Debug, Clone, PartialEq)]
-pub enum ReproVerdict {
-    /// Re-execution reproduced `results.csv` byte for byte.
-    Identical,
-    /// Re-execution differs; carries a unified diff of the CSVs.
-    Differs(String),
-    /// Nothing recorded yet; run the experiment first.
-    NoStoredResults,
-}
-
-impl fmt::Display for ReproVerdict {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ReproVerdict::Identical => write!(f, "numerically reproducible: re-execution is byte-identical"),
-            ReproVerdict::Differs(diff) => write!(f, "NOT reproducible; results drifted:\n{diff}"),
-            ReproVerdict::NoStoredResults => write!(f, "no recorded results.csv to verify against"),
-        }
-    }
-}
-
-impl ExperimentEngine {
-    /// Re-execute `experiment`'s runner (no recording, no commits) and
-    /// compare against the stored `results.csv`.
-    pub fn verify(&self, repo: &PopperRepo, experiment: &str) -> Result<ReproVerdict, String> {
-        let Some(stored) = repo.read(&format!("experiments/{experiment}/results.csv")) else {
-            return Ok(ReproVerdict::NoStoredResults);
-        };
-        let vars = repo.experiment_vars(experiment)?;
-        let runner_name = vars
-            .get_str("runner")
-            .ok_or_else(|| format!("experiment '{experiment}': vars.pml has no 'runner'"))?;
-        let runner = self
-            .runners
-            .get(runner_name)
-            .ok_or_else(|| format!("unknown runner '{runner_name}'"))?;
-        let fresh = runner(&vars)?.to_csv();
-        if fresh == stored {
-            Ok(ReproVerdict::Identical)
-        } else {
-            let diff = popper_vcs::diff::unified("recorded/results.csv", "reexecuted/results.csv", &stored, &fresh, 2);
-            Ok(ReproVerdict::Differs(diff))
-        }
-    }
-}
-
-#[cfg(test)]
-mod verify_tests {
-    use super::*;
-    use crate::templates::find_template;
-
-    fn repo_with(tpl: &str) -> PopperRepo {
-        let mut repo = PopperRepo::init("t").unwrap();
-        for (path, contents) in find_template(tpl).unwrap().files("e") {
-            repo.write(&path, contents).unwrap();
-        }
-        repo.commit("add").unwrap();
-        repo
-    }
-
-    #[test]
-    fn verify_confirms_deterministic_reexecution() {
-        let mut repo = repo_with("ceph-rados");
-        let engine = ExperimentEngine::new();
-        assert_eq!(engine.verify(&repo, "e").unwrap(), ReproVerdict::NoStoredResults);
-        engine.run(&mut repo, "e").unwrap();
-        assert_eq!(engine.verify(&repo, "e").unwrap(), ReproVerdict::Identical);
-    }
-
-    #[test]
-    fn verify_catches_drift() {
-        let mut repo = repo_with("ceph-rados");
-        let engine = ExperimentEngine::new();
-        engine.run(&mut repo, "e").unwrap();
-        // The recorded artifact is tampered with (or the run drifted).
-        let csv = repo.read("experiments/e/results.csv").unwrap();
-        let tampered = csv.replacen("80", "81", 1);
-        assert_ne!(csv, tampered);
-        repo.write("experiments/e/results.csv", tampered).unwrap();
-        repo.commit("tamper").unwrap();
-        match engine.verify(&repo, "e").unwrap() {
-            ReproVerdict::Differs(diff) => {
-                assert!(diff.contains("-"), "{diff}");
-                assert!(diff.contains("recorded/results.csv"));
-            }
-            other => panic!("{other:?}"),
-        }
-    }
-
-    #[test]
-    fn verify_catches_parameter_changes_too() {
-        // Changing vars without re-running: stored results no longer
-        // reproduce — exactly the staleness Popper wants caught.
-        let mut repo = repo_with("cloverleaf");
-        let engine = ExperimentEngine::new();
-        engine.run(&mut repo, "e").unwrap();
-        let vars = repo.read("experiments/e/vars.pml").unwrap();
-        repo.write("experiments/e/vars.pml", vars.replace("[1, 2, 4, 8, 16]", "[1, 2, 4]")).unwrap();
-        repo.commit("shrink sweep without rerunning").unwrap();
-        assert!(matches!(engine.verify(&repo, "e").unwrap(), ReproVerdict::Differs(_)));
     }
 }

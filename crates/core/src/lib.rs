@@ -35,16 +35,20 @@ pub mod chaosrun;
 pub mod check;
 pub mod diffrun;
 pub mod pack;
+pub mod pipeline;
 pub mod cipipeline;
 pub mod experiment;
 pub mod paper;
 pub mod repo;
 pub mod templates;
+pub mod verify;
 
 pub use chaosrun::ChaosRunReport;
 pub use check::{check_compliance, Violation};
 pub use diffrun::TraceDiffReport;
 pub use pack::pack_experiment;
+pub use pipeline::{ArtifactSet, CommitPolicy, Pipeline, RunContext, Stage, StageControl};
 pub use experiment::{ExperimentEngine, RunReport, RunnerFn};
 pub use repo::PopperRepo;
 pub use templates::{experiment_templates, paper_templates, Template};
+pub use verify::ReproVerdict;

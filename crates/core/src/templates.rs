@@ -123,6 +123,16 @@ fn t_bww(target: &str) -> Vec<(String, String)> {
         format!("experiments/{target}/visualize.sh"),
         "#!/bin/sh\ndpm install datapackages/air-temperature\npopper run-notebook visualize\n".to_string(),
     ));
+    // Resilience claims for `popper chaos`: the datapackage fetch may
+    // retry and fail over, but the analysis is rejected if more than a
+    // quarter of the record had to be dropped.
+    files.push((
+        format!("experiments/{target}/chaos.aver"),
+        "when schedule=* expect recovers_within(recovery_ms, 5000);\n\
+         when schedule=* expect degraded_at_most(degraded_fraction, 0.25);\n\
+         when schedule=* expect max(corrupt) = 0\n"
+            .to_string(),
+    ));
     files
 }
 

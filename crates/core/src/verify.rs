@@ -1,0 +1,113 @@
+//! The numerical-reproducibility lifecycle: `popper verify <exp>`.
+//!
+//! §Discussion, *Numerical vs. Performance Reproducibility*: does
+//! re-executing the experiment produce the *same numerical values* as
+//! the recorded artifact? Unlike the other lifecycles this one records
+//! nothing — it re-runs the runner in memory and byte-compares against
+//! the committed `results.csv`.
+
+use crate::experiment::ExperimentEngine;
+use crate::repo::PopperRepo;
+use std::fmt;
+
+/// The outcome of a numerical-reproducibility check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReproVerdict {
+    /// Re-execution reproduced `results.csv` byte for byte.
+    Identical,
+    /// Re-execution differs; carries a unified diff of the CSVs.
+    Differs(String),
+    /// Nothing recorded yet; run the experiment first.
+    NoStoredResults,
+}
+
+impl fmt::Display for ReproVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReproVerdict::Identical => write!(f, "numerically reproducible: re-execution is byte-identical"),
+            ReproVerdict::Differs(diff) => write!(f, "NOT reproducible; results drifted:\n{diff}"),
+            ReproVerdict::NoStoredResults => write!(f, "no recorded results.csv to verify against"),
+        }
+    }
+}
+
+impl ExperimentEngine {
+    /// Re-execute `experiment`'s runner (no recording, no commits) and
+    /// compare against the stored `results.csv`.
+    pub fn verify(&self, repo: &PopperRepo, experiment: &str) -> Result<ReproVerdict, String> {
+        let Some(stored) = repo.read(&format!("experiments/{experiment}/results.csv")) else {
+            return Ok(ReproVerdict::NoStoredResults);
+        };
+        let vars = repo.experiment_vars(experiment)?;
+        let runner_name = vars
+            .get_str("runner")
+            .ok_or_else(|| format!("experiment '{experiment}': vars.pml has no 'runner'"))?;
+        let runner = self
+            .runner(runner_name)
+            .ok_or_else(|| format!("unknown runner '{runner_name}'"))?;
+        let fresh = runner(&vars)?.to_csv();
+        if fresh == stored {
+            Ok(ReproVerdict::Identical)
+        } else {
+            let diff = popper_vcs::diff::unified("recorded/results.csv", "reexecuted/results.csv", &stored, &fresh, 2);
+            Ok(ReproVerdict::Differs(diff))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::find_template;
+
+    fn repo_with(tpl: &str) -> PopperRepo {
+        let mut repo = PopperRepo::init("t").unwrap();
+        for (path, contents) in find_template(tpl).unwrap().files("e") {
+            repo.write(&path, contents).unwrap();
+        }
+        repo.commit("add").unwrap();
+        repo
+    }
+
+    #[test]
+    fn verify_confirms_deterministic_reexecution() {
+        let mut repo = repo_with("ceph-rados");
+        let engine = ExperimentEngine::new();
+        assert_eq!(engine.verify(&repo, "e").unwrap(), ReproVerdict::NoStoredResults);
+        engine.run(&mut repo, "e").unwrap();
+        assert_eq!(engine.verify(&repo, "e").unwrap(), ReproVerdict::Identical);
+    }
+
+    #[test]
+    fn verify_catches_drift() {
+        let mut repo = repo_with("ceph-rados");
+        let engine = ExperimentEngine::new();
+        engine.run(&mut repo, "e").unwrap();
+        // The recorded artifact is tampered with (or the run drifted).
+        let csv = repo.read("experiments/e/results.csv").unwrap();
+        let tampered = csv.replacen("80", "81", 1);
+        assert_ne!(csv, tampered);
+        repo.write("experiments/e/results.csv", tampered).unwrap();
+        repo.commit("tamper").unwrap();
+        match engine.verify(&repo, "e").unwrap() {
+            ReproVerdict::Differs(diff) => {
+                assert!(diff.contains("-"), "{diff}");
+                assert!(diff.contains("recorded/results.csv"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn verify_catches_parameter_changes_too() {
+        // Changing vars without re-running: stored results no longer
+        // reproduce — exactly the staleness Popper wants caught.
+        let mut repo = repo_with("cloverleaf");
+        let engine = ExperimentEngine::new();
+        engine.run(&mut repo, "e").unwrap();
+        let vars = repo.read("experiments/e/vars.pml").unwrap();
+        repo.write("experiments/e/vars.pml", vars.replace("[1, 2, 4, 8, 16]", "[1, 2, 4]")).unwrap();
+        repo.commit("shrink sweep without rerunning").unwrap();
+        assert!(matches!(engine.verify(&repo, "e").unwrap(), ReproVerdict::Differs(_)));
+    }
+}

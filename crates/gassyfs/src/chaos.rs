@@ -153,7 +153,8 @@ pub fn run_fault_tolerance(
         // Inject everything due, rebuilding any node that restarted.
         let before_inj = driver.injected();
         let labels = driver.advance(fs.cluster.faults_mut(), t);
-        let fired = driver.schedule().events[before_inj..driver.injected()].to_vec();
+        let fired: Vec<_> =
+            driver.schedule().events[before_inj..driver.injected()].to_vec();
         for ev in &fired {
             if let FaultKind::Restart { node } = ev.kind {
                 let (_pages, done) = fs.rebuild_node(node, t);
@@ -181,7 +182,7 @@ pub fn run_fault_tolerance(
             tracer.counter_at("chaos/metrics", "failovers", stats.failover as f64, t.0);
         }
         epochs.push(ChaosEpoch { epoch, start, duration: t.saturating_sub(start), reads, failovers, faults: labels });
-        t = t + cfg.epoch_gap;
+        t += cfg.epoch_gap;
     }
 
     // Drain events scheduled past the last epoch (e.g. a late restart)
@@ -191,7 +192,7 @@ pub fn run_fault_tolerance(
         let before_inj = driver.injected();
         driver.advance(fs.cluster.faults_mut(), at);
         t = at;
-        for ev in driver.schedule().events[before_inj..driver.injected()].to_vec() {
+        for ev in driver.schedule().events[before_inj..driver.injected()].iter().cloned() {
             if let FaultKind::Restart { node } = ev.kind {
                 let (_pages, done) = fs.rebuild_node(node, t);
                 t = done;

@@ -55,6 +55,9 @@ pub struct FaultPlane {
     group: Vec<u8>,
     /// Per-node packet-loss probability on links touching the node.
     loss: Vec<f64>,
+    /// Directional packet loss: `(from, to, p)` applies only to
+    /// transfers from `from` to `to` (sparse; most links are clean).
+    loss_oneway: Vec<(usize, usize, f64)>,
     /// Per-node latency inflation factor (>= 1.0).
     latency_factor: Vec<f64>,
     /// Per-node disk-slowdown factor (>= 1.0), consulted by layers that
@@ -74,6 +77,7 @@ impl FaultPlane {
             crashed: vec![false; nodes],
             group: vec![0; nodes],
             loss: vec![0.0; nodes],
+            loss_oneway: Vec::new(),
             latency_factor: vec![1.0; nodes],
             disk_factor: vec![1.0; nodes],
             seed: 0,
@@ -97,6 +101,7 @@ impl FaultPlane {
         self.active = self.crashed.iter().any(|c| *c)
             || self.group.iter().any(|g| *g != 0)
             || self.loss.iter().any(|p| *p > 0.0)
+            || self.loss_oneway.iter().any(|(_, _, p)| *p > 0.0)
             || self.latency_factor.iter().any(|f| *f != 1.0)
             || self.disk_factor.iter().any(|f| *f != 1.0);
     }
@@ -187,6 +192,15 @@ impl FaultPlane {
         self.refresh();
     }
 
+    /// Set the packet-loss probability on the directed link `from` →
+    /// `to` only; the reverse direction stays clean. Replaces any
+    /// previous one-way loss on that link.
+    pub fn set_loss_oneway(&mut self, from: usize, to: usize, p: f64) {
+        self.loss_oneway.retain(|(f, t, _)| !(*f == from && *t == to));
+        self.loss_oneway.push((from, to, p.clamp(0.0, 0.99)));
+        self.refresh();
+    }
+
     /// Set the latency inflation factor on links touching `node`.
     pub fn set_latency_factor(&mut self, node: usize, factor: f64) {
         self.latency_factor[node] = factor.max(1.0);
@@ -205,6 +219,7 @@ impl FaultPlane {
         for p in self.loss.iter_mut() {
             *p = 0.0;
         }
+        self.loss_oneway.clear();
         for f in self.latency_factor.iter_mut() {
             *f = 1.0;
         }
@@ -237,7 +252,13 @@ impl FaultPlane {
     /// suffers, sampled deterministically from the plane's seed and a
     /// monotonic draw counter (same transfer sequence ⇒ same drops).
     pub fn retransmits(&mut self, src: usize, dst: usize) -> u32 {
-        let p = self.loss[src].max(self.loss[dst]);
+        let oneway = self
+            .loss_oneway
+            .iter()
+            .filter(|(f, t, _)| *f == src && *t == dst)
+            .map(|(_, _, p)| *p)
+            .fold(0.0f64, f64::max);
+        let p = self.loss[src].max(self.loss[dst]).max(oneway);
         if p <= 0.0 {
             return 0;
         }
@@ -318,6 +339,25 @@ mod tests {
     #[test]
     fn zero_loss_never_retransmits() {
         let mut p = FaultPlane::new(2);
+        assert_eq!(p.retransmits(0, 1), 0);
+    }
+
+    #[test]
+    fn one_way_loss_is_directional() {
+        let mut p = FaultPlane::new(2);
+        p.set_seed(11);
+        p.set_loss_oneway(0, 1, 0.9);
+        assert!(p.is_active());
+        let forward: Vec<u32> = (0..64).map(|_| p.retransmits(0, 1)).collect();
+        let reverse: Vec<u32> = (0..64).map(|_| p.retransmits(1, 0)).collect();
+        assert!(forward.iter().any(|n| *n > 0), "90% loss must retransmit");
+        assert!(reverse.iter().all(|n| *n == 0), "reverse direction is clean");
+        // Re-setting the same link replaces, not stacks.
+        p.set_loss_oneway(0, 1, 0.0);
+        assert!(!p.is_active());
+        p.set_loss_oneway(0, 1, 0.5);
+        p.clear_degradation();
+        assert!(!p.is_active());
         assert_eq!(p.retransmits(0, 1), 0);
     }
 

@@ -20,72 +20,77 @@ fn track_ids(events: &[TraceEvent]) -> BTreeMap<&str, u64> {
     tracks.into_iter().zip(1u64..).collect()
 }
 
+/// A `ph: "M"` metadata element (`process_name` / `thread_name`).
+/// Shared between the buffered exporter and [`crate::ChromeStream`] so
+/// both emit byte-identical elements.
+pub(crate) fn meta_value(name: &str, tid: Option<u64>, value: &str) -> Value {
+    let mut m = vec![
+        ("name".to_string(), Value::Str(name.to_string())),
+        ("ph".to_string(), Value::Str("M".to_string())),
+        ("pid".to_string(), Value::Num(1.0)),
+    ];
+    if let Some(tid) = tid {
+        m.push(("tid".to_string(), Value::Num(tid as f64)));
+    }
+    m.push((
+        "args".to_string(),
+        Value::Map(vec![("name".to_string(), Value::Str(value.to_string()))]),
+    ));
+    Value::Map(m)
+}
+
+/// One trace-event array element for `e` on thread `tid`.
+pub(crate) fn event_value(e: &TraceEvent, tid: u64) -> Value {
+    let mut m = vec![
+        ("name".to_string(), Value::Str(e.name.clone())),
+        ("cat".to_string(), Value::Str(e.category.to_string())),
+        ("pid".to_string(), Value::Num(1.0)),
+        ("tid".to_string(), Value::Num(tid as f64)),
+    ];
+    match e.kind {
+        EventKind::Span { start_ns, .. } => {
+            m.push(("ph".to_string(), Value::Str("X".to_string())));
+            m.push(("ts".to_string(), Value::Num(us(start_ns))));
+            // duration_ns() saturates: a skewed span (end < start,
+            // possible in hand-built or imported traces) must not
+            // panic the exporter.
+            m.push(("dur".to_string(), Value::Num(us(e.duration_ns()))));
+            let mut args = vec![("id".to_string(), Value::Num(e.id.0 as f64))];
+            if !e.parent.is_none() {
+                args.push(("parent".to_string(), Value::Num(e.parent.0 as f64)));
+            }
+            m.push(("args".to_string(), Value::Map(args)));
+        }
+        EventKind::Instant { ts_ns } => {
+            m.push(("ph".to_string(), Value::Str("i".to_string())));
+            m.push(("ts".to_string(), Value::Num(us(ts_ns))));
+            m.push(("s".to_string(), Value::Str("t".to_string())));
+        }
+        EventKind::Counter { ts_ns, value } => {
+            m.push(("ph".to_string(), Value::Str("C".to_string())));
+            m.push(("ts".to_string(), Value::Num(us(ts_ns))));
+            m.push((
+                "args".to_string(),
+                Value::Map(vec![(e.name.clone(), Value::Num(value))]),
+            ));
+        }
+    }
+    Value::Map(m)
+}
+
 /// Build a Chrome `trace_event` document (the object form, with a
 /// `traceEvents` array) as a [`popper_format::Value`]. Load the JSON in
 /// `chrome://tracing` or Perfetto.
 pub fn chrome_trace(events: &[TraceEvent]) -> Value {
     let tids = track_ids(events);
     let mut out: Vec<Value> = Vec::with_capacity(events.len() + tids.len() + 1);
-
-    let meta = |name: &str, tid: Option<u64>, value: &str| {
-        let mut m = vec![
-            ("name".to_string(), Value::Str(name.to_string())),
-            ("ph".to_string(), Value::Str("M".to_string())),
-            ("pid".to_string(), Value::Num(1.0)),
-        ];
-        if let Some(tid) = tid {
-            m.push(("tid".to_string(), Value::Num(tid as f64)));
-        }
-        m.push((
-            "args".to_string(),
-            Value::Map(vec![("name".to_string(), Value::Str(value.to_string()))]),
-        ));
-        Value::Map(m)
-    };
-    out.push(meta("process_name", None, "popper"));
+    out.push(meta_value("process_name", None, "popper"));
     for (track, tid) in &tids {
-        out.push(meta("thread_name", Some(*tid), track));
+        out.push(meta_value("thread_name", Some(*tid), track));
     }
-
     for e in events {
-        let tid = tids[e.track.as_str()];
-        let mut m = vec![
-            ("name".to_string(), Value::Str(e.name.clone())),
-            ("cat".to_string(), Value::Str(e.category.to_string())),
-            ("pid".to_string(), Value::Num(1.0)),
-            ("tid".to_string(), Value::Num(tid as f64)),
-        ];
-        match e.kind {
-            EventKind::Span { start_ns, .. } => {
-                m.push(("ph".to_string(), Value::Str("X".to_string())));
-                m.push(("ts".to_string(), Value::Num(us(start_ns))));
-                // duration_ns() saturates: a skewed span (end < start,
-                // possible in hand-built or imported traces) must not
-                // panic the exporter.
-                m.push(("dur".to_string(), Value::Num(us(e.duration_ns()))));
-                let mut args = vec![("id".to_string(), Value::Num(e.id.0 as f64))];
-                if !e.parent.is_none() {
-                    args.push(("parent".to_string(), Value::Num(e.parent.0 as f64)));
-                }
-                m.push(("args".to_string(), Value::Map(args)));
-            }
-            EventKind::Instant { ts_ns } => {
-                m.push(("ph".to_string(), Value::Str("i".to_string())));
-                m.push(("ts".to_string(), Value::Num(us(ts_ns))));
-                m.push(("s".to_string(), Value::Str("t".to_string())));
-            }
-            EventKind::Counter { ts_ns, value } => {
-                m.push(("ph".to_string(), Value::Str("C".to_string())));
-                m.push(("ts".to_string(), Value::Num(us(ts_ns))));
-                m.push((
-                    "args".to_string(),
-                    Value::Map(vec![(e.name.clone(), Value::Num(value))]),
-                ));
-            }
-        }
-        out.push(Value::Map(m));
+        out.push(event_value(e, tids[e.track.as_str()]));
     }
-
     Value::Map(vec![
         ("traceEvents".to_string(), Value::List(out)),
         ("displayTimeUnit".to_string(), Value::Str("ms".to_string())),

@@ -33,6 +33,7 @@ pub mod diff;
 pub mod event;
 pub mod export;
 pub mod sink;
+pub mod stream;
 pub mod svg;
 pub mod tracer;
 
@@ -40,6 +41,7 @@ pub use diff::{diff_traces, DiffOptions, Divergence, DivergenceKind, TraceDiff};
 pub use event::{EventKind, SpanId, TraceEvent};
 pub use export::{chrome_trace, chrome_trace_json, parse_chrome_trace, summary_table};
 pub use sink::TraceSink;
+pub use stream::{ChromeStream, TraceRecorder, TraceRecording};
 pub use svg::timeline_svg;
 pub use tracer::{current, with_current, ClockDomain, SpanGuard, Tracer};
 

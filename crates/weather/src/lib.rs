@@ -26,9 +26,11 @@
 //!   panels behind Fig. `bww-airtemp`.
 
 pub mod analysis;
+pub mod chaos;
 pub mod grid;
 pub mod reanalysis;
 
 pub use analysis::{analyze, AirTempAnalysis};
+pub use chaos::{fetch_with_faults, FetchConfig, FetchReport};
 pub use grid::Grid;
 pub use reanalysis::{generate, ReanalysisConfig};
