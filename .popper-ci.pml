@@ -13,6 +13,14 @@ jobs:
     stage: test
     steps: [cargo test --test chaos_pipeline]
     retries: 1
+  - name: chaos-matrix
+    stage: test
+    matrix:
+      schedule: [node-crash, gremlin]
+    steps: [cargo test --test mpi_chaos builtin_]
+  - name: mpi-chaos-determinism
+    stage: test
+    steps: [cargo test --test mpi_chaos deterministic]
   - name: trace-diff-selfcheck
     stage: test
     steps: [cargo test --test trace_diff]

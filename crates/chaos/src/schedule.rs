@@ -290,6 +290,25 @@ impl FaultSchedule {
         self.events.last().map(|e| e.at).unwrap_or(Nanos::ZERO)
     }
 
+    /// The first scheduled restart of `node` at or after `t`, if any —
+    /// the schedule → rank-recovery mapping checkpoint-restart policies
+    /// use to decide how long survivors must idle before a respawned
+    /// rank can rejoin. `None` means the crash is permanent (or the
+    /// restart already fired before `t`).
+    pub fn restart_after(&self, node: usize, t: Nanos) -> Option<Nanos> {
+        self.events.iter().find_map(|e| match e.kind {
+            FaultKind::Restart { node: n } if n == node && e.at >= t => Some(e.at),
+            _ => None,
+        })
+    }
+
+    /// Does the schedule ever restart `node` (at any time)?
+    pub fn ever_restarts(&self, node: usize) -> bool {
+        self.events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::Restart { node: n } if n == node))
+    }
+
     /// Serialize to the deterministic `faults.json` artifact.
     pub fn to_json(&self) -> String {
         let mut doc = Value::empty_map();
@@ -403,6 +422,17 @@ mod tests {
         assert_eq!(s.events[1].kind, FaultKind::Restart { node: 3 });
         assert_eq!(s.first_crash(), Some(Nanos::from_millis(40)));
         assert_eq!(s.horizon(), Nanos::from_millis(120));
+    }
+
+    #[test]
+    fn restart_after_maps_crashes_to_recovery_points() {
+        let s = FaultSchedule::named("node-crash", 4, 1).unwrap();
+        // Detection at 60ms still catches the 120ms restart…
+        assert_eq!(s.restart_after(3, Nanos::from_millis(60)), Some(Nanos::from_millis(120)));
+        // …but a detection after the restart already fired finds none.
+        assert_eq!(s.restart_after(3, Nanos::from_millis(130)), None);
+        assert!(s.ever_restarts(3));
+        assert!(!s.ever_restarts(1), "node 1 never crashes, never restarts");
     }
 
     #[test]

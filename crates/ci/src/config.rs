@@ -21,6 +21,10 @@ pub struct Job {
     /// counting the job as failed (the flaky-job retry policy);
     /// 0 means fail on the first error.
     pub retries: u32,
+    /// Per-job build matrix: this job alone fans out over the
+    /// cartesian product of its axes (composed with the global
+    /// matrix). The chaos axis lives here — one job, many schedules.
+    pub matrix: Matrix,
 }
 
 /// A build matrix: named axes, each with a list of values. Jobs are
@@ -91,18 +95,7 @@ impl PipelineConfig {
         if stages.is_empty() {
             return Err("pipeline has no stages".into());
         }
-        let mut matrix = Matrix::default();
-        if let Some(entries) = doc.get("matrix").and_then(Value::as_map) {
-            for (axis, values) in entries {
-                let values = values
-                    .as_list()
-                    .ok_or_else(|| format!("matrix axis '{axis}' must be a list"))?
-                    .iter()
-                    .map(|v| v.to_display_string())
-                    .collect();
-                matrix.axes.push((axis.clone(), values));
-            }
-        }
+        let matrix = parse_matrix(doc.get("matrix"), "matrix")?;
         let mut jobs = Vec::new();
         for (i, j) in doc.get_list("jobs").ok_or("pipeline missing 'jobs'")?.iter().enumerate() {
             let name = j
@@ -139,7 +132,8 @@ impl PipelineConfig {
                 Some(n) => n as u32,
                 None => 0,
             };
-            jobs.push(Job { name, stage, steps, env, allow_failure, retries });
+            let matrix = parse_matrix(j.get("matrix"), &format!("job '{name}': matrix"))?;
+            jobs.push(Job { name, stage, steps, env, allow_failure, retries, matrix });
         }
         if jobs.is_empty() {
             return Err("pipeline has no jobs".into());
@@ -147,27 +141,55 @@ impl PipelineConfig {
         Ok(PipelineConfig { stages, jobs, matrix })
     }
 
-    /// Expand the matrix: every job fans out over every combination,
-    /// with axis values injected into the job env and a combo suffix
-    /// appended to the name (`experiment [machine=ec2-vm]`).
+    /// Expand the matrices: every job fans out over the composition of
+    /// the global matrix and its own per-job matrix (per-job axes win
+    /// on a name collision), with axis values injected into the job
+    /// env and a combo suffix appended to the name
+    /// (`experiment [machine=ec2-vm]`,
+    /// `chaos-matrix [schedule=gremlin]`).
     pub fn expanded_jobs(&self) -> Vec<Job> {
-        let combos = self.matrix.combinations();
-        let mut out = Vec::with_capacity(self.jobs.len() * combos.len());
+        let global = self.matrix.combinations();
+        let mut out = Vec::with_capacity(self.jobs.len() * global.len());
         for job in &self.jobs {
-            for combo in &combos {
-                let mut j = job.clone();
-                if !combo.is_empty() {
-                    let suffix: Vec<String> = combo.iter().map(|(k, v)| format!("{k}={v}")).collect();
-                    j.name = format!("{} [{}]", job.name, suffix.join(","));
-                    for (k, v) in combo {
-                        j.env.insert(k.clone(), v.clone());
+            let local = job.matrix.combinations();
+            for g in &global {
+                for l in &local {
+                    let mut combo = g.clone();
+                    combo.extend(l.iter().map(|(k, v)| (k.clone(), v.clone())));
+                    let mut j = job.clone();
+                    // A fanned-out job is concrete: its matrix is spent.
+                    j.matrix = Matrix::default();
+                    if !combo.is_empty() {
+                        let suffix: Vec<String> =
+                            combo.iter().map(|(k, v)| format!("{k}={v}")).collect();
+                        j.name = format!("{} [{}]", job.name, suffix.join(","));
+                        for (k, v) in combo {
+                            j.env.insert(k, v);
+                        }
                     }
+                    out.push(j);
                 }
-                out.push(j);
             }
         }
         out
     }
+}
+
+/// Decode a `matrix:` map (global or per-job) into named axes.
+fn parse_matrix(value: Option<&Value>, what: &str) -> Result<Matrix, String> {
+    let mut matrix = Matrix::default();
+    if let Some(entries) = value.and_then(Value::as_map) {
+        for (axis, values) in entries {
+            let values = values
+                .as_list()
+                .ok_or_else(|| format!("{what} axis '{axis}' must be a list"))?
+                .iter()
+                .map(|v| v.to_display_string())
+                .collect();
+            matrix.axes.push((axis.clone(), values));
+        }
+    }
+    Ok(matrix)
 }
 
 #[cfg(test)]
@@ -230,6 +252,48 @@ jobs:
         assert!(exp.iter().all(|j| j.env["WORKLOAD"] == "git"));
     }
 
+    const CHAOS_SAMPLE: &str = "\
+stages: [test]
+jobs:
+  - name: unit
+    stage: test
+    steps: [build-paper]
+  - name: chaos-matrix
+    stage: test
+    matrix:
+      schedule: [node-crash, gremlin]
+      seed: [\"7\", \"11\"]
+    steps:
+      - run-chaos mpi
+";
+
+    #[test]
+    fn per_job_matrix_fans_out_only_that_job() {
+        let cfg = PipelineConfig::from_pml(CHAOS_SAMPLE).unwrap();
+        assert_eq!(cfg.jobs[1].matrix.axes.len(), 2);
+        let jobs = cfg.expanded_jobs();
+        // 1 plain job + 2 schedules × 2 seeds of the chaos job.
+        assert_eq!(jobs.len(), 5);
+        assert_eq!(jobs[0].name, "unit");
+        let chaos: Vec<&Job> = jobs.iter().filter(|j| j.name.starts_with("chaos-matrix")).collect();
+        assert_eq!(chaos.len(), 4);
+        assert!(chaos.iter().any(|j| j.env["schedule"] == "gremlin" && j.env["seed"] == "11"));
+        assert!(chaos.iter().all(|j| j.name.contains("schedule=")));
+        assert!(chaos.iter().all(|j| j.matrix.axes.is_empty()), "expanded jobs are concrete");
+    }
+
+    #[test]
+    fn global_and_per_job_matrices_compose() {
+        let cfg = PipelineConfig::from_pml(
+            "stages: [test]\nmatrix:\n  machine: [a, b]\njobs:\n  - name: j\n    stage: test\n    matrix:\n      schedule: [x, y]\n    steps: [build-paper]\n",
+        )
+        .unwrap();
+        let jobs = cfg.expanded_jobs();
+        assert_eq!(jobs.len(), 4); // 2 machines × 2 schedules
+        assert!(jobs.iter().any(|j| j.env["machine"] == "b" && j.env["schedule"] == "x"));
+        assert!(jobs.iter().all(|j| j.name.contains("machine=") && j.name.contains("schedule=")));
+    }
+
     #[test]
     fn rejects_malformed_configs() {
         assert!(PipelineConfig::from_pml("jobs: []\n").is_err());
@@ -241,5 +305,8 @@ jobs:
         // Missing steps.
         let bad = "stages: [build]\njobs:\n  - name: j\n    stage: build\n";
         assert!(PipelineConfig::from_pml(bad).is_err());
+        // Per-job matrix axes must be lists.
+        let bad = "stages: [t]\njobs:\n  - name: j\n    stage: t\n    matrix:\n      schedule: solo\n    steps: [x]\n";
+        assert!(PipelineConfig::from_pml(bad).unwrap_err().contains("must be a list"));
     }
 }

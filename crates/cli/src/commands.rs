@@ -157,9 +157,10 @@ pub fn dispatch(parsed: &Parsed, dir: &Path) -> Result<String, String> {
         }
         Some("verify") => {
             let name = parsed.pos(1).ok_or("usage: popper verify <experiment>")?;
-            let repo = persist::load(dir, &author)?;
+            let mut repo = persist::load(dir, &author)?;
             let engine = full_engine();
-            let verdict = engine.verify(&repo, name)?;
+            let verdict = engine.verify(&mut repo, name)?;
+            persist::save(&repo, dir)?;
             match verdict {
                 popper_core::ReproVerdict::Identical => Ok(format!("{verdict}\n")),
                 other => Err(other.to_string()),

@@ -15,11 +15,12 @@ use popper_sim::platforms;
 use popper_torpor::experiment as torpor_exp;
 use popper_weather::{analyze, generate, ReanalysisConfig};
 
-/// Register the four use-case runners with an engine.
+/// Register the use-case runners with an engine.
 pub fn register_builtin_runners(engine: &mut ExperimentEngine) {
     engine.register("gassyfs-scalability", gassyfs_runner);
     engine.register("torpor-variability", torpor_runner);
     engine.register("mpi-variability", mpi_runner);
+    engine.register("lulesh-chaos", lulesh_chaos_runner);
     engine.register("bww-airtemp", bww_runner);
 }
 
@@ -106,13 +107,13 @@ fn torpor_runner(vars: &Value) -> Result<Table, String> {
     Ok(torpor_exp::results_table(&results))
 }
 
-fn mpi_runner(vars: &Value) -> Result<Table, String> {
+/// Decode the shared LULESH app shape (`grid`, `elements`,
+/// `iterations`) used by both MPI runners.
+fn lulesh_app(vars: &Value) -> Result<LuleshConfig, String> {
     let grid = num_list(vars, "grid").unwrap_or_else(|| vec![3.0, 3.0, 3.0]);
     if grid.len() != 3 {
         return Err("'grid' must have three entries".into());
     }
-    let machine = vars.get_str("machine").unwrap_or("hpc-node");
-    let platform = platforms::by_name(machine).ok_or_else(|| format!("unknown machine '{machine}'"))?;
     let mut app = LuleshConfig::paper();
     app.grid = (grid[0] as usize, grid[1] as usize, grid[2] as usize);
     if let Some(e) = vars.get_num("elements") {
@@ -121,6 +122,20 @@ fn mpi_runner(vars: &Value) -> Result<Table, String> {
     if let Some(i) = vars.get_num("iterations") {
         app.iterations = i.max(1.0) as usize;
     }
+    Ok(app)
+}
+
+fn mpi_runner(vars: &Value) -> Result<Table, String> {
+    // A `faults:` spec flips the runner into chaos mode: the same
+    // LULESH proxy, but a fault schedule crashes nodes under it and
+    // the configured recovery policy (shrink / checkpoint-restart)
+    // keeps it running; the table carries recovery metrics.
+    if vars.get("faults").is_some() {
+        return lulesh_chaos_runner(vars);
+    }
+    let app = lulesh_app(vars)?;
+    let machine = vars.get_str("machine").unwrap_or("hpc-node");
+    let platform = platforms::by_name(machine).ok_or_else(|| format!("unknown machine '{machine}'"))?;
     let study = mpi_exp::VariabilityStudy {
         app,
         platform,
@@ -130,6 +145,23 @@ fn mpi_runner(vars: &Value) -> Result<Table, String> {
         ..Default::default()
     };
     let result = mpi_exp::run_variability_study(&study);
+    Ok(result.to_table())
+}
+
+/// The fault-tolerant LULESH experiment: run the proxy to completion
+/// while a fault schedule plays out, recovering rank failures per the
+/// `faults.policy` (`shrink` or `checkpoint-restart`). One row per
+/// communicator epoch.
+fn lulesh_chaos_runner(vars: &Value) -> Result<Table, String> {
+    let schedule = popper_chaos::FaultSchedule::from_vars(vars)?.ok_or_else(|| {
+        "lulesh-chaos needs a 'faults:' spec (run it via 'popper chaos')".to_string()
+    })?;
+    let policy = popper_minimpi::RecoveryPolicy::from_vars(vars)?;
+    let machine = vars.get_str("machine").unwrap_or("hpc-node");
+    let platform =
+        platforms::by_name(machine).ok_or_else(|| format!("unknown machine '{machine}'"))?;
+    let study = mpi_exp::ChaosStudy { app: lulesh_app(vars)?, platform, schedule, policy };
+    let result = mpi_exp::run_lulesh_chaos(&study)?;
     Ok(result.to_table())
 }
 
@@ -263,9 +295,71 @@ mod tests {
     fn full_engine_lists_all_runners() {
         let engine = full_engine();
         let names = engine.runners();
-        for expected in ["synthetic", "gassyfs-scalability", "torpor-variability", "mpi-variability", "bww-airtemp"] {
+        for expected in ["synthetic", "gassyfs-scalability", "torpor-variability", "mpi-variability", "lulesh-chaos", "bww-airtemp"] {
             assert!(names.contains(&expected), "missing {expected}");
         }
+    }
+
+    #[test]
+    fn lulesh_chaos_survives_node_crash_and_shrinks() {
+        let mut repo = PopperRepo::init("t").unwrap();
+        for (path, contents) in find_template("mpi-comm-variability").unwrap().files("e") {
+            repo.write(&path, contents).unwrap();
+        }
+        repo.commit("add").unwrap();
+        let engine = full_engine();
+        let report = engine.run_chaos(&mut repo, "e", Some("node-crash"), Some(7)).unwrap();
+        assert!(report.success(), "{:?}", report.verdict.failures);
+        // Default policy is shrink: one failover, bounded degradation.
+        assert!(report.metrics.get_num("failovers").unwrap_or(0.0) > 0.0);
+        let degraded = report.metrics.get_num("degraded_fraction").unwrap();
+        assert!(degraded > 0.0 && degraded <= 0.5, "degraded {degraded}");
+        assert_eq!(report.metrics.get_num("corrupt"), Some(0.0));
+        let csv = repo.read("experiments/e/results.csv").unwrap();
+        assert!(csv.starts_with("schedule,policy,epoch"), "{csv}");
+        assert!(repo.exists("experiments/e/recovery.json"));
+    }
+
+    #[test]
+    fn lulesh_chaos_checkpoint_restart_policy_from_vars() {
+        let mut repo = PopperRepo::init("t").unwrap();
+        for (path, contents) in find_template("mpi-comm-variability").unwrap().files("e") {
+            let contents = if path.ends_with("vars.pml") {
+                format!("{contents}faults:\n  schedule: node-crash\n  policy: checkpoint-restart\n  checkpoint_interval: 5\n")
+            } else {
+                contents
+            };
+            repo.write(&path, contents).unwrap();
+        }
+        repo.commit("add").unwrap();
+        let report = full_engine().run_chaos(&mut repo, "e", None, None).unwrap();
+        assert!(report.success(), "{:?}", report.verdict.failures);
+        // Checkpoint-restart conserves the problem: zero degradation,
+        // paid for in checkpoints and replayed steps.
+        assert_eq!(report.metrics.get_num("degraded_fraction"), Some(0.0));
+        assert!(report.metrics.get_num("checkpoints").unwrap_or(0.0) > 0.0);
+        assert!(report.metrics.get_num("replayed").unwrap_or(0.0) > 0.0);
+        let csv = repo.read("experiments/e/results.csv").unwrap();
+        assert!(csv.contains("checkpoint-restart"), "{csv}");
+    }
+
+    #[test]
+    fn lulesh_chaos_same_seed_is_byte_identical() {
+        let run = |seed| {
+            let mut repo = PopperRepo::init("t").unwrap();
+            for (path, contents) in find_template("mpi-comm-variability").unwrap().files("e") {
+                repo.write(&path, contents).unwrap();
+            }
+            repo.commit("add").unwrap();
+            full_engine().run_chaos(&mut repo, "e", Some("gremlin"), Some(seed)).unwrap();
+            (
+                repo.read("experiments/e/results.csv").unwrap(),
+                repo.read("experiments/e/faults.json").unwrap(),
+                repo.read("experiments/e/recovery.json").unwrap(),
+            )
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11).1, run(12).1);
     }
 
     #[test]

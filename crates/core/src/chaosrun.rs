@@ -185,7 +185,13 @@ fn recovery_metrics(results: &Table, sched: &FaultSchedule) -> Value {
             m.insert(name, Value::Num(vals.iter().cloned().fold(0.0f64, f64::max)));
         }
     }
-    for (name, vals) in [("failovers", col("failovers")), ("reads", col("reads"))] {
+    for (name, vals) in [
+        ("failovers", col("failovers")),
+        ("reads", col("reads")),
+        ("detections", col("detections")),
+        ("checkpoints", col("checkpoints")),
+        ("replayed", col("replayed")),
+    ] {
         if let Some(vals) = vals {
             m.insert(name, Value::Num(vals.iter().sum()));
         }

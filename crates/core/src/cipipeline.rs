@@ -28,6 +28,10 @@ use std::sync::Arc;
 /// * `check-compliance` — no fatal [`crate::check`] violations.
 /// * `run-experiment <name>` — full lifecycle run (gate, orchestrate,
 ///   execute, record, validate).
+/// * `run-chaos <name>` — the chaos lifecycle (schedule → execute →
+///   record → validate); the fault schedule and seed come from the
+///   job's `schedule`/`seed` env, which a `matrix:` axis fans out
+///   (one job, one run per schedule).
 /// * `validate <name>` — re-check `validations.aver` against the stored
 ///   `results.csv` without re-running.
 /// * `regression-gate <name> <column>` — compare the stored results
@@ -100,6 +104,29 @@ pub fn popper_steps(
                     Ok(report) if report.success() => {
                         StepOutcome::pass(format!("{report}"))
                     }
+                    Ok(report) => StepOutcome::fail(format!("{report}")),
+                    Err(e) => StepOutcome::fail(e),
+                }
+            }
+            "run-chaos" => {
+                let Some(name) = args.first() else {
+                    return StepOutcome::fail("run-chaos needs an experiment name");
+                };
+                let schedule = ctx.env.get("schedule").map(String::as_str);
+                let seed = match ctx.env.get("seed") {
+                    Some(s) => match s.parse::<u64>() {
+                        Ok(n) => Some(n),
+                        Err(_) => {
+                            return StepOutcome::fail(format!(
+                                "run-chaos: env 'seed' must be an integer, got '{s}'"
+                            ))
+                        }
+                    },
+                    None => None,
+                };
+                let mut repo = repo.lock();
+                match engine.run_chaos(&mut repo, name, schedule, seed) {
+                    Ok(report) if report.success() => StepOutcome::pass(format!("{report}")),
                     Ok(report) => StepOutcome::fail(format!("{report}")),
                     Err(e) => StepOutcome::fail(e),
                 }
@@ -343,6 +370,69 @@ mod tests {
         assert!(report.passed(), "{}", report.summary());
         // The run step recorded results into the shared repo.
         assert!(repo.lock().exists("experiments/e/results.csv"));
+    }
+
+    #[test]
+    fn chaos_matrix_fans_one_job_over_schedules() {
+        // The chaos axis in the CI matrix: a per-job `matrix:` expands
+        // one `run-chaos` job into one job per (schedule, seed) combo,
+        // each driving the chaos lifecycle through its env.
+        let repo = shared_repo_with("gassyfs", "g");
+        {
+            let mut r = repo.lock();
+            r.write(
+                ".popper-ci.pml",
+                "stages: [chaos]\n\
+                 jobs:\n\
+                 \x20 - name: chaos-matrix\n\
+                 \x20   stage: chaos\n\
+                 \x20   matrix:\n\
+                 \x20     schedule: [node-crash, gremlin]\n\
+                 \x20     seed: [\"7\"]\n\
+                 \x20   steps: [run-chaos g]\n",
+            )
+            .unwrap();
+            r.commit("chaos matrix pipeline").unwrap();
+        }
+        // A stub fault-aware runner shaped like the real chaos tables.
+        let mut engine = ExperimentEngine::new();
+        engine.register("gassyfs-scalability", |vars| {
+            let sched = popper_chaos::FaultSchedule::from_vars(vars)?.expect("faults armed");
+            let mut t = Table::new(["schedule", "epoch", "recovery_ms", "degraded_fraction", "corrupt"]);
+            t.push_row(vec![
+                popper_format::Value::from(sched.name.as_str()),
+                popper_format::Value::from(0i64),
+                popper_format::Value::Num(12.0),
+                popper_format::Value::Num(0.1),
+                popper_format::Value::Num(0.0),
+            ])
+            .unwrap();
+            Ok(t)
+        });
+        let report = run_ci(repo.clone(), Arc::new(engine), 2).unwrap();
+        assert!(report.passed(), "{}", report.summary());
+        // Both schedules ran as separate jobs...
+        let summary = report.summary();
+        assert!(summary.contains("schedule=node-crash"), "{summary}");
+        assert!(summary.contains("schedule=gremlin"), "{summary}");
+        // ...and the last one's artifacts landed (gremlin sorts after
+        // node-crash in job order; each run commits its timeline).
+        let r = repo.lock();
+        let faults = r.read("experiments/g/faults.json").unwrap();
+        assert!(faults.contains("gremlin"), "{faults}");
+        assert!(r.vcs.status().unwrap().is_empty());
+    }
+
+    #[test]
+    fn run_chaos_step_rejects_bad_seed() {
+        let repo = shared_repo_with("gassyfs", "g");
+        let executor = popper_steps(repo, Arc::new(ExperimentEngine::new()));
+        let mut env = std::collections::BTreeMap::new();
+        env.insert("schedule".to_string(), "node-crash".to_string());
+        env.insert("seed".to_string(), "not-a-number".to_string());
+        let outcome = executor(&StepCtx { command: "run-chaos g".into(), env, job: "chaos".into() });
+        assert!(!outcome.success);
+        assert!(outcome.log.contains("seed"), "{}", outcome.log);
     }
 
     #[test]

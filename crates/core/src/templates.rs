@@ -98,13 +98,28 @@ fn t_torpor(target: &str) -> Vec<(String, String)> {
 }
 
 fn t_mpi(target: &str) -> Vec<(String, String)> {
-    base_files(
+    // 40 iterations keep the virtual horizon (~80 ms) past the
+    // built-in schedules' first crash, so `popper chaos` exercises a
+    // real recovery instead of finishing before the fault fires.
+    let mut files = base_files(
         target,
         "mpi-variability",
-        "grid: [3, 3, 3]\nelements: 20\niterations: 20\nnodes: 9\nrepetitions: 8\nmachine: hpc-node\nfigure:\n  kind: line\n  title: Runtime across repetitions\n  x: rep\n  y: time\n  group_by: scenario\n",
+        "grid: [3, 3, 3]\nelements: 20\niterations: 40\nnodes: 9\nrepetitions: 8\nmachine: hpc-node\nfigure:\n  kind: line\n  title: Runtime across repetitions\n  x: rep\n  y: time\n  group_by: scenario\n",
         "when scenario = quiet expect constant(time, 1);\nwhen scenario=* expect count(time) >= 8\n",
         &generic_playbook("lulesh-mpip", "hpc"),
-    )
+    );
+    // Resilience claims for `popper chaos`: recovery must be prompt,
+    // an ULFM-style shrink may shed at most half the communicator, and
+    // the run must still complete every configured iteration (a wedged
+    // or truncated run sets `corrupt`).
+    files.push((
+        format!("experiments/{target}/chaos.aver"),
+        "when schedule=* expect recovers_within(recovery_ms, 1000);\n\
+         when schedule=* expect degraded_at_most(degraded_fraction, 0.5);\n\
+         when schedule=* expect max(corrupt) = 0\n"
+            .to_string(),
+    ));
+    files
 }
 
 fn t_bww(target: &str) -> Vec<(String, String)> {

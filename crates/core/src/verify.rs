@@ -2,12 +2,18 @@
 //!
 //! §Discussion, *Numerical vs. Performance Reproducibility*: does
 //! re-executing the experiment produce the *same numerical values* as
-//! the recorded artifact? Unlike the other lifecycles this one records
-//! nothing — it re-runs the runner in memory and byte-compares against
-//! the committed `results.csv`.
+//! the recorded artifact? Like every other lifecycle this is a stage
+//! composition over the shared [`Pipeline`] engine — load the recorded
+//! `results.csv`, re-run the experiment's runner through the *shared*
+//! execute stage, byte-compare, and record the verdict. The record
+//! stage uses [`CommitPolicy::IfChanged`], so re-verifying an
+//! unchanged experiment is idempotent: no new commit, no churn.
 
 use crate::experiment::ExperimentEngine;
+use crate::pipeline::{stages, CommitPolicy, Pipeline, RunContext, StageControl};
 use crate::repo::PopperRepo;
+use popper_format::{json, Value};
+use std::cell::RefCell;
 use std::fmt;
 
 /// The outcome of a numerical-reproducibility check.
@@ -21,6 +27,17 @@ pub enum ReproVerdict {
     NoStoredResults,
 }
 
+impl ReproVerdict {
+    /// Short status label for `verify.json`.
+    fn status(&self) -> &'static str {
+        match self {
+            ReproVerdict::Identical => "identical",
+            ReproVerdict::Differs(_) => "differs",
+            ReproVerdict::NoStoredResults => "no-stored-results",
+        }
+    }
+}
+
 impl fmt::Display for ReproVerdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -32,26 +49,59 @@ impl fmt::Display for ReproVerdict {
 }
 
 impl ExperimentEngine {
-    /// Re-execute `experiment`'s runner (no recording, no commits) and
-    /// compare against the stored `results.csv`.
-    pub fn verify(&self, repo: &PopperRepo, experiment: &str) -> Result<ReproVerdict, String> {
-        let Some(stored) = repo.read(&format!("experiments/{experiment}/results.csv")) else {
-            return Ok(ReproVerdict::NoStoredResults);
-        };
-        let vars = repo.experiment_vars(experiment)?;
-        let runner_name = vars
-            .get_str("runner")
-            .ok_or_else(|| format!("experiment '{experiment}': vars.pml has no 'runner'"))?;
-        let runner = self
-            .runner(runner_name)
-            .ok_or_else(|| format!("unknown runner '{runner_name}'"))?;
-        let fresh = runner(&vars)?.to_csv();
-        if fresh == stored {
-            Ok(ReproVerdict::Identical)
-        } else {
-            let diff = popper_vcs::diff::unified("recorded/results.csv", "reexecuted/results.csv", &stored, &fresh, 2);
-            Ok(ReproVerdict::Differs(diff))
-        }
+    /// Re-execute `experiment`'s runner and compare against the stored
+    /// `results.csv`, as a load → execute → compare → record pipeline.
+    /// The verdict is recorded to `experiments/<exp>/verify.json`
+    /// (committed only when it changed).
+    pub fn verify(&self, repo: &mut PopperRepo, experiment: &str) -> Result<ReproVerdict, String> {
+        let mut ctx = RunContext::for_experiment(repo, experiment)?;
+        let stored: RefCell<Option<String>> = RefCell::new(None);
+        let verdict: RefCell<Option<ReproVerdict>> = RefCell::new(None);
+        Pipeline::new(format!("verify {experiment}"))
+            .stage("load", |repo, ctx| match repo.read(&ctx.artifact_path("results.csv")) {
+                Some(s) => {
+                    *stored.borrow_mut() = Some(s);
+                    Ok(StageControl::Continue)
+                }
+                None => {
+                    *verdict.borrow_mut() = Some(ReproVerdict::NoStoredResults);
+                    Ok(StageControl::Stop)
+                }
+            })
+            .stage("execute", stages::execute(self))
+            .stage("compare", |_repo, ctx| {
+                let stored = stored.borrow_mut().take().expect("load stage ran");
+                let fresh =
+                    ctx.results.as_ref().ok_or("compare: no re-executed results")?.to_csv();
+                *verdict.borrow_mut() = Some(if fresh == stored {
+                    ReproVerdict::Identical
+                } else {
+                    ReproVerdict::Differs(popper_vcs::diff::unified(
+                        "recorded/results.csv",
+                        "reexecuted/results.csv",
+                        &stored,
+                        &fresh,
+                        2,
+                    ))
+                });
+                Ok(StageControl::Continue)
+            })
+            .stage("record", |repo, ctx| {
+                let borrowed = verdict.borrow();
+                let v = borrowed.as_ref().expect("compare stage ran");
+                let mut m = Value::empty_map();
+                m.insert("experiment", Value::from(ctx.experiment.as_str()));
+                m.insert("status", Value::from(v.status()));
+                ctx.artifacts.stage(ctx.artifact_path("verify.json"), json::to_string_pretty(&m));
+                let msg =
+                    format!("popper verify {}: record reproducibility verdict", ctx.experiment);
+                ctx.commit = ctx.artifacts.commit_into(repo, &msg, CommitPolicy::IfChanged)?;
+                Ok(StageControl::Continue)
+            })
+            .run(repo, &mut ctx)?;
+        verdict
+            .into_inner()
+            .ok_or_else(|| format!("experiment '{experiment}': verify produced no verdict"))
     }
 }
 
@@ -73,9 +123,9 @@ mod tests {
     fn verify_confirms_deterministic_reexecution() {
         let mut repo = repo_with("ceph-rados");
         let engine = ExperimentEngine::new();
-        assert_eq!(engine.verify(&repo, "e").unwrap(), ReproVerdict::NoStoredResults);
+        assert_eq!(engine.verify(&mut repo, "e").unwrap(), ReproVerdict::NoStoredResults);
         engine.run(&mut repo, "e").unwrap();
-        assert_eq!(engine.verify(&repo, "e").unwrap(), ReproVerdict::Identical);
+        assert_eq!(engine.verify(&mut repo, "e").unwrap(), ReproVerdict::Identical);
     }
 
     #[test]
@@ -89,7 +139,7 @@ mod tests {
         assert_ne!(csv, tampered);
         repo.write("experiments/e/results.csv", tampered).unwrap();
         repo.commit("tamper").unwrap();
-        match engine.verify(&repo, "e").unwrap() {
+        match engine.verify(&mut repo, "e").unwrap() {
             ReproVerdict::Differs(diff) => {
                 assert!(diff.contains("-"), "{diff}");
                 assert!(diff.contains("recorded/results.csv"));
@@ -108,6 +158,22 @@ mod tests {
         let vars = repo.read("experiments/e/vars.pml").unwrap();
         repo.write("experiments/e/vars.pml", vars.replace("[1, 2, 4, 8, 16]", "[1, 2, 4]")).unwrap();
         repo.commit("shrink sweep without rerunning").unwrap();
-        assert!(matches!(engine.verify(&repo, "e").unwrap(), ReproVerdict::Differs(_)));
+        assert!(matches!(engine.verify(&mut repo, "e").unwrap(), ReproVerdict::Differs(_)));
+    }
+
+    #[test]
+    fn verify_records_its_verdict_idempotently() {
+        let mut repo = repo_with("ceph-rados");
+        let engine = ExperimentEngine::new();
+        engine.run(&mut repo, "e").unwrap();
+        assert_eq!(engine.verify(&mut repo, "e").unwrap(), ReproVerdict::Identical);
+        let recorded = repo.read("experiments/e/verify.json").unwrap();
+        assert!(recorded.contains("identical"), "{recorded}");
+        assert!(repo.vcs.status().unwrap().is_empty(), "verdict must be committed");
+        // Re-verifying an unchanged experiment changes nothing: the
+        // IfChanged record stage skips the idempotent re-commit.
+        let head = repo.vcs.head_commit().unwrap();
+        assert_eq!(engine.verify(&mut repo, "e").unwrap(), ReproVerdict::Identical);
+        assert_eq!(repo.vcs.head_commit().unwrap(), head, "no churn commit on re-verify");
     }
 }

@@ -1,0 +1,750 @@
+//! Fault-tolerant LULESH: rank-failure recovery for the MPI use case.
+//!
+//! The variability study (§5.3) runs against a healthy cluster; this
+//! module is what happens when `popper chaos` gremlins crash nodes
+//! under it. The `try_*` collectives surface a typed
+//! [`MpiError::RankFailed`] when the fault plane reports a crashed
+//! node (and a heartbeat turns silent crashes into detections); two
+//! recovery policies then keep the run going:
+//!
+//! * **shrink** (ULFM-style): the survivors agree on a new epoch
+//!   (priced as two allreduce-shaped votes), the 3D decomposition is
+//!   rebuilt over the shrunken rank count ([`boxiest_grid`]), the lost
+//!   ranks' subdomains are redistributed over the fabric, and the run
+//!   continues on fewer ranks. Capacity is lost (`degraded_fraction`),
+//!   no work is replayed.
+//! * **checkpoint-restart**: every `checkpoint_interval` steps each
+//!   rank writes its surface state (sized by
+//!   [`LuleshConfig::halo_bytes`]) to disk; on a failure the survivors
+//!   idle until the schedule restarts the node (or respawn the ranks
+//!   on surviving nodes when it never does), everyone reloads the last
+//!   consistent checkpoint, and the lost steps are replayed. Fidelity
+//!   is preserved, time is paid (`replayed` steps, checkpoint and
+//!   restore I/O, idle waiting).
+//!
+//! Both policies ride out *transient* faults
+//! ([`MpiError::PeerUnreachable`], i.e. partitions) by retrying the
+//! interrupted step — each failed attempt burns the retry penalty, so
+//! virtual time advances toward the schedule's heal event. Everything
+//! is deterministic: the same seed and schedule produce byte-identical
+//! recovery logs.
+
+use crate::comm::{MpiError, MpiWorld};
+use crate::lulesh::LuleshConfig;
+use popper_chaos::{ChaosDriver, FaultSchedule};
+use popper_format::Value;
+use popper_sim::{Cluster, Nanos};
+use std::collections::BTreeSet;
+
+/// Checkpoint device bandwidth (GB/s) before the fault plane's
+/// disk-slowdown factor is applied.
+const CHECKPOINT_DISK_GBPS: f64 = 2.0;
+
+/// Consecutive transient (partition) retries of one step before the
+/// run is declared wedged. Every built-in schedule heals well within
+/// this patience; a custom schedule that never heals is a failed run,
+/// not a hang.
+const MAX_TRANSIENT_RETRIES: usize = 64;
+
+/// How a run recovers from a rank failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecoveryPolicy {
+    /// ULFM-style communicator shrink: drop the dead ranks, rebuild
+    /// the decomposition over the survivors, redistribute the lost
+    /// subdomains, keep going at reduced capacity.
+    #[default]
+    Shrink,
+    /// Periodic checkpoints + rollback: respawn the dead rank (after
+    /// the schedule's restart, or on a surviving node), reload the
+    /// last consistent checkpoint, replay the lost steps.
+    CheckpointRestart {
+        /// Steps between checkpoints (>= 1).
+        interval: usize,
+    },
+}
+
+impl RecoveryPolicy {
+    /// Short label for result tables and `recovery.json`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RecoveryPolicy::Shrink => "shrink",
+            RecoveryPolicy::CheckpointRestart { .. } => "checkpoint-restart",
+        }
+    }
+
+    /// Decode from an experiment's `vars.pml`: `faults.policy` is
+    /// `shrink` (the default) or `checkpoint-restart`, with
+    /// `faults.checkpoint_interval` sizing the latter (default 5).
+    pub fn from_vars(vars: &Value) -> Result<RecoveryPolicy, String> {
+        let Some(spec) = vars.get("faults") else { return Ok(RecoveryPolicy::default()) };
+        let interval = spec.get_num("checkpoint_interval").unwrap_or(5.0).max(1.0) as usize;
+        match spec.get_str("policy") {
+            None | Some("shrink") => Ok(RecoveryPolicy::Shrink),
+            Some("checkpoint-restart") => Ok(RecoveryPolicy::CheckpointRestart { interval }),
+            Some(other) => Err(format!(
+                "unknown recovery policy '{other}' (expected 'shrink' or 'checkpoint-restart')"
+            )),
+        }
+    }
+}
+
+/// One recovery transition: the failure that ended an epoch and the
+/// protocol that opened the next one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryEvent {
+    /// The epoch this recovery *entered*.
+    pub epoch: u64,
+    /// When the failure detector gave up on the dead rank(s).
+    pub detected_at: Nanos,
+    /// When the rebuilt world resumed stepping.
+    pub recovered_at: Nanos,
+    /// Nodes declared failed in this transition.
+    pub nodes_lost: Vec<usize>,
+    /// Ranks lost (shrink) or respawned (checkpoint-restart).
+    pub ranks_lost: usize,
+    /// Steps rolled back and replayed (checkpoint-restart only).
+    pub replayed_steps: usize,
+    /// Bytes moved by the protocol: redistributed subdomains (shrink)
+    /// or checkpoint restore reads (checkpoint-restart).
+    pub moved_bytes: u64,
+}
+
+/// Per-epoch accounting: one row of the chaos `results.csv`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// Communicator epoch (0 = the initial world).
+    pub epoch: u64,
+    /// Ranks alive during the epoch.
+    pub ranks: usize,
+    /// Steps completed during the epoch.
+    pub steps: usize,
+    /// Typed failures detected during the epoch (incl. transient
+    /// partition stalls).
+    pub detections: usize,
+    /// Checkpoints written during the epoch.
+    pub checkpoints: usize,
+    /// Steps replayed at the start of the epoch (rollback depth).
+    pub replayed: usize,
+    /// Ranks lost entering the epoch (0 for epoch 0).
+    pub ranks_lost: usize,
+    /// Detection → resume cost of the recovery that opened the epoch,
+    /// in virtual milliseconds (0 for epoch 0).
+    pub recovery_ms: f64,
+    /// Cumulative capacity degradation when the epoch closed:
+    /// lost ranks / initial ranks (always 0 under checkpoint-restart,
+    /// which conserves the problem).
+    pub degraded_fraction: f64,
+    /// Virtual time when the epoch closed, in milliseconds.
+    pub end_ms: f64,
+}
+
+/// The outcome of one fault-tolerant LULESH run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FtLuleshRun {
+    /// The recovery policy used.
+    pub policy: RecoveryPolicy,
+    /// Ranks at the start.
+    pub initial_ranks: usize,
+    /// Ranks at the end (shrink loses some).
+    pub final_ranks: usize,
+    /// Iterations completed (equals the configured count on success).
+    pub iterations: usize,
+    /// End-to-end virtual runtime.
+    pub elapsed: Nanos,
+    /// Per-epoch accounting, epoch-major.
+    pub epochs: Vec<EpochRecord>,
+    /// The recovery transitions, in order.
+    pub recoveries: Vec<RecoveryEvent>,
+    /// True when the run wedged (never-healing partition, all nodes
+    /// dead) and could not complete the configured iterations.
+    pub corrupt: bool,
+}
+
+impl FtLuleshRun {
+    /// Total typed failures detected.
+    pub fn detections(&self) -> usize {
+        self.epochs.iter().map(|e| e.detections).sum()
+    }
+
+    /// Total steps replayed across all rollbacks.
+    pub fn replayed_steps(&self) -> usize {
+        self.epochs.iter().map(|e| e.replayed).sum()
+    }
+
+    /// Total checkpoints written.
+    pub fn checkpoints(&self) -> usize {
+        self.epochs.iter().map(|e| e.checkpoints).sum()
+    }
+
+    /// Final cumulative degradation (the last epoch's fraction).
+    pub fn degraded_fraction(&self) -> f64 {
+        self.epochs.last().map(|e| e.degraded_fraction).unwrap_or(0.0)
+    }
+}
+
+/// The most cube-like factorization `a·b·c = n`: the decomposition a
+/// shrunken communicator rebuilds over, minimizing surface area (halo
+/// traffic) deterministically.
+pub fn boxiest_grid(n: usize) -> (usize, usize, usize) {
+    let mut best = (n, 1, 1);
+    let mut best_surface = usize::MAX;
+    for a in 1..=n {
+        if !n.is_multiple_of(a) {
+            continue;
+        }
+        let m = n / a;
+        for b in 1..=m {
+            if !m.is_multiple_of(b) {
+                continue;
+            }
+            let c = m / b;
+            let surface = a * b + b * c + a * c;
+            if surface < best_surface {
+                best_surface = surface;
+                best = (a, b, c);
+            }
+        }
+    }
+    best
+}
+
+/// Per-rank checkpointable state: the six halo faces (the surface
+/// state neighbors need to resume the stencil).
+fn state_bytes(config: &LuleshConfig) -> u64 {
+    6 * config.halo_bytes()
+}
+
+/// A full subdomain's field state (what shrink redistributes).
+fn subdomain_bytes(config: &LuleshConfig) -> u64 {
+    let e = config.elements_per_rank as u64;
+    e * e * e * config.bytes_per_face_cell
+}
+
+/// Durable I/O time for `bytes` at the checkpoint device rate, scaled
+/// by the node's disk-slowdown factor.
+fn disk_time(bytes: u64, factor: f64) -> Nanos {
+    Nanos::from_secs_f64(bytes as f64 / (CHECKPOINT_DISK_GBPS * 1e9)).scale(factor.max(1.0))
+}
+
+/// Run the LULESH proxy to completion under `schedule`, recovering
+/// from rank failures per `policy`. The world starts as
+/// `config.ranks()` ranks placed round-robin over `cluster`; the
+/// driver injects the schedule as the ranks' virtual clocks advance.
+pub fn run_ft(
+    cluster: Cluster,
+    config: &LuleshConfig,
+    schedule: &FaultSchedule,
+    policy: RecoveryPolicy,
+) -> Result<FtLuleshRun, String> {
+    let initial_ranks = config.ranks();
+    let nodes = cluster.len();
+    if initial_ranks == 0 || nodes == 0 {
+        return Err("fault-tolerant run needs at least one rank and one node".into());
+    }
+    let mut cfg = config.clone();
+    let mut world = MpiWorld::new(cluster, initial_ranks);
+    let mut driver = ChaosDriver::new(schedule.clone());
+    let mut failed_nodes: BTreeSet<usize> = BTreeSet::new();
+
+    // Per-epoch geometry, rebuilt after every shrink.
+    let mut demand = cfg.demand_per_element.scaled((cfg.elements_per_rank as f64).powi(3));
+    let mut exchange: Vec<(usize, usize, u64)> = cfg
+        .neighbor_pairs()
+        .into_iter()
+        .map(|(a, b)| (a, b, cfg.halo_bytes()))
+        .collect();
+
+    let mut epochs: Vec<EpochRecord> = Vec::new();
+    let mut current = EpochRecord {
+        epoch: 0,
+        ranks: initial_ranks,
+        steps: 0,
+        detections: 0,
+        checkpoints: 0,
+        replayed: 0,
+        ranks_lost: 0,
+        recovery_ms: 0.0,
+        degraded_fraction: 0.0,
+        end_ms: 0.0,
+    };
+    let mut recoveries: Vec<RecoveryEvent> = Vec::new();
+    let mut lost_total = 0usize;
+    let mut step = 0usize;
+    let mut last_checkpoint = 0usize;
+    let mut transient = 0usize;
+    let mut corrupt = false;
+    // A hard backstop against wedged custom schedules: the loop body
+    // runs at most once per completed step plus a bounded number of
+    // retries/recoveries per fault event.
+    let mut spins = 0usize;
+    let spin_budget = (cfg.iterations + 1) * (MAX_TRANSIENT_RETRIES + 4)
+        + schedule.events.len() * (cfg.iterations + MAX_TRANSIENT_RETRIES + 4);
+
+    while step < cfg.iterations {
+        spins += 1;
+        if spins > spin_budget {
+            corrupt = true;
+            break;
+        }
+        let now = world.elapsed();
+        driver.advance(world.cluster.faults_mut(), now);
+        let step_result = (|w: &mut MpiWorld| -> Result<(), MpiError> {
+            w.try_heartbeat()?;
+            for r in 0..w.size() {
+                w.compute(r, &demand);
+            }
+            w.try_exchange(&exchange)?;
+            w.try_allreduce(8)
+        })(&mut world);
+        match step_result {
+            Ok(()) => {
+                transient = 0;
+                step += 1;
+                current.steps += 1;
+                if let RecoveryPolicy::CheckpointRestart { interval } = policy {
+                    if step.is_multiple_of(interval) && step < cfg.iterations {
+                        let bytes = state_bytes(&cfg);
+                        for r in 0..world.size() {
+                            let f = world.cluster.faults().disk_factor(world.node_of(r));
+                            world.charge(r, disk_time(bytes, f), "checkpoint");
+                        }
+                        last_checkpoint = step;
+                        current.checkpoints += 1;
+                    }
+                }
+            }
+            Err(MpiError::PeerUnreachable { .. }) => {
+                // Transient: the retry penalty already advanced the
+                // clocks, so the next driver.advance can apply the heal
+                // the schedule promises. Retry the interrupted step.
+                current.detections += 1;
+                transient += 1;
+                if transient > MAX_TRANSIENT_RETRIES {
+                    corrupt = true;
+                    break;
+                }
+            }
+            Err(MpiError::RankFailed { detected_at, .. }) => {
+                current.detections += 1;
+                transient = 0;
+                let newly_failed: Vec<usize> = world
+                    .cluster
+                    .faults()
+                    .crashed_nodes()
+                    .into_iter()
+                    .filter(|n| !failed_nodes.contains(n))
+                    .collect();
+                let ranks_lost =
+                    (0..world.size()).filter(|r| newly_failed.contains(&world.node_of(*r))).count();
+                let epoch = world.epoch() + 1;
+                let recovery = match policy {
+                    RecoveryPolicy::Shrink => {
+                        failed_nodes.extend(newly_failed.iter().copied());
+                        match shrink(
+                            &mut world,
+                            &mut cfg,
+                            &failed_nodes,
+                            ranks_lost,
+                            detected_at,
+                            epoch,
+                        ) {
+                            Some(r) => {
+                                // Shrunken geometry: new demand and halo map.
+                                demand = cfg
+                                    .demand_per_element
+                                    .scaled((cfg.elements_per_rank as f64).powi(3));
+                                exchange = cfg
+                                    .neighbor_pairs()
+                                    .into_iter()
+                                    .map(|(a, b)| (a, b, cfg.halo_bytes()))
+                                    .collect();
+                                lost_total += ranks_lost;
+                                RecoveryEvent { nodes_lost: newly_failed, ranks_lost, ..r }
+                            }
+                            None => {
+                                corrupt = true;
+                                break;
+                            }
+                        }
+                    }
+                    RecoveryPolicy::CheckpointRestart { .. } => {
+                        let replay = step - last_checkpoint;
+                        match respawn(
+                            &mut world,
+                            &mut driver,
+                            &cfg,
+                            schedule,
+                            &newly_failed,
+                            detected_at,
+                            epoch,
+                        ) {
+                            Some(r) => {
+                                // A node the schedule never restarts is
+                                // permanently gone: its ranks now live
+                                // elsewhere, so don't re-report it on the
+                                // next failure.
+                                failed_nodes.extend(
+                                    newly_failed.iter().filter(|n| !schedule.ever_restarts(**n)),
+                                );
+                                step = last_checkpoint;
+                                RecoveryEvent {
+                                    nodes_lost: newly_failed,
+                                    ranks_lost,
+                                    replayed_steps: replay,
+                                    ..r
+                                }
+                            }
+                            None => {
+                                corrupt = true;
+                                break;
+                            }
+                        }
+                    }
+                };
+                // Close the failed epoch's row and open the next one.
+                current.end_ms = recovery.detected_at.as_millis_f64();
+                current.degraded_fraction = lost_total as f64 / initial_ranks as f64;
+                epochs.push(current);
+                current = EpochRecord {
+                    epoch,
+                    ranks: world.size(),
+                    steps: 0,
+                    detections: 0,
+                    checkpoints: 0,
+                    replayed: recovery.replayed_steps,
+                    ranks_lost: recovery.ranks_lost,
+                    recovery_ms: (recovery.recovered_at - recovery.detected_at).as_millis_f64(),
+                    degraded_fraction: lost_total as f64 / initial_ranks as f64,
+                    end_ms: 0.0,
+                };
+                recoveries.push(recovery);
+            }
+        }
+    }
+
+    current.end_ms = world.elapsed().as_millis_f64();
+    current.degraded_fraction = lost_total as f64 / initial_ranks as f64;
+    epochs.push(current);
+    Ok(FtLuleshRun {
+        policy,
+        initial_ranks,
+        final_ranks: world.size(),
+        iterations: step,
+        elapsed: world.elapsed(),
+        epochs,
+        recoveries,
+        corrupt,
+    })
+}
+
+/// ULFM-style shrink: rebuild the world over the surviving nodes with
+/// a re-boxed decomposition conserving total cells, charging the
+/// survivors an agreement vote and the redistribution transfer.
+/// Returns `None` when nothing survives.
+fn shrink(
+    world: &mut MpiWorld,
+    cfg: &mut LuleshConfig,
+    failed_nodes: &BTreeSet<usize>,
+    ranks_lost: usize,
+    detected_at: Nanos,
+    epoch: u64,
+) -> Option<RecoveryEvent> {
+    let survivors = world.size().checked_sub(ranks_lost).filter(|s| *s > 0)?;
+    let alive: Vec<usize> =
+        (0..world.cluster.len()).filter(|n| !failed_nodes.contains(n)).collect();
+    if alive.is_empty() {
+        return None;
+    }
+    // Price the protocol with the old world's fabric model: two
+    // allreduce-shaped votes (failure agreement + epoch agreement),
+    // then one bulk scatter of the lost subdomains.
+    let agreement = world.collective_cost(4 * MpiWorld::log2_ceil(survivors.max(2)), 8);
+    let moved_bytes = ranks_lost as u64 * subdomain_bytes(cfg);
+    let redistribution = world.collective_cost(1, moved_bytes);
+    let recovered_at = detected_at + agreement + redistribution;
+
+    // Conserve the problem: same total cells over fewer, fatter ranks.
+    let total_cells = (cfg.ranks() as f64) * (cfg.elements_per_rank as f64).powi(3);
+    cfg.grid = boxiest_grid(survivors);
+    cfg.elements_per_rank =
+        (((total_cells / survivors as f64).cbrt()).round() as usize).max(2);
+
+    let placement: Vec<usize> = (0..survivors).map(|r| alive[r % alive.len()]).collect();
+    let mut next = MpiWorld::with_placement(world.cluster.clone(), placement);
+    next.set_epoch(epoch);
+    next.advance_all_to(recovered_at);
+    *world = next;
+    Some(RecoveryEvent {
+        epoch,
+        detected_at,
+        recovered_at,
+        nodes_lost: Vec::new(), // caller fills
+        ranks_lost: 0,          // caller fills
+        replayed_steps: 0,
+        moved_bytes,
+    })
+}
+
+/// Checkpoint-restart respawn: idle until the schedule restarts the
+/// crashed node(s) (respawning on surviving nodes when it never
+/// does), rebuild the full-size world, and charge every rank the
+/// checkpoint restore read. The caller rolls the step counter back.
+fn respawn(
+    world: &mut MpiWorld,
+    driver: &mut ChaosDriver,
+    cfg: &LuleshConfig,
+    schedule: &FaultSchedule,
+    newly_failed: &[usize],
+    detected_at: Nanos,
+    epoch: u64,
+) -> Option<RecoveryEvent> {
+    // How long must the survivors idle? The latest scheduled restart
+    // among the dead nodes; a restart that was due but not yet applied
+    // costs nothing extra, and a node with no restart at all is
+    // permanent (its ranks respawn elsewhere).
+    let mut wait_until = detected_at;
+    for &n in newly_failed {
+        if let Some(at) = schedule.restart_after(n, detected_at) {
+            wait_until = wait_until.max(at);
+        }
+    }
+    driver.advance(world.cluster.faults_mut(), wait_until);
+    let alive: Vec<usize> =
+        (0..world.cluster.len()).filter(|n| !world.cluster.faults().is_crashed(*n)).collect();
+    if alive.is_empty() {
+        return None;
+    }
+    let ranks = cfg.ranks();
+    let nodes = world.cluster.len();
+    let placement: Vec<usize> = (0..ranks)
+        .map(|r| {
+            let home = r % nodes;
+            if world.cluster.faults().is_crashed(home) { alive[r % alive.len()] } else { home }
+        })
+        .collect();
+    let mut next = MpiWorld::with_placement(world.cluster.clone(), placement);
+    next.set_epoch(epoch);
+    next.advance_all_to(wait_until);
+    // Everyone reloads the last consistent checkpoint.
+    let bytes = state_bytes(cfg);
+    for r in 0..next.size() {
+        let f = next.cluster.faults().disk_factor(next.node_of(r));
+        next.charge(r, disk_time(bytes, f), "restore checkpoint");
+    }
+    let recovered_at = next.elapsed();
+    *world = next;
+    Some(RecoveryEvent {
+        epoch,
+        detected_at,
+        recovered_at,
+        nodes_lost: Vec::new(), // caller fills
+        ranks_lost: 0,          // caller fills
+        replayed_steps: 0,      // caller fills
+        moved_bytes: bytes * ranks as u64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popper_chaos::{FaultEvent, FaultKind};
+    use popper_sim::platforms;
+
+    fn cluster(nodes: usize) -> Cluster {
+        Cluster::new(platforms::hpc_node(), nodes)
+    }
+
+    fn custom(nodes: usize, events: Vec<FaultEvent>) -> FaultSchedule {
+        let mut s = FaultSchedule { name: "custom".into(), seed: 1, nodes, events };
+        s.events.sort_by_key(|e| e.at);
+        s
+    }
+
+    /// Crash node `n` immediately (fires before the first step).
+    fn crash_now(nodes: usize, n: usize, restart_ms: Option<u64>) -> FaultSchedule {
+        let mut events = vec![FaultEvent { at: Nanos::ZERO, kind: FaultKind::Crash { node: n } }];
+        if let Some(ms) = restart_ms {
+            events.push(FaultEvent {
+                at: Nanos::from_millis(ms),
+                kind: FaultKind::Restart { node: n },
+            });
+        }
+        custom(nodes, events)
+    }
+
+    #[test]
+    fn policy_parses_from_vars() {
+        let vars = popper_format::pml::parse(
+            "faults:\n  schedule: node-crash\n  policy: checkpoint-restart\n  checkpoint_interval: 3\n",
+        )
+        .unwrap();
+        assert_eq!(
+            RecoveryPolicy::from_vars(&vars).unwrap(),
+            RecoveryPolicy::CheckpointRestart { interval: 3 }
+        );
+        let vars = popper_format::pml::parse("faults: {schedule: node-crash}\n").unwrap();
+        assert_eq!(RecoveryPolicy::from_vars(&vars).unwrap(), RecoveryPolicy::Shrink);
+        let vars = popper_format::pml::parse("faults: {policy: ouija}\n").unwrap();
+        assert!(RecoveryPolicy::from_vars(&vars).is_err());
+        assert_eq!(RecoveryPolicy::from_vars(&Value::empty_map()).unwrap(), RecoveryPolicy::Shrink);
+    }
+
+    #[test]
+    fn boxiest_grid_prefers_cubes() {
+        assert_eq!(boxiest_grid(27), (3, 3, 3));
+        assert_eq!(boxiest_grid(8), (2, 2, 2));
+        let (a, b, c) = boxiest_grid(24);
+        assert_eq!(a * b * c, 24);
+        assert_eq!(a * b + b * c + a * c, 2 * 3 + 3 * 4 + 2 * 4);
+        // Primes degrade to pencils but stay valid.
+        let (a, b, c) = boxiest_grid(13);
+        assert_eq!(a * b * c, 13);
+    }
+
+    #[test]
+    fn shrink_survives_a_crash_and_completes_every_iteration() {
+        let cfg = LuleshConfig::small(); // 8 ranks over 4 nodes
+        let schedule = crash_now(4, 3, None);
+        let run = run_ft(cluster(4), &cfg, &schedule, RecoveryPolicy::Shrink).unwrap();
+        assert!(!run.corrupt);
+        assert_eq!(run.iterations, cfg.iterations, "every configured step must complete");
+        assert_eq!(run.initial_ranks, 8);
+        assert_eq!(run.final_ranks, 6, "node 3 hosted ranks 3 and 7");
+        assert_eq!(run.recoveries.len(), 1);
+        let rec = &run.recoveries[0];
+        assert_eq!(rec.nodes_lost, vec![3]);
+        assert_eq!(rec.ranks_lost, 2);
+        assert!(rec.recovered_at > rec.detected_at, "recovery must cost virtual time");
+        assert!(rec.moved_bytes > 0, "lost subdomains must be redistributed");
+        assert!((run.degraded_fraction() - 0.25).abs() < 1e-9, "2 of 8 ranks lost");
+        assert_eq!(run.epochs.len(), 2);
+        assert_eq!(run.epochs[1].ranks, 6);
+        assert!(run.epochs[1].recovery_ms > 0.0);
+    }
+
+    #[test]
+    fn checkpoint_restart_rolls_back_and_conserves_the_problem() {
+        let mut cfg = LuleshConfig::small();
+        cfg.iterations = 12;
+        let schedule = crash_now(4, 3, Some(5));
+        let run = run_ft(
+            cluster(4),
+            &cfg,
+            &schedule,
+            RecoveryPolicy::CheckpointRestart { interval: 4 },
+        )
+        .unwrap();
+        assert!(!run.corrupt);
+        assert_eq!(run.iterations, cfg.iterations);
+        assert_eq!(run.final_ranks, 8, "respawn keeps the world full-size");
+        assert_eq!(run.recoveries.len(), 1);
+        assert!(run.checkpoints() > 0, "periodic checkpoints must be written");
+        assert_eq!(run.degraded_fraction(), 0.0, "checkpoint-restart conserves the problem");
+        // The crash fired before step 1, so the rollback replays
+        // nothing — but the respawn still waited for the restart.
+        assert!(run.recoveries[0].recovered_at >= Nanos::from_millis(5));
+    }
+
+    #[test]
+    fn checkpoint_restart_replays_lost_steps_after_midrun_crash() {
+        // Crash once some steps have completed: roll back to the last
+        // checkpoint and replay.
+        let mut cfg = LuleshConfig::small();
+        cfg.iterations = 10;
+        // First run healthy to learn how long 6 steps take, then
+        // schedule the crash there.
+        let healthy =
+            run_ft(cluster(4), &cfg, &custom(4, vec![]), RecoveryPolicy::Shrink).unwrap();
+        let six_steps = Nanos::from_secs_f64(healthy.elapsed.as_secs_f64() * 0.6);
+        let schedule = custom(
+            4,
+            vec![
+                FaultEvent { at: six_steps, kind: FaultKind::Crash { node: 2 } },
+                FaultEvent {
+                    at: six_steps + Nanos::from_millis(2),
+                    kind: FaultKind::Restart { node: 2 },
+                },
+            ],
+        );
+        let run = run_ft(
+            cluster(4),
+            &cfg,
+            &schedule,
+            RecoveryPolicy::CheckpointRestart { interval: 4 },
+        )
+        .unwrap();
+        assert!(!run.corrupt);
+        assert_eq!(run.iterations, 10);
+        assert_eq!(run.recoveries.len(), 1);
+        assert!(run.replayed_steps() > 0, "a mid-run crash must cost replay");
+        assert!(run.replayed_steps() <= 4, "rollback depth is bounded by the interval");
+        assert!(run.elapsed > healthy.elapsed, "resilience has a measurable cost");
+    }
+
+    #[test]
+    fn permanent_crash_respawns_on_survivors() {
+        let mut cfg = LuleshConfig::small();
+        cfg.iterations = 6;
+        let schedule = crash_now(4, 2, None); // no restart ever
+        let run = run_ft(
+            cluster(4),
+            &cfg,
+            &schedule,
+            RecoveryPolicy::CheckpointRestart { interval: 3 },
+        )
+        .unwrap();
+        assert!(!run.corrupt);
+        assert_eq!(run.iterations, 6);
+        assert_eq!(run.final_ranks, 8, "ranks respawn on surviving nodes");
+        assert_eq!(run.recoveries.len(), 1);
+    }
+
+    #[test]
+    fn transient_partition_is_ridden_out() {
+        let mut cfg = LuleshConfig::small();
+        cfg.iterations = 4;
+        // Partition immediately, heal shortly after: the step stalls,
+        // retries burn time past the heal, then the run completes
+        // without any recovery transition.
+        let schedule = custom(
+            4,
+            vec![
+                FaultEvent { at: Nanos::ZERO, kind: FaultKind::Partition { side: vec![0, 1] } },
+                FaultEvent { at: Nanos::from_millis(25), kind: FaultKind::Heal },
+            ],
+        );
+        for policy in [RecoveryPolicy::Shrink, RecoveryPolicy::CheckpointRestart { interval: 2 }] {
+            let run = run_ft(cluster(4), &cfg, &schedule, policy).unwrap();
+            assert!(!run.corrupt, "{policy:?}");
+            assert_eq!(run.iterations, 4);
+            assert!(run.recoveries.is_empty(), "partitions are not rank failures");
+            assert!(run.detections() > 0, "the stall must be detected");
+            assert!(run.elapsed >= Nanos::from_millis(25), "the run waited for the heal");
+        }
+    }
+
+    #[test]
+    fn never_healing_partition_is_corrupt_not_a_hang() {
+        let mut cfg = LuleshConfig::small();
+        cfg.iterations = 3;
+        let schedule = custom(
+            4,
+            vec![FaultEvent { at: Nanos::ZERO, kind: FaultKind::Partition { side: vec![0] } }],
+        );
+        let run = run_ft(cluster(4), &cfg, &schedule, RecoveryPolicy::Shrink).unwrap();
+        assert!(run.corrupt, "a partition that never heals must fail the run, not hang it");
+        assert!(run.iterations < 3);
+    }
+
+    #[test]
+    fn ft_runs_are_deterministic() {
+        let mut cfg = LuleshConfig::small();
+        cfg.iterations = 8;
+        let schedule = FaultSchedule::gremlin(4, 11);
+        for policy in [RecoveryPolicy::Shrink, RecoveryPolicy::CheckpointRestart { interval: 3 }] {
+            let a = run_ft(cluster(4), &cfg, &schedule, policy).unwrap();
+            let b = run_ft(cluster(4), &cfg, &schedule, policy).unwrap();
+            assert_eq!(a, b, "{policy:?}");
+        }
+    }
+}

@@ -23,13 +23,23 @@
 //!   distribution that the deferred figure of §5.3 would plot, and the
 //!   root-cause attribution (the noisy node's ranks show the highest
 //!   compute time while *other* ranks show the waiting).
+//! * [`ft`] — fault tolerance: rank-failure detection through the typed
+//!   `try_*` collectives plus two recovery policies (ULFM-style
+//!   communicator shrink, and checkpoint/restart with rollback replay)
+//!   that keep a LULESH run going while a chaos schedule crashes nodes
+//!   under it.
 
 pub mod comm;
 pub mod experiment;
+pub mod ft;
 pub mod lulesh;
 pub mod profiler;
 
 pub use comm::{MpiError, MpiWorld, RetryPolicy};
-pub use experiment::{run_variability_study, NoiseScenario, VariabilityStudy};
+pub use experiment::{
+    run_lulesh_chaos, run_variability_study, ChaosStudy, ChaosStudyResult, NoiseScenario,
+    VariabilityStudy,
+};
+pub use ft::{run_ft, EpochRecord, FtLuleshRun, RecoveryEvent, RecoveryPolicy};
 pub use lulesh::{LuleshConfig, LuleshResult};
 pub use profiler::{MpiOp, MpiProfile};

@@ -64,6 +64,22 @@ impl Nanos {
         Nanos(self.0.saturating_sub(other.0))
     }
 
+    /// Saturating addition: `self + other`, capped at [`Nanos::MAX`].
+    /// The `Add` impl panics on overflow (an overflow in simulation
+    /// time is a bug); this is for policy arithmetic (retry penalties,
+    /// backoff schedules) where absurd configurations must stay
+    /// well-defined instead of aborting.
+    pub fn saturating_add(self, other: Nanos) -> Nanos {
+        Nanos(self.0.saturating_add(other.0))
+    }
+
+    /// Saturating multiplication by a scalar, capped at [`Nanos::MAX`];
+    /// see [`saturating_add`](Self::saturating_add) for when to prefer
+    /// this over the panicking `Mul` impl.
+    pub fn saturating_mul(self, rhs: u64) -> Nanos {
+        Nanos(self.0.saturating_mul(rhs))
+    }
+
     /// Scale by a non-negative factor (panics on negative/non-finite).
     pub fn scale(self, factor: f64) -> Nanos {
         assert!(factor.is_finite() && factor >= 0.0, "Nanos::scale factor must be finite and >= 0");
@@ -177,6 +193,14 @@ mod tests {
     #[should_panic(expected = "underflow")]
     fn sub_underflow_panics() {
         let _ = Nanos::from_millis(1) - Nanos::from_secs(1);
+    }
+
+    #[test]
+    fn saturating_arithmetic_caps_at_max() {
+        assert_eq!(Nanos::MAX.saturating_add(Nanos(1)), Nanos::MAX);
+        assert_eq!(Nanos(1).saturating_add(Nanos(2)), Nanos(3));
+        assert_eq!(Nanos::MAX.saturating_mul(2), Nanos::MAX);
+        assert_eq!(Nanos(3).saturating_mul(4), Nanos(12));
     }
 
     #[test]
