@@ -24,6 +24,9 @@ jobs:
   - name: trace-diff-selfcheck
     stage: test
     steps: [cargo test --test trace_diff]
+  - name: memo-selfcheck
+    stage: test
+    steps: [cargo test --test memo_pipeline]
   - name: lifecycle-parity
     stage: test
     steps: [cargo test --test lifecycle_parity]
@@ -36,3 +39,6 @@ jobs:
   - name: fault-overhead-smoke
     stage: bench
     steps: [cargo bench --bench ablations fault_overhead]
+  - name: memo-speedup-smoke
+    stage: bench
+    steps: [cargo bench --bench memo]

@@ -1,0 +1,122 @@
+//! Memoization payoff: cold-vs-warm lifecycle wall time.
+//!
+//! The memo table's whole claim is that a warm re-run is a replay, not
+//! an execution — so the bench times the `run` lifecycle cold (empty
+//! cache) and warm (every stage a hit) for the two heaviest use cases,
+//! the MPI noisy-neighborhood study and the weather analysis, writes
+//! the measurements to `BENCH_memo.json` at the workspace root, and
+//! gates the speedup with Aver: warm must cost at most 25% of cold.
+
+use criterion::{criterion_group, Criterion};
+use popper_cli::runners::full_engine;
+use popper_core::templates::find_template;
+use popper_core::{lifecycle_session, ExperimentEngine, PopperRepo, RunContext};
+use popper_format::{json, Table, Value};
+use std::time::Instant;
+
+const EXPERIMENTS: &[(&str, &str)] = &[("mpi-comm-variability", "m"), ("jupyter-bww", "w")];
+const GATE: &str = "when experiment=* expect avg(warm_ms) <= 0.25 * avg(cold_ms)";
+
+fn seeded(tpl: &str, name: &str) -> PopperRepo {
+    let mut repo = PopperRepo::init("memo-bench").unwrap();
+    for (path, contents) in find_template(tpl).unwrap().files(name) {
+        repo.write(&path, contents).unwrap();
+    }
+    repo.commit(&format!("popper add {tpl} {name}")).unwrap();
+    repo
+}
+
+/// One memoized `run`; returns (elapsed_ms, misses).
+fn timed_run(repo: &mut PopperRepo, engine: &ExperimentEngine, name: &str) -> (f64, usize) {
+    let started = Instant::now();
+    let mut ctx = RunContext::for_experiment(repo, name)
+        .unwrap()
+        .with_memo(lifecycle_session(repo, name, "run", &[]));
+    engine.run_pipeline(repo, &mut ctx).unwrap();
+    let elapsed = started.elapsed().as_secs_f64() * 1e3;
+    (elapsed, ctx.memo_stats().unwrap().misses())
+}
+
+fn measure() -> Table {
+    let engine = full_engine();
+    let mut table = Table::new(["experiment", "cold_ms", "warm_ms"]);
+    for &(tpl, name) in EXPERIMENTS {
+        let mut repo = seeded(tpl, name);
+        let (cold_ms, misses) = timed_run(&mut repo, &engine, name);
+        assert!(misses > 0, "{tpl}: cold run must execute stages");
+        // Best of three warm repeats: the steady-state replay cost,
+        // not first-touch page-cache noise.
+        let warm_ms = (0..3)
+            .map(|i| {
+                let (ms, misses) = timed_run(&mut repo, &engine, name);
+                assert_eq!(misses, 0, "{tpl}: warm repeat {i} must be a full replay");
+                ms
+            })
+            .fold(f64::INFINITY, f64::min);
+        table
+            .push_record(&[
+                ("experiment", Value::from(tpl)),
+                ("cold_ms", Value::from(cold_ms)),
+                ("warm_ms", Value::from(warm_ms)),
+            ])
+            .unwrap();
+    }
+    table
+}
+
+fn print_and_commit() {
+    eprintln!("{}", popper_bench::banner("memo: cold vs warm lifecycle"));
+    let table = measure();
+    eprintln!("{:<22} {:>10} {:>10} {:>8}", "experiment", "cold ms", "warm ms", "ratio");
+    let mut rows = Value::empty_map();
+    for row in table.iter() {
+        let (exp, cold, warm) =
+            (row.str("experiment").unwrap(), row.num("cold_ms").unwrap(), row.num("warm_ms").unwrap());
+        eprintln!("{exp:<22} {cold:>10.2} {warm:>10.2} {:>7.1}%", warm / cold * 100.0);
+        let mut point = Value::empty_map();
+        point.insert("cold_ms", Value::from(cold));
+        point.insert("warm_ms", Value::from(warm));
+        point.insert("warm_over_cold", Value::from(warm / cold));
+        rows.insert(exp, point);
+    }
+    let verdict = popper_aver::check(GATE, &table).expect("gate evaluates");
+    eprintln!("\naver: {GATE}\n  -> {verdict}");
+    assert!(verdict.passed, "memo speedup gate failed: {verdict}");
+
+    let mut report = Value::empty_map();
+    report.insert("bench", Value::from("memo_cold_vs_warm"));
+    report.insert("unit", Value::from("ms_wall"));
+    report.insert("lifecycle", Value::from("run"));
+    report.insert("assertion", Value::from(GATE));
+    report.insert("verdict", Value::from(format!("{verdict}")));
+    report.insert("experiments", rows);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_memo.json");
+    std::fs::write(path, json::to_string_pretty(&report) + "\n").unwrap();
+    eprintln!("wrote {path}\n");
+}
+
+fn bench_warm_replay(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memo");
+    group.sample_size(10);
+    let engine = full_engine();
+    for &(tpl, name) in EXPERIMENTS {
+        let mut repo = seeded(tpl, name);
+        timed_run(&mut repo, &engine, name); // prime the cache
+        group.bench_function(format!("warm_replay/{tpl}"), |b| {
+            b.iter(|| {
+                let (ms, misses) = timed_run(&mut repo, &engine, name);
+                assert_eq!(misses, 0);
+                criterion::black_box(ms)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_warm_replay);
+
+fn main() {
+    print_and_commit();
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

@@ -78,13 +78,19 @@ pub fn dispatch(parsed: &Parsed, dir: &Path) -> Result<String, String> {
             }
         }
         Some("run") => {
-            let name = parsed.pos(1).ok_or("usage: popper run <experiment>")?;
+            let name = parsed.pos(1).ok_or("usage: popper run <experiment> [--no-cache]")?;
             let mut repo = persist::load(dir, &author)?;
             let engine = full_engine();
-            let report = engine.run(&mut repo, name)?;
+            let mut ctx = popper_core::RunContext::for_experiment(&repo, name)?;
+            if cache_enabled(parsed) {
+                ctx = ctx.with_memo(popper_core::lifecycle_session(&repo, name, "run", &[]));
+            }
+            engine.run_pipeline(&mut repo, &mut ctx)?;
+            let memo = memo_line(ctx.memo_stats());
+            let report = popper_core::experiment::RunReport::from_ctx(ctx);
             persist::save(&repo, dir)?;
             if report.success() {
-                Ok(format!("{report}\n"))
+                Ok(format!("{report}\n{memo}"))
             } else {
                 Err(format!("{report}"))
             }
@@ -156,13 +162,19 @@ pub fn dispatch(parsed: &Parsed, dir: &Path) -> Result<String, String> {
             }
         }
         Some("verify") => {
-            let name = parsed.pos(1).ok_or("usage: popper verify <experiment>")?;
+            let name = parsed.pos(1).ok_or("usage: popper verify <experiment> [--no-cache]")?;
             let mut repo = persist::load(dir, &author)?;
             let engine = full_engine();
-            let verdict = engine.verify(&mut repo, name)?;
+            let mut ctx = popper_core::RunContext::for_experiment(&repo, name)?;
+            if cache_enabled(parsed) {
+                ctx = ctx.with_memo(popper_core::lifecycle_session(&repo, name, "verify", &[]));
+            }
+            engine.verify_pipeline(&mut repo, &mut ctx)?;
+            let memo = memo_line(ctx.memo_stats());
+            let verdict = popper_core::ReproVerdict::from_ctx(&ctx)?;
             persist::save(&repo, dir)?;
             match verdict {
-                popper_core::ReproVerdict::Identical => Ok(format!("{verdict}\n")),
+                popper_core::ReproVerdict::Identical => Ok(format!("{verdict}\n{memo}")),
                 other => Err(other.to_string()),
             }
         }
@@ -245,7 +257,7 @@ pub fn dispatch(parsed: &Parsed, dir: &Path) -> Result<String, String> {
             ))
         }
         Some("trace") => {
-            let name = parsed.pos(1).ok_or("usage: popper trace <experiment>")?;
+            let name = parsed.pos(1).ok_or("usage: popper trace <experiment> [--no-cache]")?;
             let mut repo = persist::load(dir, &author)?;
             let engine = full_engine();
             // The run pipeline with an ordered recorder attached: the
@@ -254,9 +266,13 @@ pub fn dispatch(parsed: &Parsed, dir: &Path) -> Result<String, String> {
             // so the SVG and summary can render from the events.
             let mut ctx = popper_core::RunContext::for_experiment(&repo, name)?
                 .with_recorder(popper_trace::TraceRecorder::ordered());
+            if cache_enabled(parsed) {
+                ctx = ctx.with_memo(popper_core::lifecycle_session(&repo, name, "trace", &[]));
+            }
             engine.run_pipeline(&mut repo, &mut ctx)?;
             let mut artifacts = std::mem::take(&mut ctx.artifacts);
             let recording = ctx.finish_recording().expect("recorder attached");
+            let memo = memo_line(ctx.memo_stats());
             let report = popper_core::experiment::RunReport::from_ctx(ctx);
             let svg = popper_trace::timeline_svg(&recording.events);
             let summary = recording.summary();
@@ -269,7 +285,7 @@ pub fn dispatch(parsed: &Parsed, dir: &Path) -> Result<String, String> {
             )?;
             persist::save(&repo, dir)?;
             let out = format!(
-                "{}\n-- traced {} event(s) -> experiments/{name}/trace.json, trace.svg\n{summary}",
+                "{}\n-- traced {} event(s) -> experiments/{name}/trace.json, trace.svg\n{memo}{summary}",
                 report, recording.count,
             );
             if report.success() {
@@ -279,7 +295,7 @@ pub fn dispatch(parsed: &Parsed, dir: &Path) -> Result<String, String> {
             }
         }
         Some("trace-diff") => {
-            let usage = "usage: popper trace-diff <experiment> <refA>..<refB> [--tolerance <pct>] [--structure-only]";
+            let usage = "usage: popper trace-diff <experiment> <refA>..<refB> [--tolerance <pct>] [--structure-only] [--no-cache]";
             let name = parsed.pos(1).ok_or(usage)?;
             let range = parsed.pos(2).ok_or(usage)?;
             let (ref_a, ref_b) = range
@@ -294,10 +310,12 @@ pub fn dispatch(parsed: &Parsed, dir: &Path) -> Result<String, String> {
             };
             let mut repo = persist::load(dir, &author)?;
             let engine = full_engine();
-            let report = engine.trace_diff(&mut repo, name, ref_a, ref_b, options)?;
+            let (report, stats) =
+                engine.trace_diff_cached(&mut repo, name, ref_a, ref_b, options, cache_enabled(parsed))?;
             persist::save(&repo, dir)?;
+            let memo = memo_line(stats.as_ref());
             let out = format!(
-                "{report}\n-- recorded experiments/{name}/trace-diff.json, trace-diff.txt\n"
+                "{report}\n-- recorded experiments/{name}/trace-diff.json, trace-diff.txt\n{memo}"
             );
             if report.success() {
                 Ok(out)
@@ -335,9 +353,20 @@ pub fn dispatch(parsed: &Parsed, dir: &Path) -> Result<String, String> {
             let engine = full_engine();
             let mut ctx =
                 popper_core::RunContext::for_experiment(&repo, name)?.with_recorder(recorder);
+            if cache_enabled(parsed) {
+                let mut salt = Vec::new();
+                if let Some(s) = schedule {
+                    salt.push(("schedule".to_string(), s.to_string()));
+                }
+                if let Some(n) = seed {
+                    salt.push(("seed".to_string(), n.to_string()));
+                }
+                ctx = ctx.with_memo(popper_core::lifecycle_session(&repo, name, "chaos", &salt));
+            }
             engine.chaos_pipeline(&mut repo, &mut ctx, schedule, seed)?;
             let mut artifacts = std::mem::take(&mut ctx.artifacts);
             let recording = ctx.finish_recording().expect("recorder attached");
+            let memo = memo_line(ctx.memo_stats());
             let report = popper_core::chaosrun::ChaosRunReport::from_ctx(ctx)?;
             artifacts.stage(format!("experiments/{name}/trace.json"), recording.json.into_bytes());
             artifacts.commit_into(
@@ -347,7 +376,7 @@ pub fn dispatch(parsed: &Parsed, dir: &Path) -> Result<String, String> {
             )?;
             persist::save(&repo, dir)?;
             let out = format!(
-                "{report}\n-- recorded experiments/{name}/faults.json, recovery.json, trace.json ({} event(s))\n",
+                "{report}\n-- recorded experiments/{name}/faults.json, recovery.json, trace.json ({} event(s))\n{memo}",
                 recording.count,
             );
             if report.success() {
@@ -364,6 +393,21 @@ pub fn dispatch(parsed: &Parsed, dir: &Path) -> Result<String, String> {
             Ok(format!("-- committed {}\n", id.short()))
         }
         Some(other) => Err(format!("unknown command '{other}'; try `popper help`")),
+    }
+}
+
+/// Stage memoization is on unless `--no-cache` or `POPPER_NO_CACHE`
+/// turns it off for this invocation.
+fn cache_enabled(parsed: &Parsed) -> bool {
+    !parsed.has_flag("no-cache") && !popper_core::cache_disabled_by_env()
+}
+
+/// The one-line `memo: N hits / M misses (X ms saved)` summary, or
+/// nothing when the lifecycle ran without a session.
+fn memo_line(stats: Option<&popper_core::MemoStats>) -> String {
+    match stats {
+        Some(s) => format!("{}\n", s.summary()),
+        None => String::new(),
     }
 }
 
@@ -445,6 +489,12 @@ COMMANDS:
     validate <experiment>     re-check Aver validations on stored results\n    verify <experiment>       numerical reproducibility: re-execute and compare bytes
     pack <experiment>         build a provenance-labeled container image\n    ci [--workers N]          run .popper-ci.pml
     status | log | commit     repository plumbing\n    branch | checkout | merge collaboration plumbing
+
+CACHING:
+    run/trace/chaos/verify/trace-diff memoize their stages: a repeat
+    with unchanged inputs replays recorded outputs byte-identically and
+    prints `memo: N hits / M misses (X ms saved)`. Disable per
+    invocation with --no-cache, or globally with POPPER_NO_CACHE=1.
 "
     .to_string()
 }

@@ -9,9 +9,10 @@
 //! runs the repository's `.popper-ci.pml` with it.
 
 use crate::check::check_compliance;
-use crate::experiment::ExperimentEngine;
+use crate::experiment::{ExperimentEngine, RunReport};
+use crate::memoize::{cache_disabled_by_env, lifecycle_session, MemoStats};
 use crate::paper::build_paper;
-use crate::pipeline::{ArtifactSet, CommitPolicy, RunContext};
+use crate::pipeline::{CommitPolicy, RunContext};
 use crate::repo::PopperRepo;
 use parking_lot::Mutex;
 use popper_ci::{BuildReport, PipelineConfig, StepCtx, StepOutcome};
@@ -40,6 +41,16 @@ use std::sync::Arc;
 ///   the same source state and assert the two recorded timelines are
 ///   structurally equivalent (dogfoods execution-provenance
 ///   determinism; wall-domain, so durations are not compared).
+/// * `memo-selfcheck <name>` — prime the stage cache with one traced
+///   run, then assert two warm repeats replay every stage (zero
+///   misses) and still produce structurally equivalent timelines
+///   (dogfoods the memo determinism contract; skipped when
+///   `POPPER_NO_CACHE` is set).
+///
+/// Lifecycle steps (`run-experiment`, `run-chaos`, the self-checks)
+/// build their stage compositions directly and attach a memo session —
+/// the same memoized path the CLI lifecycles use — unless
+/// `POPPER_NO_CACHE` disables caching.
 pub fn popper_steps(
     repo: Arc<Mutex<PopperRepo>>,
     engine: Arc<ExperimentEngine>,
@@ -100,11 +111,20 @@ pub fn popper_steps(
                     return StepOutcome::fail("run-experiment needs an experiment name");
                 };
                 let mut repo = repo.lock();
-                match engine.run(&mut repo, name) {
-                    Ok(report) if report.success() => {
-                        StepOutcome::pass(format!("{report}"))
+                let mut run = || -> Result<(RunReport, Option<MemoStats>), String> {
+                    let mut run_ctx = RunContext::for_experiment(&repo, name)?;
+                    if !cache_disabled_by_env() {
+                        run_ctx = run_ctx.with_memo(lifecycle_session(&repo, name, "run", &[]));
                     }
-                    Ok(report) => StepOutcome::fail(format!("{report}")),
+                    engine.run_pipeline(&mut repo, &mut run_ctx)?;
+                    let stats = run_ctx.memo_stats().cloned();
+                    Ok((RunReport::from_ctx(run_ctx), stats))
+                };
+                match run() {
+                    Ok((report, stats)) if report.success() => {
+                        StepOutcome::pass(with_memo_note(format!("{report}"), stats))
+                    }
+                    Ok((report, _)) => StepOutcome::fail(format!("{report}")),
                     Err(e) => StepOutcome::fail(e),
                 }
             }
@@ -125,9 +145,28 @@ pub fn popper_steps(
                     None => None,
                 };
                 let mut repo = repo.lock();
-                match engine.run_chaos(&mut repo, name, schedule, seed) {
-                    Ok(report) if report.success() => StepOutcome::pass(format!("{report}")),
-                    Ok(report) => StepOutcome::fail(format!("{report}")),
+                let mut run = || -> Result<(crate::ChaosRunReport, Option<MemoStats>), String> {
+                    let mut run_ctx = RunContext::for_experiment(&repo, name)?;
+                    if !cache_disabled_by_env() {
+                        let mut salt = Vec::new();
+                        if let Some(s) = schedule {
+                            salt.push(("schedule".to_string(), s.to_string()));
+                        }
+                        if let Some(n) = seed {
+                            salt.push(("seed".to_string(), n.to_string()));
+                        }
+                        run_ctx =
+                            run_ctx.with_memo(lifecycle_session(&repo, name, "chaos", &salt));
+                    }
+                    engine.chaos_pipeline(&mut repo, &mut run_ctx, schedule, seed)?;
+                    let stats = run_ctx.memo_stats().cloned();
+                    Ok((crate::ChaosRunReport::from_ctx(run_ctx)?, stats))
+                };
+                match run() {
+                    Ok((report, stats)) if report.success() => {
+                        StepOutcome::pass(with_memo_note(format!("{report}"), stats))
+                    }
+                    Ok((report, _)) => StepOutcome::fail(format!("{report}")),
                     Err(e) => StepOutcome::fail(e),
                 }
             }
@@ -164,31 +203,99 @@ pub fn popper_steps(
                     return StepOutcome::fail("trace-diff-selfcheck needs an experiment name");
                 };
                 let mut repo = repo.lock();
-                if let Err(e) = selfcheck_warm_up(&mut repo, &engine, name) {
+                let use_cache = !cache_disabled_by_env();
+                // The warm-up recording puts the repository in a state
+                // where the two compared runs have identical lifecycles:
+                // it establishes the baseline fingerprint, the committed
+                // trace.json path (the vcs layer's span names include
+                // the committed path set), and — cache on — the memo
+                // entries the two compared runs then replay from.
+                if let Err(e) = record_traced_run(&mut repo, &engine, name, "warm-up", use_cache)
+                {
                     return StepOutcome::fail(e);
                 }
-                let first = match record_traced_run(&mut repo, &engine, name, "1/2") {
-                    Ok(c) => c,
+                let first = match record_traced_run(&mut repo, &engine, name, "1/2", use_cache) {
+                    Ok((c, _)) => c,
                     Err(e) => return StepOutcome::fail(e),
                 };
-                let second = match record_traced_run(&mut repo, &engine, name, "2/2") {
-                    Ok(c) => c,
+                let second = match record_traced_run(&mut repo, &engine, name, "2/2", use_cache) {
+                    Ok((c, _)) => c,
                     Err(e) => return StepOutcome::fail(e),
                 };
                 // Wall-domain traces: compare structure only.
-                match engine.trace_diff(
+                match engine.trace_diff_cached(
                     &mut repo,
                     name,
                     &first.to_hex(),
                     &second.to_hex(),
                     popper_trace::DiffOptions::structure_only(),
+                    use_cache,
                 ) {
-                    Ok(report) if report.diff.divergences.is_empty() => StepOutcome::pass(format!(
-                        "two runs of '{name}' produced equivalent timelines ({} events)",
-                        report.diff.events_a
-                    )),
-                    Ok(report) => StepOutcome::fail(format!(
+                    Ok((report, _)) if report.diff.divergences.is_empty() => {
+                        StepOutcome::pass(format!(
+                            "two runs of '{name}' produced equivalent timelines ({} events)",
+                            report.diff.events_a
+                        ))
+                    }
+                    Ok((report, _)) => StepOutcome::fail(format!(
                         "execution provenance not deterministic:\n{report}"
+                    )),
+                    Err(e) => StepOutcome::fail(e),
+                }
+            }
+            "memo-selfcheck" => {
+                let Some(name) = args.first() else {
+                    return StepOutcome::fail("memo-selfcheck needs an experiment name");
+                };
+                if cache_disabled_by_env() {
+                    return StepOutcome::pass(
+                        "memo-selfcheck skipped: POPPER_NO_CACHE disables the stage cache",
+                    );
+                }
+                let mut repo = repo.lock();
+                // One cold run primes the cache; the two warm repeats
+                // must replay every stage and still record structurally
+                // equivalent timelines (cold and warm traces differ —
+                // replayed stages skip their body spans — so the warm
+                // runs are compared against each other, not the prime).
+                if let Err(e) = record_traced_run(&mut repo, &engine, name, "prime", true) {
+                    return StepOutcome::fail(e);
+                }
+                let mut commits = Vec::new();
+                for label in ["warm 1/2", "warm 2/2"] {
+                    match record_traced_run(&mut repo, &engine, name, label, true) {
+                        Ok((commit, Some(stats))) if stats.misses() == 0 => commits.push(commit),
+                        Ok((_, Some(stats))) => {
+                            return StepOutcome::fail(format!(
+                                "memo-selfcheck: {label} of '{name}' executed {} stage(s) instead of replaying ({})",
+                                stats.misses(),
+                                stats.summary()
+                            ))
+                        }
+                        Ok((_, None)) => {
+                            return StepOutcome::fail(format!(
+                                "memo-selfcheck: {label} of '{name}' ran without a memo session"
+                            ))
+                        }
+                        Err(e) => return StepOutcome::fail(e),
+                    }
+                }
+                match engine.trace_diff_cached(
+                    &mut repo,
+                    name,
+                    &commits[0].to_hex(),
+                    &commits[1].to_hex(),
+                    popper_trace::DiffOptions::structure_only(),
+                    true,
+                ) {
+                    Ok((report, _)) if report.diff.divergences.is_empty() => {
+                        StepOutcome::pass(format!(
+                            "warm repeats of '{name}' replayed every stage and produced equivalent timelines ({} events)",
+                            report.diff.events_a
+                        ))
+                    }
+                    Ok((report, _)) => StepOutcome::fail(format!(
+                        "warm replay diverged from its own repeat:\n{report}"
                     )),
                     Err(e) => StepOutcome::fail(e),
                 }
@@ -245,36 +352,17 @@ fn regression_gate(repo: &PopperRepo, experiment: &str, column: &str) -> StepOut
     )
 }
 
-/// Put the repository in a state where two consecutive traced runs of
-/// `experiment` execute *identical* lifecycles: an untraced warm-up run
-/// records the baseline fingerprint (a first run commits it, which
-/// would otherwise appear as an extra span), and a seeded `trace.json`
-/// keeps the committed path set — which the vcs layer's span names
-/// include — the same across both recordings.
-fn selfcheck_warm_up(
-    repo: &mut PopperRepo,
-    engine: &ExperimentEngine,
-    experiment: &str,
-) -> Result<(), String> {
-    let report = engine.run(repo, experiment)?;
-    if !report.success() {
-        return Err(format!("selfcheck warm-up run of '{experiment}' failed: {report}"));
+/// Append the memo hit/miss summary to a step log when a session ran.
+fn with_memo_note(log: String, stats: Option<MemoStats>) -> String {
+    match stats {
+        Some(s) => format!("{log}\n{}", s.summary()),
+        None => log,
     }
-    let path = format!("experiments/{experiment}/trace.json");
-    if !repo.exists(&path) {
-        let mut set = ArtifactSet::default();
-        set.stage(path.as_str(), b"{\"traceEvents\": []}\n".to_vec());
-        set.commit_into(
-            repo,
-            &format!("popper trace {experiment}: seed trace artifact"),
-            CommitPolicy::Always,
-        )?;
-    }
-    Ok(())
 }
 
-/// One traced lifecycle run for the self-check: execute the run
-/// pipeline under a fresh recorder and commit the recorded timeline as
+/// One traced lifecycle run for the self-checks: execute the run
+/// pipeline under a fresh recorder (and, when `use_cache`, a memo
+/// session) and commit the recorded timeline as
 /// `experiments/<name>/trace.json` (same recording the `popper trace`
 /// command performs).
 fn record_traced_run(
@@ -282,24 +370,30 @@ fn record_traced_run(
     engine: &ExperimentEngine,
     name: &str,
     label: &str,
-) -> Result<popper_vcs::ObjectId, String> {
+    use_cache: bool,
+) -> Result<(popper_vcs::ObjectId, Option<MemoStats>), String> {
     let mut ctx = RunContext::for_experiment(repo, name)?
         .with_recorder(popper_trace::TraceRecorder::ordered());
+    if use_cache {
+        ctx = ctx.with_memo(lifecycle_session(repo, name, "trace", &[]));
+    }
     engine.run_pipeline(repo, &mut ctx)?;
     let mut artifacts = std::mem::take(&mut ctx.artifacts);
     let recording = ctx.finish_recording().expect("recorder attached");
-    let report = crate::experiment::RunReport::from_ctx(ctx);
+    let stats = ctx.memo_stats().cloned();
+    let report = RunReport::from_ctx(ctx);
     if !report.success() {
         return Err(format!("selfcheck run {label} of '{name}' failed: {report}"));
     }
     artifacts.stage(format!("experiments/{name}/trace.json"), recording.json);
-    artifacts
+    let commit = artifacts
         .commit_into(
             repo,
             &format!("popper trace {name}: selfcheck recording {label}"),
             CommitPolicy::Always,
         )?
-        .ok_or_else(|| format!("selfcheck recording {label} of '{name}' produced no commit"))
+        .ok_or_else(|| format!("selfcheck recording {label} of '{name}' produced no commit"))?;
+    Ok((commit, stats))
 }
 
 /// Run the repository's own `.popper-ci.pml`.
@@ -538,6 +632,33 @@ mod tests {
             command: "trace-diff-selfcheck ghost".into(),
             env: Default::default(),
             job: "provenance".into(),
+        });
+        assert!(!outcome.success);
+    }
+
+    #[test]
+    fn memo_selfcheck_passes_and_reports_replay() {
+        let repo = shared_repo_with("ceph-rados", "e");
+        let executor = popper_steps(repo.clone(), Arc::new(ExperimentEngine::new()));
+        let outcome = executor(&StepCtx {
+            command: "memo-selfcheck e".into(),
+            env: Default::default(),
+            job: "memo".into(),
+        });
+        assert!(outcome.success, "{}", outcome.log);
+        assert!(outcome.log.contains("replayed every stage"), "{}", outcome.log);
+        assert!(repo.lock().vcs.status().unwrap().is_empty());
+        // Missing-name and unknown-experiment error paths.
+        let outcome = executor(&StepCtx {
+            command: "memo-selfcheck".into(),
+            env: Default::default(),
+            job: "memo".into(),
+        });
+        assert!(!outcome.success);
+        let outcome = executor(&StepCtx {
+            command: "memo-selfcheck ghost".into(),
+            env: Default::default(),
+            job: "memo".into(),
         });
         assert!(!outcome.success);
     }

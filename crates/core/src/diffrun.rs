@@ -12,15 +12,14 @@
 //! compared structure-only or under a tolerance.
 
 use crate::experiment::ExperimentEngine;
+use crate::memoize::{lifecycle_session, MemoStats};
 use crate::pipeline::{CommitPolicy, Pipeline, RunContext, StageControl};
 use crate::repo::PopperRepo;
 use popper_aver::Verdict;
-use popper_format::json;
+use popper_format::{json, Value};
 use popper_trace::{diff_traces, parse_chrome_trace, DiffOptions, TraceDiff};
 use popper_vcs::ObjectId;
-use std::cell::RefCell;
 use std::fmt;
-use std::rc::Rc;
 
 /// The outcome of one `popper trace-diff` run.
 #[derive(Debug)]
@@ -74,33 +73,79 @@ impl ExperimentEngine {
         ref_b: &str,
         options: DiffOptions,
     ) -> Result<TraceDiffReport, String> {
-        // The compare stage carries one lightweight side-state per
-        // commit between stages; trace-diff needs no vars.pml.
-        #[derive(Default)]
-        struct Side {
-            commit: Option<ObjectId>,
-            trace: String,
+        self.trace_diff_cached(repo, experiment, ref_a, ref_b, options, false).map(|(r, _)| r)
+    }
+
+    /// [`ExperimentEngine::trace_diff`] with an optional memo session
+    /// attached. Both commits' trace bytes are content-addressed by the
+    /// resolved commit ids, so the diff is a pure function of
+    /// `(commit_a, commit_b, options, trace.aver)` — exactly what the
+    /// session salt carries. Returns the hit/miss stats alongside the
+    /// report when caching was on.
+    pub fn trace_diff_cached(
+        &self,
+        repo: &mut PopperRepo,
+        experiment: &str,
+        ref_a: &str,
+        ref_b: &str,
+        options: DiffOptions,
+        use_cache: bool,
+    ) -> Result<(TraceDiffReport, Option<MemoStats>), String> {
+        // Resolve both refs up front: the memo key must be over the
+        // resolved commit ids, not the (moving) ref names.
+        let commit_a = repo.vcs.resolve(ref_a).map_err(|e| e.to_string())?;
+        let commit_b = repo.vcs.resolve(ref_b).map_err(|e| e.to_string())?;
+        let mut ctx = RunContext::new(experiment, Value::empty_map());
+        if use_cache {
+            let salt = [
+                ("commit_a".to_string(), commit_a.to_hex()),
+                ("commit_b".to_string(), commit_b.to_hex()),
+                ("tolerance_pct".to_string(), format!("{}", options.tolerance_pct)),
+                ("structure_only".to_string(), format!("{}", !options.compare_durations)),
+            ];
+            ctx = ctx.with_memo(lifecycle_session(repo, experiment, "trace-diff", &salt));
         }
-        #[derive(Default)]
-        struct DiffState {
-            a: Side,
-            b: Side,
-            diff: Option<TraceDiff>,
-        }
-        let state = Rc::new(RefCell::new(DiffState::default()));
-        let mut ctx = RunContext::new(experiment, popper_format::Value::empty_map());
+        self.trace_diff_pipeline(repo, &mut ctx, (ref_a, commit_a), (ref_b, commit_b), options)?;
+        let diff = TraceDiff::from_value(
+            ctx.metrics.get("trace_diff").ok_or("trace-diff: align stage recorded no diff")?,
+        )?;
+        let verdict = ctx
+            .verdict
+            .take()
+            .ok_or_else(|| format!("experiment '{experiment}': trace-diff produced no verdict"))?;
+        let stats = ctx.memo_stats().cloned();
+        let report = TraceDiffReport {
+            experiment: ctx.experiment,
+            commit_a,
+            commit_b,
+            diff,
+            verdict,
+            commit: ctx.commit,
+        };
+        Ok((report, stats))
+    }
+
+    /// The trace-diff stage composition. All cross-stage state rides in
+    /// `ctx.metrics` (the loaded trace bytes, then the aligned diff as
+    /// its JSON value), so a warm prefix of cache hits replays soundly.
+    fn trace_diff_pipeline(
+        &self,
+        repo: &mut PopperRepo,
+        ctx: &mut RunContext,
+        a: (&str, ObjectId),
+        b: (&str, ObjectId),
+        options: DiffOptions,
+    ) -> Result<(), String> {
         let artifact = ctx.artifact_path("trace.json");
+        let (commit_a, commit_b) = (a.1, b.1);
 
         let checkout = {
-            let state = Rc::clone(&state);
-            let (ref_a, ref_b) = (ref_a.to_string(), ref_b.to_string());
+            let (ref_a, ref_b) = (a.0.to_string(), b.0.to_string());
             let artifact = artifact.clone();
             move |repo: &mut PopperRepo, ctx: &mut RunContext| {
-                // Resolve both commits and pull their committed trace
-                // artifacts straight from the object store (no
-                // working-tree checkout).
-                let load = |refname: &str| -> Result<Side, String> {
-                    let commit = repo.vcs.resolve(refname).map_err(|e| e.to_string())?;
+                // Pull both commits' committed trace artifacts straight
+                // from the object store (no working-tree checkout).
+                let load = |refname: &str, commit: ObjectId| -> Result<String, String> {
                     let bytes = repo
                         .vcs
                         .file_at(commit, &artifact)
@@ -112,101 +157,85 @@ impl ExperimentEngine {
                                 ctx.experiment
                             )
                         })?;
-                    let trace = String::from_utf8(bytes)
-                        .map_err(|_| format!("{artifact} at {} is not UTF-8", commit.short()))?;
-                    Ok(Side { commit: Some(commit), trace })
+                    String::from_utf8(bytes)
+                        .map_err(|_| format!("{artifact} at {} is not UTF-8", commit.short()))
                 };
-                let mut s = state.borrow_mut();
-                s.a = load(&ref_a)?;
-                s.b = load(&ref_b)?;
+                let trace_a = load(&ref_a, commit_a)?;
+                let trace_b = load(&ref_b, commit_b)?;
+                ctx.metrics.insert("trace_a", Value::Str(trace_a));
+                ctx.metrics.insert("trace_b", Value::Str(trace_b));
                 Ok(StageControl::Continue)
             }
         };
 
         let align = {
-            let state = Rc::clone(&state);
             let artifact = artifact.clone();
-            move |_repo: &mut PopperRepo, _ctx: &mut RunContext| {
-                // Align span-by-span and classify divergences.
-                let mut s = state.borrow_mut();
-                let parse = |side: &Side| {
-                    parse_chrome_trace(&side.trace).map_err(|e| {
-                        format!("{artifact} at {}: {e}", side.commit.expect("checked out").short())
-                    })
+            move |_repo: &mut PopperRepo, ctx: &mut RunContext| {
+                // Align span-by-span and classify divergences. The raw
+                // trace bytes leave the context here: only the (small)
+                // diff value crosses to the record/validate stages.
+                let mut parse = |key: &str, commit: ObjectId| match ctx.metrics.remove(key) {
+                    Some(Value::Str(s)) => parse_chrome_trace(&s)
+                        .map_err(|e| format!("{artifact} at {}: {e}", commit.short())),
+                    _ => Err(format!("align: checkout stage recorded no {key}")),
                 };
-                let (a, b) = (parse(&s.a)?, parse(&s.b)?);
-                s.diff = Some(diff_traces(&a, &b, options));
+                let (a, b) = (parse("trace_a", commit_a)?, parse("trace_b", commit_b)?);
+                ctx.metrics.insert("trace_diff", diff_traces(&a, &b, options).to_value());
                 Ok(StageControl::Continue)
             }
         };
 
-        let record = {
-            let state = Rc::clone(&state);
-            move |repo: &mut PopperRepo, ctx: &mut RunContext| {
-                // The outputs are pure functions of the committed
-                // inputs, so re-diffing the same commits is idempotent:
-                // identical bytes are not re-committed.
-                let s = state.borrow();
-                let diff = s.diff.as_ref().expect("aligned");
-                let (commit_a, commit_b) =
-                    (s.a.commit.expect("checked out"), s.b.commit.expect("checked out"));
-                let mut body = diff.to_value();
-                body.insert("experiment", popper_format::Value::Str(ctx.experiment.clone()));
-                body.insert("commit_a", popper_format::Value::Str(commit_a.to_hex()));
-                body.insert("commit_b", popper_format::Value::Str(commit_b.to_hex()));
-                let report_txt = format!(
-                    "trace-diff {} {}..{}\n{}",
-                    ctx.experiment,
-                    commit_a.short(),
-                    commit_b.short(),
-                    diff.report()
-                );
-                ctx.artifacts.stage(ctx.artifact_path("trace-diff.json"), json::to_string_pretty(&body));
-                ctx.artifacts.stage(ctx.artifact_path("trace-diff.txt"), report_txt);
-                let msg = format!(
-                    "popper trace-diff {}: {} divergence(s) between {} and {}",
-                    ctx.experiment,
-                    diff.divergences.len(),
-                    commit_a.short(),
-                    commit_b.short()
-                );
-                ctx.commit = ctx.artifacts.commit_into(repo, &msg, CommitPolicy::IfChanged)?;
-                Ok(StageControl::Continue)
-            }
+        let record = move |repo: &mut PopperRepo, ctx: &mut RunContext| {
+            // The outputs are pure functions of the committed
+            // inputs, so re-diffing the same commits is idempotent:
+            // identical bytes are not re-committed.
+            let diff = TraceDiff::from_value(
+                ctx.metrics.get("trace_diff").ok_or("record: align stage recorded no diff")?,
+            )?;
+            let mut body = diff.to_value();
+            body.insert("experiment", Value::Str(ctx.experiment.clone()));
+            body.insert("commit_a", Value::Str(commit_a.to_hex()));
+            body.insert("commit_b", Value::Str(commit_b.to_hex()));
+            let report_txt = format!(
+                "trace-diff {} {}..{}\n{}",
+                ctx.experiment,
+                commit_a.short(),
+                commit_b.short(),
+                diff.report()
+            );
+            ctx.artifacts.stage(ctx.artifact_path("trace-diff.json"), json::to_string_pretty(&body));
+            ctx.artifacts.stage(ctx.artifact_path("trace-diff.txt"), report_txt);
+            let msg = format!(
+                "popper trace-diff {}: {} divergence(s) between {} and {}",
+                ctx.experiment,
+                diff.divergences.len(),
+                commit_a.short(),
+                commit_b.short()
+            );
+            ctx.commit = ctx.artifacts.commit_into(repo, &msg, CommitPolicy::IfChanged)?;
+            Ok(StageControl::Continue)
         };
 
-        let validate = {
-            let state = Rc::clone(&state);
-            move |repo: &mut PopperRepo, ctx: &mut RunContext| {
-                // Gate: the experiment's trace.aver, or the default
-                // exact/tolerant equivalence predicate.
-                let s = state.borrow();
-                let diff = s.diff.as_ref().expect("aligned");
-                let src = repo.read(&ctx.artifact_path("trace.aver")).unwrap_or_else(|| {
-                    format!("expect trace_equivalent within {}", options.tolerance_pct)
-                });
-                ctx.verdict =
-                    Some(popper_aver::check(&src, &diff.to_table()).map_err(|e| e.to_string())?);
-                Ok(StageControl::Continue)
-            }
+        let validate = move |repo: &mut PopperRepo, ctx: &mut RunContext| {
+            // Gate: the experiment's trace.aver, or the default
+            // exact/tolerant equivalence predicate.
+            let diff = TraceDiff::from_value(
+                ctx.metrics.get("trace_diff").ok_or("validate: align stage recorded no diff")?,
+            )?;
+            let src = repo.read(&ctx.artifact_path("trace.aver")).unwrap_or_else(|| {
+                format!("expect trace_equivalent within {}", options.tolerance_pct)
+            });
+            ctx.verdict =
+                Some(popper_aver::check(&src, &diff.to_table()).map_err(|e| e.to_string())?);
+            Ok(StageControl::Continue)
         };
 
-        Pipeline::new(format!("trace-diff {experiment}"))
+        Pipeline::new(format!("trace-diff {}", ctx.experiment))
             .stage("checkout", checkout)
             .stage("align", align)
             .stage("record", record)
             .stage("validate", validate)
-            .run(repo, &mut ctx)?;
-
-        let s = Rc::try_unwrap(state).ok().expect("pipeline done").into_inner();
-        Ok(TraceDiffReport {
-            experiment: ctx.experiment,
-            commit_a: s.a.commit.expect("checked out"),
-            commit_b: s.b.commit.expect("checked out"),
-            diff: s.diff.expect("aligned"),
-            verdict: ctx.verdict.expect("validated"),
-            commit: ctx.commit,
-        })
+            .run(repo, ctx)
     }
 }
 

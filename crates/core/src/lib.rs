@@ -38,6 +38,7 @@ pub mod pack;
 pub mod pipeline;
 pub mod cipipeline;
 pub mod experiment;
+pub mod memoize;
 pub mod paper;
 pub mod repo;
 pub mod templates;
@@ -46,6 +47,7 @@ pub mod verify;
 pub use chaosrun::ChaosRunReport;
 pub use check::{check_compliance, Violation};
 pub use diffrun::TraceDiffReport;
+pub use memoize::{cache_disabled_by_env, lifecycle_session, MemoSession, MemoStats, StageOutcome};
 pub use pack::pack_experiment;
 pub use pipeline::{ArtifactSet, CommitPolicy, Pipeline, RunContext, Stage, StageControl};
 pub use experiment::{ExperimentEngine, RunReport, RunnerFn};

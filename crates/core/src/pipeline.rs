@@ -18,8 +18,10 @@
 //! commit, no dirty working tree — in every mode.
 
 use crate::experiment::ExperimentEngine;
+use crate::memoize;
 use crate::repo::PopperRepo;
 use popper_aver::Verdict;
+use popper_memo::{MemoSession, MemoStats};
 use popper_chaos::FaultSchedule;
 use popper_format::{Table, Value};
 use popper_monitor::GateOutcome;
@@ -59,6 +61,12 @@ impl ArtifactSet {
     /// Is anything staged?
     pub fn is_empty(&self) -> bool {
         self.staged.is_empty()
+    }
+
+    /// The staged `(path, bytes)` pairs, in staging order (the memo
+    /// layer serializes and restores the set through this).
+    pub fn staged(&self) -> &[(String, Vec<u8>)] {
+        &self.staged
     }
 
     /// Write every staged artifact and commit them as one unit,
@@ -132,6 +140,7 @@ pub struct RunContext {
     /// the recorder's when one is attached).
     pub tracer: Tracer,
     recorder: Option<TraceRecorder>,
+    pub(crate) memo: Option<MemoSession>,
 }
 
 impl RunContext {
@@ -151,6 +160,7 @@ impl RunContext {
             commit: None,
             tracer: popper_trace::current(),
             recorder: None,
+            memo: None,
         }
     }
 
@@ -171,6 +181,18 @@ impl RunContext {
     /// Detach and finish the recorder, if one was attached.
     pub fn finish_recording(&mut self) -> Option<TraceRecording> {
         self.recorder.take().map(TraceRecorder::finish)
+    }
+
+    /// Attach a memo session: stages whose keys are cached replay from
+    /// recorded outputs instead of executing (see [`crate::memoize`]).
+    pub fn with_memo(mut self, session: MemoSession) -> RunContext {
+        self.memo = Some(session);
+        self
+    }
+
+    /// Hit/miss accounting, when a memo session is attached.
+    pub fn memo_stats(&self) -> Option<&MemoStats> {
+        self.memo.as_ref().map(|s| &s.stats)
     }
 
     /// The experiment's runner name from `vars.pml`.
@@ -204,8 +226,8 @@ type StageFn<'a> = Box<dyn FnOnce(&mut PopperRepo, &mut RunContext) -> Result<St
 /// `core/lifecycle` track, so trace consumers see the same five-stage
 /// timeline the paper's Figure 1 describes.
 pub struct Stage<'a> {
-    name: &'static str,
-    f: StageFn<'a>,
+    pub(crate) name: &'static str,
+    pub(crate) f: StageFn<'a>,
 }
 
 /// A composition of named stages over one [`RunContext`].
@@ -235,14 +257,19 @@ impl<'a> Pipeline<'a> {
     /// returning [`StageControl::Stop`] ends the run cleanly; an `Err`
     /// propagates — and, by the atomicity invariant, leaves the
     /// repository exactly as the last completed commit left it.
+    ///
+    /// When the context carries a memo session
+    /// ([`RunContext::with_memo`]), each stage is first looked up in
+    /// the memo table and replayed on a hit — [`crate::memoize`] owns
+    /// that path; without a session this executes every stage body.
     pub fn run(self, repo: &mut PopperRepo, ctx: &mut RunContext) -> Result<(), String> {
         let tracer = ctx.tracer.clone();
         popper_trace::with_current(tracer.clone(), || {
             let _run_span = tracer.span("core", "core/lifecycle", self.label.as_str());
-            for stage in self.stages {
+            for (index, stage) in self.stages.into_iter().enumerate() {
                 let control = {
                     let _s = tracer.span("core", "core/lifecycle", stage.name);
-                    (stage.f)(repo, ctx)?
+                    memoize::execute_stage(repo, ctx, index, stage)?
                 };
                 if let Some(rec) = ctx.recorder.as_mut() {
                     rec.absorb();

@@ -13,7 +13,6 @@ use crate::experiment::ExperimentEngine;
 use crate::pipeline::{stages, CommitPolicy, Pipeline, RunContext, StageControl};
 use crate::repo::PopperRepo;
 use popper_format::{json, Value};
-use std::cell::RefCell;
 use std::fmt;
 
 /// The outcome of a numerical-reproducibility check.
@@ -28,12 +27,16 @@ pub enum ReproVerdict {
 }
 
 impl ReproVerdict {
-    /// Short status label for `verify.json`.
-    fn status(&self) -> &'static str {
-        match self {
-            ReproVerdict::Identical => "identical",
-            ReproVerdict::Differs(_) => "differs",
-            ReproVerdict::NoStoredResults => "no-stored-results",
+    /// Reconstruct the verdict from the metrics the verify stages
+    /// recorded into the context.
+    pub fn from_ctx(ctx: &RunContext) -> Result<ReproVerdict, String> {
+        match ctx.metrics.get_str("verify_status") {
+            Some("identical") => Ok(ReproVerdict::Identical),
+            Some("differs") => Ok(ReproVerdict::Differs(
+                ctx.metrics.get_str("verify_diff").unwrap_or_default().to_string(),
+            )),
+            Some("no-stored-results") => Ok(ReproVerdict::NoStoredResults),
+            _ => Err(format!("experiment '{}': verify produced no verdict", ctx.experiment)),
         }
     }
 }
@@ -55,53 +58,72 @@ impl ExperimentEngine {
     /// (committed only when it changed).
     pub fn verify(&self, repo: &mut PopperRepo, experiment: &str) -> Result<ReproVerdict, String> {
         let mut ctx = RunContext::for_experiment(repo, experiment)?;
-        let stored: RefCell<Option<String>> = RefCell::new(None);
-        let verdict: RefCell<Option<ReproVerdict>> = RefCell::new(None);
-        Pipeline::new(format!("verify {experiment}"))
+        self.verify_pipeline(repo, &mut ctx)?;
+        ReproVerdict::from_ctx(&ctx)
+    }
+
+    /// The verify stage composition over a caller-built context (the
+    /// CLI attaches a memo session before calling this). All
+    /// cross-stage state rides in `ctx.metrics` — never in captured
+    /// closure state — so a warm prefix of cache hits replays soundly.
+    pub fn verify_pipeline(
+        &self,
+        repo: &mut PopperRepo,
+        ctx: &mut RunContext,
+    ) -> Result<(), String> {
+        let label = format!("verify {}", ctx.experiment);
+        Pipeline::new(label)
             .stage("load", |repo, ctx| match repo.read(&ctx.artifact_path("results.csv")) {
                 Some(s) => {
-                    *stored.borrow_mut() = Some(s);
+                    ctx.metrics.insert("verify_stored", Value::from(s));
                     Ok(StageControl::Continue)
                 }
                 None => {
-                    *verdict.borrow_mut() = Some(ReproVerdict::NoStoredResults);
+                    ctx.metrics.insert("verify_status", Value::from("no-stored-results"));
                     Ok(StageControl::Stop)
                 }
             })
             .stage("execute", stages::execute(self))
             .stage("compare", |_repo, ctx| {
-                let stored = stored.borrow_mut().take().expect("load stage ran");
+                let stored = match ctx.metrics.remove("verify_stored") {
+                    Some(Value::Str(s)) => s,
+                    _ => return Err("compare: load stage recorded no results".into()),
+                };
                 let fresh =
                     ctx.results.as_ref().ok_or("compare: no re-executed results")?.to_csv();
-                *verdict.borrow_mut() = Some(if fresh == stored {
-                    ReproVerdict::Identical
+                if fresh == stored {
+                    ctx.metrics.insert("verify_status", Value::from("identical"));
                 } else {
-                    ReproVerdict::Differs(popper_vcs::diff::unified(
-                        "recorded/results.csv",
-                        "reexecuted/results.csv",
-                        &stored,
-                        &fresh,
-                        2,
-                    ))
-                });
+                    ctx.metrics.insert("verify_status", Value::from("differs"));
+                    ctx.metrics.insert(
+                        "verify_diff",
+                        Value::from(popper_vcs::diff::unified(
+                            "recorded/results.csv",
+                            "reexecuted/results.csv",
+                            &stored,
+                            &fresh,
+                            2,
+                        )),
+                    );
+                }
                 Ok(StageControl::Continue)
             })
             .stage("record", |repo, ctx| {
-                let borrowed = verdict.borrow();
-                let v = borrowed.as_ref().expect("compare stage ran");
+                let status = ctx
+                    .metrics
+                    .get_str("verify_status")
+                    .ok_or("record: compare stage recorded no verdict")?
+                    .to_string();
                 let mut m = Value::empty_map();
                 m.insert("experiment", Value::from(ctx.experiment.as_str()));
-                m.insert("status", Value::from(v.status()));
+                m.insert("status", Value::from(status));
                 ctx.artifacts.stage(ctx.artifact_path("verify.json"), json::to_string_pretty(&m));
                 let msg =
                     format!("popper verify {}: record reproducibility verdict", ctx.experiment);
                 ctx.commit = ctx.artifacts.commit_into(repo, &msg, CommitPolicy::IfChanged)?;
                 Ok(StageControl::Continue)
             })
-            .run(repo, &mut ctx)?;
-        verdict
-            .into_inner()
-            .ok_or_else(|| format!("experiment '{experiment}': verify produced no verdict"))
+            .run(repo, ctx)
     }
 }
 

@@ -1,0 +1,258 @@
+//! Recorded stage effects and their canonical binary encoding.
+
+use popper_vcs::sha256;
+
+const MAGIC: &[u8] = b"popper-memo v1\n";
+
+/// One commit a stage made, reduced to what replay needs: the message
+/// and the exact bytes written at each path. Replaying the writes and
+/// re-committing reproduces the commit (content addressing makes the
+/// bytes, not the commit id, the identity that matters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayCommit {
+    /// Commit message.
+    pub message: String,
+    /// `(path, contents)` in path order.
+    pub writes: Vec<(String, Vec<u8>)>,
+}
+
+/// The recorded effect of one stage execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageEntry {
+    /// Did the stage stop the pipeline?
+    pub stop: bool,
+    /// Wall time the original execution took (reported as savings on a
+    /// hit; deliberately excluded from [`StageEntry::output_digest`]).
+    pub duration_us: u64,
+    /// Serialized `RunContext` fields the stage changed, in snapshot
+    /// order.
+    pub fields: Vec<(String, Vec<u8>)>,
+    /// Commits the stage made, in chronological order.
+    pub commits: Vec<ReplayCommit>,
+}
+
+fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    out.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.bytes.len() {
+            return Err(format!("truncated memo entry at byte {}", self.pos));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn blob(&mut self) -> Result<Vec<u8>, String> {
+        let len = self.u64()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        String::from_utf8(self.blob()?).map_err(|_| "bad utf-8 in memo entry".to_string())
+    }
+}
+
+impl StageEntry {
+    /// The deterministic payload: everything replay observes. Duration
+    /// is bookkeeping, not output, so two entries that replay the same
+    /// belong to the same chain.
+    fn encode_payload(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.push(self.stop as u8);
+        out.extend_from_slice(&(self.fields.len() as u64).to_le_bytes());
+        for (name, value) in &self.fields {
+            put_bytes(&mut out, name.as_bytes());
+            put_bytes(&mut out, value);
+        }
+        out.extend_from_slice(&(self.commits.len() as u64).to_le_bytes());
+        for commit in &self.commits {
+            put_bytes(&mut out, commit.message.as_bytes());
+            out.extend_from_slice(&(commit.writes.len() as u64).to_le_bytes());
+            for (path, data) in &commit.writes {
+                put_bytes(&mut out, path.as_bytes());
+                put_bytes(&mut out, data);
+            }
+        }
+        out
+    }
+
+    /// Canonical bytes: payload plus the recorded duration.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = self.encode_payload();
+        out.extend_from_slice(&self.duration_us.to_le_bytes());
+        out
+    }
+
+    /// Decode [`StageEntry::encode`] output.
+    pub fn decode(bytes: &[u8]) -> Result<StageEntry, String> {
+        let body = bytes
+            .strip_prefix(MAGIC)
+            .ok_or("not a memo entry (bad magic)")?;
+        let mut r = Reader { bytes: body, pos: 0 };
+        let stop = match r.take(1)?[0] {
+            0 => false,
+            1 => true,
+            other => return Err(format!("bad stop byte {other}")),
+        };
+        let field_count = r.u64()? as usize;
+        let mut fields = Vec::with_capacity(field_count.min(64));
+        for _ in 0..field_count {
+            let name = r.string()?;
+            let value = r.blob()?;
+            fields.push((name, value));
+        }
+        let commit_count = r.u64()? as usize;
+        let mut commits = Vec::with_capacity(commit_count.min(64));
+        for _ in 0..commit_count {
+            let message = r.string()?;
+            let write_count = r.u64()? as usize;
+            let mut writes = Vec::with_capacity(write_count.min(64));
+            for _ in 0..write_count {
+                let path = r.string()?;
+                let data = r.blob()?;
+                writes.push((path, data));
+            }
+            commits.push(ReplayCommit { message, writes });
+        }
+        let duration_us = r.u64()?;
+        if r.pos != r.bytes.len() {
+            return Err(format!("{} trailing byte(s) after memo entry", r.bytes.len() - r.pos));
+        }
+        Ok(StageEntry { stop, duration_us, fields, commits })
+    }
+
+    /// Digest of the deterministic payload — the value folded into the
+    /// session chain so downstream keys depend on upstream outputs.
+    pub fn output_digest(&self) -> [u8; 32] {
+        sha256::digest(&self.encode_payload())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StageEntry {
+        StageEntry {
+            stop: true,
+            duration_us: 123_456,
+            fields: vec![
+                ("vars".into(), b"{\"x\": 1}".to_vec()),
+                ("results".into(), vec![0, 255, 10, 0]),
+            ],
+            commits: vec![ReplayCommit {
+                message: "popper run e: record results".into(),
+                writes: vec![
+                    ("experiments/e/results.csv".into(), b"a,b\n1,2\n".to_vec()),
+                    ("experiments/e/figure.txt".into(), vec![1, 2, 3]),
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let e = sample();
+        assert_eq!(StageEntry::decode(&e.encode()).unwrap(), e);
+        let empty = StageEntry { stop: false, duration_us: 0, fields: vec![], commits: vec![] };
+        assert_eq!(StageEntry::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn digest_ignores_duration_but_nothing_else() {
+        let a = sample();
+        let mut b = a.clone();
+        b.duration_us = 1;
+        assert_eq!(a.output_digest(), b.output_digest());
+        assert_ne!(a.encode(), b.encode());
+        let mut c = a.clone();
+        c.fields[0].1.push(b'!');
+        assert_ne!(a.output_digest(), c.output_digest());
+        let mut d = a.clone();
+        d.stop = false;
+        assert_ne!(a.output_digest(), d.output_digest());
+        let mut e = a.clone();
+        e.commits[0].writes[0].1[0] ^= 1;
+        assert_ne!(a.output_digest(), e.output_digest());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(StageEntry::decode(b"").is_err());
+        assert!(StageEntry::decode(b"not a memo entry").is_err());
+        let mut truncated = sample().encode();
+        truncated.truncate(truncated.len() - 3);
+        assert!(StageEntry::decode(&truncated).is_err());
+        let mut trailing = sample().encode();
+        trailing.push(0);
+        assert!(StageEntry::decode(&trailing).is_err());
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_entry() -> impl Strategy<Value = StageEntry> {
+            (
+                any::<bool>(),
+                any::<u64>(),
+                proptest::collection::vec(
+                    ("[a-z]{1,10}", proptest::collection::vec(any::<u8>(), 0..64)),
+                    0..4,
+                ),
+                proptest::collection::vec(
+                    (
+                        "[ -~]{0,30}",
+                        proptest::collection::vec(
+                            ("[a-z/.]{1,20}", proptest::collection::vec(any::<u8>(), 0..64)),
+                            0..3,
+                        ),
+                    ),
+                    0..3,
+                ),
+            )
+                .prop_map(|(stop, duration_us, fields, commits)| StageEntry {
+                    stop,
+                    duration_us,
+                    fields,
+                    commits: commits
+                        .into_iter()
+                        .map(|(message, writes)| ReplayCommit { message, writes })
+                        .collect(),
+                })
+        }
+
+        proptest! {
+            #[test]
+            fn round_trip_any(e in arb_entry()) {
+                prop_assert_eq!(StageEntry::decode(&e.encode()).unwrap(), e);
+            }
+
+            #[test]
+            fn distinct_payloads_distinct_digests(a in arb_entry(), b in arb_entry()) {
+                let (mut a0, mut b0) = (a.clone(), b.clone());
+                a0.duration_us = 0;
+                b0.duration_us = 0;
+                if a0 == b0 {
+                    prop_assert_eq!(a.output_digest(), b.output_digest());
+                } else {
+                    prop_assert_ne!(a.output_digest(), b.output_digest());
+                }
+            }
+        }
+    }
+}

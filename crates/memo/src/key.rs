@@ -1,0 +1,124 @@
+//! Cache keys: a domain-separated SHA-256 over labeled fields.
+//!
+//! Every field is absorbed as `len(label) ‖ label ‖ len(value) ‖ value`
+//! (lengths as 8-byte little-endian), so adjacent fields can never
+//! alias — `("ab", "c")` and `("a", "bc")` hash differently — and a
+//! domain string separates key families from each other and from every
+//! other SHA-256 use in the codebase.
+
+use popper_vcs::sha256::{self, Sha256};
+use std::fmt;
+
+/// A 32-byte stage cache key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StageKey(pub [u8; 32]);
+
+impl StageKey {
+    /// Full lowercase hex.
+    pub fn to_hex(self) -> String {
+        sha256::to_hex(&self.0)
+    }
+}
+
+impl fmt::Debug for StageKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "StageKey({})", &self.to_hex()[..10])
+    }
+}
+
+/// Incremental builder for a [`StageKey`].
+pub struct KeyBuilder {
+    hasher: Sha256,
+}
+
+impl KeyBuilder {
+    /// Start a key in the given domain.
+    pub fn new(domain: &str) -> KeyBuilder {
+        let mut hasher = Sha256::new();
+        hasher.update(&(domain.len() as u64).to_le_bytes());
+        hasher.update(domain.as_bytes());
+        KeyBuilder { hasher }
+    }
+
+    /// Absorb one labeled byte field.
+    pub fn bytes(mut self, label: &str, value: &[u8]) -> KeyBuilder {
+        self.hasher.update(&(label.len() as u64).to_le_bytes());
+        self.hasher.update(label.as_bytes());
+        self.hasher.update(&(value.len() as u64).to_le_bytes());
+        self.hasher.update(value);
+        self
+    }
+
+    /// Absorb one labeled text field.
+    pub fn text(self, label: &str, value: &str) -> KeyBuilder {
+        self.bytes(label, value.as_bytes())
+    }
+
+    /// Absorb one labeled integer field.
+    pub fn number(self, label: &str, value: u64) -> KeyBuilder {
+        self.bytes(label, &value.to_le_bytes())
+    }
+
+    /// Finish into the key.
+    pub fn finish(self) -> StageKey {
+        StageKey(self.hasher.finalize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_sensitive_to_every_part() {
+        let key = |domain: &str, a: &str, b: &str| {
+            KeyBuilder::new(domain).text("a", a).text("b", b).finish()
+        };
+        assert_eq!(key("d", "x", "y"), key("d", "x", "y"));
+        assert_ne!(key("d", "x", "y"), key("e", "x", "y"));
+        assert_ne!(key("d", "x", "y"), key("d", "z", "y"));
+        assert_ne!(key("d", "x", "y"), key("d", "x", "z"));
+    }
+
+    #[test]
+    fn field_boundaries_cannot_alias() {
+        let a = KeyBuilder::new("d").text("ab", "c").finish();
+        let b = KeyBuilder::new("d").text("a", "bc").finish();
+        assert_ne!(a, b);
+        let c = KeyBuilder::new("d").text("a", "b").text("c", "d").finish();
+        let d = KeyBuilder::new("d").text("a", "bcd").finish();
+        assert_ne!(c, d);
+    }
+
+    #[test]
+    fn label_order_matters() {
+        let a = KeyBuilder::new("d").text("x", "1").text("y", "2").finish();
+        let b = KeyBuilder::new("d").text("y", "2").text("x", "1").finish();
+        assert_ne!(a, b);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn distinct_field_lists_distinct_keys(
+                a in proptest::collection::vec(("[a-z]{1,8}", proptest::collection::vec(any::<u8>(), 0..32)), 0..4),
+                b in proptest::collection::vec(("[a-z]{1,8}", proptest::collection::vec(any::<u8>(), 0..32)), 0..4),
+            ) {
+                let build = |fields: &[(String, Vec<u8>)]| {
+                    fields
+                        .iter()
+                        .fold(KeyBuilder::new("prop"), |k, (l, v)| k.bytes(l, v))
+                        .finish()
+                };
+                if a == b {
+                    prop_assert_eq!(build(&a), build(&b));
+                } else {
+                    prop_assert_ne!(build(&a), build(&b));
+                }
+            }
+        }
+    }
+}

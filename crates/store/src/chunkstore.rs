@@ -168,14 +168,17 @@ impl ChunkStore {
         let tracer = popper_trace::current();
         let _span = tracer.span("store", "store/chunks", format!("put {}B", data.len()));
         self.ingested += data.len() as u64;
-        let blob_hash = sha256::digest(data);
+        // One pass over the pieces feeds both the per-chunk ids and the
+        // whole-blob incremental hash — the blob is never re-walked.
+        let mut blob_hasher = sha256::Sha256::new();
         let mut chunks = Vec::new();
         for piece in chunk(data, &self.config) {
+            blob_hasher.update(piece);
             let id = ChunkId::of(piece);
             self.chunks.entry(id).or_insert_with(|| Bytes::copy_from_slice(piece));
             chunks.push((id, piece.len() as u32));
         }
-        Manifest { chunks, total_len: data.len() as u64, blob_hash }
+        Manifest { chunks, total_len: data.len() as u64, blob_hash: blob_hasher.finalize() }
     }
 
     /// Reassemble a blob from its manifest, verifying whole-blob
@@ -188,14 +191,16 @@ impl ChunkStore {
             format!("get {} chunk(s), {}B", manifest.chunks.len(), manifest.total_len),
         );
         let mut out = Vec::with_capacity(manifest.total_len as usize);
+        let mut blob_hasher = sha256::Sha256::new();
         for (id, _len) in &manifest.chunks {
             let piece = self
                 .chunks
                 .get(id)
                 .ok_or_else(|| StoreError::MissingChunk(id.to_hex()))?;
+            blob_hasher.update(piece);
             out.extend_from_slice(piece);
         }
-        let actual = sha256::digest(&out);
+        let actual = blob_hasher.finalize();
         if actual != manifest.blob_hash {
             return Err(StoreError::IntegrityFailure {
                 expected: sha256::to_hex(&manifest.blob_hash),
@@ -261,6 +266,14 @@ mod tests {
         let m = s.put(&data);
         assert_eq!(s.get(&m).unwrap(), data);
         assert_eq!(m.total_len, data.len() as u64);
+    }
+
+    #[test]
+    fn single_pass_blob_hash_matches_oneshot() {
+        let mut s = ChunkStore::new();
+        let data = random_bytes(150_000, 11);
+        let m = s.put(&data);
+        assert_eq!(m.blob_hash, sha256::digest(&data));
     }
 
     #[test]

@@ -57,6 +57,19 @@ impl DivergenceKind {
     pub fn is_structural(self) -> bool {
         !matches!(self, DivergenceKind::DurationDrift | DivergenceKind::CounterDrift)
     }
+
+    /// Inverse of [`DivergenceKind::label`].
+    pub fn from_label(label: &str) -> Option<DivergenceKind> {
+        Some(match label {
+            "added" => DivergenceKind::Added,
+            "removed" => DivergenceKind::Removed,
+            "reordered" => DivergenceKind::Reordered,
+            "duration-drift" => DivergenceKind::DurationDrift,
+            "counter-drift" => DivergenceKind::CounterDrift,
+            "fault-mismatch" => DivergenceKind::FaultMismatch,
+            _ => return None,
+        })
+    }
 }
 
 /// One divergence between the two traces.
@@ -157,6 +170,50 @@ impl TraceDiff {
         ])
     }
 
+    /// Inverse of [`TraceDiff::to_value`]: rebuild the diff from its
+    /// `trace-diff.json` body. `to_value` carries every field, so the
+    /// round trip is lossless — which lets a pipeline stage park a diff
+    /// in the run context as a plain [`Value`] instead of closure state.
+    pub fn from_value(v: &Value) -> Result<TraceDiff, String> {
+        let num = |key: &str| {
+            v.get_num(key).ok_or_else(|| format!("trace-diff value: missing number '{key}'"))
+        };
+        let mut divergences = Vec::new();
+        for (idx, d) in v
+            .get_list("details")
+            .ok_or("trace-diff value: missing list 'details'")?
+            .iter()
+            .enumerate()
+        {
+            let field = |key: &str| {
+                d.get_str(key)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("trace-diff value: detail {idx} missing '{key}'"))
+            };
+            let label = field("kind")?;
+            divergences.push(Divergence {
+                kind: DivergenceKind::from_label(&label)
+                    .ok_or_else(|| format!("trace-diff value: unknown kind '{label}'"))?,
+                track: field("track")?,
+                name: field("name")?,
+                category: field("category")?,
+                detail: field("detail")?,
+            });
+        }
+        Ok(TraceDiff {
+            events_a: num("events_a")? as usize,
+            events_b: num("events_b")? as usize,
+            divergences,
+            max_drift_pct: num("max_drift_pct")?,
+            options: DiffOptions {
+                tolerance_pct: num("tolerance_pct")?,
+                compare_durations: !v
+                    .get_bool("structure_only")
+                    .ok_or("trace-diff value: missing bool 'structure_only'")?,
+            },
+        })
+    }
+
     /// An always-one-row summary table for Aver (`trace_equivalent`
     /// evaluates over it; a per-divergence table would be empty exactly
     /// when the check should pass, and Aver treats an empty filtered
@@ -189,7 +246,13 @@ impl TraceDiff {
         if !self.options.compare_durations {
             out.push_str("(structure-only: durations, counter values and fault instants not compared)\n");
         }
-        for d in &self.divergences {
+        // Cap the per-divergence listing: a wholesale divergence (say, a
+        // full execution timeline diffed against a replay-only one) has
+        // hundreds of thousands of entries, and this string is also the
+        // committed `trace-diff.txt` artifact. The counts above and the
+        // JSON artifact still carry the full diff.
+        const MAX_LISTED: usize = 50;
+        for d in self.divergences.iter().take(MAX_LISTED) {
             out.push_str(&format!(
                 "  [{:<14}] {:<24} {} ({}): {}\n",
                 d.kind.label(),
@@ -197,6 +260,12 @@ impl TraceDiff {
                 d.name,
                 d.category,
                 d.detail
+            ));
+        }
+        if self.divergences.len() > MAX_LISTED {
+            out.push_str(&format!(
+                "  ... and {} more divergence(s)\n",
+                self.divergences.len() - MAX_LISTED
             ));
         }
         if self.divergences.is_empty() {
@@ -706,6 +775,25 @@ mod tests {
         let d = diff_traces(&a, &nested, DiffOptions::structure_only());
         assert!(d.divergences.iter().any(|x| x.kind == DivergenceKind::Reordered
             && x.detail.contains("parent differs")));
+    }
+
+    #[test]
+    fn value_round_trip_is_lossless() {
+        let a = base_trace();
+        let b = virt(|t| {
+            let s = t.span_at("sim", "serial", "admit", 100, 210);
+            t.span_at_child(s, "sim", "serial", "service", 120, 180);
+            t.instant_at("chaos", "chaos/faults", "crash", 155);
+            t.counter_at("engine", "pending", 3.0, 160);
+            t.counter_at("engine", "pending", 8.0, 170);
+        });
+        for opts in [DiffOptions::default(), DiffOptions::structure_only(),
+            DiffOptions { tolerance_pct: 12.5, compare_durations: true }]
+        {
+            let d = diff_traces(&a, &b, opts);
+            assert_eq!(TraceDiff::from_value(&d.to_value()).unwrap(), d);
+        }
+        assert!(TraceDiff::from_value(&Value::empty_map()).is_err());
     }
 
     #[test]

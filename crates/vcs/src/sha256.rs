@@ -93,6 +93,22 @@ impl Sha256 {
         out
     }
 
+    /// Absorb everything `reader` yields, in fixed-size chunks, and
+    /// return the number of bytes consumed. Large artifact files can be
+    /// keyed without ever holding them fully in memory.
+    pub fn update_from(&mut self, reader: &mut impl std::io::Read) -> std::io::Result<u64> {
+        let mut buf = [0u8; 8192];
+        let mut consumed = 0u64;
+        loop {
+            let n = reader.read(&mut buf)?;
+            if n == 0 {
+                return Ok(consumed);
+            }
+            self.update(&buf[..n]);
+            consumed += n as u64;
+        }
+    }
+
     fn compress(&mut self, block: &[u8; 64]) {
         let mut w = [0u32; 64];
         for i in 0..16 {
@@ -139,6 +155,14 @@ pub fn digest(data: &[u8]) -> [u8; DIGEST_LEN] {
     let mut h = Sha256::new();
     h.update(data);
     h.finalize()
+}
+
+/// Streaming digest of a reader: hashes in fixed-size chunks so the
+/// input never has to be resident in memory at once.
+pub fn digest_reader(reader: &mut impl std::io::Read) -> std::io::Result<[u8; DIGEST_LEN]> {
+    let mut h = Sha256::new();
+    h.update_from(reader)?;
+    Ok(h.finalize())
 }
 
 /// Lowercase hex encoding of a byte slice.
@@ -219,6 +243,24 @@ mod tests {
             }
             assert_eq!(h.finalize(), oneshot, "chunk size {chunk}");
         }
+    }
+
+    #[test]
+    fn reader_digest_equals_oneshot() {
+        let data: Vec<u8> = (0..50_000u32).map(|i| (i % 251) as u8).collect();
+        let mut slice = &data[..];
+        assert_eq!(digest_reader(&mut slice).unwrap(), digest(&data));
+        assert_eq!(digest_reader(&mut std::io::empty()).unwrap(), digest(b""));
+    }
+
+    #[test]
+    fn update_from_reports_bytes_consumed_and_composes() {
+        let (a, b) = (vec![7u8; 10_000], vec![9u8; 3]);
+        let mut h = Sha256::new();
+        assert_eq!(h.update_from(&mut &a[..]).unwrap(), 10_000);
+        assert_eq!(h.update_from(&mut &b[..]).unwrap(), 3);
+        let whole: Vec<u8> = a.iter().chain(&b).copied().collect();
+        assert_eq!(h.finalize(), digest(&whole));
     }
 
     #[test]

@@ -24,6 +24,7 @@
 //! | [`popper_viz`] | chart rendering — SVG and ASCII (the Jupyter/Gnuplot slot) |
 //! | [`popper_trace`] | structured tracing: spans, timelines, Chrome trace export |
 //! | [`popper_chaos`] | deterministic fault injection: schedules, gremlins, `faults.json` |
+//! | [`popper_memo`] | content-addressed memo table for pipeline stages |
 
 pub use popper_aver as aver;
 pub use popper_chaos as chaos;
@@ -33,6 +34,7 @@ pub use popper_container as container;
 pub use popper_core as core;
 pub use popper_format as format;
 pub use popper_gassyfs as gassyfs;
+pub use popper_memo as memo;
 pub use popper_minimpi as minimpi;
 pub use popper_monitor as monitor;
 pub use popper_orchestra as orchestra;
