@@ -27,6 +27,13 @@ jobs:
   - name: memo-selfcheck
     stage: test
     steps: [cargo test --test memo_pipeline]
+  - name: farm-smoke
+    stage: test
+    steps: [cargo test --test farm_service hundred_pipelines, cargo test --test farm_service status_badges]
+  - name: farm-chaos-determinism
+    stage: test
+    steps: [cargo test --test farm_service chaos_crashes, cargo test --test farm_service same_seed]
+    retries: 1
   - name: lifecycle-parity
     stage: test
     steps: [cargo test --test lifecycle_parity]
@@ -42,3 +49,6 @@ jobs:
   - name: memo-speedup-smoke
     stage: bench
     steps: [cargo bench --bench memo]
+  - name: farm-slo-smoke
+    stage: bench
+    steps: [cargo bench --bench farm]

@@ -290,6 +290,27 @@ impl FaultSchedule {
         self.events.last().map(|e| e.at).unwrap_or(Nanos::ZERO)
     }
 
+    /// Number of crash events in the schedule — the fault-density
+    /// input for layers that project the schedule onto their own
+    /// failure domain (the CI farm turns this into a per-job
+    /// worker-crash probability).
+    pub fn crash_count(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e.kind, FaultKind::Crash { .. })).count()
+    }
+
+    /// The strongest disk-slowdown factor the schedule ever applies,
+    /// if any (the farm projects this onto its shared artifact store
+    /// as an ingest slowdown).
+    pub fn max_disk_slow_factor(&self) -> Option<f64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.kind {
+                FaultKind::DiskSlow { factor, .. } => Some(factor),
+                _ => None,
+            })
+            .fold(None, |acc, f| Some(acc.map_or(f, |a: f64| a.max(f))))
+    }
+
     /// The first scheduled restart of `node` at or after `t`, if any —
     /// the schedule → rank-recovery mapping checkpoint-restart policies
     /// use to decide how long survivors must idle before a respawned
@@ -422,6 +443,24 @@ mod tests {
         assert_eq!(s.events[1].kind, FaultKind::Restart { node: 3 });
         assert_eq!(s.first_crash(), Some(Nanos::from_millis(40)));
         assert_eq!(s.horizon(), Nanos::from_millis(120));
+    }
+
+    #[test]
+    fn fault_density_projections() {
+        let s = FaultSchedule::named("node-crash", 4, 1).unwrap();
+        assert_eq!(s.crash_count(), 1);
+        assert_eq!(s.max_disk_slow_factor(), None);
+        let s = FaultSchedule::named("slow-disk", 4, 1).unwrap();
+        assert_eq!(s.crash_count(), 0);
+        assert_eq!(s.max_disk_slow_factor(), Some(8.0));
+        // The max wins when several slowdowns are scheduled.
+        let vars = pml::parse(
+            "faults:\n  nodes: 4\n  events:\n    - {at_ms: 1, kind: disk-slow, node: 1, factor: 2.5}\n    - {at_ms: 2, kind: disk-slow, node: 2, factor: 6.0}\n    - {at_ms: 3, kind: crash, node: 3}\n",
+        )
+        .unwrap();
+        let s = FaultSchedule::from_vars(&vars).unwrap().unwrap();
+        assert_eq!(s.crash_count(), 1);
+        assert_eq!(s.max_disk_slow_factor(), Some(6.0));
     }
 
     #[test]

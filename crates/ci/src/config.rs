@@ -138,7 +138,17 @@ impl PipelineConfig {
         if jobs.is_empty() {
             return Err("pipeline has no jobs".into());
         }
-        Ok(PipelineConfig { stages, jobs, matrix })
+        let config = PipelineConfig { stages, jobs, matrix };
+        // Duplicate names are checked on the *expanded* set: two jobs
+        // may only collide if their matrix-suffixed names do, and a
+        // duplicate base name with disjoint axes is still a duplicate.
+        let mut seen = std::collections::BTreeSet::new();
+        for job in config.expanded_jobs() {
+            if !seen.insert(job.name.clone()) {
+                return Err(format!("duplicate job name '{}'", job.name));
+            }
+        }
+        Ok(config)
     }
 
     /// Expand the matrices: every job fans out over the composition of
@@ -175,17 +185,26 @@ impl PipelineConfig {
     }
 }
 
-/// Decode a `matrix:` map (global or per-job) into named axes.
+/// Decode a `matrix:` map (global or per-job) into named axes. An axis
+/// with an empty value list is a spec error: the cartesian product
+/// would be empty and every job fanning over it would silently vanish
+/// from the build (a chaos axis with zero schedules must fail loudly,
+/// not fan to nothing).
 fn parse_matrix(value: Option<&Value>, what: &str) -> Result<Matrix, String> {
     let mut matrix = Matrix::default();
     if let Some(entries) = value.and_then(Value::as_map) {
         for (axis, values) in entries {
-            let values = values
+            let values: Vec<String> = values
                 .as_list()
                 .ok_or_else(|| format!("{what} axis '{axis}' must be a list"))?
                 .iter()
                 .map(|v| v.to_display_string())
                 .collect();
+            if values.is_empty() {
+                return Err(format!(
+                    "{what} axis '{axis}' has no values — jobs would fan out to nothing"
+                ));
+            }
             matrix.axes.push((axis.clone(), values));
         }
     }
@@ -308,5 +327,54 @@ jobs:
         // Per-job matrix axes must be lists.
         let bad = "stages: [t]\njobs:\n  - name: j\n    stage: t\n    matrix:\n      schedule: solo\n    steps: [x]\n";
         assert!(PipelineConfig::from_pml(bad).unwrap_err().contains("must be a list"));
+    }
+
+    #[test]
+    fn empty_matrix_axis_errors_instead_of_fanning_to_nothing() {
+        // A chaos axis with zero schedules would silently drop the job
+        // from the build; the parser must refuse the config instead.
+        let bad = "stages: [t]\njobs:\n  - name: chaos\n    stage: t\n    matrix:\n      schedule: []\n    steps: [run-chaos g]\n";
+        let err = PipelineConfig::from_pml(bad).unwrap_err();
+        assert!(err.contains("no values"), "{err}");
+        assert!(err.contains("schedule"), "{err}");
+        // Same for the global matrix.
+        let bad = "stages: [t]\nmatrix:\n  machine: []\njobs:\n  - name: j\n    stage: t\n    steps: [x]\n";
+        assert!(PipelineConfig::from_pml(bad).unwrap_err().contains("no values"));
+        // A populated axis next to an empty one still errors.
+        let bad = "stages: [t]\njobs:\n  - name: j\n    stage: t\n    matrix:\n      schedule: [node-crash]\n      seed: []\n    steps: [x]\n";
+        assert!(PipelineConfig::from_pml(bad).unwrap_err().contains("seed"));
+    }
+
+    #[test]
+    fn duplicate_job_names_rejected() {
+        let bad = "stages: [t]\njobs:\n  - name: j\n    stage: t\n    steps: [a]\n  - name: j\n    stage: t\n    steps: [b]\n";
+        let err = PipelineConfig::from_pml(bad).unwrap_err();
+        assert!(err.contains("duplicate job name 'j'"), "{err}");
+        // Duplicates are judged post-expansion: same base name with
+        // identical axes collides on every expanded name.
+        let bad = "stages: [t]\njobs:\n  - name: j\n    stage: t\n    matrix: {schedule: [a, b]}\n    steps: [x]\n  - name: j\n    stage: t\n    matrix: {schedule: [a, b]}\n    steps: [y]\n";
+        assert!(PipelineConfig::from_pml(bad).unwrap_err().contains("duplicate"));
+        // Distinct names sharing a matrix are fine.
+        let ok = "stages: [t]\njobs:\n  - name: j1\n    stage: t\n    matrix: {schedule: [a, b]}\n    steps: [x]\n  - name: j2\n    stage: t\n    matrix: {schedule: [a, b]}\n    steps: [y]\n";
+        assert!(PipelineConfig::from_pml(ok).is_ok());
+    }
+
+    #[test]
+    fn matrix_chaos_composition_edge_cases() {
+        // Global machine axis × per-job chaos axis: the product must
+        // cover every (machine, schedule, seed) combination exactly once.
+        let cfg = PipelineConfig::from_pml(
+            "stages: [t]\nmatrix:\n  machine: [m1, m2]\njobs:\n  - name: chaos\n    stage: t\n    matrix:\n      schedule: [node-crash, gremlin]\n      seed: [\"7\"]\n    steps: [run-chaos g]\n",
+        )
+        .unwrap();
+        let jobs = cfg.expanded_jobs();
+        assert_eq!(jobs.len(), 4);
+        let names: std::collections::BTreeSet<&str> =
+            jobs.iter().map(|j| j.name.as_str()).collect();
+        assert_eq!(names.len(), 4, "expanded names must be unique");
+        assert!(jobs
+            .iter()
+            .any(|j| j.env["machine"] == "m2" && j.env["schedule"] == "gremlin"));
+        assert!(jobs.iter().all(|j| j.env["seed"] == "7"));
     }
 }

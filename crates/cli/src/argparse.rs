@@ -44,8 +44,20 @@ impl Parsed {
 }
 
 /// Known flags that take a value; everything else is boolean.
-const VALUE_FLAGS: &[&str] =
-    &["author", "workers", "nodes", "seed", "column", "schedule", "tolerance", "trace-buffer"];
+const VALUE_FLAGS: &[&str] = &[
+    "author",
+    "workers",
+    "nodes",
+    "seed",
+    "column",
+    "schedule",
+    "tolerance",
+    "trace-buffer",
+    "tenants",
+    "jobs",
+    "template",
+    "port",
+];
 
 /// Parse argv (program name already stripped).
 pub fn parse(argv: &[&str]) -> Result<Parsed, String> {

@@ -1,6 +1,7 @@
 //! The `popper` subcommands.
 
 use crate::argparse::Parsed;
+use crate::error::OrFail;
 use crate::persist;
 use crate::runners::full_engine;
 use parking_lot::Mutex;
@@ -271,7 +272,9 @@ pub fn dispatch(parsed: &Parsed, dir: &Path) -> Result<String, String> {
             }
             engine.run_pipeline(&mut repo, &mut ctx)?;
             let mut artifacts = std::mem::take(&mut ctx.artifacts);
-            let recording = ctx.finish_recording().expect("recorder attached");
+            let recording = ctx
+                .finish_recording()
+                .or_fail("popper trace", "no trace recorder attached to the run context")?;
             let memo = memo_line(ctx.memo_stats());
             let report = popper_core::experiment::RunReport::from_ctx(ctx);
             let svg = popper_trace::timeline_svg(&recording.events);
@@ -365,7 +368,9 @@ pub fn dispatch(parsed: &Parsed, dir: &Path) -> Result<String, String> {
             }
             engine.chaos_pipeline(&mut repo, &mut ctx, schedule, seed)?;
             let mut artifacts = std::mem::take(&mut ctx.artifacts);
-            let recording = ctx.finish_recording().expect("recorder attached");
+            let recording = ctx
+                .finish_recording()
+                .or_fail("popper chaos", "no trace recorder attached to the run context")?;
             let memo = memo_line(ctx.memo_stats());
             let report = popper_core::chaosrun::ChaosRunReport::from_ctx(ctx)?;
             artifacts.stage(format!("experiments/{name}/trace.json"), recording.json.into_bytes());
@@ -385,6 +390,20 @@ pub fn dispatch(parsed: &Parsed, dir: &Path) -> Result<String, String> {
                 Err(out)
             }
         }
+        Some("farm") => match parsed.pos(1) {
+            Some("serve") => cmd_farm_serve(parsed, dir),
+            Some("submit") => cmd_farm_submit(parsed, dir, &author),
+            Some(other) => Err(format!("unknown farm subcommand '{other}'; try serve or submit")),
+            None => Err("usage: popper farm serve|submit [--tenants N] [--jobs M]".into()),
+        },
+        Some("store") => match parsed.pos(1) {
+            Some("stats") => {
+                let repo = persist::load(dir, &author)?;
+                Ok(format!("-- {}\n", popper_core::cipipeline::store_stats_report(&repo)))
+            }
+            Some(other) => Err(format!("unknown store subcommand '{other}'; try stats")),
+            None => Err("usage: popper store stats".into()),
+        },
         Some("commit") => {
             let mut repo = persist::load(dir, &author)?;
             let message = parsed.pos(1).unwrap_or("checkpoint").to_string();
@@ -447,6 +466,130 @@ fn cmd_paper_add(dir: &Path, author: &str, tpl: &str) -> Result<String, String> 
     Ok(format!("-- installed paper template '{tpl}'\n"))
 }
 
+/// `popper farm serve`: spin up a multi-tenant farm with synthetic
+/// tenants seeded from a template, push a batch of jobs through it
+/// (optionally under chaos and/or with the status endpoint bound), and
+/// print the final report. The canonical event log — deterministic for
+/// a given seed — is written to `farm-events.log`.
+fn cmd_farm_serve(parsed: &Parsed, dir: &Path) -> Result<String, String> {
+    let tenants = parsed.flag_num("tenants", 4.0)?.max(1.0) as usize;
+    let jobs = parsed.flag_num("jobs", 4.0)?.max(1.0) as u64;
+    let workers = parsed.flag_num("workers", 2.0)?.max(1.0) as usize;
+    let template = parsed.flag_value("template").unwrap_or("ceph-rados");
+    let seed = parsed.flag_num("seed", 7.0)?.max(0.0) as u64;
+    let mut builder = popper_farm::FarmBuilder::new(Arc::new(full_engine()))
+        .config(popper_farm::FarmConfig { workers, ..Default::default() });
+    if let Some(name) = parsed.flag_value("schedule") {
+        let schedule = popper_chaos::FaultSchedule::named(name, workers.max(2), seed)
+            .or_fail("popper farm serve", "bad --schedule")?;
+        builder = builder.chaos(schedule);
+    }
+    for i in 1..=tenants {
+        builder = builder.tenant(&format!("t{i}"), template, "exp")?;
+    }
+    let farm = builder.build()?;
+    let server = match parsed.flag_value("port") {
+        Some(p) => Some(farm.serve(&format!("127.0.0.1:{p}"))?),
+        None => None,
+    };
+    let mut out = format!("-- popper farm: {tenants} tenant(s) x {jobs} job(s), {workers} worker(s)\n");
+    if let Some(s) = &server {
+        out.push_str(&format!("-- serving status/badges on http://{}\n", s.addr()));
+    }
+    for _ in 0..jobs {
+        for i in 1..=tenants {
+            submit_with_backoff(&farm, &format!("t{i}"), "exp")?;
+        }
+    }
+    farm.drain();
+    if let Some(s) = &server {
+        // Round-trip the badge through the real socket so the endpoint
+        // is exercised, not just bound.
+        let badge = http_get(s.addr(), "/badge.svg")
+            .or_fail("popper farm serve", "badge fetch failed")?;
+        let state = ["passing", "failing", "unknown"]
+            .iter()
+            .find(|w| badge.contains(*w))
+            .unwrap_or(&"?");
+        out.push_str(&format!("-- badge: {state}\n"));
+    }
+    std::fs::write(dir.join("farm-events.log"), farm.event_log())
+        .or_fail("popper farm serve", "writing farm-events.log")?;
+    let report = farm.shutdown();
+    if let Some(s) = server {
+        s.stop();
+    }
+    out.push_str(&format!("{report}-- wrote farm-events.log\n"));
+    if report.lost == 0 {
+        Ok(out)
+    } else {
+        Err(format!("{out}-- {} job(s) lost\n", report.lost))
+    }
+}
+
+/// `popper farm submit`: run an experiment from *this* repo across N
+/// tenant clones — the "is my experiment farm-ready?" smoke test.
+fn cmd_farm_submit(parsed: &Parsed, dir: &Path, author: &str) -> Result<String, String> {
+    let name = parsed
+        .pos(2)
+        .ok_or("usage: popper farm submit <experiment> [--tenants N] [--jobs M]")?;
+    let tenants = parsed.flag_num("tenants", 2.0)?.max(1.0) as usize;
+    let jobs = parsed.flag_num("jobs", 2.0)?.max(1.0) as u64;
+    let workers = parsed.flag_num("workers", 2.0)?.max(1.0) as usize;
+    let repo = persist::load(dir, author)?;
+    if !repo.experiments().contains(&name.to_string()) {
+        return Err(format!("experiment '{name}' not found; `popper add` it first"));
+    }
+    let mut builder = popper_farm::FarmBuilder::new(Arc::new(full_engine()))
+        .config(popper_farm::FarmConfig { workers, ..Default::default() });
+    for i in 1..=tenants {
+        builder = builder.tenant_repo(&format!("t{i}"), repo.clone());
+    }
+    let farm = builder.build()?;
+    for _ in 0..jobs {
+        for i in 1..=tenants {
+            submit_with_backoff(&farm, &format!("t{i}"), name)?;
+        }
+    }
+    let report = farm.shutdown();
+    let out = format!("-- popper farm: {tenants} clone(s) of this repo, {jobs} job(s) each\n{report}");
+    if report.lost == 0 && report.tenants.iter().all(|t| t.failed == 0) {
+        Ok(out)
+    } else {
+        Err(out)
+    }
+}
+
+/// Submit one job, honoring the farm's retry-after backpressure hint.
+fn submit_with_backoff(
+    farm: &popper_farm::Farm,
+    tenant: &str,
+    experiment: &str,
+) -> Result<(), String> {
+    for _ in 0..1000 {
+        match farm.submit(tenant, experiment) {
+            Ok(_) => return Ok(()),
+            Err(popper_farm::SubmitError::QueueFull { retry_after_ms, .. }) => {
+                std::thread::sleep(std::time::Duration::from_millis(retry_after_ms.min(50)));
+            }
+            Err(e) => return Err(format!("popper farm: submit for '{tenant}': {e}")),
+        }
+    }
+    Err(format!("popper farm: tenant '{tenant}' queue stayed full"))
+}
+
+/// Minimal HTTP GET against the farm's own endpoint.
+fn http_get(addr: std::net::SocketAddr, path: &str) -> Result<String, String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    stream
+        .write_all(format!("GET {path} HTTP/1.1\r\nHost: farm\r\n\r\n").as_bytes())
+        .map_err(|e| e.to_string())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response).map_err(|e| e.to_string())?;
+    Ok(response)
+}
+
 /// The Listing-2 style template listing (three columns).
 fn template_listing() -> String {
     let mut out = String::from("-- available templates ---------------\n");
@@ -488,6 +631,12 @@ COMMANDS:
                               [--trace-buffer N] bound the in-flight trace ring during long soaks
     validate <experiment>     re-check Aver validations on stored results\n    verify <experiment>       numerical reproducibility: re-execute and compare bytes
     pack <experiment>         build a provenance-labeled container image\n    ci [--workers N]          run .popper-ci.pml
+    farm serve                multi-tenant CI farm over synthetic tenants
+                              [--tenants N] [--jobs M] [--workers W] [--template T]
+                              [--schedule S] [--seed K] [--port P]
+    farm submit <experiment>  run this repo's experiment across tenant clones
+                              [--tenants N] [--jobs M] [--workers W]
+    store stats               content-addressed store dedup ratio for this repo
     status | log | commit     repository plumbing\n    branch | checkout | merge collaboration plumbing
 
 CACHING:
@@ -628,6 +777,50 @@ mod tests {
         let log = run(&["log"], &dir).unwrap();
         assert!(log.contains("record fault timeline"), "{log}");
         assert!(run(&["chaos", "g", "--schedule", "warp"], &dir).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn farm_serve_via_cli() {
+        let dir = temp_dir("farm-serve");
+        // No repo needed: farm serve seeds synthetic tenants. Bind port
+        // 0 so the badge round-trip exercises the real HTTP endpoint.
+        let out = run(
+            &["farm", "serve", "--tenants", "2", "--jobs", "2", "--port", "0"],
+            &dir,
+        )
+        .unwrap();
+        assert!(out.contains("serving status/badges"), "{out}");
+        assert!(out.contains("badge: passing"), "{out}");
+        assert!(out.contains("0 lost"), "{out}");
+        let log = fs::read_to_string(dir.join("farm-events.log")).unwrap();
+        assert!(log.starts_with("farm-events v1"), "{log}");
+        assert!(log.contains("t1#1"), "{log}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn farm_submit_via_cli() {
+        let dir = temp_dir("farm-submit");
+        run(&["init"], &dir).unwrap();
+        run(&["add", "ceph-rados", "e"], &dir).unwrap();
+        let out = run(&["farm", "submit", "e", "--tenants", "2", "--jobs", "2"], &dir).unwrap();
+        assert!(out.contains("2 clone(s)"), "{out}");
+        assert!(out.contains("0 lost"), "{out}");
+        assert!(run(&["farm", "submit", "ghost"], &dir).is_err());
+        assert!(run(&["farm", "frobnicate"], &dir).is_err());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_stats_via_cli() {
+        let dir = temp_dir("store-stats");
+        run(&["init"], &dir).unwrap();
+        run(&["add", "ceph-rados", "e"], &dir).unwrap();
+        let out = run(&["store", "stats"], &dir).unwrap();
+        assert!(out.contains("vcs object(s)"), "{out}");
+        assert!(out.contains("dedup"), "{out}");
+        assert!(run(&["store", "frobnicate"], &dir).is_err());
         fs::remove_dir_all(&dir).ok();
     }
 

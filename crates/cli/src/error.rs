@@ -1,0 +1,84 @@
+//! CLI error values with command context.
+//!
+//! `dispatch` returns `Result<String, String>` (the shell boundary
+//! wants text either way), but errors raised *inside* a command should
+//! say which command failed and why — and must never panic the process
+//! on a user-reachable path. [`PopperError`] carries that context and
+//! renders as the final message; [`OrFail`] converts the `Option`s and
+//! `Result`s on command hot paths without `unwrap`/`expect`.
+
+use std::fmt;
+
+/// An error on a CLI path: the command that failed and the cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PopperError {
+    /// The command being executed ("popper trace", "popper farm serve").
+    pub context: String,
+    /// What went wrong.
+    pub cause: String,
+}
+
+impl PopperError {
+    /// An error in `context` caused by `cause`.
+    pub fn new(context: impl Into<String>, cause: impl Into<String>) -> PopperError {
+        PopperError { context: context.into(), cause: cause.into() }
+    }
+}
+
+impl fmt::Display for PopperError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.context, self.cause)
+    }
+}
+
+impl From<PopperError> for String {
+    fn from(e: PopperError) -> String {
+        e.to_string()
+    }
+}
+
+/// Attach command context when converting fallible values into the
+/// dispatch error type.
+pub trait OrFail<T> {
+    /// The success value, or a contextualized error string.
+    fn or_fail(self, context: &str, cause: &str) -> Result<T, String>;
+}
+
+impl<T> OrFail<T> for Option<T> {
+    fn or_fail(self, context: &str, cause: &str) -> Result<T, String> {
+        self.ok_or_else(|| PopperError::new(context, cause).to_string())
+    }
+}
+
+impl<T, E: fmt::Display> OrFail<T> for Result<T, E> {
+    fn or_fail(self, context: &str, cause: &str) -> Result<T, String> {
+        self.map_err(|e| PopperError::new(context, format!("{cause}: {e}")).to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn carries_context() {
+        let e = PopperError::new("popper trace", "recorder missing");
+        assert_eq!(e.to_string(), "popper trace: recorder missing");
+        let s: String = e.into();
+        assert!(s.contains("popper trace"));
+    }
+
+    #[test]
+    fn or_fail_converts_options_and_results() {
+        let some: Option<u32> = Some(7);
+        assert_eq!(some.or_fail("popper x", "gone").unwrap(), 7);
+        let none: Option<u32> = None;
+        let err = none.or_fail("popper x", "gone").unwrap_err();
+        assert_eq!(err, "popper x: gone");
+        let ok: Result<u32, String> = Ok(1);
+        assert_eq!(ok.or_fail("popper y", "ctx").unwrap(), 1);
+        let bad: Result<u32, String> = Err("boom".into());
+        let err = bad.or_fail("popper y", "while frobbing").unwrap_err();
+        assert_eq!(err, "popper y: while frobbing: boom");
+    }
+}

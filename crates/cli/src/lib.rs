@@ -30,6 +30,7 @@
 
 pub mod argparse;
 pub mod commands;
+pub mod error;
 pub mod persist;
 pub mod runners;
 

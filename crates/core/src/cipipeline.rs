@@ -46,6 +46,9 @@ use std::sync::Arc;
 ///   misses) and still produce structurally equivalent timelines
 ///   (dogfoods the memo determinism contract; skipped when
 ///   `POPPER_NO_CACHE` is set).
+/// * `store-stats` — ingest the repository's artifacts into a chunk
+///   store and report the dedup ratio (what `popper store stats`
+///   prints; in CI it doubles as a sanity check that artifacts chunk).
 ///
 /// Lifecycle steps (`run-experiment`, `run-chaos`, the self-checks)
 /// build their stage compositions directly and attach a memo session —
@@ -300,6 +303,10 @@ pub fn popper_steps(
                     Err(e) => StepOutcome::fail(e),
                 }
             }
+            "store-stats" => {
+                let repo = repo.lock();
+                StepOutcome::pass(store_stats_report(&repo))
+            }
             other => StepOutcome::fail(format!("unknown CI step '{other}'")),
         }
     })
@@ -394,6 +401,22 @@ fn record_traced_run(
         )?
         .ok_or_else(|| format!("selfcheck recording {label} of '{name}' produced no commit"))?;
     Ok((commit, stats))
+}
+
+/// Chunk every worktree file into a fresh dedup store and report the
+/// outcome: object counts on the vcs side, chunk counts and the dedup
+/// ratio on the store side. Backs both the `store-stats` CI step and
+/// the `popper store stats` command.
+pub fn store_stats_report(repo: &PopperRepo) -> String {
+    let mut store = popper_store::ChunkStore::new();
+    let paths: Vec<String> = repo.vcs.files().map(str::to_string).collect();
+    store.put_batch(paths.iter().filter_map(|p| repo.vcs.read_file(p)));
+    format!(
+        "{} file(s), {} vcs object(s); store: {}",
+        paths.len(),
+        repo.vcs.object_count(),
+        store.stats()
+    )
 }
 
 /// Run the repository's own `.popper-ci.pml`.
@@ -661,6 +684,21 @@ mod tests {
             job: "memo".into(),
         });
         assert!(!outcome.success);
+    }
+
+    #[test]
+    fn store_stats_step_reports_dedup() {
+        let repo = shared_repo_with("ceph-rados", "e");
+        let executor = popper_steps(repo.clone(), Arc::new(ExperimentEngine::new()));
+        let outcome = executor(&StepCtx {
+            command: "store-stats".into(),
+            env: Default::default(),
+            job: "store".into(),
+        });
+        assert!(outcome.success, "{}", outcome.log);
+        assert!(outcome.log.contains("vcs object(s)"), "{}", outcome.log);
+        assert!(outcome.log.contains("dedup"), "{}", outcome.log);
+        assert_eq!(outcome.log, store_stats_report(&repo.lock()));
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! The farm's own fault plane.
+//!
+//! Pipelines already have chaos (popper-chaos injects faults into the
+//! simulated clusters *inside* an experiment); the farm adds chaos one
+//! level up, against the CI service itself: workers crash mid-job and
+//! the shared chunk store slows down. Rather than invent a second fault
+//! vocabulary, an existing [`FaultSchedule`] is *projected* onto the
+//! farm — its crash density becomes a per-job worker-crash probability
+//! and its worst disk-slow factor becomes a store ingest slowdown.
+//!
+//! Crashes are derived, not sampled: the decision for attempt `n` of
+//! job `(tenant, seq)` is a pure hash of `(seed, tenant, seq, n)`, so
+//! two farms with the same seed crash the same workers on the same
+//! jobs and produce byte-identical event logs. The crash count per job
+//! is capped strictly below the retry budget, which makes "zero lost
+//! jobs" a property guaranteed by construction and *checked* by the
+//! Aver gate, not a hope.
+
+use popper_chaos::FaultSchedule;
+use popper_vcs::sha256;
+use std::time::Duration;
+
+/// A fault schedule projected onto the farm's worker pool and store.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FarmChaos {
+    /// Name of the source schedule (provenance for the event log).
+    pub schedule_name: String,
+    /// Seed shared with the source schedule.
+    pub seed: u64,
+    /// Per-attempt worker-crash probability, in permille (0..=900).
+    pub crash_per_mille: u32,
+    /// Hard cap on crashes per job; always `< max_attempts`.
+    pub max_crashes: u32,
+    /// Store ingest slowdown factor (1.0 = no slowdown).
+    pub store_slow_factor: f64,
+}
+
+impl FarmChaos {
+    /// Project `schedule` onto a farm whose jobs get `max_attempts`
+    /// dispatch attempts. Crash probability is the schedule's crash
+    /// density (crash events per node), clamped to 90% so progress is
+    /// always possible; the crash cap is `max_attempts - 1` so every
+    /// job completes within its retry budget.
+    pub fn project(schedule: &FaultSchedule, max_attempts: u32) -> FarmChaos {
+        let nodes = schedule.nodes.max(1) as f64;
+        let density = schedule.crash_count() as f64 / nodes;
+        let crash_per_mille = ((density * 1000.0) as u32).min(900);
+        FarmChaos {
+            schedule_name: schedule.name.clone(),
+            seed: schedule.seed,
+            crash_per_mille,
+            max_crashes: max_attempts.saturating_sub(1),
+            store_slow_factor: schedule.max_disk_slow_factor().unwrap_or(1.0).max(1.0),
+        }
+    }
+
+    /// How many times the worker crashes on job `(tenant, seq)` before
+    /// an attempt succeeds. Deterministic: a pure function of the seed
+    /// and the job identity. Always `<= max_crashes < max_attempts`.
+    pub fn crashes_for(&self, tenant: &str, seq: u64) -> u32 {
+        let mut crashes = 0;
+        for attempt in 0..self.max_crashes {
+            let key = format!("farm-chaos:{}:{}:{}:{}", self.seed, tenant, seq, attempt);
+            let h = sha256::digest(key.as_bytes());
+            let roll = u32::from_be_bytes([h[0], h[1], h[2], h[3]]) % 1000;
+            if roll < self.crash_per_mille {
+                crashes += 1;
+            } else {
+                break;
+            }
+        }
+        crashes
+    }
+
+    /// Artificial delay applied to each batched store ingest while the
+    /// schedule's disk is slow. Scaled down (100µs per unit factor) so
+    /// chaos tests stay fast while the slowdown remains measurable.
+    pub fn store_delay(&self) -> Duration {
+        if self.store_slow_factor > 1.0 {
+            Duration::from_micros((100.0 * self.store_slow_factor) as u64)
+        } else {
+            Duration::ZERO
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_derives_density_and_caps_crashes() {
+        let s = FaultSchedule::named("node-crash", 4, 7).unwrap();
+        let c = FarmChaos::project(&s, 3);
+        assert_eq!(c.schedule_name, "node-crash");
+        assert_eq!(c.seed, 7);
+        assert_eq!(c.crash_per_mille, 250); // 1 crash / 4 nodes
+        assert_eq!(c.max_crashes, 2);
+        assert_eq!(c.store_slow_factor, 1.0);
+        assert_eq!(c.store_delay(), Duration::ZERO);
+
+        let slow = FaultSchedule::named("slow-disk", 4, 7).unwrap();
+        let c = FarmChaos::project(&slow, 3);
+        assert!(c.store_slow_factor >= 8.0);
+        assert!(c.store_delay() > Duration::ZERO);
+    }
+
+    #[test]
+    fn crashes_are_deterministic_and_bounded() {
+        let s = FaultSchedule::named("node-crash", 2, 42).unwrap();
+        let c = FarmChaos::project(&s, 3);
+        assert!(c.crash_per_mille > 0);
+        let mut any_crash = false;
+        for seq in 1..=50 {
+            let a = c.crashes_for("tenant-1", seq);
+            let b = c.crashes_for("tenant-1", seq);
+            assert_eq!(a, b, "crash count must be a pure function of identity");
+            assert!(a <= c.max_crashes);
+            any_crash |= a > 0;
+        }
+        assert!(any_crash, "a 50% density over 50 jobs must crash at least once");
+        // Different seeds shift the crash pattern.
+        let s2 = FaultSchedule::named("node-crash", 2, 43).unwrap();
+        let c2 = FarmChaos::project(&s2, 3);
+        let pattern: Vec<u32> = (1..=50).map(|q| c.crashes_for("t", q)).collect();
+        let pattern2: Vec<u32> = (1..=50).map(|q| c2.crashes_for("t", q)).collect();
+        assert_ne!(pattern, pattern2);
+    }
+
+    #[test]
+    fn single_attempt_budget_means_no_crashes() {
+        let s = FaultSchedule::named("node-crash", 1, 1).unwrap();
+        let c = FarmChaos::project(&s, 1);
+        assert_eq!(c.max_crashes, 0);
+        for seq in 1..=20 {
+            assert_eq!(c.crashes_for("t", seq), 0);
+        }
+    }
+}

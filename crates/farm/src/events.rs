@@ -1,0 +1,153 @@
+//! Per-job records and the canonical farm event log.
+//!
+//! The farm keeps two kinds of truth about a job:
+//!
+//! * **Logical events** — dispatched, crashed, completed — which are
+//!   fully determined by (submission order, seed). These go into the
+//!   canonical event log, rendered sorted by `(tenant, seq)` with no
+//!   wall-clock content, so two runs with the same seed produce
+//!   byte-identical logs. That is the farm's reproducibility artifact,
+//!   checked by the `farm-chaos-determinism` CI job.
+//! * **Timings** — queue wait, start/end offsets — which depend on the
+//!   host and are *excluded* from the canonical log. They feed the
+//!   status endpoint, build history provenance, and trace timelines.
+
+use std::fmt::Write as _;
+
+/// Terminal state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Queued or in flight.
+    Pending,
+    /// Pipeline ran and its assertions passed.
+    Passed,
+    /// Pipeline ran to completion but failed.
+    Failed,
+}
+
+impl JobOutcome {
+    /// Canonical lowercase label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobOutcome::Pending => "pending",
+            JobOutcome::Passed => "passed",
+            JobOutcome::Failed => "failed",
+        }
+    }
+}
+
+/// Everything the farm knows about one submitted job.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Tenant name.
+    pub tenant: String,
+    /// Per-tenant job sequence number (1-based).
+    pub seq: u64,
+    /// Experiment the job ran.
+    pub experiment: String,
+    /// Logical event names in occurrence order
+    /// (`dispatch`, `crash`, `done`, `failed`).
+    pub events: Vec<String>,
+    /// Dispatch attempts consumed.
+    pub attempts: u32,
+    /// Worker crashes survived.
+    pub crashes: u32,
+    /// Terminal state.
+    pub outcome: JobOutcome,
+    /// Milliseconds from admission to first dispatch.
+    pub queue_wait_ms: u64,
+    /// First-dispatch offset from the farm epoch, in milliseconds.
+    pub started_ms: u64,
+    /// Completion offset from the farm epoch, in milliseconds.
+    pub ended_ms: u64,
+    /// Memo cache hits observed by the successful attempt.
+    pub memo_hits: u64,
+    /// Memo cache misses observed by the successful attempt.
+    pub memo_misses: u64,
+}
+
+impl JobRecord {
+    /// A fresh record for a just-admitted job.
+    pub fn new(tenant: &str, seq: u64, experiment: &str) -> JobRecord {
+        JobRecord {
+            tenant: tenant.to_string(),
+            seq,
+            experiment: experiment.to_string(),
+            events: Vec::new(),
+            attempts: 0,
+            crashes: 0,
+            outcome: JobOutcome::Pending,
+            queue_wait_ms: 0,
+            started_ms: 0,
+            ended_ms: 0,
+            memo_hits: 0,
+            memo_misses: 0,
+        }
+    }
+
+    /// The job's canonical log line: logical content only.
+    pub fn canonical_line(&self) -> String {
+        format!(
+            "{}#{} exp={} attempts={} crashes={} outcome={} events={}",
+            self.tenant,
+            self.seq,
+            self.experiment,
+            self.attempts,
+            self.crashes,
+            self.outcome.label(),
+            if self.events.is_empty() { "-".to_string() } else { self.events.join(",") },
+        )
+    }
+}
+
+/// Render the canonical farm event log: a header carrying the seed and
+/// schedule provenance, then one line per job sorted by `(tenant,
+/// seq)`. Contains no wall-clock data — byte-identical across runs
+/// with the same seed and submissions.
+pub fn canonical_log(seed: u64, schedule: &str, records: &[JobRecord]) -> String {
+    let mut sorted: Vec<&JobRecord> = records.iter().collect();
+    sorted.sort_by(|a, b| a.tenant.cmp(&b.tenant).then(a.seq.cmp(&b.seq)));
+    let mut out = format!("farm-events v1 seed={seed} schedule={schedule}\n");
+    for r in sorted {
+        let _ = writeln!(out, "{}", r.canonical_line());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(tenant: &str, seq: u64) -> JobRecord {
+        let mut r = JobRecord::new(tenant, seq, "exp");
+        r.events = vec!["dispatch".into(), "crash".into(), "dispatch".into(), "done".into()];
+        r.attempts = 2;
+        r.crashes = 1;
+        r.outcome = JobOutcome::Passed;
+        r.queue_wait_ms = 17; // wall time: must never leak into the log
+        r.started_ms = 100;
+        r.ended_ms = 230;
+        r
+    }
+
+    #[test]
+    fn canonical_log_is_sorted_and_wall_clock_free() {
+        let records = vec![rec("beta", 2), rec("alpha", 1), rec("beta", 1)];
+        let log = canonical_log(42, "node-crash", &records);
+        let lines: Vec<&str> = log.lines().collect();
+        assert_eq!(lines[0], "farm-events v1 seed=42 schedule=node-crash");
+        assert!(lines[1].starts_with("alpha#1 "));
+        assert!(lines[2].starts_with("beta#1 "));
+        assert!(lines[3].starts_with("beta#2 "));
+        assert!(!log.contains("17"), "queue wait leaked into canonical log");
+        assert!(!log.contains("230"), "end time leaked into canonical log");
+        assert!(log.contains("events=dispatch,crash,dispatch,done"));
+    }
+
+    #[test]
+    fn canonical_log_is_insertion_order_independent() {
+        let a = canonical_log(1, "none", &[rec("x", 1), rec("y", 1)]);
+        let b = canonical_log(1, "none", &[rec("y", 1), rec("x", 1)]);
+        assert_eq!(a, b);
+    }
+}

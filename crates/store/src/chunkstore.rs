@@ -121,6 +121,19 @@ impl StoreStats {
     }
 }
 
+impl fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} chunk(s), {} B stored / {} B ingested (dedup {:.2}x)",
+            self.unique_chunks,
+            self.stored_bytes,
+            self.ingested_bytes,
+            self.dedup_ratio()
+        )
+    }
+}
+
 /// Errors from store operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum StoreError {
@@ -179,6 +192,15 @@ impl ChunkStore {
             chunks.push((id, piece.len() as u32));
         }
         Manifest { chunks, total_len: data.len() as u64, blob_hash: blob_hasher.finalize() }
+    }
+
+    /// Ingest a batch of blobs in one call; returns their manifests in
+    /// order. A caller multiplexing many producers over one shared
+    /// store (the CI farm) amortizes its lock acquisition over the
+    /// whole batch instead of serializing on the object layer blob by
+    /// blob.
+    pub fn put_batch<'a>(&mut self, blobs: impl IntoIterator<Item = &'a [u8]>) -> Vec<Manifest> {
+        blobs.into_iter().map(|b| self.put(b)).collect()
     }
 
     /// Reassemble a blob from its manifest, verifying whole-blob
@@ -311,6 +333,23 @@ mod tests {
             growth < 200_000,
             "one-byte edit should add few chunks, added {growth} bytes"
         );
+    }
+
+    #[test]
+    fn put_batch_matches_sequential_puts_and_dedups() {
+        let a = random_bytes(80_000, 21);
+        let b = random_bytes(80_000, 22);
+        let mut seq = ChunkStore::new();
+        let expected = vec![seq.put(&a), seq.put(&b), seq.put(&a)];
+        let mut batched = ChunkStore::new();
+        let got = batched.put_batch([a.as_slice(), b.as_slice(), a.as_slice()]);
+        assert_eq!(got, expected);
+        assert_eq!(batched.stats(), seq.stats());
+        assert!(batched.stats().dedup_ratio() > 1.4, "{}", batched.stats());
+        // Display renders the dedup summary the CLI prints.
+        let line = batched.stats().to_string();
+        assert!(line.contains("dedup"), "{line}");
+        assert!(line.contains("chunk(s)"), "{line}");
     }
 
     #[test]

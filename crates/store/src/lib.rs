@@ -21,5 +21,5 @@ pub mod chunker;
 pub mod chunkstore;
 pub mod datapackage;
 
-pub use chunkstore::{ChunkId, ChunkStore, Manifest};
+pub use chunkstore::{ChunkId, ChunkStore, Manifest, StoreStats};
 pub use datapackage::{DataPackage, Registry, Resource};

@@ -42,7 +42,7 @@ pub use event::{EventKind, SpanId, TraceEvent};
 pub use export::{chrome_trace, chrome_trace_json, parse_chrome_trace, summary_table};
 pub use sink::TraceSink;
 pub use stream::{ChromeStream, TraceRecorder, TraceRecording};
-pub use svg::timeline_svg;
+pub use svg::{timeline_svg, timeline_svg_filtered};
 pub use tracer::{current, with_current, ClockDomain, SpanGuard, Tracer};
 
 #[cfg(test)]
@@ -197,6 +197,22 @@ mod tests {
         let table = summary_table(&events);
         assert!(table.contains("admit"));
         assert!(table.contains("1 instants, 1 counter samples"));
+    }
+
+    #[test]
+    fn filtered_timeline_keeps_only_matching_tracks() {
+        let sink = TraceSink::new();
+        let t = sink.tracer(ClockDomain::Virtual);
+        t.span_at("farm", "tenant-a/jobs", "job 1", 0, 1_000);
+        t.span_at("farm", "tenant-b/jobs", "job 2", 500, 2_000);
+        t.flush();
+        let events = sink.drain();
+        let svg = timeline_svg_filtered(&events, "tenant-a");
+        assert!(svg.contains("tenant-a/jobs"));
+        assert!(!svg.contains("tenant-b"));
+        // An unmatched prefix still renders a valid (empty) document.
+        let empty = timeline_svg_filtered(&events, "tenant-z");
+        assert!(empty.starts_with("<svg"));
     }
 
     #[test]

@@ -120,3 +120,14 @@ pub fn timeline_svg(events: &[TraceEvent]) -> String {
 
     doc.finish()
 }
+
+/// Render only the events whose track starts with `track_prefix` — the
+/// per-tenant or per-worker slice of a multiplexed recording (the CI
+/// farm serves `/tenants/<t>/timeline.svg` from this). Timestamps keep
+/// the full recording's epoch, so slices of one recording stay
+/// mutually comparable.
+pub fn timeline_svg_filtered(events: &[TraceEvent], track_prefix: &str) -> String {
+    let slice: Vec<TraceEvent> =
+        events.iter().filter(|e| e.track.starts_with(track_prefix)).cloned().collect();
+    timeline_svg(&slice)
+}

@@ -147,6 +147,27 @@ impl Repository {
         Ok(())
     }
 
+    /// Write and stage a batch of files in one pass. Equivalent to
+    /// `write_file` + `stage` per entry but validates every path before
+    /// touching the tree, so a bad path leaves both the working tree
+    /// and the index unchanged — the all-or-nothing contract batched
+    /// artifact commits (the CI farm's tenant repos) rely on.
+    pub fn write_files(
+        &mut self,
+        files: impl IntoIterator<Item = (String, Vec<u8>)>,
+    ) -> Result<(), VcsError> {
+        let files: Vec<(String, Vec<u8>)> = files.into_iter().collect();
+        for (path, _) in &files {
+            validate_path(path)?;
+        }
+        for (path, contents) in files {
+            let id = self.put(&Object::Blob(contents.clone()));
+            self.worktree.insert(path.clone(), contents);
+            self.index.insert(path, id);
+        }
+        Ok(())
+    }
+
     /// Unstage a path; true if it was staged.
     pub fn unstage(&mut self, path: &str) -> bool {
         self.index.remove(path).is_some()
@@ -620,6 +641,39 @@ mod tests {
     fn empty_commit_rejected() {
         let mut r = Repository::init();
         assert_eq!(r.commit("a", "m"), Err(VcsError::NothingStaged));
+    }
+
+    #[test]
+    fn write_files_batch_stages_all_or_nothing() {
+        let (mut r, _) = repo_with_commit();
+        r.write_files([
+            ("results/a.csv".to_string(), b"x,y\n1,2\n".to_vec()),
+            ("results/b.csv".to_string(), b"x,y\n3,4\n".to_vec()),
+        ])
+        .unwrap();
+        let c = r.commit("tester <t@t>", "batch artifacts").unwrap();
+        let snap = r.snapshot_of(c).unwrap();
+        assert_eq!(snap["results/a.csv"], b"x,y\n1,2\n");
+        assert_eq!(snap["results/b.csv"], b"x,y\n3,4\n");
+        // One bad path poisons the whole batch: nothing lands.
+        let before = r.object_count();
+        let err = r.write_files([
+            ("ok.txt".to_string(), b"fine".to_vec()),
+            ("../escape".to_string(), b"nope".to_vec()),
+        ]);
+        assert!(err.is_err());
+        assert!(r.read_file("ok.txt").is_none(), "partial batch must not land");
+        assert_eq!(r.object_count(), before);
+        // The equivalence with write_file + stage holds per entry.
+        let mut a = Repository::init();
+        a.write_files([("f.txt".to_string(), b"v".to_vec())]).unwrap();
+        let mut b = Repository::init();
+        b.write_file("f.txt", b"v".to_vec()).unwrap();
+        b.stage("f.txt").unwrap();
+        assert_eq!(
+            a.commit("t", "m").is_ok(),
+            b.commit("t", "m").is_ok()
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! | [`popper_trace`] | structured tracing: spans, timelines, Chrome trace export |
 //! | [`popper_chaos`] | deterministic fault injection: schedules, gremlins, `faults.json` |
 //! | [`popper_memo`] | content-addressed memo table for pipeline stages |
+//! | [`popper_farm`] | multi-tenant CI-as-a-service: fair queueing, shared store, badges |
 
 pub use popper_aver as aver;
 pub use popper_chaos as chaos;
@@ -32,6 +33,7 @@ pub use popper_ci as ci;
 pub use popper_cli as cli;
 pub use popper_container as container;
 pub use popper_core as core;
+pub use popper_farm as farm;
 pub use popper_format as format;
 pub use popper_gassyfs as gassyfs;
 pub use popper_memo as memo;
