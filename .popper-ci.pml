@@ -37,6 +37,11 @@ jobs:
   - name: lifecycle-parity
     stage: test
     steps: [cargo test --test lifecycle_parity]
+  - name: sim-shard-determinism
+    stage: test
+    matrix:
+      workers: [1, 2, 8]
+    steps: [cargo test --test sim_shard]
   - name: core-lint
     stage: test
     steps: [cargo clippy -p popper-core -- -D warnings]
@@ -52,3 +57,6 @@ jobs:
   - name: farm-slo-smoke
     stage: bench
     steps: [cargo bench --bench farm]
+  - name: sim-bench
+    stage: bench
+    steps: [cargo bench --bench sim]

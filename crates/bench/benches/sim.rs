@@ -1,0 +1,168 @@
+//! Sharded simulation engine throughput: events/sec, serial vs sharded.
+//!
+//! The sharding claim is twofold. Determinism: `run_sharded(n)` is
+//! byte-identical to the serial reference at every `n` (the bench
+//! re-checks this on the bench model before timing anything). Speed:
+//! with enough cores, sharding a ≥1000-node model across 8 workers
+//! clears 2x the serial event rate. The speedup gate is armed only when
+//! the host actually has 8 cores — on smaller hosts (CI containers are
+//! often 1–2 cores) a wall-clock 2x is physically impossible, so the
+//! gate degrades to an honest overhead bound: the sharded engine may
+//! not fall below a fixed fraction of the serial rate even with all
+//! workers multiplexed onto one core. The host core count is recorded
+//! in `BENCH_sim.json` so a reader knows which claim was checked.
+
+use criterion::{criterion_group, Criterion};
+use popper_format::{json, Table, Value};
+use popper_sim::{Nanos, ShardCtx, ShardedSim};
+use std::time::Instant;
+
+/// Simulated nodes (shards) in the bench model.
+const NODES: usize = 1000;
+/// Event hops seeded per node.
+const SEEDS_PER_NODE: u64 = 3;
+/// Hops each seeded chain makes before dying out.
+const HOPS: u32 = 40;
+
+/// Speedup the 8-worker engine must clear on a ≥8-core host.
+const GATE_SPEEDUP: &str = "expect avg(speedup_8w) >= 2";
+/// Overhead bound for core-starved hosts: even multiplexed onto a
+/// single core, epoch barriers and outbox merges may not eat more than
+/// ~3/4 of the serial event rate.
+const GATE_OVERHEAD: &str = "expect avg(relative_rate_8w) >= 0.25";
+
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// The bench model: PHOLD over `NODES` shards. Every event does a
+/// little state work (so there is something to parallelize), then hops
+/// to a hashed destination with a hashed delay >= the lookahead.
+fn model() -> ShardedSim<u64> {
+    const LOOKAHEAD: Nanos = Nanos(100);
+    let mut sim: ShardedSim<u64> = ShardedSim::new(vec![0u64; NODES], LOOKAHEAD);
+    fn hop(ctx: &mut ShardCtx<'_, u64>, ttl: u32, key: u64) {
+        // A few rounds of mixing stand in for per-event model work.
+        let mut acc = key;
+        for _ in 0..32 {
+            acc = mix(acc);
+        }
+        *ctx.state() ^= acc;
+        if ttl == 0 {
+            return;
+        }
+        let h = mix(key ^ u64::from(ttl));
+        let dst = (h as usize) % ctx.shards();
+        let delay = Nanos(100 + h % 900);
+        if dst == ctx.shard_id() {
+            ctx.schedule_in(delay, move |c| hop(c, ttl - 1, h));
+        } else {
+            ctx.send_to(dst, delay, move |c| hop(c, ttl - 1, h));
+        }
+    }
+    for node in 0..NODES {
+        for i in 0..SEEDS_PER_NODE {
+            let key = mix(((node as u64) << 24) ^ i);
+            sim.schedule(node, Nanos(key % 500), move |ctx| hop(ctx, HOPS, key));
+        }
+    }
+    sim
+}
+
+/// Events/sec for one full run at `workers` (0 = the serial `run()`
+/// path). Returns the rate and the model's final state fingerprint.
+fn measure(workers: usize) -> (f64, u64, u64) {
+    let mut sim = model();
+    let started = Instant::now();
+    if workers == 0 {
+        sim.run();
+    } else {
+        sim.run_sharded(workers);
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let fingerprint = sim.states().fold(0u64, |a, s| mix(a ^ *s));
+    (sim.events_fired() as f64 / elapsed, fingerprint, sim.events_fired())
+}
+
+fn print_and_commit() {
+    eprintln!("{}", popper_bench::banner("sim: sharded engine events/sec"));
+    let host_cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    // Determinism first: the bench model itself must agree byte-for-
+    // byte between serial and sharded before any rate is worth quoting.
+    let (serial_rate, serial_fp, events) = measure(0);
+    let (rate_2w, fp_2w, ev_2w) = measure(2);
+    let (rate_8w, fp_8w, ev_8w) = measure(8);
+    assert_eq!((fp_2w, ev_2w), (serial_fp, events), "2-worker run diverged from serial");
+    assert_eq!((fp_8w, ev_8w), (serial_fp, events), "8-worker run diverged from serial");
+
+    let speedup_2w = rate_2w / serial_rate;
+    let speedup_8w = rate_8w / serial_rate;
+    eprintln!("model:  {NODES} nodes, {events} events");
+    eprintln!("serial: {:.0} events/sec", serial_rate);
+    eprintln!("2 workers: {:.0} events/sec ({speedup_2w:.2}x)", rate_2w);
+    eprintln!("8 workers: {:.0} events/sec ({speedup_8w:.2}x)", rate_8w);
+
+    // Gate selection is a fact about the host, not a tunable: the 2x
+    // claim needs 8 cores to be falsifiable.
+    let (gate, armed) = if host_cores >= 8 {
+        (GATE_SPEEDUP, "speedup")
+    } else {
+        eprintln!("host has {host_cores} core(s) < 8: speedup gate disarmed, checking overhead bound");
+        (GATE_OVERHEAD, "overhead")
+    };
+    let mut table = Table::new(["speedup_8w", "relative_rate_8w"]);
+    table
+        .push_record(&[
+            ("speedup_8w", Value::from(speedup_8w)),
+            ("relative_rate_8w", Value::from(speedup_8w)),
+        ])
+        .unwrap();
+    let verdict = popper_aver::check(gate, &table).unwrap();
+    eprintln!("aver: {gate}\n  -> {verdict}");
+    assert!(verdict.passed, "sharded engine gate failed: {verdict}");
+
+    let mut rates = Value::empty_map();
+    rates.insert("serial_events_per_sec", Value::from(serial_rate));
+    rates.insert("workers_2_events_per_sec", Value::from(rate_2w));
+    rates.insert("workers_8_events_per_sec", Value::from(rate_8w));
+    rates.insert("speedup_2w", Value::from(speedup_2w));
+    rates.insert("speedup_8w", Value::from(speedup_8w));
+    let mut modeldoc = Value::empty_map();
+    modeldoc.insert("nodes", Value::from(NODES as i64));
+    modeldoc.insert("events", Value::from(events as i64));
+    modeldoc.insert("deterministic", Value::from(true));
+    let mut assertions = Value::empty_map();
+    assertions.insert("armed", Value::from(armed));
+    assertions.insert("gate", Value::from(gate));
+    let mut report = Value::empty_map();
+    report.insert("bench", Value::from("sim_sharded_events_per_sec"));
+    report.insert("unit", Value::from("events_per_sec"));
+    report.insert("host_cores", Value::from(host_cores as i64));
+    report.insert("model", modeldoc);
+    report.insert("rates", rates);
+    report.insert("assertions", assertions);
+    report.insert("verdict", Value::from(format!("{verdict}")));
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sim.json");
+    std::fs::write(path, json::to_string_pretty(&report) + "\n").unwrap();
+    eprintln!("wrote {path}\n");
+}
+
+fn bench_sharded_window(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim");
+    group.sample_size(10);
+    group.bench_function("phold_1000/serial", |b| b.iter(|| measure(0).2));
+    group.bench_function("phold_1000/8_workers", |b| b.iter(|| measure(8).2));
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_window);
+
+fn main() {
+    print_and_commit();
+    benches();
+    criterion::Criterion::default().configure_from_args().final_summary();
+}

@@ -57,6 +57,7 @@ const VALUE_FLAGS: &[&str] = &[
     "jobs",
     "template",
     "port",
+    "sim-workers",
 ];
 
 /// Parse argv (program name already stripped).

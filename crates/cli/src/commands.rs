@@ -18,6 +18,18 @@ use std::sync::Arc;
 /// Dispatch a parsed command line in `dir`.
 pub fn dispatch(parsed: &Parsed, dir: &Path) -> Result<String, String> {
     let author = parsed.flag_value("author").unwrap_or("anonymous researcher").to_string();
+    // `--sim-workers N` shards every simulation this invocation drives
+    // across N worker threads (results are byte-identical to N=1; see
+    // `popper_sim::shard`). Runners pick it up via the environment so
+    // the knob reaches simulations behind any pipeline depth.
+    if let Some(v) = parsed.flag_value("sim-workers") {
+        let n = v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("--sim-workers expects a positive integer, got '{v}'"))?;
+        std::env::set_var("POPPER_SIM_WORKERS", n.to_string());
+    }
     match parsed.command() {
         None | Some("help") => Ok(help_text()),
         Some("init") => cmd_init(dir, &author),
@@ -623,6 +635,8 @@ COMMANDS:
     paper build               assemble the article (resolves figures)
     check                     compliance check (is this Popperized?)
     run <experiment>          run the full experiment lifecycle
+                              [--sim-workers N] shard simulations across N cores
+                              (byte-identical results at every N)
     trace <experiment>        run with tracing; records trace.json + trace.svg
     trace-diff <exp> <a>..<b> diff recorded traces between two commits; exit 1 on divergence
                               [--tolerance <pct>] [--structure-only]

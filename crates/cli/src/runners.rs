@@ -21,6 +21,7 @@ pub fn register_builtin_runners(engine: &mut ExperimentEngine) {
     engine.register("torpor-variability", torpor_runner);
     engine.register("mpi-variability", mpi_runner);
     engine.register("lulesh-chaos", lulesh_chaos_runner);
+    engine.register("lulesh-sharded", lulesh_sharded_runner);
     engine.register("bww-airtemp", bww_runner);
 }
 
@@ -165,6 +166,37 @@ fn lulesh_chaos_runner(vars: &Value) -> Result<Table, String> {
     Ok(result.to_table())
 }
 
+/// The sharded LULESH proxy: one shard per rank, run across the worker
+/// count from `sim_workers:` (or the CLI's `--sim-workers`, via
+/// `POPPER_SIM_WORKERS`). One row per rank; the table is identical at
+/// every worker count, so an Aver gate over it doubles as a
+/// determinism check.
+fn lulesh_sharded_runner(vars: &Value) -> Result<Table, String> {
+    let app = lulesh_app(vars)?;
+    let machine = vars.get_str("machine").unwrap_or("hpc-node");
+    let platform =
+        platforms::by_name(machine).ok_or_else(|| format!("unknown machine '{machine}'"))?;
+    let workers = match vars.get_num("sim_workers") {
+        Some(w) if w >= 1.0 => w as usize,
+        Some(w) => return Err(format!("'sim_workers' must be >= 1, got {w}")),
+        None => popper_sim::shard::configured_workers(),
+    };
+    let run = popper_minimpi::run_sharded(&app, &platform, workers);
+    let mut t = Table::new(["machine", "workers", "epochs", "rank", "finish_ms", "elapsed_ms"]);
+    for (rank, finish) in run.per_rank_finish.iter().enumerate() {
+        t.push_row(vec![
+            Value::from(machine),
+            Value::from(run.workers),
+            Value::from(run.epochs as usize),
+            Value::from(rank),
+            Value::Num(finish.as_millis_f64()),
+            Value::Num(run.elapsed.as_millis_f64()),
+        ])
+        .expect("fixed schema");
+    }
+    Ok(t)
+}
+
 fn bww_runner(vars: &Value) -> Result<Table, String> {
     let mut config = ReanalysisConfig::default();
     if let Some(y) = vars.get_num("years") {
@@ -295,7 +327,7 @@ mod tests {
     fn full_engine_lists_all_runners() {
         let engine = full_engine();
         let names = engine.runners();
-        for expected in ["synthetic", "gassyfs-scalability", "torpor-variability", "mpi-variability", "lulesh-chaos", "bww-airtemp"] {
+        for expected in ["synthetic", "gassyfs-scalability", "torpor-variability", "mpi-variability", "lulesh-chaos", "lulesh-sharded", "bww-airtemp"] {
             assert!(names.contains(&expected), "missing {expected}");
         }
     }
@@ -360,6 +392,28 @@ mod tests {
         };
         assert_eq!(run(11), run(11));
         assert_ne!(run(11).1, run(12).1);
+    }
+
+    #[test]
+    fn lulesh_sharded_runner_is_worker_count_invariant() {
+        let vars_for = |workers: i64| {
+            let mut vars = Value::empty_map();
+            vars.insert("grid", Value::from(vec![2i64, 2, 2]));
+            vars.insert("elements", Value::from(4i64));
+            vars.insert("iterations", Value::from(10i64));
+            vars.insert("sim_workers", Value::from(workers));
+            vars
+        };
+        let serial = lulesh_sharded_runner(&vars_for(1)).unwrap();
+        assert_eq!(serial.len(), 8); // 2x2x2 ranks, one row each
+        let sharded = lulesh_sharded_runner(&vars_for(4)).unwrap();
+        // Everything but the recorded worker count is identical.
+        for (a, b) in serial.iter().zip(sharded.iter()) {
+            assert_eq!(a.get("finish_ms"), b.get("finish_ms"));
+            assert_eq!(a.get("elapsed_ms"), b.get("elapsed_ms"));
+            assert_eq!(a.get("epochs"), b.get("epochs"));
+        }
+        assert!(lulesh_sharded_runner(&vars_for(0)).is_err());
     }
 
     #[test]

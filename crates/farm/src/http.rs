@@ -131,8 +131,13 @@ fn handle_connection(mut stream: TcpStream, view: &dyn FarmView) -> std::io::Res
         if n == 0 {
             break;
         }
+        // Only the bytes this read appended — plus up to three carried
+        // over from the previous read, in case the terminator straddles
+        // the boundary — can contain a new "\r\n\r\n". Rescanning the
+        // whole buffer would be quadratic on slow-trickle requests.
+        let scan_from = buf.len().saturating_sub(3);
         buf.extend_from_slice(&chunk[..n]);
-        if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
+        if buf[scan_from..].windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8192 {
             break;
         }
     }
@@ -154,6 +159,10 @@ fn handle_connection(mut stream: TcpStream, view: &dyn FarmView) -> std::io::Res
 
 fn route(path: &str, view: &dyn FarmView) -> (&'static str, &'static str, String) {
     const OK: &str = "200 OK";
+    // Badge caches cache-bust with query strings (`/badge.svg?v=1`);
+    // routing is on the path alone. Fragments never reach a server in a
+    // well-formed request but cost nothing to tolerate.
+    let path = path.split(['?', '#']).next().unwrap_or(path);
     match path {
         "/status" => (OK, "application/json", view.status_json()),
         "/badge.svg" => (OK, "image/svg+xml", badge_svg("farm", view.overall_passing())),
@@ -232,6 +241,47 @@ mod tests {
         assert!(status.contains("404"), "{status}");
         let (status, _) = get(addr, "/nope");
         assert!(status.contains("404"));
+        server.stop();
+    }
+
+    #[test]
+    fn query_strings_do_not_404() {
+        let server = FarmServer::start(Arc::new(FakeView), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        // Exactly what badge caches append for cache-busting.
+        let (status, body) = get(addr, "/badge.svg?v=1");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("passing"));
+        let (status, _) = get(addr, "/status?pretty=1&ts=1723");
+        assert!(status.contains("200"), "{status}");
+        let (status, body) = get(addr, "/tenants/t1/badge.svg?cachebust=9");
+        assert!(status.contains("200"), "{status}");
+        assert!(body.contains("failing"));
+        // A bare '?' and unknown paths still behave.
+        let (status, _) = get(addr, "/badge.svg?");
+        assert!(status.contains("200"), "{status}");
+        let (status, _) = get(addr, "/nope?x=1");
+        assert!(status.contains("404"), "{status}");
+        server.stop();
+    }
+
+    #[test]
+    fn trickled_request_bytes_round_trip() {
+        let server = FarmServer::start(Arc::new(FakeView), "127.0.0.1:0").unwrap();
+        let addr = server.addr();
+        // Dribble the request a few bytes per write, with the header
+        // terminator straddling a write boundary, to exercise the
+        // incremental terminator scan.
+        let request = b"GET /status HTTP/1.1\r\nHost: farm\r\nX-Pad: aaaa\r\n\r\n";
+        let mut s = TcpStream::connect(addr).unwrap();
+        for part in request.chunks(3) {
+            s.write_all(part).unwrap();
+            s.flush().unwrap();
+        }
+        let mut response = String::new();
+        s.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200"), "{response}");
+        assert!(response.contains("popper-farm"));
         server.stop();
     }
 

@@ -30,9 +30,11 @@ pub mod events;
 pub mod http;
 pub mod queue;
 pub mod service;
+pub mod simmodel;
 
 pub use chaos::FarmChaos;
 pub use events::{JobOutcome, JobRecord};
 pub use http::{badge_svg, FarmServer};
 pub use queue::DrrScheduler;
 pub use service::{Farm, FarmBuilder, FarmConfig, FarmReport, JobId, SubmitError};
+pub use simmodel::{simulate, FarmSimConfig, FarmSimReport};

@@ -1,0 +1,193 @@
+//! A sharded discrete-event model of the farm: one shard per tenant
+//! pipeline, plus a shard for the shared chunk store.
+//!
+//! The live farm (see [`service`](crate::service)) schedules real jobs
+//! over OS threads; capacity questions — how many tenants fit a worker
+//! pool, what a store slowdown does to tail latency — are answered
+//! faster on a model. Each tenant's pipeline is an independent event
+//! stream (jobs arrive, build, test, archive), which is exactly the
+//! partition [`ShardedSim`] wants: tenants only meet at the shared
+//! store, and that interaction ships as cross-shard messages bounded by
+//! the admission latency, so the model parallelizes with the same
+//! byte-identical-trace guarantee as every other sharded workload.
+//!
+//! Job durations derive from a splitmix over `(seed, tenant, job)` —
+//! the same deterministic-hash idiom the farm's chaos projection uses —
+//! so the model is a pure function of its config at every worker count.
+
+use popper_sim::{Nanos, ShardCtx, ShardedSim};
+
+/// Shard 0 is the store; tenant `t` (0-based) is shard `t + 1`.
+const STORE: usize = 0;
+
+/// Model configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FarmSimConfig {
+    /// Independent tenant pipelines.
+    pub tenants: usize,
+    /// Jobs each tenant runs, back to back.
+    pub jobs_per_tenant: usize,
+    /// Seed for the per-job duration hash.
+    pub seed: u64,
+    /// Mean build+test duration per job.
+    pub mean_job: Nanos,
+    /// Store admission latency — also the conservative lookahead.
+    pub store_latency: Nanos,
+}
+
+impl Default for FarmSimConfig {
+    fn default() -> Self {
+        FarmSimConfig {
+            tenants: 8,
+            jobs_per_tenant: 32,
+            seed: 7,
+            mean_job: Nanos::from_micros(500),
+            store_latency: Nanos::from_micros(10),
+        }
+    }
+}
+
+/// What one shard models.
+enum FarmShard {
+    Store { jobs: u64, bytes: u64, last_arrival: Nanos },
+    Tenant { id: usize, done: usize, finish: Nanos },
+}
+
+/// Result of a model run — identical for every worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FarmSimReport {
+    /// Per-tenant pipeline completion times.
+    pub tenant_finish: Vec<Nanos>,
+    /// Jobs the store archived.
+    pub store_jobs: u64,
+    /// Bytes the store ingested.
+    pub store_bytes: u64,
+    /// Virtual time the last archive landed.
+    pub elapsed: Nanos,
+    /// Total events dispatched.
+    pub events: u64,
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Hash key for job `(tenant, job)` under `seed`. The seed is pre-mixed
+/// through splitmix before the counters are XORed in: a raw small seed
+/// XOR a dense job range `0..n` merely permutes the same input set, so
+/// any *sum* over a pipeline's jobs (e.g. its finish time) would come
+/// out seed-invariant.
+fn job_key(config: &FarmSimConfig, salt: u64, tenant: usize, job: usize) -> u64 {
+    splitmix(splitmix(config.seed ^ salt) ^ ((tenant as u64) << 32) ^ job as u64)
+}
+
+/// Deterministic per-job duration: `0.5x .. 1.5x` of the mean.
+fn job_duration(config: &FarmSimConfig, tenant: usize, job: usize) -> Nanos {
+    let jitter = (job_key(config, 0, tenant, job) % 1000) as f64 / 1000.0; // [0, 1)
+    config.mean_job.scale(0.5 + jitter)
+}
+
+/// Bytes a job archives: a small manifest plus a hash-sized payload.
+fn job_bytes(config: &FarmSimConfig, tenant: usize, job: usize) -> u64 {
+    4096 + job_key(config, 0xfa12, tenant, job) % 65536
+}
+
+/// Run the model with `workers` threads (1 = single-threaded
+/// reference).
+pub fn simulate(config: &FarmSimConfig, workers: usize) -> FarmSimReport {
+    assert!(config.tenants >= 1 && config.jobs_per_tenant >= 1);
+    let mut states = vec![FarmShard::Store { jobs: 0, bytes: 0, last_arrival: Nanos::ZERO }];
+    states.extend((0..config.tenants).map(|id| FarmShard::Tenant { id, done: 0, finish: Nanos::ZERO }));
+
+    let mut sim = ShardedSim::new(states, config.store_latency);
+    let cfg = std::sync::Arc::new(config.clone());
+    for t in 0..config.tenants {
+        let cfg = std::sync::Arc::clone(&cfg);
+        // Stagger arrivals so tenants are not artificially phase-locked.
+        sim.schedule(t + 1, Nanos(t as u64), move |ctx| run_job(ctx, 0, cfg));
+    }
+    let elapsed = sim.run_sharded(workers);
+
+    let mut tenant_finish = vec![Nanos::ZERO; config.tenants];
+    let (mut store_jobs, mut store_bytes) = (0, 0);
+    for state in sim.states() {
+        match state {
+            FarmShard::Store { jobs, bytes, .. } => {
+                store_jobs = *jobs;
+                store_bytes = *bytes;
+            }
+            FarmShard::Tenant { id, finish, .. } => tenant_finish[*id] = *finish,
+        }
+    }
+    FarmSimReport { tenant_finish, store_jobs, store_bytes, elapsed, events: sim.events_fired() }
+}
+
+/// One job: build+test for the hashed duration, then archive to the
+/// store and start the next job.
+fn run_job(ctx: &mut ShardCtx<'_, FarmShard>, job: usize, cfg: std::sync::Arc<FarmSimConfig>) {
+    let FarmShard::Tenant { id, .. } = ctx.state() else {
+        unreachable!("jobs run on tenant shards")
+    };
+    let tenant = *id;
+    let duration = job_duration(&cfg, tenant, job);
+    ctx.schedule_in(duration, move |c| {
+        let bytes = job_bytes(&cfg, tenant, job);
+        let latency = cfg.store_latency;
+        c.send_to(STORE, latency, move |store| {
+            let now = store.now();
+            let FarmShard::Store { jobs, bytes: total, last_arrival } = store.state() else {
+                unreachable!("shard 0 is the store")
+            };
+            *jobs += 1;
+            *total += bytes;
+            *last_arrival = now;
+        });
+        let now = c.now();
+        let FarmShard::Tenant { done, finish, .. } = c.state() else { unreachable!() };
+        *done = job + 1;
+        if job + 1 == cfg.jobs_per_tenant {
+            *finish = now;
+        } else {
+            run_job(c, job + 1, cfg);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn model_is_identical_at_every_worker_count() {
+        let config = FarmSimConfig { tenants: 6, jobs_per_tenant: 20, ..Default::default() };
+        let reference = simulate(&config, 1);
+        assert_eq!(reference.store_jobs, 6 * 20);
+        assert!(reference.store_bytes > 0);
+        assert_eq!(reference.tenant_finish.len(), 6);
+        assert!(reference.tenant_finish.iter().all(|f| *f > Nanos::ZERO));
+        for workers in [2, 4, 8] {
+            assert_eq!(simulate(&config, workers), reference, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = simulate(&FarmSimConfig::default(), 2);
+        let b = simulate(&FarmSimConfig { seed: 8, ..Default::default() }, 2);
+        assert_ne!(a.tenant_finish, b.tenant_finish);
+        assert_eq!(a.store_jobs, b.store_jobs, "workload size is seed-independent");
+    }
+
+    #[test]
+    fn tenants_are_independent_until_the_store() {
+        // A lone tenant's finish time does not change when other
+        // tenants are added: pipelines only share the store, and the
+        // model's store admission is not a bottleneck resource.
+        let solo = simulate(&FarmSimConfig { tenants: 1, ..Default::default() }, 1);
+        let crowd = simulate(&FarmSimConfig { tenants: 8, ..Default::default() }, 2);
+        assert_eq!(solo.tenant_finish[0], crowd.tenant_finish[0]);
+    }
+}

@@ -23,6 +23,10 @@
 //!   distribution that the deferred figure of §5.3 would plot, and the
 //!   root-cause attribution (the noisy node's ranks show the highest
 //!   compute time while *other* ranks show the waiting).
+//! * [`shardsim`] — the multi-core proxy: each rank's subdomain is a
+//!   [`popper_sim::ShardedSim`] shard, halos are cross-shard events
+//!   bounded by the fabric latency (the conservative lookahead), and
+//!   `run_sharded(n)` is byte-for-byte the single-threaded run.
 //! * [`ft`] — fault tolerance: rank-failure detection through the typed
 //!   `try_*` collectives plus two recovery policies (ULFM-style
 //!   communicator shrink, and checkpoint/restart with rollback replay)
@@ -34,6 +38,7 @@ pub mod experiment;
 pub mod ft;
 pub mod lulesh;
 pub mod profiler;
+pub mod shardsim;
 
 pub use comm::{MpiError, MpiWorld, RetryPolicy};
 pub use experiment::{
@@ -43,3 +48,4 @@ pub use experiment::{
 pub use ft::{run_ft, EpochRecord, FtLuleshRun, RecoveryEvent, RecoveryPolicy};
 pub use lulesh::{LuleshConfig, LuleshResult};
 pub use profiler::{MpiOp, MpiProfile};
+pub use shardsim::{run_sharded, ShardedLuleshRun};

@@ -1,0 +1,198 @@
+//! The sharded LULESH proxy: one shard per rank's subdomain.
+//!
+//! The analytic proxy in [`lulesh`](crate::lulesh) advances every rank
+//! on a single thread. This variant maps each rank's subdomain onto a
+//! [`ShardedSim`] shard and drives the same compute / halo-exchange
+//! loop as discrete events: a rank computes over its cells, ships one
+//! halo face to each neighbor, and may not start step `s + 1` until its
+//! own step-`s` compute is done *and* every neighbor's step-`s` halo
+//! has arrived — the nearest-neighbor synchronization that lets distant
+//! subdomains drift apart by a step while adjacent ones stay in
+//! lock-step (LULESH proper also agrees on a global timestep; the
+//! sharded proxy keeps the halo dependency, which is the part that
+//! partitions).
+//!
+//! The fabric's propagation latency is the conservative lookahead: a
+//! halo can never land earlier than `now + latency`, so all ranks can
+//! fire events within one lookahead window in parallel. Determinism is
+//! inherited from the engine — `run_sharded(n)` produces the same
+//! per-rank finish times and the same trace bytes for every `n`.
+
+use crate::lulesh::LuleshConfig;
+use popper_sim::shard::partition;
+use popper_sim::{Nanos, PlatformSpec, ShardCtx, ShardedSim};
+
+/// Per-rank (per-shard) state of the sharded proxy.
+struct RankState {
+    /// Face neighbors of this rank in the decomposition.
+    neighbors: Vec<usize>,
+    /// Own compute finished, per step.
+    compute_done: Vec<bool>,
+    /// Halos received, per step.
+    halos: Vec<usize>,
+    /// Next step already started, per step (guards double advance).
+    advanced: Vec<bool>,
+    /// Virtual time this rank finished its last step.
+    finish: Nanos,
+}
+
+/// Result of one sharded proxy run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedLuleshRun {
+    /// End-to-end virtual runtime (latest rank finish).
+    pub elapsed: Nanos,
+    /// Per-rank finish times, rank order.
+    pub per_rank_finish: Vec<Nanos>,
+    /// Total events dispatched.
+    pub events: u64,
+    /// Epoch barriers the engine crossed.
+    pub epochs: u64,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+struct Timing {
+    step: Nanos,
+    halo_delay: Nanos,
+    iterations: usize,
+}
+
+/// Run the sharded proxy with `workers` threads (1 = the
+/// single-threaded reference execution; results are identical either
+/// way). The platform supplies both the compute rate and the fabric
+/// timing the lookahead is derived from.
+pub fn run_sharded(config: &LuleshConfig, platform: &PlatformSpec, workers: usize) -> ShardedLuleshRun {
+    let ranks = config.ranks();
+    let cells = (config.elements_per_rank as f64).powi(3);
+    let step = platform.execute(&config.demand_per_element.scaled(cells));
+    let latency = Nanos(platform.nic_lat_ns as u64).max(Nanos(1));
+    // One halo face, serialized at the NIC, after one propagation
+    // latency — always at or beyond the lookahead.
+    let serialize = Nanos::from_secs_f64(config.halo_bytes() as f64 * 8.0 / (platform.nic_gbit * 1e9));
+    let timing = std::sync::Arc::new(Timing {
+        step,
+        halo_delay: latency + serialize,
+        iterations: config.iterations,
+    });
+
+    let mut adjacency = vec![Vec::new(); ranks];
+    for (a, b) in config.neighbor_pairs() {
+        adjacency[a].push(b);
+        adjacency[b].push(a);
+    }
+    let states: Vec<RankState> = adjacency
+        .into_iter()
+        .map(|neighbors| RankState {
+            neighbors,
+            compute_done: vec![false; config.iterations],
+            halos: vec![0; config.iterations],
+            advanced: vec![false; config.iterations],
+            finish: Nanos::ZERO,
+        })
+        .collect();
+
+    let mut sim = ShardedSim::new(states, latency);
+    for rank in 0..ranks {
+        let timing = std::sync::Arc::clone(&timing);
+        sim.schedule(rank, Nanos::ZERO, move |ctx| begin_step(ctx, 0, timing));
+    }
+    let elapsed = sim.run_sharded(workers);
+    ShardedLuleshRun {
+        elapsed,
+        per_rank_finish: sim.states().map(|s| s.finish).collect(),
+        events: sim.events_fired(),
+        epochs: sim.epochs(),
+        workers: workers.max(1),
+    }
+}
+
+fn begin_step(ctx: &mut ShardCtx<'_, RankState>, step: usize, timing: std::sync::Arc<Timing>) {
+    let d = timing.step;
+    ctx.schedule_in(d, move |c| complete_step(c, step, timing));
+}
+
+fn complete_step(ctx: &mut ShardCtx<'_, RankState>, step: usize, timing: std::sync::Arc<Timing>) {
+    ctx.state().compute_done[step] = true;
+    let neighbors = ctx.state().neighbors.clone();
+    if step + 1 == timing.iterations {
+        // Last step: nothing downstream needs this halo.
+        let now = ctx.now();
+        ctx.state().finish = now;
+        return;
+    }
+    for nb in neighbors {
+        let timing = std::sync::Arc::clone(&timing);
+        ctx.send_to(nb, timing.halo_delay, move |c| receive_halo(c, step, timing));
+    }
+    try_advance(ctx, step, timing);
+}
+
+fn receive_halo(ctx: &mut ShardCtx<'_, RankState>, step: usize, timing: std::sync::Arc<Timing>) {
+    ctx.state().halos[step] += 1;
+    try_advance(ctx, step, timing);
+}
+
+/// Start step `step + 1` once this rank's own compute for `step` is
+/// done and every neighbor's halo for `step` has arrived.
+fn try_advance(ctx: &mut ShardCtx<'_, RankState>, step: usize, timing: std::sync::Arc<Timing>) {
+    let state = ctx.state();
+    let ready = state.compute_done[step]
+        && state.halos[step] == state.neighbors.len()
+        && !state.advanced[step];
+    if !ready {
+        return;
+    }
+    state.advanced[step] = true;
+    ctx.schedule_in(Nanos::ZERO, move |c| begin_step(c, step + 1, timing));
+}
+
+/// Map the decomposition's ranks onto at most `shards` balanced,
+/// contiguous groups — the subdomain partition a coarser-grained
+/// deployment would use. Exposed for callers that batch several ranks
+/// per shard; the proxy itself runs one rank per shard.
+pub fn subdomain_partition(config: &LuleshConfig, shards: usize) -> Vec<std::ops::Range<usize>> {
+    partition(config.ranks(), shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popper_sim::platforms;
+
+    #[test]
+    fn sharded_proxy_matches_reference_at_every_worker_count() {
+        let config = LuleshConfig::small();
+        let platform = platforms::hpc_node();
+        let reference = run_sharded(&config, &platform, 1);
+        assert!(reference.elapsed >= Nanos(1));
+        assert_eq!(reference.per_rank_finish.len(), config.ranks());
+        assert!(reference.per_rank_finish.iter().all(|f| *f > Nanos::ZERO));
+        for workers in [2, 4, 8] {
+            let parallel = run_sharded(&config, &platform, workers);
+            assert_eq!(parallel.elapsed, reference.elapsed, "workers={workers}");
+            assert_eq!(parallel.per_rank_finish, reference.per_rank_finish);
+            assert_eq!(parallel.events, reference.events);
+        }
+    }
+
+    #[test]
+    fn halo_dependencies_gate_progress() {
+        let config = LuleshConfig::small();
+        let platform = platforms::hpc_node();
+        let run = run_sharded(&config, &platform, 1);
+        let cells = (config.elements_per_rank as f64).powi(3);
+        let step = platform.execute(&config.demand_per_element.scaled(cells));
+        // Every rank must pay at least its own serial compute, and the
+        // halo round trips push the total past it.
+        assert!(run.elapsed > step * config.iterations as u64);
+        // Multiple epochs: the lookahead is far smaller than a step.
+        assert!(run.epochs > 1);
+    }
+
+    #[test]
+    fn subdomain_partition_covers_all_ranks() {
+        let config = LuleshConfig::paper();
+        let parts = subdomain_partition(&config, 4);
+        assert_eq!(parts.iter().map(|r| r.len()).sum::<usize>(), config.ranks());
+    }
+}

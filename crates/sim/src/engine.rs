@@ -51,6 +51,10 @@ pub struct Sim<W> {
     fired: u64,
     queue: BinaryHeap<Event<W>>,
     tracer: Tracer,
+    /// True once the drain-time `pending = 0` sample has been emitted
+    /// and no dispatch has happened since (so repeated `run()` calls
+    /// don't re-emit it).
+    drain_sampled: bool,
     /// The modeled system's state, freely accessible to event actions.
     pub world: W,
 }
@@ -66,6 +70,7 @@ impl<W> Sim<W> {
             fired: 0,
             queue: BinaryHeap::new(),
             tracer: popper_trace::current(),
+            drain_sampled: true,
             world,
         }
     }
@@ -117,14 +122,26 @@ impl<W> Sim<W> {
             if self.fired % COUNTER_EVERY == 1 {
                 self.tracer.counter_at("sim/engine", "pending", self.queue.len() as f64, self.now.0);
             }
+            self.drain_sampled = false;
         }
         (ev.action)(self);
         true
     }
 
+    /// Record the drain-time `pending = 0` counter sample. The periodic
+    /// sample fires only every [`COUNTER_EVERY`] dispatches, so without
+    /// this a trace ends on a stale queue depth.
+    fn sample_drain(&mut self) {
+        if self.queue.is_empty() && !self.drain_sampled && self.tracer.is_enabled() {
+            self.tracer.counter_at("sim/engine", "pending", 0.0, self.now.0);
+            self.drain_sampled = true;
+        }
+    }
+
     /// Run until no events remain. Returns the final time.
     pub fn run(&mut self) -> Nanos {
         while self.step() {}
+        self.sample_drain();
         self.now
     }
 
@@ -138,6 +155,7 @@ impl<W> Sim<W> {
             }
             self.step();
         }
+        self.sample_drain();
         self.now
     }
 
@@ -146,6 +164,7 @@ impl<W> Sim<W> {
     pub fn run_capped(&mut self, max_events: u64) -> u64 {
         let start = self.fired;
         while self.fired - start < max_events && self.step() {}
+        self.sample_drain();
         self.fired - start
     }
 }
@@ -215,6 +234,45 @@ mod tests {
         let fired = sim.run_capped(1000);
         assert_eq!(fired, 1000);
         assert_eq!(sim.world, 1000);
+    }
+
+    #[test]
+    fn trace_ends_with_a_drain_time_pending_sample() {
+        use popper_trace::{ClockDomain, EventKind, TraceSink};
+        let sink = TraceSink::new();
+        let tracer = sink.tracer(ClockDomain::Virtual);
+        let mut sim: Sim<u32> = Sim::new(0);
+        sim.set_tracer(tracer.clone());
+        // 70 events: the periodic sample (every 64th dispatch) last fires
+        // at dispatch 65 with 5 still queued — stale without the fix.
+        for t in 1..=70u64 {
+            sim.schedule_at(Nanos(t), |s| s.world += 1);
+        }
+        let end = sim.run();
+        tracer.flush();
+        let events = sink.drain();
+        let samples: Vec<(u64, f64)> = events
+            .iter()
+            .filter(|e| e.name == "pending")
+            .filter_map(|e| match e.kind {
+                EventKind::Counter { ts_ns, value } => Some((ts_ns, value)),
+                _ => None,
+            })
+            .collect();
+        let last = samples.last().expect("at least one pending sample");
+        assert_eq!(*last, (end.0, 0.0), "queue depth must read 0 at drain, got {samples:?}");
+        // The stale mid-run sample is still there (value 5 at dispatch 65).
+        assert!(samples.iter().any(|(_, v)| *v > 0.0));
+        // Re-running with no new events emits nothing further.
+        let before = samples.len();
+        sim.run();
+        tracer.flush();
+        sink.drain();
+        let mut sim2: Sim<u32> = Sim::new(0);
+        sim2.set_tracer(tracer.clone());
+        sim2.run();
+        tracer.flush();
+        assert!(sink.drain().is_empty(), "no dispatches -> no drain sample ({before} before)");
     }
 
     #[test]

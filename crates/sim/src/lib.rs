@@ -13,6 +13,10 @@
 //! * [`engine`] — a generic event-queue simulator ([`Sim`]) with
 //!   deterministic tie-breaking (events at equal times fire in schedule
 //!   order).
+//! * [`shard`] — the multi-core variant ([`ShardedSim`]): per-shard
+//!   event queues advanced in epoch-synchronized windows bounded by a
+//!   conservative lookahead, with a deterministic cross-shard merge so
+//!   the trace is byte-identical at every worker count.
 //! * [`resource`] — analytic queueing primitives: serial servers
 //!   ([`resource::Serial`]) and multi-server pools
 //!   ([`resource::MultiServer`]) used to model cores, NICs and disks.
@@ -43,6 +47,7 @@ pub mod network;
 pub mod noise;
 pub mod platforms;
 pub mod resource;
+pub mod shard;
 pub mod time;
 
 pub use cluster::Cluster;
@@ -50,4 +55,5 @@ pub use engine::Sim;
 pub use fault::{FaultPlane, Unreachable};
 pub use hardware::{Demand, PlatformSpec, ResourceDim};
 pub use network::Fabric;
+pub use shard::{ShardCtx, ShardedSim};
 pub use time::Nanos;

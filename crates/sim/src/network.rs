@@ -176,9 +176,18 @@ impl Fabric {
 
     /// A small-message round trip between two nodes (an RPC): two
     /// latencies plus both serializations.
+    ///
+    /// On a faulted fabric an unreachable peer costs exactly the
+    /// timeout of the leg that failed — like the infallible
+    /// [`transfer`](Self::transfer), the caller is charged `gave_up_at`
+    /// and nothing more. The reply leg is neither attempted nor
+    /// charged, and no traffic is counted for a round trip that never
+    /// completed.
     pub fn rpc(&mut self, a: usize, b: usize, req_bytes: u64, resp_bytes: u64, now: Nanos) -> Nanos {
-        let arrived = self.transfer(a, b, req_bytes, now);
-        self.transfer(b, a, resp_bytes, arrived)
+        match self.try_rpc(a, b, req_bytes, resp_bytes, now) {
+            Ok(done) => done,
+            Err(u) => u.gave_up_at,
+        }
     }
 
     /// Fallible RPC; fails if either direction is undeliverable.
@@ -308,6 +317,30 @@ mod tests {
         assert!(f.try_transfer(0, 1, 1000, Nanos(50)).is_ok());
         // Dropped messages are not counted as delivered traffic.
         assert_eq!(f.traffic(2).rx_msgs, 0);
+    }
+
+    #[test]
+    fn rpc_on_crashed_destination_stops_at_the_timeout() {
+        let mut f = fabric(3);
+        f.faults_mut().crash(1);
+        let before = (f.traffic(0), f.traffic(1));
+        let done = f.rpc(0, 1, 4096, 4096, Nanos(100));
+        // One timeout — the request leg's gave_up_at — not a fabricated
+        // reply leg on top of it.
+        assert_eq!(done, Nanos(100) + f.faults().timeout());
+        // The dropped round trip is not counted as delivered traffic in
+        // either direction.
+        assert_eq!((f.traffic(0), f.traffic(1)), before);
+        assert_eq!(f.total_bytes(), 0);
+        // Partitioned peers behave the same way.
+        let mut p = fabric(4);
+        p.faults_mut().partition(&[0, 1]);
+        let done = p.rpc(0, 2, 128, 128, Nanos::ZERO);
+        assert_eq!(done, p.faults().timeout());
+        assert_eq!(p.traffic(0).tx_msgs, 0);
+        assert_eq!(p.traffic(2).rx_msgs, 0);
+        // A healthy RPC still pays both legs.
+        assert!(p.rpc(2, 3, 128, 128, Nanos::ZERO) >= Nanos::from_micros(20));
     }
 
     #[test]
