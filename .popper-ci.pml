@@ -42,6 +42,16 @@ jobs:
     matrix:
       workers: [1, 2, 8]
     steps: [cargo test --test sim_shard]
+  - name: gassyfs-shard-determinism
+    stage: test
+    matrix:
+      workers: [1, 2, 8]
+    steps: [cargo test --test fabric_shard gassyfs]
+  - name: orchestra-shard-determinism
+    stage: test
+    matrix:
+      workers: [1, 2, 8]
+    steps: [cargo test --test fabric_shard orchestra]
   - name: core-lint
     stage: test
     steps: [cargo clippy -p popper-core -- -D warnings]

@@ -636,7 +636,9 @@ COMMANDS:
     check                     compliance check (is this Popperized?)
     run <experiment>          run the full experiment lifecycle
                               [--sim-workers N] shard simulations across N cores
-                              (byte-identical results at every N)
+                              (byte-identical results at every N; sharded
+                              runners: lulesh-sharded, gassyfs-sharded,
+                              orchestra-sharded — others reject the flag)
     trace <experiment>        run with tracing; records trace.json + trace.svg
     trace-diff <exp> <a>..<b> diff recorded traces between two commits; exit 1 on divergence
                               [--tolerance <pct>] [--structure-only]

@@ -22,7 +22,31 @@ pub fn register_builtin_runners(engine: &mut ExperimentEngine) {
     engine.register("mpi-variability", mpi_runner);
     engine.register("lulesh-chaos", lulesh_chaos_runner);
     engine.register("lulesh-sharded", lulesh_sharded_runner);
+    engine.register("gassyfs-sharded", gassyfs_sharded_runner);
+    engine.register("orchestra-sharded", orchestra_sharded_runner);
     engine.register("bww-airtemp", bww_runner);
+}
+
+/// Parse the worker count for a sharded runner from `sim_workers:` (or
+/// the CLI's `--sim-workers`, via `POPPER_SIM_WORKERS`).
+fn sharded_workers(vars: &Value) -> Result<usize, String> {
+    match vars.get_num("sim_workers") {
+        Some(w) if w >= 1.0 => Ok(w as usize),
+        Some(w) => Err(format!("'sim_workers' must be >= 1, got {w}")),
+        None => Ok(popper_sim::shard::configured_workers()),
+    }
+}
+
+/// Guard for runners whose world has no sharded port: asking them to
+/// shard is a configuration error, not a silent no-op.
+fn reject_sim_workers(vars: &Value, runner: &str) -> Result<(), String> {
+    if vars.get("sim_workers").is_some() || std::env::var("POPPER_SIM_WORKERS").is_ok() {
+        return Err(format!(
+            "runner '{runner}' has no sharded world; drop 'sim_workers:' / --sim-workers \
+             (sharded runners: lulesh-sharded, gassyfs-sharded, orchestra-sharded)"
+        ));
+    }
+    Ok(())
 }
 
 /// An engine with both the synthetic and the use-case runners.
@@ -38,6 +62,7 @@ fn num_list(vars: &Value, key: &str) -> Option<Vec<f64>> {
 }
 
 fn gassyfs_runner(vars: &Value) -> Result<Table, String> {
+    reject_sim_workers(vars, "gassyfs-scalability")?;
     // A `faults:` spec flips the runner into chaos mode: same cluster,
     // same workload shape, but a fault schedule plays out against the
     // verify-read sweep and the table carries recovery metrics.
@@ -87,6 +112,7 @@ fn gassyfs_runner(vars: &Value) -> Result<Table, String> {
 }
 
 fn torpor_runner(vars: &Value) -> Result<Table, String> {
+    reject_sim_workers(vars, "torpor-variability")?;
     let base_name = vars.get_str("base").unwrap_or("xeon-2006");
     let base =
         platforms::by_name(base_name).ok_or_else(|| format!("unknown base machine '{base_name}'"))?;
@@ -127,6 +153,7 @@ fn lulesh_app(vars: &Value) -> Result<LuleshConfig, String> {
 }
 
 fn mpi_runner(vars: &Value) -> Result<Table, String> {
+    reject_sim_workers(vars, "mpi-variability")?;
     // A `faults:` spec flips the runner into chaos mode: the same
     // LULESH proxy, but a fault schedule crashes nodes under it and
     // the configured recovery policy (shrink / checkpoint-restart)
@@ -154,6 +181,7 @@ fn mpi_runner(vars: &Value) -> Result<Table, String> {
 /// `faults.policy` (`shrink` or `checkpoint-restart`). One row per
 /// communicator epoch.
 fn lulesh_chaos_runner(vars: &Value) -> Result<Table, String> {
+    reject_sim_workers(vars, "lulesh-chaos")?;
     let schedule = popper_chaos::FaultSchedule::from_vars(vars)?.ok_or_else(|| {
         "lulesh-chaos needs a 'faults:' spec (run it via 'popper chaos')".to_string()
     })?;
@@ -176,11 +204,7 @@ fn lulesh_sharded_runner(vars: &Value) -> Result<Table, String> {
     let machine = vars.get_str("machine").unwrap_or("hpc-node");
     let platform =
         platforms::by_name(machine).ok_or_else(|| format!("unknown machine '{machine}'"))?;
-    let workers = match vars.get_num("sim_workers") {
-        Some(w) if w >= 1.0 => w as usize,
-        Some(w) => return Err(format!("'sim_workers' must be >= 1, got {w}")),
-        None => popper_sim::shard::configured_workers(),
-    };
+    let workers = sharded_workers(vars)?;
     let run = popper_minimpi::run_sharded(&app, &platform, workers);
     let mut t = Table::new(["machine", "workers", "epochs", "rank", "finish_ms", "elapsed_ms"]);
     for (rank, finish) in run.per_rank_finish.iter().enumerate() {
@@ -197,7 +221,88 @@ fn lulesh_sharded_runner(vars: &Value) -> Result<Table, String> {
     Ok(t)
 }
 
+/// The sharded GassyFS world: one shard per gasnet node, page writes
+/// replicated primary-then-replica through the shard-native fabric.
+/// One row per node; like every sharded runner, the table is identical
+/// at every worker count.
+fn gassyfs_sharded_runner(vars: &Value) -> Result<Table, String> {
+    let machine = vars.get_str("machine").unwrap_or("gassyfs-node");
+    let platform =
+        platforms::by_name(machine).ok_or_else(|| format!("unknown machine '{machine}'"))?;
+    let mut config = popper_gassyfs::ShardedGassyConfig::default();
+    if let Some(n) = vars.get_num("nodes") {
+        config.nodes = n.max(2.0) as usize;
+    }
+    if let Some(p) = vars.get_num("pages") {
+        config.pages = p.max(1.0) as u64;
+    }
+    if let Some(s) = vars.get_num("streams") {
+        config.streams = s.max(1.0) as usize;
+    }
+    let workers = sharded_workers(vars)?;
+    let report = popper_gassyfs::shardworld::run_sharded(&config, &platform, workers);
+    let mut t = Table::new([
+        "machine",
+        "workers",
+        "epochs",
+        "node",
+        "primary_pages",
+        "replica_pages",
+        "tx_bytes",
+        "rx_bytes",
+        "elapsed_ms",
+    ]);
+    for node in 0..config.nodes {
+        t.push_row(vec![
+            Value::from(machine),
+            Value::from(report.workers),
+            Value::from(report.epochs as usize),
+            Value::from(node),
+            Value::from(report.per_node_primary[node] as usize),
+            Value::from(report.per_node_replica[node] as usize),
+            Value::from(report.traffic[node].tx_bytes as usize),
+            Value::from(report.traffic[node].rx_bytes as usize),
+            Value::Num(report.elapsed.as_millis_f64()),
+        ])
+        .expect("fixed schema");
+    }
+    Ok(t)
+}
+
+/// The sharded orchestra world: one shard per managed host plus the
+/// controller, playbook tasks fanned out and collected through the
+/// shard-native fabric. One row per task.
+fn orchestra_sharded_runner(vars: &Value) -> Result<Table, String> {
+    let mut config = popper_orchestra::ShardedOrchestraConfig::default();
+    if let Some(h) = vars.get_num("hosts") {
+        config.hosts = h.max(1.0) as usize;
+    }
+    if let Some(t) = vars.get_num("tasks") {
+        config.tasks = t.max(1.0) as usize;
+    }
+    if let Some(s) = vars.get_num("seed") {
+        config.seed = s as u64;
+    }
+    let workers = sharded_workers(vars)?;
+    let report = popper_orchestra::shardworld::run_sharded(&config, workers);
+    let mut t =
+        Table::new(["hosts", "workers", "epochs", "task", "finish_ms", "elapsed_ms"]);
+    for (task, finish) in report.task_finish.iter().enumerate() {
+        t.push_row(vec![
+            Value::from(config.hosts),
+            Value::from(report.workers),
+            Value::from(report.epochs as usize),
+            Value::from(task),
+            Value::Num(finish.as_millis_f64()),
+            Value::Num(report.elapsed.as_millis_f64()),
+        ])
+        .expect("fixed schema");
+    }
+    Ok(t)
+}
+
 fn bww_runner(vars: &Value) -> Result<Table, String> {
+    reject_sim_workers(vars, "bww-airtemp")?;
     let mut config = ReanalysisConfig::default();
     if let Some(y) = vars.get_num("years") {
         config.years = y.max(1.0) as usize;
@@ -327,7 +432,7 @@ mod tests {
     fn full_engine_lists_all_runners() {
         let engine = full_engine();
         let names = engine.runners();
-        for expected in ["synthetic", "gassyfs-scalability", "torpor-variability", "mpi-variability", "lulesh-chaos", "lulesh-sharded", "bww-airtemp"] {
+        for expected in ["synthetic", "gassyfs-scalability", "torpor-variability", "mpi-variability", "lulesh-chaos", "lulesh-sharded", "gassyfs-sharded", "orchestra-sharded", "bww-airtemp"] {
             assert!(names.contains(&expected), "missing {expected}");
         }
     }
@@ -414,6 +519,64 @@ mod tests {
             assert_eq!(a.get("epochs"), b.get("epochs"));
         }
         assert!(lulesh_sharded_runner(&vars_for(0)).is_err());
+    }
+
+    #[test]
+    fn gassyfs_sharded_runner_is_worker_count_invariant() {
+        let vars_for = |workers: i64| {
+            let mut vars = Value::empty_map();
+            vars.insert("nodes", Value::from(5i64));
+            vars.insert("pages", Value::from(60i64));
+            vars.insert("streams", Value::from(3i64));
+            vars.insert("sim_workers", Value::from(workers));
+            vars
+        };
+        let serial = gassyfs_sharded_runner(&vars_for(1)).unwrap();
+        assert_eq!(serial.len(), 5); // one row per node
+        let sharded = gassyfs_sharded_runner(&vars_for(4)).unwrap();
+        for (a, b) in serial.iter().zip(sharded.iter()) {
+            assert_eq!(a.get("primary_pages"), b.get("primary_pages"));
+            assert_eq!(a.get("tx_bytes"), b.get("tx_bytes"));
+            assert_eq!(a.get("elapsed_ms"), b.get("elapsed_ms"));
+            assert_eq!(a.get("epochs"), b.get("epochs"));
+        }
+        assert!(gassyfs_sharded_runner(&vars_for(0)).is_err());
+    }
+
+    #[test]
+    fn orchestra_sharded_runner_is_worker_count_invariant() {
+        let vars_for = |workers: i64| {
+            let mut vars = Value::empty_map();
+            vars.insert("hosts", Value::from(6i64));
+            vars.insert("tasks", Value::from(5i64));
+            vars.insert("sim_workers", Value::from(workers));
+            vars
+        };
+        let serial = orchestra_sharded_runner(&vars_for(1)).unwrap();
+        assert_eq!(serial.len(), 5); // one row per task
+        let sharded = orchestra_sharded_runner(&vars_for(8)).unwrap();
+        for (a, b) in serial.iter().zip(sharded.iter()) {
+            assert_eq!(a.get("finish_ms"), b.get("finish_ms"));
+            assert_eq!(a.get("elapsed_ms"), b.get("elapsed_ms"));
+            assert_eq!(a.get("epochs"), b.get("epochs"));
+        }
+    }
+
+    #[test]
+    fn runners_without_a_sharded_world_reject_sim_workers() {
+        let mut vars = Value::empty_map();
+        vars.insert("sim_workers", Value::from(4i64));
+        for (name, runner) in [
+            ("gassyfs-scalability", gassyfs_runner as fn(&Value) -> Result<Table, String>),
+            ("torpor-variability", torpor_runner),
+            ("mpi-variability", mpi_runner),
+            ("lulesh-chaos", lulesh_chaos_runner),
+            ("bww-airtemp", bww_runner),
+        ] {
+            let err = runner(&vars).unwrap_err();
+            assert!(err.contains("no sharded world"), "{name}: {err}");
+            assert!(err.contains(name), "{name}: {err}");
+        }
     }
 
     #[test]

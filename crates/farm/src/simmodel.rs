@@ -6,19 +6,25 @@
 //! pool, what a store slowdown does to tail latency — are answered
 //! faster on a model. Each tenant's pipeline is an independent event
 //! stream (jobs arrive, build, test, archive), which is exactly the
-//! partition [`ShardedSim`] wants: tenants only meet at the shared
-//! store, and that interaction ships as cross-shard messages bounded by
-//! the admission latency, so the model parallelizes with the same
+//! partition [`FabricSim`] wants: tenants only meet at the shared
+//! store, and that interaction ships as archive transfers through the
+//! shard-native fabric — paying egress serialization, shared-core
+//! contention and the store's ingress incast — bounded by the
+//! admission latency, so the model parallelizes with the same
 //! byte-identical-trace guarantee as every other sharded workload.
 //!
 //! Job durations derive from a splitmix over `(seed, tenant, job)` —
 //! the same deterministic-hash idiom the farm's chaos projection uses —
 //! so the model is a pure function of its config at every worker count.
 
-use popper_sim::{Nanos, ShardCtx, ShardedSim};
+use popper_sim::{FabricSim, Nanos, NetCtx};
 
 /// Shard 0 is the store; tenant `t` (0-based) is shard `t + 1`.
 const STORE: usize = 0;
+
+/// Link speed of every endpoint's NIC. The store's shared ingress at
+/// this rate is what turns a crowd of tenants into an incast.
+const LINK_GBIT: f64 = 10.0;
 
 /// Model configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -62,6 +68,10 @@ pub struct FarmSimReport {
     pub store_jobs: u64,
     /// Bytes the store ingested.
     pub store_bytes: u64,
+    /// Bytes on the wire (fabric traffic counters; equals
+    /// `store_bytes` since archives are the only traffic and the
+    /// model runs lossless).
+    pub wire_bytes: u64,
     /// Virtual time the last archive landed.
     pub elapsed: Nanos,
     /// Total events dispatched.
@@ -103,7 +113,7 @@ pub fn simulate(config: &FarmSimConfig, workers: usize) -> FarmSimReport {
     let mut states = vec![FarmShard::Store { jobs: 0, bytes: 0, last_arrival: Nanos::ZERO }];
     states.extend((0..config.tenants).map(|id| FarmShard::Tenant { id, done: 0, finish: Nanos::ZERO }));
 
-    let mut sim = ShardedSim::new(states, config.store_latency);
+    let mut sim = FabricSim::new(states, LINK_GBIT, config.store_latency, 1.0);
     let cfg = std::sync::Arc::new(config.clone());
     for t in 0..config.tenants {
         let cfg = std::sync::Arc::clone(&cfg);
@@ -123,12 +133,21 @@ pub fn simulate(config: &FarmSimConfig, workers: usize) -> FarmSimReport {
             FarmShard::Tenant { id, finish, .. } => tenant_finish[*id] = *finish,
         }
     }
-    FarmSimReport { tenant_finish, store_jobs, store_bytes, elapsed, events: sim.events_fired() }
+    FarmSimReport {
+        tenant_finish,
+        store_jobs,
+        store_bytes,
+        wire_bytes: sim.total_bytes(),
+        elapsed,
+        events: sim.events_fired(),
+    }
 }
 
-/// One job: build+test for the hashed duration, then archive to the
-/// store and start the next job.
-fn run_job(ctx: &mut ShardCtx<'_, FarmShard>, job: usize, cfg: std::sync::Arc<FarmSimConfig>) {
+/// One job: build+test for the hashed duration, then fire the archive
+/// into the fabric and start the next job. Archives are asynchronous —
+/// the pipeline does not wait for the store, so tenant finish times
+/// stay independent of store-side contention.
+fn run_job(ctx: &mut NetCtx<'_, '_, FarmShard>, job: usize, cfg: std::sync::Arc<FarmSimConfig>) {
     let FarmShard::Tenant { id, .. } = ctx.state() else {
         unreachable!("jobs run on tenant shards")
     };
@@ -136,8 +155,7 @@ fn run_job(ctx: &mut ShardCtx<'_, FarmShard>, job: usize, cfg: std::sync::Arc<Fa
     let duration = job_duration(&cfg, tenant, job);
     ctx.schedule_in(duration, move |c| {
         let bytes = job_bytes(&cfg, tenant, job);
-        let latency = cfg.store_latency;
-        c.send_to(STORE, latency, move |store| {
+        c.transfer(STORE, bytes, move |store| {
             let now = store.now();
             let FarmShard::Store { jobs, bytes: total, last_arrival } = store.state() else {
                 unreachable!("shard 0 is the store")
@@ -166,6 +184,7 @@ mod tests {
         let reference = simulate(&config, 1);
         assert_eq!(reference.store_jobs, 6 * 20);
         assert!(reference.store_bytes > 0);
+        assert_eq!(reference.wire_bytes, reference.store_bytes);
         assert_eq!(reference.tenant_finish.len(), 6);
         assert!(reference.tenant_finish.iter().all(|f| *f > Nanos::ZERO));
         for workers in [2, 4, 8] {
@@ -184,10 +203,24 @@ mod tests {
     #[test]
     fn tenants_are_independent_until_the_store() {
         // A lone tenant's finish time does not change when other
-        // tenants are added: pipelines only share the store, and the
-        // model's store admission is not a bottleneck resource.
+        // tenants are added: pipelines only share the store, archives
+        // are fire-and-forget, and the contention they meet lives in
+        // the fabric's shared core and the store's ingress — after the
+        // tenant has already moved on.
         let solo = simulate(&FarmSimConfig { tenants: 1, ..Default::default() }, 1);
         let crowd = simulate(&FarmSimConfig { tenants: 8, ..Default::default() }, 2);
         assert_eq!(solo.tenant_finish[0], crowd.tenant_finish[0]);
+    }
+
+    #[test]
+    fn store_incast_delays_delivery_not_pipelines() {
+        // More tenants pushing into one store stretches the gap
+        // between a pipeline's finish and its last archive landing.
+        let solo = simulate(&FarmSimConfig { tenants: 1, ..Default::default() }, 1);
+        let crowd = simulate(&FarmSimConfig { tenants: 8, ..Default::default() }, 2);
+        let solo_lag = solo.elapsed - solo.tenant_finish[0];
+        let crowd_last = crowd.tenant_finish.iter().max().copied().unwrap();
+        let crowd_lag = crowd.elapsed - crowd_last;
+        assert!(crowd_lag >= solo_lag);
     }
 }

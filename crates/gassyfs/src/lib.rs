@@ -32,6 +32,7 @@ pub mod checkpointing;
 pub mod experiment;
 pub mod fs;
 pub mod gasnet;
+pub mod shardworld;
 pub mod vfs;
 pub mod workload;
 
@@ -40,4 +41,5 @@ pub use checkpointing::{run_checkpoint_study, CheckpointStudy};
 pub use experiment::{run_scalability, ScalabilityConfig, ScalabilityPoint};
 pub use fs::{GassyFs, MountOptions};
 pub use gasnet::{GasnetStore, PAGE_SIZE};
+pub use shardworld::{run_sharded, ShardedGassyConfig, ShardedGassyReport};
 pub use vfs::{FsError, Vfs};

@@ -1,0 +1,198 @@
+//! The sharded GassyFS world: one fabric shard per gasnet node.
+//!
+//! The serial scalability experiment ([`experiment`](crate::experiment))
+//! walks a page workload through [`Cluster`](popper_sim::Cluster) on a
+//! single thread. This world maps each gasnet node onto a shard of the
+//! shard-native fabric ([`popper_sim::FabricSim`]) and replays the
+//! store's write path as cross-shard transfers: the client streams
+//! pages out round-robin, each page lands on its primary (`page %
+//! nodes`), the primary forwards a replica copy to the next node
+//! (`(primary + 1) % nodes` — the same placement
+//! [`GasnetStore`](crate::gasnet::GasnetStore) uses), and the replica
+//! acks back to the client with a small control message. The client
+//! keeps `streams` pages in flight, so primaries and replicas across
+//! the cluster serialize concurrently while the shared fabric core and
+//! each node's ingress meter the contention.
+//!
+//! Determinism is inherited from the engine: per-node page counts,
+//! traffic counters, the virtual clock and the trace bytes are
+//! identical at every worker count.
+
+use crate::gasnet::PAGE_SIZE;
+use popper_sim::{FabricSim, Nanos, NetCtx, NodeTraffic, PlatformSpec};
+
+/// Size of the replica's acknowledgement back to the client.
+const CTRL_BYTES: u64 = 64;
+
+/// Configuration of one sharded world run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedGassyConfig {
+    /// Gasnet nodes (= shards). Node 0 is also the writing client.
+    pub nodes: usize,
+    /// Pages the client writes, round-robin across primaries.
+    pub pages: u64,
+    /// Write chains the client keeps in flight.
+    pub streams: usize,
+}
+
+impl Default for ShardedGassyConfig {
+    fn default() -> Self {
+        ShardedGassyConfig { nodes: 8, pages: 256, streams: 4 }
+    }
+}
+
+/// Per-node (per-shard) state.
+struct NodeState {
+    /// Pages this node holds as primary.
+    primary_pages: u64,
+    /// Pages this node holds as replica.
+    replica_pages: u64,
+    /// Client only: next page index to push.
+    next_page: u64,
+    /// Client only: pages fully replicated and acked.
+    completed: u64,
+    /// Client only: virtual time the last ack landed.
+    finish: Nanos,
+}
+
+/// Result of one sharded world run — identical at every worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedGassyReport {
+    /// End-to-end virtual runtime.
+    pub elapsed: Nanos,
+    /// Virtual time the client saw its last ack.
+    pub client_finish: Nanos,
+    /// Primary page placement, node order.
+    pub per_node_primary: Vec<u64>,
+    /// Replica page placement, node order.
+    pub per_node_replica: Vec<u64>,
+    /// Fabric traffic counters, node order.
+    pub traffic: Vec<NodeTraffic>,
+    /// Pages written (echoes the config).
+    pub pages: u64,
+    /// Total events dispatched.
+    pub events: u64,
+    /// Epoch barriers the engine crossed.
+    pub epochs: u64,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+/// Run the sharded world with `workers` threads (1 = the
+/// single-threaded reference; results are identical either way). The
+/// platform supplies the NIC the fabric is built from.
+pub fn run_sharded(
+    config: &ShardedGassyConfig,
+    platform: &PlatformSpec,
+    workers: usize,
+) -> ShardedGassyReport {
+    assert!(config.nodes >= 2, "a gasnet world needs at least two nodes");
+    assert!(config.pages >= 1 && config.streams >= 1);
+    let latency = Nanos(platform.nic_lat_ns as u64).max(Nanos(1));
+    let states = (0..config.nodes)
+        .map(|_| NodeState {
+            primary_pages: 0,
+            replica_pages: 0,
+            next_page: 0,
+            completed: 0,
+            finish: Nanos::ZERO,
+        })
+        .collect();
+    let mut sim = FabricSim::new(states, platform.nic_gbit, latency, 1.0);
+    let total = config.pages;
+    let streams = (config.streams as u64).min(total);
+    for _ in 0..streams {
+        sim.schedule(0, Nanos::ZERO, move |ctx| write_next(ctx, total));
+    }
+    let elapsed = sim.run_sharded(workers);
+    ShardedGassyReport {
+        elapsed,
+        client_finish: sim.state(0).finish,
+        per_node_primary: sim.states().map(|s| s.primary_pages).collect(),
+        per_node_replica: sim.states().map(|s| s.replica_pages).collect(),
+        traffic: (0..config.nodes).map(|n| sim.traffic(n)).collect(),
+        pages: total,
+        events: sim.events_fired(),
+        epochs: sim.epochs(),
+        workers: workers.max(1),
+    }
+}
+
+/// Client: pop the next page and push it down the replication chain —
+/// primary write, replica forward, ack. The chain re-enters here on
+/// ack, so each call keeps exactly one stream busy.
+fn write_next(ctx: &mut NetCtx<'_, '_, NodeState>, total: u64) {
+    let nodes = ctx.nodes();
+    let state = ctx.state();
+    if state.next_page >= total {
+        return;
+    }
+    let page = state.next_page;
+    state.next_page += 1;
+    let primary = (page % nodes as u64) as usize;
+    let replica = (primary + 1) % nodes;
+    ctx.transfer(primary, PAGE_SIZE, move |c| {
+        c.state().primary_pages += 1;
+        c.transfer(replica, PAGE_SIZE, move |c| {
+            c.state().replica_pages += 1;
+            c.transfer(0, CTRL_BYTES, move |c| {
+                let now = c.now();
+                let state = c.state();
+                state.completed += 1;
+                if state.completed == total {
+                    state.finish = now;
+                } else {
+                    write_next(c, total);
+                }
+            });
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use popper_sim::platforms;
+
+    #[test]
+    fn sharded_world_matches_reference_at_every_worker_count() {
+        let config = ShardedGassyConfig { nodes: 6, pages: 96, streams: 3 };
+        let platform = platforms::gassyfs_node();
+        let reference = run_sharded(&config, &platform, 1);
+        assert!(reference.client_finish > Nanos::ZERO);
+        for workers in [2, 4, 8] {
+            let parallel = run_sharded(&config, &platform, workers);
+            assert_eq!(
+                ShardedGassyReport { workers: 1, ..parallel },
+                reference,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn placement_matches_the_gasnet_store() {
+        // Round-robin primaries, replica one node over — the same
+        // layout GasnetStore::alloc produces.
+        let config = ShardedGassyConfig { nodes: 4, pages: 10, streams: 2 };
+        let report = run_sharded(&config, &platforms::gassyfs_node(), 2);
+        assert_eq!(report.per_node_primary, vec![3, 3, 2, 2]);
+        assert_eq!(report.per_node_replica, vec![2, 3, 3, 2]);
+    }
+
+    #[test]
+    fn every_page_pays_two_copies_and_an_ack() {
+        let config = ShardedGassyConfig { nodes: 5, pages: 40, streams: 4 };
+        let report = run_sharded(&config, &platforms::gassyfs_node(), 2);
+        let wire: u64 = report.traffic.iter().map(|t| t.tx_bytes).sum();
+        assert_eq!(wire, config.pages * (2 * PAGE_SIZE + CTRL_BYTES));
+    }
+
+    #[test]
+    fn more_streams_finish_no_later() {
+        let platform = platforms::gassyfs_node();
+        let narrow = run_sharded(&ShardedGassyConfig { streams: 1, ..Default::default() }, &platform, 2);
+        let wide = run_sharded(&ShardedGassyConfig { streams: 8, ..Default::default() }, &platform, 2);
+        assert!(wide.elapsed <= narrow.elapsed);
+    }
+}

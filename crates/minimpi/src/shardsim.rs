@@ -2,25 +2,29 @@
 //!
 //! The analytic proxy in [`lulesh`](crate::lulesh) advances every rank
 //! on a single thread. This variant maps each rank's subdomain onto a
-//! [`ShardedSim`] shard and drives the same compute / halo-exchange
-//! loop as discrete events: a rank computes over its cells, ships one
-//! halo face to each neighbor, and may not start step `s + 1` until its
-//! own step-`s` compute is done *and* every neighbor's step-`s` halo
-//! has arrived — the nearest-neighbor synchronization that lets distant
-//! subdomains drift apart by a step while adjacent ones stay in
-//! lock-step (LULESH proper also agrees on a global timestep; the
-//! sharded proxy keeps the halo dependency, which is the part that
-//! partitions).
+//! fabric-backed shard ([`popper_sim::FabricSim`]) and drives the same
+//! compute / halo-exchange loop as discrete events: a rank computes
+//! over its cells, ships one halo face to each neighbor *through the
+//! shard-native fabric* — paying NIC serialization, core contention
+//! and ingress incast, not just a fixed delay — and may not start step
+//! `s + 1` until its own step-`s` compute is done *and* every
+//! neighbor's step-`s` halo has arrived. That nearest-neighbor
+//! synchronization lets distant subdomains drift apart by a step while
+//! adjacent ones stay in lock-step (LULESH proper also agrees on a
+//! global timestep; the sharded proxy keeps the halo dependency, which
+//! is the part that partitions).
 //!
 //! The fabric's propagation latency is the conservative lookahead: a
 //! halo can never land earlier than `now + latency`, so all ranks can
-//! fire events within one lookahead window in parallel. Determinism is
-//! inherited from the engine — `run_sharded(n)` produces the same
-//! per-rank finish times and the same trace bytes for every `n`.
+//! fire events within one lookahead window in parallel while the
+//! shared core stage is replayed deterministically at each epoch
+//! barrier. Determinism is inherited from the engine —
+//! `run_sharded(n)` produces the same per-rank finish times and the
+//! same trace bytes for every `n`.
 
 use crate::lulesh::LuleshConfig;
 use popper_sim::shard::partition;
-use popper_sim::{Nanos, PlatformSpec, ShardCtx, ShardedSim};
+use popper_sim::{FabricSim, Nanos, NetCtx, PlatformSpec};
 
 /// Per-rank (per-shard) state of the sharded proxy.
 struct RankState {
@@ -43,6 +47,9 @@ pub struct ShardedLuleshRun {
     pub elapsed: Nanos,
     /// Per-rank finish times, rank order.
     pub per_rank_finish: Vec<Nanos>,
+    /// Halo bytes every rank put on the wire (from the fabric's
+    /// traffic counters).
+    pub wire_bytes: u64,
     /// Total events dispatched.
     pub events: u64,
     /// Epoch barriers the engine crossed.
@@ -53,25 +60,22 @@ pub struct ShardedLuleshRun {
 
 struct Timing {
     step: Nanos,
-    halo_delay: Nanos,
+    halo_bytes: u64,
     iterations: usize,
 }
 
 /// Run the sharded proxy with `workers` threads (1 = the
 /// single-threaded reference execution; results are identical either
 /// way). The platform supplies both the compute rate and the fabric
-/// timing the lookahead is derived from.
+/// the halo exchanges are routed through.
 pub fn run_sharded(config: &LuleshConfig, platform: &PlatformSpec, workers: usize) -> ShardedLuleshRun {
     let ranks = config.ranks();
     let cells = (config.elements_per_rank as f64).powi(3);
     let step = platform.execute(&config.demand_per_element.scaled(cells));
     let latency = Nanos(platform.nic_lat_ns as u64).max(Nanos(1));
-    // One halo face, serialized at the NIC, after one propagation
-    // latency — always at or beyond the lookahead.
-    let serialize = Nanos::from_secs_f64(config.halo_bytes() as f64 * 8.0 / (platform.nic_gbit * 1e9));
     let timing = std::sync::Arc::new(Timing {
         step,
-        halo_delay: latency + serialize,
+        halo_bytes: config.halo_bytes(),
         iterations: config.iterations,
     });
 
@@ -91,27 +95,29 @@ pub fn run_sharded(config: &LuleshConfig, platform: &PlatformSpec, workers: usiz
         })
         .collect();
 
-    let mut sim = ShardedSim::new(states, latency);
+    let mut sim = FabricSim::new(states, platform.nic_gbit, latency, 1.0);
     for rank in 0..ranks {
         let timing = std::sync::Arc::clone(&timing);
         sim.schedule(rank, Nanos::ZERO, move |ctx| begin_step(ctx, 0, timing));
     }
     let elapsed = sim.run_sharded(workers);
+    let wire_bytes = sim.total_bytes();
     ShardedLuleshRun {
         elapsed,
         per_rank_finish: sim.states().map(|s| s.finish).collect(),
+        wire_bytes,
         events: sim.events_fired(),
         epochs: sim.epochs(),
         workers: workers.max(1),
     }
 }
 
-fn begin_step(ctx: &mut ShardCtx<'_, RankState>, step: usize, timing: std::sync::Arc<Timing>) {
+fn begin_step(ctx: &mut NetCtx<'_, '_, RankState>, step: usize, timing: std::sync::Arc<Timing>) {
     let d = timing.step;
     ctx.schedule_in(d, move |c| complete_step(c, step, timing));
 }
 
-fn complete_step(ctx: &mut ShardCtx<'_, RankState>, step: usize, timing: std::sync::Arc<Timing>) {
+fn complete_step(ctx: &mut NetCtx<'_, '_, RankState>, step: usize, timing: std::sync::Arc<Timing>) {
     ctx.state().compute_done[step] = true;
     let neighbors = ctx.state().neighbors.clone();
     if step + 1 == timing.iterations {
@@ -122,19 +128,19 @@ fn complete_step(ctx: &mut ShardCtx<'_, RankState>, step: usize, timing: std::sy
     }
     for nb in neighbors {
         let timing = std::sync::Arc::clone(&timing);
-        ctx.send_to(nb, timing.halo_delay, move |c| receive_halo(c, step, timing));
+        ctx.transfer(nb, timing.halo_bytes, move |c| receive_halo(c, step, timing));
     }
     try_advance(ctx, step, timing);
 }
 
-fn receive_halo(ctx: &mut ShardCtx<'_, RankState>, step: usize, timing: std::sync::Arc<Timing>) {
+fn receive_halo(ctx: &mut NetCtx<'_, '_, RankState>, step: usize, timing: std::sync::Arc<Timing>) {
     ctx.state().halos[step] += 1;
     try_advance(ctx, step, timing);
 }
 
 /// Start step `step + 1` once this rank's own compute for `step` is
 /// done and every neighbor's halo for `step` has arrived.
-fn try_advance(ctx: &mut ShardCtx<'_, RankState>, step: usize, timing: std::sync::Arc<Timing>) {
+fn try_advance(ctx: &mut NetCtx<'_, '_, RankState>, step: usize, timing: std::sync::Arc<Timing>) {
     let state = ctx.state();
     let ready = state.compute_done[step]
         && state.halos[step] == state.neighbors.len()
@@ -172,6 +178,7 @@ mod tests {
             assert_eq!(parallel.elapsed, reference.elapsed, "workers={workers}");
             assert_eq!(parallel.per_rank_finish, reference.per_rank_finish);
             assert_eq!(parallel.events, reference.events);
+            assert_eq!(parallel.wire_bytes, reference.wire_bytes);
         }
     }
 
@@ -187,6 +194,18 @@ mod tests {
         assert!(run.elapsed > step * config.iterations as u64);
         // Multiple epochs: the lookahead is far smaller than a step.
         assert!(run.epochs > 1);
+    }
+
+    #[test]
+    fn halo_traffic_is_on_the_wire() {
+        // Every non-final step ships one halo face per neighbor pair,
+        // in both directions, through the fabric.
+        let config = LuleshConfig::small();
+        let platform = platforms::hpc_node();
+        let run = run_sharded(&config, &platform, 2);
+        let faces = 2 * config.neighbor_pairs().len() as u64;
+        let expected = faces * (config.iterations as u64 - 1) * config.halo_bytes();
+        assert_eq!(run.wire_bytes, expected);
     }
 
     #[test]

@@ -22,8 +22,10 @@ pub mod executor;
 pub mod inventory;
 pub mod modules;
 pub mod playbook;
+pub mod shardworld;
 
 pub use executor::{run_playbook, run_playbook_traced, HostReport, PlaybookReport, TaskStatus};
+pub use shardworld::{run_sharded, ShardedOrchestraConfig, ShardedOrchestraReport};
 pub use inventory::{Host, Inventory};
 pub use modules::HostState;
 pub use playbook::{Play, Playbook, Task};

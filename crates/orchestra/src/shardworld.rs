@@ -1,0 +1,282 @@
+//! The sharded orchestra world: one fabric shard per managed host,
+//! plus one for the controller.
+//!
+//! The live executor ([`executor`](crate::executor)) fans each task
+//! out to every host over OS threads and synchronizes before the next
+//! — Ansible's "linear" strategy. This world replays that strategy on
+//! the shard-native fabric ([`popper_sim::FabricSim`]): the controller
+//! (shard 0) pushes the task's module payload to every host as a
+//! cross-shard transfer, each host runs the module for a
+//! deterministically hashed duration, ships its result back, and the
+//! controller releases the next task once every ack has landed. The
+//! result fan-in is the interesting part: all hosts answer within one
+//! task's jitter window, so the controller's ingress link becomes an
+//! incast that the fabric meters — exactly the contention a fixed
+//! per-RPC delay would hide.
+//!
+//! Determinism is inherited from the engine: task release times,
+//! per-host busy time, traffic counters and trace bytes are identical
+//! at every worker count.
+
+use popper_sim::{FabricSim, Nanos, NetCtx, NodeTraffic};
+
+/// The controller owns shard 0; host `h` (1-based id) is shard `h`.
+const CONTROLLER: usize = 0;
+
+/// Configuration of one sharded world run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedOrchestraConfig {
+    /// Managed hosts (shards 1..=hosts).
+    pub hosts: usize,
+    /// Tasks in the playbook, dispatched linearly.
+    pub tasks: usize,
+    /// Seed for the per-(host, task) duration hash.
+    pub seed: u64,
+    /// Module payload the controller ships to each host per task.
+    pub task_bytes: u64,
+    /// Result payload each host ships back per task.
+    pub result_bytes: u64,
+    /// Mean module execution time on a host.
+    pub mean_task: Nanos,
+    /// Link speed of every endpoint's NIC.
+    pub link_gbit_x10: u64,
+    /// Propagation latency — also the conservative lookahead.
+    pub latency: Nanos,
+}
+
+impl Default for ShardedOrchestraConfig {
+    fn default() -> Self {
+        ShardedOrchestraConfig {
+            hosts: 8,
+            tasks: 12,
+            seed: 11,
+            task_bytes: 64 * 1024,
+            result_bytes: 4096,
+            mean_task: Nanos::from_micros(200),
+            link_gbit_x10: 100, // 10 Gbit/s
+            latency: Nanos::from_micros(10),
+        }
+    }
+}
+
+/// What one shard models.
+enum OrchShard {
+    Controller {
+        /// Acks received for the in-flight task.
+        acked: usize,
+        /// Index of the in-flight (or next) task.
+        task: usize,
+        /// Virtual time each task's last ack landed.
+        task_finish: Vec<Nanos>,
+        /// Virtual time the playbook completed.
+        finish: Nanos,
+    },
+    Host {
+        /// 1-based host id (= shard index).
+        id: usize,
+        /// Tasks this host has executed.
+        ran: usize,
+        /// Total module execution time on this host.
+        busy: Nanos,
+    },
+}
+
+/// Result of one sharded world run — identical at every worker count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedOrchestraReport {
+    /// End-to-end virtual runtime.
+    pub elapsed: Nanos,
+    /// Virtual time the controller saw each task complete.
+    pub task_finish: Vec<Nanos>,
+    /// Tasks each host ran, host order.
+    pub per_host_ran: Vec<usize>,
+    /// Module execution time per host, host order.
+    pub per_host_busy: Vec<Nanos>,
+    /// Fabric traffic counters, shard order (controller first).
+    pub traffic: Vec<NodeTraffic>,
+    /// Total events dispatched.
+    pub events: u64,
+    /// Epoch barriers the engine crossed.
+    pub epochs: u64,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic module duration on `host` for `task`: `0.5x .. 1.5x`
+/// of the mean — the same hashed-jitter idiom the farm model uses.
+fn module_duration(config: &ShardedOrchestraConfig, host: usize, task: usize) -> Nanos {
+    let key = splitmix(splitmix(config.seed) ^ ((host as u64) << 32) ^ task as u64);
+    let jitter = (key % 1000) as f64 / 1000.0; // [0, 1)
+    config.mean_task.scale(0.5 + jitter)
+}
+
+/// Run the sharded world with `workers` threads (1 = the
+/// single-threaded reference; results are identical either way).
+pub fn run_sharded(config: &ShardedOrchestraConfig, workers: usize) -> ShardedOrchestraReport {
+    assert!(config.hosts >= 1 && config.tasks >= 1);
+    let mut states = vec![OrchShard::Controller {
+        acked: 0,
+        task: 0,
+        task_finish: Vec::with_capacity(config.tasks),
+        finish: Nanos::ZERO,
+    }];
+    states.extend((1..=config.hosts).map(|id| OrchShard::Host { id, ran: 0, busy: Nanos::ZERO }));
+
+    let link_gbit = config.link_gbit_x10 as f64 / 10.0;
+    let mut sim = FabricSim::new(states, link_gbit, config.latency, 1.0);
+    let cfg = std::sync::Arc::new(config.clone());
+    sim.schedule(CONTROLLER, Nanos::ZERO, move |ctx| dispatch_task(ctx, cfg));
+    let elapsed = sim.run_sharded(workers);
+
+    let OrchShard::Controller { task_finish, .. } = sim.state(CONTROLLER) else {
+        unreachable!("shard 0 is the controller")
+    };
+    let mut per_host_ran = vec![0; config.hosts];
+    let mut per_host_busy = vec![Nanos::ZERO; config.hosts];
+    for state in sim.states() {
+        if let OrchShard::Host { id, ran, busy } = state {
+            per_host_ran[*id - 1] = *ran;
+            per_host_busy[*id - 1] = *busy;
+        }
+    }
+    ShardedOrchestraReport {
+        elapsed,
+        task_finish: task_finish.clone(),
+        per_host_ran,
+        per_host_busy,
+        traffic: (0..=config.hosts).map(|n| sim.traffic(n)).collect(),
+        events: sim.events_fired(),
+        epochs: sim.epochs(),
+        workers: workers.max(1),
+    }
+}
+
+/// Controller: fan the current task's payload out to every host.
+fn dispatch_task(
+    ctx: &mut NetCtx<'_, '_, OrchShard>,
+    cfg: std::sync::Arc<ShardedOrchestraConfig>,
+) {
+    let OrchShard::Controller { task, acked, .. } = ctx.state() else {
+        unreachable!("dispatch runs on the controller shard")
+    };
+    let task = *task;
+    *acked = 0;
+    for host in 1..=cfg.hosts {
+        let cfg = std::sync::Arc::clone(&cfg);
+        ctx.transfer(host, cfg.task_bytes, move |c| run_module(c, task, cfg));
+    }
+}
+
+/// Host: execute the module for the hashed duration, then ship the
+/// result back to the controller.
+fn run_module(
+    ctx: &mut NetCtx<'_, '_, OrchShard>,
+    task: usize,
+    cfg: std::sync::Arc<ShardedOrchestraConfig>,
+) {
+    let host = ctx.node();
+    let duration = module_duration(&cfg, host, task);
+    ctx.schedule_in(duration, move |c| {
+        let OrchShard::Host { ran, busy, .. } = c.state() else {
+            unreachable!("modules run on host shards")
+        };
+        *ran += 1;
+        *busy += duration;
+        c.transfer(CONTROLLER, cfg.result_bytes, move |ctrl| collect_ack(ctrl, cfg));
+    });
+}
+
+/// Controller: count the ack; when every host has answered, record the
+/// task and release the next one.
+fn collect_ack(
+    ctx: &mut NetCtx<'_, '_, OrchShard>,
+    cfg: std::sync::Arc<ShardedOrchestraConfig>,
+) {
+    let now = ctx.now();
+    let OrchShard::Controller { acked, task, task_finish, finish } = ctx.state() else {
+        unreachable!("acks land on the controller shard")
+    };
+    *acked += 1;
+    if *acked < cfg.hosts {
+        return;
+    }
+    task_finish.push(now);
+    *task += 1;
+    if *task == cfg.tasks {
+        *finish = now;
+        return;
+    }
+    ctx.schedule_in(Nanos::ZERO, move |c| dispatch_task(c, cfg));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharded_world_matches_reference_at_every_worker_count() {
+        let config = ShardedOrchestraConfig::default();
+        let reference = run_sharded(&config, 1);
+        assert_eq!(reference.task_finish.len(), config.tasks);
+        assert!(reference.per_host_ran.iter().all(|r| *r == config.tasks));
+        for workers in [2, 4, 8] {
+            let parallel = run_sharded(&config, workers);
+            assert_eq!(
+                ShardedOrchestraReport { workers: 1, ..parallel },
+                reference,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn linear_strategy_orders_task_finishes() {
+        let report = run_sharded(&ShardedOrchestraConfig::default(), 2);
+        assert!(report.task_finish.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn every_task_round_trips_every_host() {
+        let config = ShardedOrchestraConfig { hosts: 5, tasks: 7, ..Default::default() };
+        let report = run_sharded(&config, 2);
+        let rounds = (config.hosts * config.tasks) as u64;
+        assert_eq!(report.traffic[CONTROLLER].tx_bytes, rounds * config.task_bytes);
+        assert_eq!(report.traffic[CONTROLLER].rx_bytes, rounds * config.result_bytes);
+        let host_tx: u64 = report.traffic[1..].iter().map(|t| t.tx_bytes).sum();
+        assert_eq!(host_tx, rounds * config.result_bytes);
+    }
+
+    #[test]
+    fn stragglers_gate_the_barrier() {
+        // The linear barrier means every task takes at least the
+        // slowest host's module time plus two fabric trips.
+        let config = ShardedOrchestraConfig::default();
+        let report = run_sharded(&config, 2);
+        let floor = config.mean_task.scale(0.5) + config.latency + config.latency;
+        let mut prev = Nanos::ZERO;
+        for f in &report.task_finish {
+            assert!(*f >= prev + floor);
+            prev = *f;
+        }
+    }
+
+    #[test]
+    fn seeds_move_the_schedule_not_the_workload() {
+        let a = run_sharded(&ShardedOrchestraConfig::default(), 2);
+        let b = run_sharded(&ShardedOrchestraConfig { seed: 12, ..Default::default() }, 2);
+        assert_ne!(a.task_finish, b.task_finish);
+        assert_eq!(a.per_host_ran, b.per_host_ran);
+        assert_eq!(
+            a.traffic.iter().map(|t| t.tx_bytes).sum::<u64>(),
+            b.traffic.iter().map(|t| t.tx_bytes).sum::<u64>()
+        );
+    }
+}

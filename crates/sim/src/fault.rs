@@ -64,8 +64,13 @@ pub struct FaultPlane {
     /// model durable I/O (GassyFS checkpoint/restore).
     disk_factor: Vec<f64>,
     seed: u64,
-    /// Monotonic draw counter for deterministic loss sampling.
-    draws: u64,
+    /// Per-source monotonic draw counters for deterministic loss
+    /// sampling. Counting per source (not globally) makes the draw
+    /// sequence a function of each sender's own transfer order, so a
+    /// per-endpoint clone of the plane — a shard owning one endpoint —
+    /// reproduces exactly the draws the shared plane would have made
+    /// for that sender, regardless of how other senders interleave.
+    draws: Vec<u64>,
     timeout: Nanos,
 }
 
@@ -81,7 +86,7 @@ impl FaultPlane {
             latency_factor: vec![1.0; nodes],
             disk_factor: vec![1.0; nodes],
             seed: 0,
-            draws: 0,
+            draws: vec![0; nodes],
             timeout: DEFAULT_TIMEOUT,
         }
     }
@@ -268,7 +273,8 @@ impl FaultPlane {
 
     /// Number of retransmissions a message between `src` and `dst`
     /// suffers, sampled deterministically from the plane's seed and a
-    /// monotonic draw counter (same transfer sequence ⇒ same drops).
+    /// per-source monotonic draw counter (same per-sender transfer
+    /// sequence ⇒ same drops, independent of how senders interleave).
     pub fn retransmits(&mut self, src: usize, dst: usize) -> u32 {
         let oneway = self
             .loss_oneway
@@ -282,8 +288,12 @@ impl FaultPlane {
         }
         let mut n = 0u32;
         while n < MAX_RETRANSMITS {
-            self.draws += 1;
-            let h = splitmix64(self.seed ^ self.draws.wrapping_mul(0x2545f4914f6cdd1d));
+            self.draws[src] += 1;
+            let h = splitmix64(
+                self.seed
+                    ^ splitmix64(src as u64)
+                    ^ self.draws[src].wrapping_mul(0x2545f4914f6cdd1d),
+            );
             // Map the hash to [0, 1) and compare against the loss rate.
             let u = (h >> 11) as f64 / (1u64 << 53) as f64;
             if u >= p {
@@ -416,6 +426,29 @@ mod tests {
         p.partition(&[0]);
         p.set_loss(2, 0.3);
         p.heal_all();
-        assert_eq!(p, { let mut q = FaultPlane::new(3); q.draws = p.draws; q.seed = p.seed; q });
+        assert_eq!(p, {
+            let mut q = FaultPlane::new(3);
+            q.draws = p.draws.clone();
+            q.seed = p.seed;
+            q
+        });
+    }
+
+    #[test]
+    fn loss_draws_are_per_source_interleave_invariant() {
+        // A per-endpoint clone of the plane must reproduce the shared
+        // plane's draw sequence for its own source no matter how other
+        // senders' draws interleave on the shared plane.
+        let mut shared = FaultPlane::new(3);
+        shared.set_seed(9);
+        shared.set_loss(2, 0.5);
+        let mut solo = shared.clone();
+        let mut interleaved = Vec::new();
+        for _ in 0..32 {
+            interleaved.push(shared.retransmits(0, 2));
+            shared.retransmits(1, 2); // another sender's draws
+        }
+        let alone: Vec<u32> = (0..32).map(|_| solo.retransmits(0, 2)).collect();
+        assert_eq!(interleaved, alone);
     }
 }

@@ -25,7 +25,12 @@
 //!   latency, SIMD width, cache, branch-predictor quality …) and a
 //!   workload is a vector of demands; runtime is their inner product.
 //! * [`network`] — a switched-fabric model with per-node ingress/egress
-//!   serialization and a core-capacity term.
+//!   serialization and a core-capacity term, split into per-endpoint
+//!   state and a shared core stage.
+//! * [`netshard`] — the shard-native fabric ([`FabricSim`]): per-shard
+//!   fabric endpoints plus a barrier-replayed shared-core stage, so
+//!   fabric-backed worlds run on the sharded engine with contention
+//!   intact and byte-identical results at every worker count.
 //! * [`fault`] — the [`FaultPlane`]: node crashes, partitions, packet
 //!   loss, latency inflation and disk slowdown, consulted by the fabric
 //!   (one branch when healthy) and driven by `popper-chaos` schedules.
@@ -43,6 +48,7 @@ pub mod cluster;
 pub mod engine;
 pub mod fault;
 pub mod hardware;
+pub mod netshard;
 pub mod network;
 pub mod noise;
 pub mod platforms;
@@ -54,6 +60,7 @@ pub use cluster::Cluster;
 pub use engine::Sim;
 pub use fault::{FaultPlane, Unreachable};
 pub use hardware::{Demand, PlatformSpec, ResourceDim};
-pub use network::Fabric;
-pub use shard::{ShardCtx, ShardedSim};
+pub use netshard::{FabricSim, NetCtx, ReplayEntry};
+pub use network::{Fabric, FabricParams, NodeTraffic, TransferDemand};
+pub use shard::{EpochStage, EpochView, ShardCtx, ShardedSim};
 pub use time::Nanos;

@@ -1,0 +1,465 @@
+//! The shard-native fabric: [`FabricSim`] runs a fabric-backed world on
+//! the sharded engine with network contention intact.
+//!
+//! The serial [`Fabric`](crate::Fabric) is a single mutable object —
+//! unusable from shards running in parallel. This module splits it
+//! along its ownership seams instead of locking it:
+//!
+//! * each shard owns its node's [`FabricEndpoint`] (egress queue +
+//!   traffic counters) and a clone of the [`FaultPlane`], whose
+//!   per-source draw counters make the clone's retransmit draws for
+//!   this node identical to a shared plane's;
+//! * a transfer is *admitted* shard-side — fault check, retransmit
+//!   draws, sender accounting, egress reservation — producing a
+//!   [`TransferDemand`] that carries the full serialization demand and
+//!   is buffered in the shard's state;
+//! * at every epoch barrier a [`FabricStage`] (an
+//!   [`EpochStage`](crate::shard::EpochStage)) drains all buffered
+//!   demands in `(source shard, admission seq)` order and replays the
+//!   shared stages — the core switch and the destinations' ingress
+//!   links — through the same [`FabricCore`] the serial fabric uses,
+//!   then schedules each completion onto its destination shard.
+//!
+//! Delivery at the barrier is always causally safe: a demand admitted
+//! at `sent` inside the window `[h, h + lookahead)` completes no
+//! earlier than `sent + latency >= h + lookahead`, i.e. at or beyond
+//! the window end every shard stopped at (the engine's lookahead *is*
+//! the fabric latency).
+//!
+//! The stage also keeps a [`ReplayEntry`] log. Feeding that log, in
+//! order, through a fresh serial `Fabric::try_transfer` reproduces the
+//! sharded run's completion times and traffic counters exactly — the
+//! equivalence contract `tests/fabric_shard.rs` pins.
+//!
+//! Limitations: the fault planes are snapshots taken at construction,
+//! so mid-run fault injection (the chaos drivers' territory) stays on
+//! the serial fabric.
+
+use crate::fault::{FaultPlane, Unreachable};
+use crate::network::{FabricCore, FabricEndpoint, FabricParams, NodeTraffic, TransferDemand};
+use crate::shard::{EpochStage, EpochView, ShardCtx, ShardedSim};
+use crate::time::Nanos;
+use popper_trace::Tracer;
+use std::sync::{Arc, Mutex};
+
+type NetAction<S> = Box<dyn for<'a, 'b> FnOnce(&mut NetCtx<'a, 'b, S>) + Send>;
+
+/// Failure continuation for [`NetCtx::transfer_or`].
+type NetFailAction<S> = Box<dyn for<'a, 'b> FnOnce(&mut NetCtx<'a, 'b, S>, Unreachable) + Send>;
+
+/// One shard of a fabric-backed world: the node's endpoint state, its
+/// fault view, the demands admitted this epoch, and the user state.
+pub struct NetShard<S> {
+    endpoint: FabricEndpoint,
+    faults: FaultPlane,
+    pending: Vec<PendingTransfer<S>>,
+    state: S,
+}
+
+struct PendingTransfer<S> {
+    demand: TransferDemand,
+    /// Completion callback, run on the destination shard at the
+    /// transfer's completion time (`None` for loopback, which is
+    /// delivered locally at send time).
+    on_done: Option<NetAction<S>>,
+}
+
+/// One transfer in the core stage's replay log, in the deterministic
+/// `(epoch, source shard, admission seq)` completion order. Replaying
+/// the log through a fresh serial [`Fabric`](crate::Fabric) — one
+/// `try_transfer(src, dst, bytes, sent)` per entry, in order —
+/// reproduces every `done` and every traffic counter of the sharded
+/// run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReplayEntry {
+    /// Sending node.
+    pub src: usize,
+    /// Receiving node.
+    pub dst: usize,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Admission time at the sender.
+    pub sent: Nanos,
+    /// Completion time at the receiver (`sent` for loopback).
+    pub done: Nanos,
+}
+
+struct CoreState {
+    core: FabricCore,
+    log: Vec<ReplayEntry>,
+}
+
+/// The barrier-replayed shared-core stage (install via
+/// [`FabricSim`]; public only through its effects).
+struct FabricStage {
+    core: Arc<Mutex<CoreState>>,
+}
+
+impl<S: Send + 'static> EpochStage<NetShard<S>> for FabricStage {
+    fn reconcile(&mut self, view: &mut EpochView<'_, '_, NetShard<S>>) {
+        let mut core = self.core.lock().expect("fabric core");
+        for src in 0..view.shards() {
+            let pending = std::mem::take(&mut view.state(src).pending);
+            for p in pending {
+                let d = p.demand;
+                if d.is_loopback() {
+                    // Counted and delivered locally at send time; logged
+                    // so the serial replay counts the same traffic.
+                    core.log.push(ReplayEntry {
+                        src: d.src,
+                        dst: d.dst,
+                        bytes: d.bytes,
+                        sent: d.sent,
+                        done: d.sent,
+                    });
+                    continue;
+                }
+                let done = {
+                    let CoreState { core, log } = &mut *core;
+                    let done = core.complete(&d, view.tracer());
+                    log.push(ReplayEntry { src: d.src, dst: d.dst, bytes: d.bytes, sent: d.sent, done });
+                    done
+                };
+                view.state(d.dst).endpoint.deliver(d.bytes);
+                if let Some(on_done) = p.on_done {
+                    view.schedule(d.dst, done, move |ctx| on_done(&mut NetCtx { inner: ctx }));
+                }
+            }
+        }
+    }
+}
+
+/// The view a fabric-world event gets: the user state, the local clock,
+/// local scheduling, and fabric transfers.
+pub struct NetCtx<'a, 'b, S> {
+    inner: &'a mut ShardCtx<'b, NetShard<S>>,
+}
+
+impl<S: Send + 'static> NetCtx<'_, '_, S> {
+    /// This shard's node id.
+    pub fn node(&self) -> usize {
+        self.inner.shard_id()
+    }
+
+    /// Number of nodes (= shards) on the fabric.
+    pub fn nodes(&self) -> usize {
+        self.inner.shards()
+    }
+
+    /// The shard-local virtual time.
+    pub fn now(&self) -> Nanos {
+        self.inner.now()
+    }
+
+    /// The user state of this shard.
+    pub fn state(&mut self) -> &mut S {
+        &mut self.inner.state().state
+    }
+
+    /// This node's traffic counters so far (deliveries land at epoch
+    /// barriers, so mid-epoch reads may trail in-flight transfers).
+    pub fn traffic(&mut self) -> NodeTraffic {
+        self.inner.state().endpoint.traffic()
+    }
+
+    /// Schedule a local event `delay` after now.
+    pub fn schedule_in(
+        &mut self,
+        delay: Nanos,
+        action: impl for<'x, 'y> FnOnce(&mut NetCtx<'x, 'y, S>) + Send + 'static,
+    ) {
+        self.inner.schedule_in(delay, move |ctx| action(&mut NetCtx { inner: ctx }));
+    }
+
+    /// Schedule a local event at absolute time `at`.
+    pub fn schedule_at(
+        &mut self,
+        at: Nanos,
+        action: impl for<'x, 'y> FnOnce(&mut NetCtx<'x, 'y, S>) + Send + 'static,
+    ) {
+        self.inner.schedule_at(at, move |ctx| action(&mut NetCtx { inner: ctx }));
+    }
+
+    /// Send `bytes` to `dst` over the fabric; `on_done` runs on the
+    /// destination shard at the transfer's completion time (for
+    /// loopback: locally, at the current time). If a fault makes the
+    /// destination unreachable the message is dropped silently — use
+    /// [`transfer_or`](Self::transfer_or) to observe the failure.
+    pub fn transfer(
+        &mut self,
+        dst: usize,
+        bytes: u64,
+        on_done: impl for<'x, 'y> FnOnce(&mut NetCtx<'x, 'y, S>) + Send + 'static,
+    ) {
+        self.transfer_impl(dst, bytes, Box::new(on_done), None);
+    }
+
+    /// Like [`transfer`](Self::transfer), but on an unreachable
+    /// destination `on_fail` runs on *this* shard at the time the
+    /// sender gives up (`now + timeout`), mirroring the serial fabric's
+    /// timeout charge.
+    pub fn transfer_or(
+        &mut self,
+        dst: usize,
+        bytes: u64,
+        on_done: impl for<'x, 'y> FnOnce(&mut NetCtx<'x, 'y, S>) + Send + 'static,
+        on_fail: impl for<'x, 'y> FnOnce(&mut NetCtx<'x, 'y, S>, Unreachable) + Send + 'static,
+    ) {
+        self.transfer_impl(dst, bytes, Box::new(on_done), Some(Box::new(on_fail)));
+    }
+
+    fn transfer_impl(
+        &mut self,
+        dst: usize,
+        bytes: u64,
+        on_done: NetAction<S>,
+        on_fail: Option<NetFailAction<S>>,
+    ) {
+        assert!(dst < self.inner.shards(), "destination node {dst} out of range");
+        let now = self.inner.now();
+        let admitted = {
+            let NetShard { endpoint, faults, .. } = self.inner.state();
+            endpoint.admit(dst, bytes, now, faults)
+        };
+        match admitted {
+            Ok(demand) if demand.is_loopback() => {
+                let shard = self.inner.state();
+                shard.endpoint.deliver(bytes);
+                shard.pending.push(PendingTransfer { demand, on_done: None });
+                // Locality is free: deliver at the current time, after
+                // the in-flight event finishes.
+                self.schedule_in(Nanos::ZERO, move |ctx| on_done(ctx));
+            }
+            Ok(demand) => {
+                self.inner.state().pending.push(PendingTransfer { demand, on_done: Some(on_done) });
+            }
+            Err(u) => {
+                if let Some(on_fail) = on_fail {
+                    self.inner
+                        .schedule_at(u.gave_up_at, move |ctx| on_fail(&mut NetCtx { inner: ctx }, u));
+                }
+            }
+        }
+    }
+}
+
+/// A sharded simulator whose shards are fabric endpoints: the
+/// shard-native counterpart of driving a serial
+/// [`Fabric`](crate::Fabric) from a single event loop. The engine's
+/// conservative lookahead is the fabric's propagation latency.
+pub struct FabricSim<S> {
+    sim: ShardedSim<NetShard<S>>,
+    core: Arc<Mutex<CoreState>>,
+    params: FabricParams,
+}
+
+impl<S: Send + 'static> FabricSim<S> {
+    /// A fabric-backed world with one shard (= fabric node) per entry
+    /// of `states`; `link_gbit`, `latency` and `oversubscription` are
+    /// the serial fabric's parameters. The latency is clamped to at
+    /// least 1 ns — it doubles as the engine lookahead.
+    pub fn new(states: Vec<S>, link_gbit: f64, latency: Nanos, oversubscription: f64) -> Self {
+        let nodes = states.len();
+        Self::with_faults(states, link_gbit, latency, oversubscription, FaultPlane::new(nodes))
+    }
+
+    /// Like [`new`](Self::new) with a pre-configured fault plane. The
+    /// plane is snapshotted per shard at construction: faults are fixed
+    /// for the whole run (mid-run injection needs the serial fabric).
+    pub fn with_faults(
+        states: Vec<S>,
+        link_gbit: f64,
+        latency: Nanos,
+        oversubscription: f64,
+        faults: FaultPlane,
+    ) -> Self {
+        let nodes = states.len();
+        assert_eq!(faults.nodes(), nodes, "fault plane covers a different node count");
+        let latency = latency.max(Nanos(1));
+        let params = FabricParams::new(nodes, link_gbit, latency, oversubscription);
+        let shards: Vec<NetShard<S>> = states
+            .into_iter()
+            .enumerate()
+            .map(|(node, state)| NetShard {
+                endpoint: FabricEndpoint::new(node, params),
+                faults: faults.clone(),
+                pending: Vec::new(),
+                state,
+            })
+            .collect();
+        let mut sim = ShardedSim::new(shards, latency);
+        let core = Arc::new(Mutex::new(CoreState { core: FabricCore::new(nodes), log: Vec::new() }));
+        sim.set_stage(FabricStage { core: Arc::clone(&core) });
+        FabricSim { sim, core, params }
+    }
+
+    /// Number of fabric nodes (= shards).
+    pub fn nodes(&self) -> usize {
+        self.sim.shards()
+    }
+
+    /// The fabric's propagation latency (= the engine lookahead).
+    pub fn latency(&self) -> Nanos {
+        self.params.latency
+    }
+
+    /// Replace the tracer captured at construction.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.sim.set_tracer(tracer);
+    }
+
+    /// Seed an event on `node` at absolute time `at`.
+    pub fn schedule(
+        &mut self,
+        node: usize,
+        at: Nanos,
+        action: impl for<'x, 'y> FnOnce(&mut NetCtx<'x, 'y, S>) + Send + 'static,
+    ) {
+        self.sim.schedule(node, at, move |ctx| action(&mut NetCtx { inner: ctx }));
+    }
+
+    /// Run single-threaded (the reference execution).
+    pub fn run(&mut self) -> Nanos {
+        self.sim.run()
+    }
+
+    /// Run with `workers` threads; results and trace bytes are
+    /// identical to [`run`](Self::run) for every worker count.
+    pub fn run_sharded(&mut self, workers: usize) -> Nanos {
+        self.sim.run_sharded(workers)
+    }
+
+    /// Borrow one node's user state.
+    pub fn state(&self, node: usize) -> &S {
+        &self.sim.state(node).state
+    }
+
+    /// Iterate over all user states in node order.
+    pub fn states(&self) -> impl Iterator<Item = &S> {
+        self.sim.states().map(|s| &s.state)
+    }
+
+    /// Traffic counters for one node.
+    pub fn traffic(&self, node: usize) -> NodeTraffic {
+        self.sim.state(node).endpoint.traffic()
+    }
+
+    /// Total wire bytes (tx side, retransmits included), matching
+    /// `Fabric::total_bytes`.
+    pub fn total_bytes(&self) -> u64 {
+        self.sim.states().map(|s| s.endpoint.traffic().tx_bytes).sum()
+    }
+
+    /// Total events dispatched.
+    pub fn events_fired(&self) -> u64 {
+        self.sim.events_fired()
+    }
+
+    /// Epoch barriers crossed.
+    pub fn epochs(&self) -> u64 {
+        self.sim.epochs()
+    }
+
+    /// The final virtual time.
+    pub fn now(&self) -> Nanos {
+        self.sim.now()
+    }
+
+    /// The completed-transfer log, in deterministic completion order
+    /// (see [`ReplayEntry`]).
+    pub fn replay_log(&self) -> Vec<ReplayEntry> {
+        self.core.lock().expect("fabric core").log.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Fabric;
+
+    /// Build an n-node world where each listed `(src, dst, bytes, at)`
+    /// transfer is issued at its time and the completion time is logged
+    /// into the source node's state.
+    fn world(n: usize, xfers: &[(usize, usize, u64, u64)]) -> FabricSim<Vec<(usize, Nanos)>> {
+        let mut sim = FabricSim::new(vec![Vec::new(); n], 10.0, Nanos::from_micros(10), 1.0);
+        for &(src, dst, bytes, at) in xfers {
+            sim.schedule(src, Nanos(at), move |ctx| {
+                ctx.transfer(dst, bytes, move |done_ctx| {
+                    let t = done_ctx.now();
+                    done_ctx.state().push((dst, t));
+                });
+            });
+        }
+        sim
+    }
+
+    #[test]
+    fn single_transfer_matches_the_serial_fabric() {
+        let mut sim = world(2, &[(0, 1, 1_250_000, 0)]);
+        sim.run();
+        let mut serial = Fabric::new(2, 10.0, Nanos::from_micros(10), 1.0);
+        let done = serial.try_transfer(0, 1, 1_250_000, Nanos::ZERO).unwrap();
+        assert_eq!(sim.replay_log(), vec![ReplayEntry { src: 0, dst: 1, bytes: 1_250_000, sent: Nanos::ZERO, done }]);
+        // The completion callback fired on the destination shard at `done`.
+        assert_eq!(sim.state(1), &vec![(1, done)]);
+        assert!(sim.state(0).is_empty());
+        assert_eq!(sim.now(), done);
+        assert_eq!(sim.traffic(0).tx_bytes, serial.traffic(0).tx_bytes);
+        assert_eq!(sim.traffic(1).rx_bytes, serial.traffic(1).rx_bytes);
+    }
+
+    #[test]
+    fn loopback_is_free_and_counted() {
+        let mut sim = world(2, &[(0, 0, 4096, 7)]);
+        sim.run();
+        assert_eq!(sim.traffic(0).tx_bytes, 4096);
+        assert_eq!(sim.traffic(0).rx_bytes, 4096);
+        let log = sim.replay_log();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].done, Nanos(7));
+        assert_eq!(sim.now(), Nanos(7));
+    }
+
+    #[test]
+    fn unreachable_destination_runs_on_fail_at_the_timeout() {
+        let mut faults = FaultPlane::new(2);
+        faults.crash(1);
+        let mut sim: FabricSim<Vec<Nanos>> =
+            FabricSim::with_faults(vec![Vec::new(); 2], 10.0, Nanos::from_micros(10), 1.0, faults.clone());
+        sim.schedule(0, Nanos(100), move |ctx| {
+            ctx.transfer_or(
+                1,
+                4096,
+                |_| panic!("delivered to a crashed node"),
+                |ctx, u| {
+                    let t = ctx.now();
+                    assert_eq!(u.crashed, Some(1));
+                    ctx.state().push(t);
+                },
+            );
+        });
+        sim.run();
+        assert_eq!(sim.state(0), &vec![Nanos(100) + faults.timeout()]);
+        // Nothing was put on the wire and nothing was logged.
+        assert_eq!(sim.total_bytes(), 0);
+        assert!(sim.replay_log().is_empty());
+    }
+
+    #[test]
+    fn fan_out_and_incast_match_worker_counts() {
+        let xfers: Vec<(usize, usize, u64, u64)> =
+            (1..6).map(|s| (s, 0, 1_250_000u64, 0u64)).collect();
+        let reference = {
+            let mut sim = world(6, &xfers);
+            sim.run();
+            (sim.replay_log(), sim.now(), sim.events_fired())
+        };
+        for workers in [2, 4, 8] {
+            let mut sim = world(6, &xfers);
+            sim.run_sharded(workers);
+            assert_eq!(sim.replay_log(), reference.0, "workers={workers}");
+            assert_eq!(sim.now(), reference.1);
+            assert_eq!(sim.events_fired(), reference.2);
+        }
+    }
+}

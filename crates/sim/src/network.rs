@@ -9,34 +9,254 @@
 //! and MPI use cases depend on: incast (many senders to one receiver
 //! serialize at the ingress link) and bisection saturation (the core
 //! capacity term).
+//!
+//! The model is split along the ownership boundary the sharded engine
+//! needs (see [`crate::netshard`]): a [`FabricEndpoint`] holds the state
+//! only its own node ever touches — the egress queue and the traffic
+//! counters — and admits transfers into a [`TransferDemand`] that
+//! carries the full serialization demand; a [`FabricCore`] holds the
+//! stages every transfer contends on — the core switch and all ingress
+//! links — and replays admissions in a deterministic order. The serial
+//! [`Fabric`] is the composition of the two plus a [`FaultPlane`], and
+//! is the reference the sharded path must match byte for byte.
 
 use crate::fault::{FaultPlane, Unreachable};
 use crate::resource::Serial;
 use crate::time::Nanos;
+use popper_trace::Tracer;
 
 /// Per-node traffic counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct NodeTraffic {
-    /// Bytes sent by this node.
+    /// Bytes this node put on the wire, counting every fault-driven
+    /// retransmission of a message (a message that took `tries`
+    /// attempts charges `bytes * tries`).
     pub tx_bytes: u64,
-    /// Bytes received by this node.
+    /// Bytes received by this node (only the delivered copy counts).
     pub rx_bytes: u64,
-    /// Messages sent.
+    /// Message attempts sent (retransmissions count).
     pub tx_msgs: u64,
     /// Messages received.
     pub rx_msgs: u64,
 }
 
-/// The fabric connecting a cluster's nodes.
+/// Link and core timing parameters, shared by every stage of a fabric.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricParams {
+    /// One-way propagation latency.
+    pub latency: Nanos,
+    /// Per-link bandwidth in Gbit/s.
+    pub link_gbit: f64,
+    /// Aggregate core bandwidth in Gbit/s.
+    pub core_gbit: f64,
+}
+
+impl FabricParams {
+    /// Parameters for `nodes` endpoints with per-link bandwidth
+    /// `link_gbit`, one-way propagation latency `latency`, and a core
+    /// with `oversubscription`:1 ratio (1.0 = full bisection bandwidth).
+    pub fn new(nodes: usize, link_gbit: f64, latency: Nanos, oversubscription: f64) -> Self {
+        assert!(nodes >= 1 && link_gbit > 0.0 && oversubscription >= 1.0);
+        FabricParams { latency, link_gbit, core_gbit: link_gbit * nodes as f64 / oversubscription }
+    }
+
+    fn serialize_time(&self, bytes: u64, gbit: f64) -> Nanos {
+        Nanos::from_secs_f64(bytes as f64 * 8.0 / (gbit * 1e9))
+    }
+}
+
+/// The serialization demand of one admitted transfer: everything the
+/// shared stages need to finish it, computed at the sender. Stage
+/// times and the propagation latency are already scaled by `tries`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferDemand {
+    /// Sending endpoint.
+    pub src: usize,
+    /// Receiving endpoint.
+    pub dst: usize,
+    /// Payload bytes (one copy).
+    pub bytes: u64,
+    /// Attempts on the wire (1 + fault-driven retransmits).
+    pub tries: u64,
+    /// Time the sender issued the transfer.
+    pub sent: Nanos,
+    /// Egress admission interval at the sender.
+    pub e_start: Nanos,
+    /// Egress finish at the sender.
+    pub e_fin: Nanos,
+    /// Link serialization time (`tries` copies).
+    pub link_t: Nanos,
+    /// Core serialization time (`tries` copies).
+    pub core_t: Nanos,
+    /// Propagation latency (`tries` traversals, fault-inflated).
+    pub latency: Nanos,
+}
+
+impl TransferDemand {
+    /// True for a local (src == dst) transfer: it completes at `sent`
+    /// and never touches the egress, core or ingress stages.
+    pub fn is_loopback(&self) -> bool {
+        self.src == self.dst
+    }
+}
+
+/// The per-endpoint half of the fabric: the state only node `node`
+/// ever touches on the send path. In the serial [`Fabric`] these live
+/// in one vector; in the sharded fabric each shard owns its own.
+#[derive(Debug, Clone)]
+pub struct FabricEndpoint {
+    node: usize,
+    params: FabricParams,
+    egress: Serial,
+    traffic: NodeTraffic,
+}
+
+impl FabricEndpoint {
+    /// The endpoint for `node` under `params`.
+    pub fn new(node: usize, params: FabricParams) -> Self {
+        FabricEndpoint { node, params, egress: Serial::new(), traffic: NodeTraffic::default() }
+    }
+
+    /// The node this endpoint belongs to.
+    pub fn node(&self) -> usize {
+        self.node
+    }
+
+    /// This endpoint's traffic counters.
+    pub fn traffic(&self) -> NodeTraffic {
+        self.traffic
+    }
+
+    /// Admit a transfer of `bytes` to `dst` at `now`: consult the fault
+    /// plane, charge the sender for every attempt, and reserve the
+    /// egress link. Returns the demand the shared stages need to finish
+    /// the transfer, or [`Unreachable`] (nothing is charged then — the
+    /// message was never put on the wire).
+    pub fn admit(
+        &mut self,
+        dst: usize,
+        bytes: u64,
+        now: Nanos,
+        faults: &mut FaultPlane,
+    ) -> Result<TransferDemand, Unreachable> {
+        let src = self.node;
+        // The healthy-plane cost of fault support is this one branch.
+        let mut latency = self.params.latency;
+        let mut tries = 1u64;
+        if faults.is_active() {
+            if faults.crashed_endpoint(src, dst).is_some() || !faults.reachable(src, dst) {
+                return Err(Unreachable {
+                    src,
+                    dst,
+                    crashed: faults.crashed_endpoint(src, dst),
+                    gave_up_at: now + faults.timeout(),
+                });
+            }
+            if src != dst {
+                latency = latency.scale(faults.latency_factor_between(src, dst));
+                tries += faults.retransmits(src, dst) as u64;
+            }
+        }
+        // Every attempt puts the full message on the wire, so the
+        // sender pays `bytes * tries`; the receiver counts only the
+        // copy that is delivered (see `deliver`).
+        self.traffic.tx_bytes += bytes * tries;
+        self.traffic.tx_msgs += tries;
+        if src == dst {
+            // Locality is free: no stage is reserved, completion is now.
+            return Ok(TransferDemand {
+                src,
+                dst,
+                bytes,
+                tries,
+                sent: now,
+                e_start: now,
+                e_fin: now,
+                link_t: Nanos::ZERO,
+                core_t: Nanos::ZERO,
+                latency: Nanos::ZERO,
+            });
+        }
+        // Each lost attempt re-serializes the message and pays the
+        // (possibly inflated) propagation latency again.
+        let link_t = self.params.serialize_time(bytes, self.params.link_gbit) * tries;
+        let core_t = self.params.serialize_time(bytes, self.params.core_gbit) * tries;
+        let latency = latency * tries;
+        // Relaxed admission: senders are independent virtual-time
+        // cursors, so arrivals are not globally ordered (see
+        // `Serial::admit_relaxed`).
+        let (e_start, e_fin) = self.egress.admit_relaxed(now, link_t);
+        Ok(TransferDemand { src, dst, bytes, tries, sent: now, e_start, e_fin, link_t, core_t, latency })
+    }
+
+    /// Count a delivered message on the receive side.
+    pub fn deliver(&mut self, bytes: u64) {
+        self.traffic.rx_bytes += bytes;
+        self.traffic.rx_msgs += 1;
+    }
+
+    /// Egress-link utilization over `[0, horizon]`.
+    pub fn egress_utilization(&self, horizon: Nanos) -> f64 {
+        self.egress.utilization(horizon)
+    }
+}
+
+/// The shared half of the fabric: the core switch and every ingress
+/// link — the stages where transfers from *different* senders contend.
+/// Admission order into these queues is what the sharded fabric must
+/// replay deterministically.
+#[derive(Debug, Clone)]
+pub struct FabricCore {
+    core: Serial,
+    ingress: Vec<Serial>,
+}
+
+impl FabricCore {
+    /// A core stage for `nodes` endpoints.
+    pub fn new(nodes: usize) -> Self {
+        FabricCore { core: Serial::new(), ingress: vec![Serial::new(); nodes] }
+    }
+
+    /// Finish an admitted transfer: run it through the core switch and
+    /// the destination's ingress link, and return the completion time
+    /// at the receiver. Emits the per-transfer trace spans.
+    pub fn complete(&mut self, d: &TransferDemand, tracer: &Tracer) -> Nanos {
+        debug_assert!(!d.is_loopback());
+        let (c_start, c_fin) = self.core.admit_relaxed(d.e_start, d.core_t);
+        let (_i_start, i_fin) = self.ingress[d.dst].admit_relaxed(c_start, d.link_t);
+        let done = d.latency + d.e_fin.max(c_fin).max(i_fin);
+        if tracer.is_enabled() {
+            // One span per transfer on the sender's egress track, from
+            // egress admission to receiver completion, plus a child span
+            // for the queueing-sensitive egress stage itself.
+            let (src, dst, bytes) = (d.src, d.dst, d.bytes);
+            let xfer = tracer.span_at(
+                "net",
+                format!("sim/net/node{src}"),
+                format!("xfer {bytes}B ->{dst}"),
+                d.e_start.0,
+                done.0,
+            );
+            tracer.span_at_child(
+                xfer,
+                "net",
+                format!("sim/net/node{src}"),
+                "egress",
+                d.e_start.0,
+                d.e_fin.0,
+            );
+        }
+        done
+    }
+}
+
+/// The fabric connecting a cluster's nodes: per-endpoint state, the
+/// shared core stage and the fault plane, driven serially.
 #[derive(Debug, Clone)]
 pub struct Fabric {
-    latency: Nanos,
-    link_gbit: f64,
-    core_gbit: f64,
-    egress: Vec<Serial>,
-    ingress: Vec<Serial>,
-    core: Serial,
-    traffic: Vec<NodeTraffic>,
+    params: FabricParams,
+    endpoints: Vec<FabricEndpoint>,
+    core: FabricCore,
     faults: FaultPlane,
 }
 
@@ -45,15 +265,11 @@ impl Fabric {
     /// `link_gbit`, one-way propagation latency `latency`, and a core
     /// with `oversubscription`:1 ratio (1.0 = full bisection bandwidth).
     pub fn new(nodes: usize, link_gbit: f64, latency: Nanos, oversubscription: f64) -> Self {
-        assert!(nodes >= 1 && link_gbit > 0.0 && oversubscription >= 1.0);
+        let params = FabricParams::new(nodes, link_gbit, latency, oversubscription);
         Fabric {
-            latency,
-            link_gbit,
-            core_gbit: link_gbit * nodes as f64 / oversubscription,
-            egress: vec![Serial::new(); nodes],
-            ingress: vec![Serial::new(); nodes],
-            core: Serial::new(),
-            traffic: vec![NodeTraffic::default(); nodes],
+            params,
+            endpoints: (0..nodes).map(|n| FabricEndpoint::new(n, params)).collect(),
+            core: FabricCore::new(nodes),
             faults: FaultPlane::new(nodes),
         }
     }
@@ -70,21 +286,22 @@ impl Fabric {
 
     /// Number of endpoints.
     pub fn nodes(&self) -> usize {
-        self.egress.len()
+        self.endpoints.len()
     }
 
     /// One-way propagation latency.
     pub fn latency(&self) -> Nanos {
-        self.latency
+        self.params.latency
     }
 
     /// Per-link bandwidth in Gbit/s.
     pub fn link_gbit(&self) -> f64 {
-        self.link_gbit
+        self.params.link_gbit
     }
 
-    fn serialize_time(&self, bytes: u64, gbit: f64) -> Nanos {
-        Nanos::from_secs_f64(bytes as f64 * 8.0 / (gbit * 1e9))
+    /// The timing parameters.
+    pub fn params(&self) -> FabricParams {
+        self.params
     }
 
     /// Send `bytes` from `src` to `dst` starting at `now`; returns the
@@ -114,64 +331,12 @@ impl Fabric {
         now: Nanos,
     ) -> Result<Nanos, Unreachable> {
         assert!(src < self.nodes() && dst < self.nodes(), "endpoint out of range");
-        // The healthy-plane cost of fault support is this one branch.
-        let mut latency = self.latency;
-        let mut tries = 1u64;
-        if self.faults.is_active() {
-            if self.faults.crashed_endpoint(src, dst).is_some() || !self.faults.reachable(src, dst) {
-                return Err(Unreachable {
-                    src,
-                    dst,
-                    crashed: self.faults.crashed_endpoint(src, dst),
-                    gave_up_at: now + self.faults.timeout(),
-                });
-            }
-            if src != dst {
-                latency = latency.scale(self.faults.latency_factor_between(src, dst));
-                tries += self.faults.retransmits(src, dst) as u64;
-            }
-        }
-        self.traffic[src].tx_bytes += bytes;
-        self.traffic[src].tx_msgs += 1;
-        self.traffic[dst].rx_bytes += bytes;
-        self.traffic[dst].rx_msgs += 1;
-        if src == dst {
+        let demand = self.endpoints[src].admit(dst, bytes, now, &mut self.faults)?;
+        self.endpoints[dst].deliver(bytes);
+        if demand.is_loopback() {
             return Ok(now);
         }
-        // Each lost attempt re-serializes the message and pays the
-        // (possibly inflated) propagation latency again.
-        let link_t = self.serialize_time(bytes, self.link_gbit) * tries;
-        let core_t = self.serialize_time(bytes, self.core_gbit) * tries;
-        let latency = latency * tries;
-        // Relaxed admission: senders are independent virtual-time
-        // cursors, so arrivals are not globally ordered (see
-        // `Serial::admit_relaxed`).
-        let (e_start, e_fin) = self.egress[src].admit_relaxed(now, link_t);
-        let (c_start, c_fin) = self.core.admit_relaxed(e_start, core_t);
-        let (_i_start, i_fin) = self.ingress[dst].admit_relaxed(c_start, link_t);
-        let done = latency + e_fin.max(c_fin).max(i_fin);
-        let tracer = popper_trace::current();
-        if tracer.is_enabled() {
-            // One span per transfer on the sender's egress track, from
-            // egress admission to receiver completion, plus a child span
-            // for the queueing-sensitive egress stage itself.
-            let xfer = tracer.span_at(
-                "net",
-                format!("sim/net/node{src}"),
-                format!("xfer {bytes}B ->{dst}"),
-                e_start.0,
-                done.0,
-            );
-            tracer.span_at_child(
-                xfer,
-                "net",
-                format!("sim/net/node{src}"),
-                "egress",
-                e_start.0,
-                e_fin.0,
-            );
-        }
-        Ok(done)
+        Ok(self.core.complete(&demand, &popper_trace::current()))
     }
 
     /// A small-message round trip between two nodes (an RPC): two
@@ -205,18 +370,19 @@ impl Fabric {
 
     /// Traffic counters for one node.
     pub fn traffic(&self, node: usize) -> NodeTraffic {
-        self.traffic[node]
+        self.endpoints[node].traffic()
     }
 
-    /// Total bytes moved through the fabric (excluding loopback double
-    /// counting: each transfer counts once).
+    /// Total wire bytes moved through the fabric (tx side): each
+    /// transfer counts once per attempt, so fault-driven retransmits
+    /// are included; loopback copies count once.
     pub fn total_bytes(&self) -> u64 {
-        self.traffic.iter().map(|t| t.tx_bytes).sum()
+        self.endpoints.iter().map(|e| e.traffic().tx_bytes).sum()
     }
 
     /// Egress-link utilization of a node over `[0, horizon]`.
     pub fn egress_utilization(&self, node: usize, horizon: Nanos) -> f64 {
-        self.egress[node].utilization(horizon)
+        self.endpoints[node].egress_utilization(horizon)
     }
 }
 
@@ -302,6 +468,32 @@ mod tests {
         assert_eq!(f.traffic(0).rx_bytes, 200);
         assert_eq!(f.traffic(0).tx_msgs, 2);
         assert_eq!(f.total_bytes(), 1700);
+    }
+
+    #[test]
+    fn lossy_schedule_charges_every_attempt_to_the_sender() {
+        let mut f = fabric(2);
+        f.faults_mut().set_seed(3);
+        f.faults_mut().set_loss(1, 0.6);
+        // An oracle plane with the same seed replays the draw sequence
+        // to predict how many attempts each transfer takes.
+        let mut oracle = f.faults().clone();
+        let bytes = 10_000u64;
+        let (mut wire_bytes, mut wire_msgs) = (0u64, 0u64);
+        for i in 0..20 {
+            let tries = 1 + u64::from(oracle.retransmits(0, 1));
+            f.transfer(0, 1, bytes, Nanos::from_millis(i));
+            wire_bytes += bytes * tries;
+            wire_msgs += tries;
+        }
+        assert!(wire_msgs > 20, "60% loss must retransmit within 20 sends");
+        // The sender is charged for every attempt on the wire ...
+        assert_eq!(f.traffic(0).tx_bytes, wire_bytes);
+        assert_eq!(f.traffic(0).tx_msgs, wire_msgs);
+        assert_eq!(f.total_bytes(), wire_bytes);
+        // ... while the receiver counts only the delivered copies.
+        assert_eq!(f.traffic(1).rx_bytes, bytes * 20);
+        assert_eq!(f.traffic(1).rx_msgs, 20);
     }
 
     #[test]

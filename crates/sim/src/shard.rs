@@ -147,6 +147,71 @@ impl<S> Shard<S> {
     }
 }
 
+/// A deterministic reconciliation stage run at every epoch barrier,
+/// when the coordinator has exclusive access to every shard.
+///
+/// This is the hook shared-resource models hang off the engine: during
+/// an epoch each shard only *records* its demand on a shared stage
+/// (e.g. a network core switch) in its own state; at the barrier the
+/// stage's `reconcile` drains those demands in shard order — a fixed
+/// order independent of worker count — replays the shared admissions,
+/// and schedules the resulting completion events onto the destination
+/// shards. Because the engine calls it at the same point of both the
+/// serial reference and the parallel path, anything it does (including
+/// trace emission through [`EpochView::tracer`]) is byte-identical at
+/// every worker count.
+pub trait EpochStage<S>: Send {
+    /// Reconcile shared state at an epoch barrier. Runs on the
+    /// coordinating thread with every shard quiescent.
+    fn reconcile(&mut self, view: &mut EpochView<'_, '_, S>);
+}
+
+/// The coordinator's view of all shards at an epoch barrier, handed to
+/// [`EpochStage::reconcile`]: every shard's state, plus the ability to
+/// schedule events onto any shard.
+pub struct EpochView<'a, 'b, S> {
+    shards: Vec<&'a mut Shard<S>>,
+    tracer: &'b Tracer,
+}
+
+impl<S> EpochView<'_, '_, S> {
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Mutably borrow one shard's state.
+    pub fn state(&mut self, shard: usize) -> &mut S {
+        &mut self.shards[shard].state
+    }
+
+    /// A shard's local virtual clock.
+    pub fn now(&self, shard: usize) -> Nanos {
+        self.shards[shard].now
+    }
+
+    /// The engine's tracer. Emission from here happens on the
+    /// coordinating thread at a fixed point of the epoch, so it is
+    /// deterministic across worker counts.
+    pub fn tracer(&self) -> &Tracer {
+        self.tracer
+    }
+
+    /// Schedule an event on `dst` at absolute time `at`. Scheduling in
+    /// the destination shard's past panics, exactly like
+    /// [`ShardCtx::schedule_at`].
+    pub fn schedule(
+        &mut self,
+        dst: usize,
+        at: Nanos,
+        action: impl FnOnce(&mut ShardCtx<'_, S>) + Send + 'static,
+    ) {
+        let shard = &mut self.shards[dst];
+        assert!(at >= shard.now, "stage cannot schedule into shard {dst}'s past ({at} < {now})", now = shard.now);
+        shard.push(at, Box::new(action));
+    }
+}
+
 /// The view an event action gets of its shard: local state, the local
 /// clock, local scheduling, and cross-shard sends.
 pub struct ShardCtx<'a, S> {
@@ -230,6 +295,7 @@ pub struct ShardedSim<S> {
     lookahead: Nanos,
     tracer: Tracer,
     epochs: u64,
+    stage: Option<Box<dyn EpochStage<S>>>,
 }
 
 impl<S: Send> ShardedSim<S> {
@@ -245,7 +311,14 @@ impl<S: Send> ShardedSim<S> {
             lookahead: lookahead.max(Nanos(1)),
             tracer: popper_trace::current(),
             epochs: 0,
+            stage: None,
         }
+    }
+
+    /// Install an [`EpochStage`] reconciled at every barrier. At most
+    /// one stage; installing replaces any previous one.
+    pub fn set_stage(&mut self, stage: impl EpochStage<S> + 'static) {
+        self.stage = Some(Box::new(stage));
     }
 
     /// A sharded simulator whose lookahead is derived from a fabric's
@@ -314,8 +387,8 @@ impl<S: Send> ShardedSim<S> {
     /// Merge every shard's outbox into the destination queues, in the
     /// fixed `(source shard, send seq)` order that makes the merge — and
     /// therefore all downstream dispatch order — independent of which
-    /// worker ran which shard. Then forward buffered trace records in
-    /// shard order.
+    /// worker ran which shard. Then reconcile the epoch stage (if any)
+    /// and forward buffered trace records in shard order.
     fn epoch_boundary(&mut self, trace_on: bool) {
         for src in 0..self.shards.len() {
             let outbox = std::mem::take(&mut self.shards[src].outbox);
@@ -325,6 +398,10 @@ impl<S: Send> ShardedSim<S> {
                 debug_assert!(out.at >= self.shards[out.dst].now);
                 self.shards[out.dst].push(out.at, out.action);
             }
+        }
+        if let Some(stage) = self.stage.as_mut() {
+            let mut view = EpochView { shards: self.shards.iter_mut().collect(), tracer: &self.tracer };
+            stage.reconcile(&mut view);
         }
         if trace_on {
             self.flush_trace();
@@ -407,6 +484,7 @@ impl<S: Send> ShardedSim<S> {
         let barrier = Barrier::new(workers + 1);
         let tracer = self.tracer.clone();
         let mut epochs_run = 0u64;
+        let mut stage = self.stage.take();
         let cells: Vec<Mutex<&mut Shard<S>>> = self.shards.iter_mut().map(Mutex::new).collect();
 
         std::thread::scope(|scope| {
@@ -469,6 +547,18 @@ impl<S: Send> ShardedSim<S> {
                     debug_assert!(out.at >= dst.now);
                     dst.push(out.at, out.action);
                 }
+                if let Some(stage) = stage.as_deref_mut() {
+                    // The stage sees all shards quiescent, in shard
+                    // order — the same view `epoch_boundary` builds on
+                    // the serial path.
+                    let mut guards: Vec<_> =
+                        cells.iter().map(|c| c.lock().expect("shard lock")).collect();
+                    let mut view = EpochView {
+                        shards: guards.iter_mut().map(|g| &mut ***g).collect(),
+                        tracer: &tracer,
+                    };
+                    stage.reconcile(&mut view);
+                }
                 if trace_on {
                     for cell in cells.iter() {
                         let mut shard = cell.lock().expect("shard lock");
@@ -489,6 +579,7 @@ impl<S: Send> ShardedSim<S> {
             }
         });
         drop(cells);
+        self.stage = stage;
         self.epochs += epochs_run;
         self.finish(trace_on)
     }

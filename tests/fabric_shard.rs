@@ -1,0 +1,242 @@
+//! Shard-native fabric determinism, end to end.
+//!
+//! Two contracts are pinned here. First, **serial equivalence**: the
+//! sharded fabric's barrier-replayed core stage must reproduce the
+//! serial [`Fabric`] byte for byte — replaying the admission log
+//! through a fresh serial fabric yields the same completion times and
+//! the same traffic counters, retransmits included. Second, **worker
+//! invariance**: every fabric-backed world (the gassyfs page-striping
+//! world, the orchestra fan-out world, the sharded LULESH proxy, the
+//! farm capacity model) produces identical state, counters, virtual
+//! clock and trace bytes at 1, 2 and 8 workers.
+//!
+//! The CI jobs `gassyfs-shard-determinism` and
+//! `orchestra-shard-determinism` run the world halves of this file.
+
+use popper_sim::{platforms, Fabric, FabricSim, FaultPlane, Nanos};
+use popper_trace::{ClockDomain, TraceSink};
+
+const LINK_GBIT: f64 = 10.0;
+const LATENCY: Nanos = Nanos::from_micros(5);
+const OVERSUB: f64 = 2.0;
+
+/// Replay a sharded run's admission log through a fresh serial
+/// [`Fabric`] in log order and demand identical completion times and
+/// identical per-node counters.
+fn assert_matches_serial<S: Send + 'static>(sim: &FabricSim<S>, serial: &mut Fabric) {
+    let log = sim.replay_log();
+    assert!(!log.is_empty(), "run produced no transfers");
+    for e in &log {
+        let done = serial
+            .try_transfer(e.src, e.dst, e.bytes, e.sent)
+            .expect("the log only records delivered transfers");
+        assert_eq!(done, e.done, "completion of {} -> {} at {:?}", e.src, e.dst, e.sent);
+    }
+    for node in 0..serial.nodes() {
+        assert_eq!(sim.traffic(node), serial.traffic(node), "traffic counters, node {node}");
+    }
+    assert_eq!(sim.total_bytes(), serial.total_bytes());
+}
+
+/// Eight sources pour into node 0 within one epoch: the canonical
+/// incast. Each destination-side arrival time is logged.
+fn fan_in(workers: usize) -> FabricSim<Vec<(usize, u64)>> {
+    let nodes = 9;
+    let mut sim = FabricSim::new(vec![Vec::new(); nodes], LINK_GBIT, LATENCY, OVERSUB);
+    for src in 1..nodes {
+        // All sends land in the same lookahead window.
+        sim.schedule(src, Nanos(src as u64), move |ctx| {
+            let bytes = 256 * 1024 + src as u64 * 4096;
+            ctx.transfer(0, bytes, move |c| {
+                let now = c.now();
+                c.state().push((src, now.0));
+            });
+        });
+    }
+    sim.run_sharded(workers);
+    sim
+}
+
+#[test]
+fn same_epoch_fan_in_matches_the_serial_fabric_byte_for_byte() {
+    let reference = fan_in(1);
+    let mut serial = Fabric::new(9, LINK_GBIT, LATENCY, OVERSUB);
+    assert_matches_serial(&reference, &mut serial);
+    // The incast genuinely contends: the destination's ingress spreads
+    // the deliveries out instead of stacking them at one instant.
+    let arrivals: Vec<u64> = reference.state(0).iter().map(|&(_, t)| t).collect();
+    assert_eq!(arrivals.len(), 8);
+    assert!(arrivals.windows(2).all(|w| w[0] < w[1]), "arrivals not serialized: {arrivals:?}");
+    for workers in [2, 8] {
+        let sim = fan_in(workers);
+        assert_eq!(sim.replay_log(), reference.replay_log(), "workers={workers}");
+        assert_eq!(sim.state(0), reference.state(0), "workers={workers}");
+        assert_eq!(sim.now(), reference.now(), "workers={workers}");
+    }
+}
+
+#[test]
+fn lossy_fan_in_matches_the_serial_fabric_including_retransmits() {
+    let nodes = 5;
+    let mut plane = FaultPlane::new(nodes);
+    plane.set_seed(41);
+    plane.set_loss(0, 0.5);
+    let run = |workers: usize| {
+        // Each source chains three sends so every per-source fault-draw
+        // sequence is exercised past its first draw.
+        fn send(ctx: &mut popper_sim::NetCtx<'_, '_, u64>, round: u64) {
+            if round == 3 {
+                return;
+            }
+            ctx.transfer(0, 100_000 + round * 7_000, move |c| {
+                *c.state() += 1;
+                send(c, round + 1);
+            });
+        }
+        let mut sim =
+            FabricSim::with_faults(vec![0u64; 5], LINK_GBIT, LATENCY, OVERSUB, plane_for(41));
+        for src in 1..5 {
+            sim.schedule(src, Nanos(src as u64 * 10), move |ctx| send(ctx, 0));
+        }
+        sim.run_sharded(workers);
+        sim
+    };
+    fn plane_for(seed: u64) -> FaultPlane {
+        let mut p = FaultPlane::new(5);
+        p.set_seed(seed);
+        p.set_loss(0, 0.5);
+        p
+    }
+    let reference = run(1);
+    assert_eq!(*reference.state(0), 12, "all chained sends delivered");
+    let wire: u64 = (0..nodes).map(|n| reference.traffic(n).tx_bytes).sum();
+    let payload: u64 = (0..nodes).map(|n| reference.traffic(n).rx_bytes).sum();
+    assert!(wire > payload, "the lossy path must retransmit (wire {wire} <= payload {payload})");
+    let mut serial = Fabric::new(nodes, LINK_GBIT, LATENCY, OVERSUB);
+    *serial.faults_mut() = plane_for(41);
+    assert_matches_serial(&reference, &mut serial);
+    for workers in [2, 8] {
+        let sim = run(workers);
+        assert_eq!(sim.replay_log(), reference.replay_log(), "workers={workers}");
+        assert_eq!(sim.traffic(0), reference.traffic(0), "workers={workers}");
+    }
+}
+
+mod random_schedules {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Any transfer schedule — arbitrary sources, destinations
+        /// (loopbacks included), sizes and start times — replays
+        /// byte-for-byte against the serial fabric and is invariant
+        /// across worker counts.
+        #[test]
+        fn any_schedule_matches_serial_and_worker_counts(
+            transfers in proptest::collection::vec(
+                (0usize..6, 0usize..6, 1u64..200_000, 0u64..50_000),
+                1..24,
+            ),
+        ) {
+            let run = |workers: usize| {
+                let mut sim = FabricSim::new(vec![0u64; 6], LINK_GBIT, LATENCY, OVERSUB);
+                for &(src, dst, bytes, at) in &transfers {
+                    sim.schedule(src, Nanos(at), move |ctx| {
+                        ctx.transfer(dst, bytes, |c| *c.state() += 1);
+                    });
+                }
+                sim.run_sharded(workers);
+                sim
+            };
+            let reference = run(1);
+            let mut serial = Fabric::new(6, LINK_GBIT, LATENCY, OVERSUB);
+            for e in reference.replay_log() {
+                let done = serial.try_transfer(e.src, e.dst, e.bytes, e.sent).unwrap();
+                prop_assert_eq!(done, e.done);
+            }
+            for node in 0..6 {
+                prop_assert_eq!(reference.traffic(node), serial.traffic(node));
+            }
+            let delivered: u64 = (0..6).map(|n| *reference.state(n)).sum();
+            prop_assert_eq!(delivered as usize, transfers.len());
+            let sharded = run(4);
+            prop_assert_eq!(sharded.replay_log(), reference.replay_log());
+            prop_assert_eq!(sharded.now(), reference.now());
+        }
+    }
+}
+
+// ---- world-level determinism, trace bytes included ------------------
+
+/// Run `f` under a fresh virtual-clock trace sink and return its result
+/// plus the exported trace bytes.
+fn traced<R>(f: impl FnOnce() -> R) -> (R, String) {
+    let sink = TraceSink::new();
+    let tracer = sink.tracer(ClockDomain::Virtual);
+    let out = popper_trace::with_current(tracer.clone(), f);
+    tracer.flush();
+    (out, popper_trace::export::chrome_trace_json(&sink.drain()))
+}
+
+#[test]
+fn gassyfs_world_is_identical_at_1_2_8_workers_including_trace_bytes() {
+    let config = popper_gassyfs::ShardedGassyConfig { nodes: 6, pages: 72, streams: 3 };
+    let platform = platforms::gassyfs_node();
+    let (reference, ref_trace) = traced(|| popper_gassyfs::shardworld::run_sharded(&config, &platform, 1));
+    assert!(ref_trace.contains("xfer"), "fabric spans missing from the trace");
+    for workers in [2, 8] {
+        let (run, trace) =
+            traced(|| popper_gassyfs::shardworld::run_sharded(&config, &platform, workers));
+        assert_eq!(
+            popper_gassyfs::ShardedGassyReport { workers: 1, ..run },
+            reference,
+            "workers={workers}"
+        );
+        assert_eq!(trace, ref_trace, "trace bytes, workers={workers}");
+    }
+}
+
+#[test]
+fn orchestra_world_is_identical_at_1_2_8_workers_including_trace_bytes() {
+    let config = popper_orchestra::ShardedOrchestraConfig::default();
+    let (reference, ref_trace) = traced(|| popper_orchestra::shardworld::run_sharded(&config, 1));
+    assert!(ref_trace.contains("xfer"), "fabric spans missing from the trace");
+    for workers in [2, 8] {
+        let (run, trace) = traced(|| popper_orchestra::shardworld::run_sharded(&config, workers));
+        assert_eq!(
+            popper_orchestra::ShardedOrchestraReport { workers: 1, ..run },
+            reference,
+            "workers={workers}"
+        );
+        assert_eq!(trace, ref_trace, "trace bytes, workers={workers}");
+    }
+}
+
+/// This repository eats its own dog food: the root `.popper-ci.pml`
+/// carries the two world-determinism jobs that run this file.
+#[test]
+fn own_ci_config_has_shard_determinism_jobs() {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(".popper-ci.pml");
+    let text = std::fs::read_to_string(path).expect(".popper-ci.pml at the workspace root");
+    let config = popper::ci::PipelineConfig::from_pml(&text).expect("config parses");
+    for job in ["gassyfs-shard-determinism", "orchestra-shard-determinism"] {
+        assert!(config.jobs.iter().any(|j| j.name == job), "missing CI job '{job}'");
+    }
+}
+
+#[test]
+fn lulesh_and_farm_worlds_have_identical_trace_bytes_at_1_2_8_workers() {
+    let app = popper_minimpi::lulesh::LuleshConfig::small();
+    let platform = platforms::hpc_node();
+    let (_, lulesh_ref) = traced(|| popper_minimpi::run_sharded(&app, &platform, 1));
+    assert!(lulesh_ref.contains("xfer"));
+    let farm = popper_farm::FarmSimConfig { tenants: 4, jobs_per_tenant: 8, ..Default::default() };
+    let (_, farm_ref) = traced(|| popper_farm::simulate(&farm, 1));
+    assert!(farm_ref.contains("xfer"));
+    for workers in [2, 8] {
+        let (_, t) = traced(|| popper_minimpi::run_sharded(&app, &platform, workers));
+        assert_eq!(t, lulesh_ref, "lulesh trace bytes, workers={workers}");
+        let (_, t) = traced(|| popper_farm::simulate(&farm, workers));
+        assert_eq!(t, farm_ref, "farm trace bytes, workers={workers}");
+    }
+}
