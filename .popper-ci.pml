@@ -52,6 +52,11 @@ jobs:
     matrix:
       workers: [1, 2, 8]
     steps: [cargo test --test fabric_shard orchestra]
+  - name: chaos-shard-determinism
+    stage: test
+    matrix:
+      workers: [1, 2, 8]
+    steps: [cargo test --test fabric_shard chaos]
   - name: core-lint
     stage: test
     steps: [cargo clippy -p popper-core -- -D warnings]

@@ -60,17 +60,9 @@ impl ChaosDriver {
 }
 
 fn apply(kind: &FaultKind, plane: &mut FaultPlane) {
-    match kind {
-        FaultKind::Crash { node } => plane.crash(*node),
-        FaultKind::Restart { node } => plane.restart(*node),
-        FaultKind::Partition { side } => plane.partition(side),
-        FaultKind::Heal => plane.heal_partition(),
-        FaultKind::Loss { node, p } => plane.set_loss(*node, *p),
-        FaultKind::LossOneWay { from, to, p } => plane.set_loss_oneway(*from, *to, *p),
-        FaultKind::Latency { node, factor } => plane.set_latency_factor(*node, *factor),
-        FaultKind::DiskSlow { node, factor } => plane.set_disk_factor(*node, *factor),
-        FaultKind::ClearDegradation => plane.clear_degradation(),
-    }
+    // One lowering for both chaos paths: the driver applies the same
+    // `PlaneCmd` the sharded fabric applies at its epoch barriers.
+    plane.apply(&kind.to_cmd());
 }
 
 #[cfg(test)]

@@ -48,6 +48,64 @@ impl FaultKind {
         }
     }
 
+    /// Lower this event to the fault-plane mutation it performs — the
+    /// vocabulary [`popper_sim::FabricSim::set_fault_timeline`] takes,
+    /// so sharded worlds can apply schedules at epoch barriers without
+    /// the sim layer depending on this crate.
+    pub fn to_cmd(&self) -> popper_sim::PlaneCmd {
+        use popper_sim::PlaneCmd;
+        match self {
+            FaultKind::Crash { node } => PlaneCmd::Crash(*node),
+            FaultKind::Restart { node } => PlaneCmd::Restart(*node),
+            FaultKind::Partition { side } => PlaneCmd::Partition(side.clone()),
+            FaultKind::Heal => PlaneCmd::HealPartition,
+            FaultKind::Loss { node, p } => PlaneCmd::Loss { node: *node, p: *p },
+            FaultKind::LossOneWay { from, to, p } => {
+                PlaneCmd::LossOneWay { from: *from, to: *to, p: *p }
+            }
+            FaultKind::Latency { node, factor } => {
+                PlaneCmd::Latency { node: *node, factor: *factor }
+            }
+            FaultKind::DiskSlow { node, factor } => {
+                PlaneCmd::DiskSlow { node: *node, factor: *factor }
+            }
+            FaultKind::ClearDegradation => PlaneCmd::ClearDegradation,
+        }
+    }
+
+    /// The node a schedule sort keys this event on: the affected node,
+    /// the sending side for a one-way loss, the first member of a
+    /// partition's side, and 0 for cluster-wide repairs.
+    fn sort_node(&self) -> usize {
+        match self {
+            FaultKind::Crash { node }
+            | FaultKind::Restart { node }
+            | FaultKind::Loss { node, .. }
+            | FaultKind::Latency { node, .. }
+            | FaultKind::DiskSlow { node, .. } => *node,
+            FaultKind::LossOneWay { from, .. } => *from,
+            FaultKind::Partition { side } => side.first().copied().unwrap_or(0),
+            FaultKind::Heal | FaultKind::ClearDegradation => 0,
+        }
+    }
+
+    /// Declaration-order rank, the final sort tiebreaker (repairs rank
+    /// after the faults they undo: `Heal` before `ClearDegradation`,
+    /// both after same-instant injections on the same node).
+    fn sort_rank(&self) -> u8 {
+        match self {
+            FaultKind::Crash { .. } => 0,
+            FaultKind::Restart { .. } => 1,
+            FaultKind::Partition { .. } => 2,
+            FaultKind::Heal => 3,
+            FaultKind::Loss { .. } => 4,
+            FaultKind::LossOneWay { .. } => 5,
+            FaultKind::Latency { .. } => 6,
+            FaultKind::DiskSlow { .. } => 7,
+            FaultKind::ClearDegradation => 8,
+        }
+    }
+
     /// The `kind:` string used in PML specs and `faults.json`.
     pub fn kind_name(&self) -> &'static str {
         match self {
@@ -272,8 +330,20 @@ impl FaultSchedule {
         Ok(Some(s))
     }
 
+    /// Sort events by `(time, node, kind)` — a total, input-order-free
+    /// key, so two events sharing a timestamp land in the same order no
+    /// matter how the schedule was written or generated. Equal full
+    /// keys (same instant, node and kind) keep insertion order (stable
+    /// sort).
     fn sort(&mut self) {
-        self.events.sort_by_key(|e| e.at);
+        self.events.sort_by_key(|e| (e.at, e.kind.sort_node(), e.kind.sort_rank()));
+    }
+
+    /// The schedule lowered to the sim layer's `(time, PlaneCmd)`
+    /// timeline, ready for
+    /// [`popper_sim::FabricSim::set_fault_timeline`].
+    pub fn plane_timeline(&self) -> Vec<(Nanos, popper_sim::PlaneCmd)> {
+        self.events.iter().map(|e| (e.at, e.kind.to_cmd())).collect()
     }
 
     /// Virtual time of the first crash event, if any (recovery clocks
@@ -596,6 +666,43 @@ mod tests {
             &pml::parse("faults: {schedule: frob}\n").unwrap()
         )
         .is_err());
+    }
+
+    #[test]
+    fn same_instant_events_sort_independently_of_insertion_order() {
+        // Two events sharing a timestamp must land in the same order no
+        // matter how the spec listed them: keyed on (time, node, kind).
+        let forward = "faults:\n  nodes: 4\n  events:\n    - {at_ms: 50, kind: crash, node: 1}\n    - {at_ms: 50, kind: loss, node: 1, p: 0.2}\n    - {at_ms: 50, kind: crash, node: 3}\n    - {at_ms: 120, kind: restart, node: 1}\n    - {at_ms: 120, kind: restart, node: 3}\n";
+        let reversed = "faults:\n  nodes: 4\n  events:\n    - {at_ms: 120, kind: restart, node: 3}\n    - {at_ms: 120, kind: restart, node: 1}\n    - {at_ms: 50, kind: crash, node: 3}\n    - {at_ms: 50, kind: loss, node: 1, p: 0.2}\n    - {at_ms: 50, kind: crash, node: 1}\n";
+        let a = FaultSchedule::from_vars(&pml::parse(forward).unwrap()).unwrap().unwrap();
+        let b = FaultSchedule::from_vars(&pml::parse(reversed).unwrap()).unwrap().unwrap();
+        assert_eq!(a.events, b.events);
+        // Node breaks the tie first, kind second (crash before loss on
+        // the same node at the same instant).
+        assert_eq!(a.events[0].kind, FaultKind::Crash { node: 1 });
+        assert_eq!(a.events[1].kind, FaultKind::Loss { node: 1, p: 0.2 });
+        assert_eq!(a.events[2].kind, FaultKind::Crash { node: 3 });
+        // The identical byte stream feeds faults.json either way.
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn plane_timeline_lowers_every_event() {
+        use popper_sim::{FaultPlane, PlaneCmd};
+        let s = FaultSchedule::gremlin(6, 3);
+        let timeline = s.plane_timeline();
+        assert_eq!(timeline.len(), s.events.len());
+        assert!(timeline.iter().any(|(_, c)| matches!(c, PlaneCmd::HealPartition)));
+        // Applying the lowered commands equals driving the schedule.
+        let mut via_cmds = FaultPlane::new(6);
+        via_cmds.set_seed(s.seed);
+        for (_, cmd) in &timeline {
+            via_cmds.apply(cmd);
+        }
+        let mut via_driver = FaultPlane::new(6);
+        let mut d = crate::driver::ChaosDriver::new(s.clone());
+        d.advance(&mut via_driver, s.horizon());
+        assert_eq!(via_cmds, via_driver);
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub fn register_builtin_runners(engine: &mut ExperimentEngine) {
     engine.register("lulesh-sharded", lulesh_sharded_runner);
     engine.register("gassyfs-sharded", gassyfs_sharded_runner);
     engine.register("orchestra-sharded", orchestra_sharded_runner);
+    engine.register("farm-sharded", farm_sharded_runner);
     engine.register("bww-airtemp", bww_runner);
 }
 
@@ -43,7 +44,27 @@ fn reject_sim_workers(vars: &Value, runner: &str) -> Result<(), String> {
     if vars.get("sim_workers").is_some() || std::env::var("POPPER_SIM_WORKERS").is_ok() {
         return Err(format!(
             "runner '{runner}' has no sharded world; drop 'sim_workers:' / --sim-workers \
-             (sharded runners: lulesh-sharded, gassyfs-sharded, orchestra-sharded)"
+             (sharded runners: lulesh-sharded, gassyfs-sharded, orchestra-sharded, farm-sharded)"
+        ));
+    }
+    Ok(())
+}
+
+/// A sharded runner's chaos schedule must fit its world: every shard a
+/// fault event targets must exist. The schedule's node count comes
+/// from `faults.nodes` (else the top-level `nodes`, else 8 — see
+/// [`popper_chaos::FaultSchedule::from_vars`]), so a smaller world
+/// needs it set explicitly.
+fn check_schedule_fits(
+    schedule: &popper_chaos::FaultSchedule,
+    world_nodes: usize,
+    runner: &str,
+) -> Result<(), String> {
+    if schedule.nodes > world_nodes {
+        return Err(format!(
+            "runner '{runner}': fault schedule '{}' targets {} nodes but the world has \
+             {world_nodes} shards; set 'faults: nodes:' to the world size",
+            schedule.name, schedule.nodes
         ));
     }
     Ok(())
@@ -205,6 +226,52 @@ fn lulesh_sharded_runner(vars: &Value) -> Result<Table, String> {
     let platform =
         platforms::by_name(machine).ok_or_else(|| format!("unknown machine '{machine}'"))?;
     let workers = sharded_workers(vars)?;
+    // A `faults:` spec flips the runner into chaos mode: the same
+    // sharded proxy, but the schedule lands at epoch barriers mid-run
+    // and ranks retry halos with backoff; the table carries the
+    // recovery metrics the chaos gate asserts on.
+    if let Some(schedule) = popper_chaos::FaultSchedule::from_vars(vars)? {
+        check_schedule_fits(&schedule, app.ranks(), "lulesh-sharded")?;
+        let run = popper_minimpi::run_sharded_chaos(
+            &app,
+            &platform,
+            workers,
+            schedule.seed,
+            schedule.plane_timeline(),
+        );
+        let mut t = Table::new([
+            "schedule",
+            "machine",
+            "workers",
+            "epochs",
+            "rank",
+            "finish_ms",
+            "elapsed_ms",
+            "detections",
+            "recovered",
+            "recovery_ms",
+            "degraded_fraction",
+            "corrupt",
+        ]);
+        for (rank, finish) in run.per_rank_finish.iter().enumerate() {
+            t.push_row(vec![
+                Value::from(schedule.name.as_str()),
+                Value::from(machine),
+                Value::from(run.workers),
+                Value::from(run.epochs as usize),
+                Value::from(rank),
+                Value::Num(finish.as_millis_f64()),
+                Value::Num(run.elapsed.as_millis_f64()),
+                Value::from(run.detections as usize),
+                Value::from(run.recovered as usize),
+                Value::Num(run.recovery_ms),
+                Value::Num(run.degraded_fraction),
+                Value::from(run.lost as usize),
+            ])
+            .expect("fixed schema");
+        }
+        return Ok(t);
+    }
     let run = popper_minimpi::run_sharded(&app, &platform, workers);
     let mut t = Table::new(["machine", "workers", "epochs", "rank", "finish_ms", "elapsed_ms"]);
     for (rank, finish) in run.per_rank_finish.iter().enumerate() {
@@ -240,6 +307,52 @@ fn gassyfs_sharded_runner(vars: &Value) -> Result<Table, String> {
         config.streams = s.max(1.0) as usize;
     }
     let workers = sharded_workers(vars)?;
+    // Chaos mode: the same sharded write path, but the schedule lands
+    // at epoch barriers mid-run and the client fails over to replicas.
+    if let Some(schedule) = popper_chaos::FaultSchedule::from_vars(vars)? {
+        check_schedule_fits(&schedule, config.nodes, "gassyfs-sharded")?;
+        let report = popper_gassyfs::shardworld::run_sharded_chaos(
+            &config,
+            &platform,
+            workers,
+            schedule.seed,
+            schedule.plane_timeline(),
+        );
+        let mut t = Table::new([
+            "schedule",
+            "machine",
+            "workers",
+            "epochs",
+            "node",
+            "primary_pages",
+            "replica_pages",
+            "failovers",
+            "detections",
+            "recovery_ms",
+            "degraded_fraction",
+            "corrupt",
+            "elapsed_ms",
+        ]);
+        for node in 0..config.nodes {
+            t.push_row(vec![
+                Value::from(schedule.name.as_str()),
+                Value::from(machine),
+                Value::from(report.workers),
+                Value::from(report.epochs as usize),
+                Value::from(node),
+                Value::from(report.per_node_primary[node] as usize),
+                Value::from(report.per_node_replica[node] as usize),
+                Value::from(report.failovers as usize),
+                Value::from(report.detections as usize),
+                Value::Num(report.recovery_ms),
+                Value::Num(report.degraded_fraction),
+                Value::from(report.lost as usize),
+                Value::Num(report.elapsed.as_millis_f64()),
+            ])
+            .expect("fixed schema");
+        }
+        return Ok(t);
+    }
     let report = popper_gassyfs::shardworld::run_sharded(&config, &platform, workers);
     let mut t = Table::new([
         "machine",
@@ -284,6 +397,49 @@ fn orchestra_sharded_runner(vars: &Value) -> Result<Table, String> {
         config.seed = s as u64;
     }
     let workers = sharded_workers(vars)?;
+    // Chaos mode: the same linear strategy, but the schedule lands at
+    // epoch barriers mid-playbook and RPCs retry with backoff.
+    if let Some(schedule) = popper_chaos::FaultSchedule::from_vars(vars)? {
+        check_schedule_fits(&schedule, config.hosts + 1, "orchestra-sharded")?;
+        let report = popper_orchestra::shardworld::run_sharded_chaos(
+            &config,
+            workers,
+            schedule.seed,
+            schedule.plane_timeline(),
+        );
+        let mut t = Table::new([
+            "schedule",
+            "hosts",
+            "workers",
+            "epochs",
+            "task",
+            "finish_ms",
+            "elapsed_ms",
+            "detections",
+            "recovered",
+            "recovery_ms",
+            "degraded_fraction",
+            "corrupt",
+        ]);
+        for (task, finish) in report.task_finish.iter().enumerate() {
+            t.push_row(vec![
+                Value::from(schedule.name.as_str()),
+                Value::from(config.hosts),
+                Value::from(report.workers),
+                Value::from(report.epochs as usize),
+                Value::from(task),
+                Value::Num(finish.as_millis_f64()),
+                Value::Num(report.elapsed.as_millis_f64()),
+                Value::from(report.detections as usize),
+                Value::from(report.recovered as usize),
+                Value::Num(report.recovery_ms),
+                Value::Num(report.degraded_fraction),
+                Value::from(report.lost as usize),
+            ])
+            .expect("fixed schema");
+        }
+        return Ok(t);
+    }
     let report = popper_orchestra::shardworld::run_sharded(&config, workers);
     let mut t =
         Table::new(["hosts", "workers", "epochs", "task", "finish_ms", "elapsed_ms"]);
@@ -294,6 +450,90 @@ fn orchestra_sharded_runner(vars: &Value) -> Result<Table, String> {
             Value::from(report.epochs as usize),
             Value::from(task),
             Value::Num(finish.as_millis_f64()),
+            Value::Num(report.elapsed.as_millis_f64()),
+        ])
+        .expect("fixed schema");
+    }
+    Ok(t)
+}
+
+/// The sharded farm model: one shard per tenant pipeline plus the
+/// shared chunk store, archives shipped through the shard-native
+/// fabric. One row per tenant. A `faults:` spec flips it into chaos
+/// mode — the schedule lands at epoch barriers mid-run and tenants
+/// requeue failed archives with backoff (the service's worker-crash
+/// requeue, projected onto the store link).
+fn farm_sharded_runner(vars: &Value) -> Result<Table, String> {
+    let mut config = popper_farm::FarmSimConfig::default();
+    if let Some(t) = vars.get_num("tenants") {
+        config.tenants = t.max(1.0) as usize;
+    }
+    if let Some(j) = vars.get_num("jobs") {
+        config.jobs_per_tenant = j.max(1.0) as usize;
+    }
+    if let Some(s) = vars.get_num("seed") {
+        config.seed = s as u64;
+    }
+    let workers = sharded_workers(vars)?;
+    if let Some(schedule) = popper_chaos::FaultSchedule::from_vars(vars)? {
+        check_schedule_fits(&schedule, config.tenants + 1, "farm-sharded")?;
+        let report = popper_farm::simulate_chaos(
+            &config,
+            workers,
+            schedule.seed,
+            schedule.plane_timeline(),
+        );
+        let mut t = Table::new([
+            "schedule",
+            "tenants",
+            "workers",
+            "epochs",
+            "tenant",
+            "finish_ms",
+            "requeued",
+            "recovered",
+            "recovery_ms",
+            "degraded_fraction",
+            "corrupt",
+            "elapsed_ms",
+        ]);
+        for (tenant, finish) in report.tenant_finish.iter().enumerate() {
+            t.push_row(vec![
+                Value::from(schedule.name.as_str()),
+                Value::from(config.tenants),
+                Value::from(report.workers),
+                Value::from(report.epochs as usize),
+                Value::from(tenant),
+                Value::Num(finish.as_millis_f64()),
+                Value::from(report.requeued as usize),
+                Value::from(report.recovered as usize),
+                Value::Num(report.recovery_ms),
+                Value::Num(report.degraded_fraction),
+                Value::from(report.lost as usize),
+                Value::Num(report.elapsed.as_millis_f64()),
+            ])
+            .expect("fixed schema");
+        }
+        return Ok(t);
+    }
+    let report = popper_farm::simulate(&config, workers);
+    let mut t = Table::new([
+        "tenants",
+        "workers",
+        "tenant",
+        "finish_ms",
+        "store_jobs",
+        "store_bytes",
+        "elapsed_ms",
+    ]);
+    for (tenant, finish) in report.tenant_finish.iter().enumerate() {
+        t.push_row(vec![
+            Value::from(config.tenants),
+            Value::from(workers.max(1)),
+            Value::from(tenant),
+            Value::Num(finish.as_millis_f64()),
+            Value::from(report.store_jobs as usize),
+            Value::from(report.store_bytes as usize),
             Value::Num(report.elapsed.as_millis_f64()),
         ])
         .expect("fixed schema");
@@ -572,11 +812,130 @@ mod tests {
             ("mpi-variability", mpi_runner),
             ("lulesh-chaos", lulesh_chaos_runner),
             ("bww-airtemp", bww_runner),
+            ("synthetic", popper_core::experiment::synthetic_runner),
         ] {
             let err = runner(&vars).unwrap_err();
             assert!(err.contains("no sharded world"), "{name}: {err}");
             assert!(err.contains(name), "{name}: {err}");
         }
+    }
+
+    /// Vars that arm every sharded runner's chaos mode with the same
+    /// healing built-in schedule.
+    fn chaos_vars(extra: &[(&str, i64)]) -> Value {
+        let mut vars = Value::empty_map();
+        let mut faults = Value::empty_map();
+        faults.insert("schedule", Value::from("node-crash"));
+        faults.insert("seed", Value::from(7i64));
+        vars.insert("faults", faults);
+        for &(k, v) in extra {
+            vars.insert(k, Value::from(v));
+        }
+        vars
+    }
+
+    #[test]
+    fn sharded_chaos_runners_are_worker_count_invariant() {
+        type Runner = fn(&Value) -> Result<Table, String>;
+        let cases: [(&str, Runner, Vec<(&str, i64)>); 4] = [
+            ("lulesh-sharded", lulesh_sharded_runner, vec![("elements", 4), ("iterations", 10), ("nodes", 8)]),
+            ("gassyfs-sharded", gassyfs_sharded_runner, vec![("nodes", 6), ("pages", 48)]),
+            ("orchestra-sharded", orchestra_sharded_runner, vec![("hosts", 6), ("tasks", 6), ("nodes", 6)]),
+            ("farm-sharded", farm_sharded_runner, vec![("tenants", 5), ("jobs", 16), ("nodes", 5)]),
+        ];
+        for (name, runner, extra) in cases {
+            let table_for = |workers: i64| {
+                let mut vars = chaos_vars(&extra);
+                vars.insert("sim_workers", Value::from(workers));
+                runner(&vars).unwrap_or_else(|e| panic!("{name}: {e}"))
+            };
+            let serial = table_for(1);
+            // The schedule heals, so the run must end clean.
+            for row in serial.iter() {
+                assert_eq!(row.get("corrupt").and_then(Value::as_num), Some(0.0), "{name}");
+            }
+            assert!(
+                serial.iter().any(|r| r.get("detections").map_or(true, |d| d.as_num() != Some(0.0))
+                    || r.get("requeued").map_or(true, |d| d.as_num() != Some(0.0))),
+                "{name}: mid-run faults must be observed"
+            );
+            for workers in [2, 8] {
+                let sharded = table_for(workers);
+                for (a, b) in serial.iter().zip(sharded.iter()) {
+                    for col in serial.columns() {
+                        let col = col.name.as_str();
+                        if col == "workers" {
+                            continue;
+                        }
+                        assert_eq!(a.get(col), b.get(col), "{name} workers={workers} col={col}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn farm_sharded_runner_is_worker_count_invariant() {
+        let vars_for = |workers: i64| {
+            let mut vars = Value::empty_map();
+            vars.insert("tenants", Value::from(5i64));
+            vars.insert("jobs", Value::from(12i64));
+            vars.insert("sim_workers", Value::from(workers));
+            vars
+        };
+        let serial = farm_sharded_runner(&vars_for(1)).unwrap();
+        assert_eq!(serial.len(), 5); // one row per tenant
+        let sharded = farm_sharded_runner(&vars_for(4)).unwrap();
+        for (a, b) in serial.iter().zip(sharded.iter()) {
+            assert_eq!(a.get("finish_ms"), b.get("finish_ms"));
+            assert_eq!(a.get("store_jobs"), b.get("store_jobs"));
+            assert_eq!(a.get("elapsed_ms"), b.get("elapsed_ms"));
+        }
+        assert!(farm_sharded_runner(&vars_for(0)).is_err());
+    }
+
+    #[test]
+    fn sharded_chaos_schedule_must_fit_the_world() {
+        // 8-node default schedule against a 4-node world: a clear
+        // error, not an out-of-range fault.
+        let mut vars = chaos_vars(&[("hosts", 3)]);
+        vars.insert("faults", {
+            let mut f = Value::empty_map();
+            f.insert("schedule", Value::from("node-crash"));
+            f.insert("nodes", Value::from(8i64));
+            f
+        });
+        let err = orchestra_sharded_runner(&vars).unwrap_err();
+        assert!(err.contains("targets 8 nodes"), "{err}");
+        assert!(err.contains("4 shards"), "{err}");
+    }
+
+    #[test]
+    fn sharded_chaos_lifecycle_artifacts_are_worker_count_invariant() {
+        // The full `popper chaos` lifecycle over a sharded world:
+        // faults.json and recovery.json must come out byte-identical
+        // at every worker count (results.csv differs only in the
+        // recorded `workers` column).
+        let run = |workers: i64| {
+            let mut repo = PopperRepo::init("t").unwrap();
+            repo.write(
+                "experiments/e/vars.pml",
+                format!("runner: gassyfs-sharded\nnodes: 6\npages: 48\nsim_workers: {workers}\n"),
+            )
+            .unwrap();
+            repo.commit("add").unwrap();
+            let report = full_engine().run_chaos(&mut repo, "e", Some("node-crash"), Some(7)).unwrap();
+            assert!(report.success(), "{:?}", report.verdict.failures);
+            assert!(report.metrics.get_num("failovers").unwrap_or(0.0) > 0.0);
+            assert_eq!(report.metrics.get_num("corrupt"), Some(0.0));
+            (
+                repo.read("experiments/e/faults.json").unwrap(),
+                repo.read("experiments/e/recovery.json").unwrap(),
+            )
+        };
+        let reference = run(1);
+        assert_eq!(run(2), reference);
+        assert_eq!(run(8), reference);
     }
 
     #[test]

@@ -299,6 +299,16 @@ pub fn inventory_for(playbook: &Playbook, vars: &Value) -> Inventory {
 /// xs: [1, 2, 4, 8]
 /// ```
 pub fn synthetic_runner(vars: &Value) -> Result<Table, String> {
+    // The synthetic model has no sharded world: asking it to shard
+    // (via vars or the CLI's --sim-workers) is a configuration error,
+    // not a silent no-op — the same contract the use-case runners
+    // enforce.
+    if vars.get("sim_workers").is_some() || std::env::var("POPPER_SIM_WORKERS").is_ok() {
+        return Err(
+            "runner 'synthetic' has no sharded world; drop 'sim_workers:' / --sim-workers"
+                .to_string(),
+        );
+    }
     let workload = vars.get_str("workload").unwrap_or("synthetic");
     let machine = vars.get_str("machine").unwrap_or("cloudlab-c220g");
     let model = vars.get("model").ok_or("synthetic runner needs a 'model'")?;

@@ -175,6 +175,237 @@ fn run_job(ctx: &mut NetCtx<'_, '_, FarmShard>, job: usize, cfg: std::sync::Arc<
     });
 }
 
+// ---- chaos variant: the same tenant pipelines under a scheduled ----
+// ---- fault timeline, with archive requeue on store failures     ----
+
+/// Archive attempts before a tenant abandons the upload.
+const MAX_ATTEMPTS: usize = 12;
+
+/// Requeue backoff: 1, 2, 4, ... ms, capped at 32 ms.
+fn backoff(attempt: usize) -> Nanos {
+    Nanos::from_millis(1 << attempt.min(5))
+}
+
+/// What one shard models in the chaos run.
+enum ChaosFarmShard {
+    Store {
+        jobs: u64,
+        bytes: u64,
+        last_arrival: Nanos,
+        /// Archives that landed after one or more requeues.
+        recovered: u64,
+        last_recovery: Nanos,
+    },
+    Tenant {
+        id: usize,
+        done: usize,
+        finish: Nanos,
+        /// Archive timeouts this tenant observed (requeues issued).
+        requeued: u64,
+        /// Archives that failed at least once.
+        degraded: u64,
+        /// Archives abandoned after `MAX_ATTEMPTS`.
+        lost: u64,
+        first_fail: Option<Nanos>,
+    },
+}
+
+/// Result of one chaos model run — identical at every worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FarmChaosSimReport {
+    /// Per-tenant pipeline completion times.
+    pub tenant_finish: Vec<Nanos>,
+    /// Jobs the store archived.
+    pub store_jobs: u64,
+    /// Bytes the store ingested.
+    pub store_bytes: u64,
+    /// Bytes on the wire (retransmit draws included).
+    pub wire_bytes: u64,
+    /// Virtual time the last event fired.
+    pub elapsed: Nanos,
+    /// Total events dispatched.
+    pub events: u64,
+    /// Epoch barriers the engine crossed.
+    pub epochs: u64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Jobs the pipelines ran (the archive workload size).
+    pub jobs: u64,
+    /// Archive timeouts observed (requeues issued).
+    pub requeued: u64,
+    /// Archives delivered after one or more requeues.
+    pub recovered: u64,
+    /// Archives abandoned after `MAX_ATTEMPTS` (expected 0 for every
+    /// schedule that ends healed).
+    pub lost: u64,
+    /// First failure to last recovered archive, in milliseconds.
+    pub recovery_ms: f64,
+    /// Fraction of archives that saw any failure.
+    pub degraded_fraction: f64,
+}
+
+/// Start slot of job `j` in a pipeline so the workload spans the
+/// schedule (1.25x its horizon).
+fn job_slot(horizon: Nanos, jobs: usize, job: usize) -> Nanos {
+    Nanos(horizon.0 * 5 / 4 / (jobs as u64).max(1)) * job as u64
+}
+
+/// Run the model under a scheduled-fault timeline (see
+/// [`popper_sim::FabricSim::set_fault_timeline`]): faults land at
+/// epoch barriers mid-run and tenants requeue failed archive uploads
+/// with exponential backoff — the farm service's worker-crash requeue,
+/// projected onto the store link. Pipelines never block on the store:
+/// a requeue rides alongside the next job. Deterministic at every
+/// worker count.
+pub fn simulate_chaos(
+    config: &FarmSimConfig,
+    workers: usize,
+    seed: u64,
+    timeline: Vec<(Nanos, popper_sim::PlaneCmd)>,
+) -> FarmChaosSimReport {
+    assert!(config.tenants >= 1 && config.jobs_per_tenant >= 1);
+    let mut states = vec![ChaosFarmShard::Store {
+        jobs: 0,
+        bytes: 0,
+        last_arrival: Nanos::ZERO,
+        recovered: 0,
+        last_recovery: Nanos::ZERO,
+    }];
+    states.extend((0..config.tenants).map(|id| ChaosFarmShard::Tenant {
+        id,
+        done: 0,
+        finish: Nanos::ZERO,
+        requeued: 0,
+        degraded: 0,
+        lost: 0,
+        first_fail: None,
+    }));
+
+    let mut sim = FabricSim::new(states, LINK_GBIT, config.store_latency, 1.0);
+    let horizon = timeline.iter().map(|(at, _)| *at).max().unwrap_or(Nanos::ZERO);
+    sim.set_fault_timeline(seed, timeline);
+    let cfg = std::sync::Arc::new(config.clone());
+    for t in 0..config.tenants {
+        let cfg = std::sync::Arc::clone(&cfg);
+        sim.schedule(t + 1, Nanos(t as u64), move |ctx| chaos_run_job(ctx, 0, horizon, cfg));
+    }
+    let elapsed = sim.run_sharded(workers);
+
+    let mut tenant_finish = vec![Nanos::ZERO; config.tenants];
+    let (mut store_jobs, mut store_bytes) = (0, 0);
+    let (mut requeued, mut degraded, mut recovered, mut lost) = (0, 0, 0u64, 0);
+    let mut first_fail: Option<Nanos> = None;
+    let mut last_recovery = Nanos::ZERO;
+    for state in sim.states() {
+        match state {
+            ChaosFarmShard::Store { jobs, bytes, recovered: r, last_recovery: lr, .. } => {
+                store_jobs = *jobs;
+                store_bytes = *bytes;
+                recovered += *r;
+                last_recovery = last_recovery.max(*lr);
+            }
+            ChaosFarmShard::Tenant { id, finish, requeued: rq, degraded: dg, lost: l, first_fail: ff, .. } => {
+                tenant_finish[*id] = *finish;
+                requeued += *rq;
+                degraded += *dg;
+                lost += *l;
+                if let Some(f) = ff {
+                    first_fail = Some(first_fail.map_or(*f, |cur| cur.min(*f)));
+                }
+            }
+        }
+    }
+    let recovery_ms = match first_fail {
+        Some(f) if last_recovery > f => (last_recovery - f).0 as f64 / 1e6,
+        _ => 0.0,
+    };
+    let jobs = (config.tenants * config.jobs_per_tenant) as u64;
+    FarmChaosSimReport {
+        tenant_finish,
+        store_jobs,
+        store_bytes,
+        wire_bytes: sim.total_bytes(),
+        elapsed,
+        events: sim.events_fired(),
+        epochs: sim.epochs(),
+        workers: workers.max(1),
+        jobs,
+        requeued,
+        recovered,
+        lost,
+        recovery_ms,
+        degraded_fraction: degraded as f64 / jobs.max(1) as f64,
+    }
+}
+
+type FarmChaosCtx<'a, 'b> = NetCtx<'a, 'b, ChaosFarmShard>;
+
+/// One job, started no earlier than its pacing slot: build+test, then
+/// ship the archive (requeued on failure) and start the next job.
+fn chaos_run_job(ctx: &mut FarmChaosCtx<'_, '_>, job: usize, horizon: Nanos, cfg: std::sync::Arc<FarmSimConfig>) {
+    let ChaosFarmShard::Tenant { id, .. } = ctx.state() else {
+        unreachable!("jobs run on tenant shards")
+    };
+    let tenant = *id;
+    let duration = job_duration(&cfg, tenant, job);
+    let start = job_slot(horizon, cfg.jobs_per_tenant, job).max(ctx.now());
+    ctx.schedule_at(start + duration, move |c| {
+        ship_archive(c, tenant, job, 0, &cfg);
+        let now = c.now();
+        let ChaosFarmShard::Tenant { done, finish, .. } = c.state() else { unreachable!() };
+        *done = job + 1;
+        if job + 1 == cfg.jobs_per_tenant {
+            *finish = now;
+        } else {
+            chaos_run_job(c, job + 1, horizon, cfg);
+        }
+    });
+}
+
+/// One archive attempt: on a store timeout, requeue with backoff — the
+/// same recovery the live farm applies when a worker crashes with jobs
+/// in flight.
+fn ship_archive(ctx: &mut FarmChaosCtx<'_, '_>, tenant: usize, job: usize, attempt: usize, cfg: &std::sync::Arc<FarmSimConfig>) {
+    let bytes = job_bytes(cfg, tenant, job);
+    let retry_cfg = std::sync::Arc::clone(cfg);
+    ctx.transfer_or(
+        STORE,
+        bytes,
+        move |store| {
+            let now = store.now();
+            let ChaosFarmShard::Store { jobs, bytes: total, last_arrival, recovered, last_recovery } =
+                store.state()
+            else {
+                unreachable!("shard 0 is the store")
+            };
+            *jobs += 1;
+            *total += bytes;
+            *last_arrival = now;
+            if attempt > 0 {
+                *recovered += 1;
+                *last_recovery = (*last_recovery).max(now);
+            }
+        },
+        move |c, u| {
+            let ChaosFarmShard::Tenant { requeued, degraded, lost, first_fail, .. } = c.state() else {
+                unreachable!("archive failures surface on the tenant shard")
+            };
+            *requeued += 1;
+            if attempt == 0 {
+                *degraded += 1;
+            }
+            *first_fail = Some(first_fail.map_or(u.gave_up_at, |f| f.min(u.gave_up_at)));
+            if attempt + 1 >= MAX_ATTEMPTS {
+                *lost += 1;
+                return;
+            }
+            c.schedule_in(backoff(attempt), move |cc| {
+                ship_archive(cc, tenant, job, attempt + 1, &retry_cfg)
+            });
+        },
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,6 +421,46 @@ mod tests {
         for workers in [2, 4, 8] {
             assert_eq!(simulate(&config, workers), reference, "workers={workers}");
         }
+    }
+
+    #[test]
+    fn chaos_model_requeues_archives_and_stays_deterministic() {
+        use popper_sim::PlaneCmd;
+        let config = FarmSimConfig { tenants: 6, jobs_per_tenant: 24, ..Default::default() };
+        // Crash the store mid-run and restart it: every in-flight
+        // archive requeues with backoff until the restart crosses a
+        // barrier. The schedule heals, so nothing is abandoned.
+        let timeline = vec![
+            (Nanos::from_millis(4), PlaneCmd::Crash(STORE)),
+            (Nanos::from_millis(11), PlaneCmd::Restart(STORE)),
+        ];
+        let reference = simulate_chaos(&config, 1, 17, timeline.clone());
+        assert_eq!(reference.store_jobs, reference.jobs, "the schedule heals; every archive lands");
+        assert_eq!(reference.lost, 0);
+        assert!(reference.requeued > 0, "the store crash must force requeues");
+        assert!(reference.recovered > 0);
+        assert!(reference.recovery_ms > 0.0);
+        assert!(reference.degraded_fraction > 0.0 && reference.degraded_fraction < 1.0);
+        for workers in [2, 8] {
+            let parallel = simulate_chaos(&config, workers, 17, timeline.clone());
+            assert_eq!(
+                FarmChaosSimReport { workers: 1, ..parallel },
+                reference,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_model_with_empty_timeline_matches_the_healthy_model() {
+        let config = FarmSimConfig::default();
+        let healthy = simulate(&config, 2);
+        let chaos = simulate_chaos(&config, 2, 1, Vec::new());
+        assert_eq!(chaos.tenant_finish, healthy.tenant_finish);
+        assert_eq!(chaos.store_jobs, healthy.store_jobs);
+        assert_eq!(chaos.store_bytes, healthy.store_bytes);
+        assert_eq!(chaos.wire_bytes, healthy.wire_bytes);
+        assert_eq!(chaos.requeued + chaos.recovered + chaos.lost, 0);
     }
 
     #[test]

@@ -149,6 +149,288 @@ fn write_next(ctx: &mut NetCtx<'_, '_, NodeState>, total: u64) {
     });
 }
 
+// ---- chaos variant: the same write path under a scheduled-fault ----
+// ---- timeline, with the gasnet store's replica failover ported  ----
+// ---- onto the sharded world                                     ----
+
+/// Write attempts per page before the client declares it lost.
+const MAX_ATTEMPTS: usize = 12;
+
+/// Retry backoff: 1, 2, 4, ... ms, capped at 32 ms — generous enough
+/// that any schedule ending healed is outlasted.
+fn backoff(attempt: usize) -> Nanos {
+    Nanos::from_millis(1 << attempt.min(5))
+}
+
+/// Per-node state of the chaos run: the healthy world's placement
+/// counters plus failure bookkeeping.
+struct ChaosNodeState {
+    primary_pages: u64,
+    replica_pages: u64,
+    /// Client only: next page index to push.
+    next_page: u64,
+    /// Client only: pages resolved (acked or abandoned).
+    completed: u64,
+    /// Client only: pages that needed a failover or retry.
+    degraded: u64,
+    /// Client only: pages abandoned after `MAX_ATTEMPTS`.
+    lost: u64,
+    /// Pages written straight to the replica after a primary failure.
+    failovers: u64,
+    /// Failures this node observed (timeouts on its sends).
+    detections: u64,
+    /// Earliest failure this node observed.
+    first_fail: Option<Nanos>,
+    /// Latest recovered completion this node observed.
+    last_recovery: Nanos,
+    finish: Nanos,
+}
+
+impl ChaosNodeState {
+    fn note_fail(&mut self, at: Nanos) {
+        self.detections += 1;
+        self.first_fail = Some(self.first_fail.map_or(at, |f| f.min(at)));
+    }
+}
+
+/// Result of one sharded chaos run — identical at every worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedGassyChaosReport {
+    /// End-to-end virtual runtime.
+    pub elapsed: Nanos,
+    /// Primary page placement, node order.
+    pub per_node_primary: Vec<u64>,
+    /// Replica page placement, node order.
+    pub per_node_replica: Vec<u64>,
+    /// Fabric traffic counters, node order.
+    pub traffic: Vec<NodeTraffic>,
+    /// Pages the client attempted.
+    pub pages: u64,
+    /// Pages acked back to the client.
+    pub completed: u64,
+    /// Pages that needed a failover or retry before acking.
+    pub degraded: u64,
+    /// Pages abandoned after `MAX_ATTEMPTS` (the corruption signal —
+    /// expected 0 for every schedule that ends healed).
+    pub lost: u64,
+    /// Pages written straight to the replica after a primary failure.
+    pub failovers: u64,
+    /// Send timeouts observed across the cluster.
+    pub detections: u64,
+    /// First failure to last recovered ack, in milliseconds.
+    pub recovery_ms: f64,
+    /// Fraction of pages that saw any failure.
+    pub degraded_fraction: f64,
+    /// Epoch barriers the engine crossed.
+    pub epochs: u64,
+    /// Worker threads used.
+    pub workers: usize,
+}
+
+/// Start gap between consecutive pages so the workload spans the
+/// schedule (1.25x its horizon): a chaos run must still be mid-write
+/// when the last fault lands.
+fn page_pace(horizon: Nanos, pages: u64) -> Nanos {
+    Nanos(horizon.0 * 5 / 4 / pages.max(1))
+}
+
+/// Run the sharded world under a scheduled-fault timeline (see
+/// [`popper_sim::FabricSim::set_fault_timeline`]): faults land at
+/// epoch barriers mid-run, the client fails over to the replica when a
+/// primary is unreachable and retries with backoff when both copies
+/// are, and the primary acks degraded (single-copy) pages when the
+/// replica is down. Deterministic: the same seed and timeline produce
+/// identical reports and trace bytes at every worker count.
+pub fn run_sharded_chaos(
+    config: &ShardedGassyConfig,
+    platform: &PlatformSpec,
+    workers: usize,
+    seed: u64,
+    timeline: Vec<(Nanos, popper_sim::PlaneCmd)>,
+) -> ShardedGassyChaosReport {
+    assert!(config.nodes >= 2, "a gasnet world needs at least two nodes");
+    assert!(config.pages >= 1 && config.streams >= 1);
+    let latency = Nanos(platform.nic_lat_ns as u64).max(Nanos(1));
+    let states = (0..config.nodes)
+        .map(|_| ChaosNodeState {
+            primary_pages: 0,
+            replica_pages: 0,
+            next_page: 0,
+            completed: 0,
+            degraded: 0,
+            lost: 0,
+            failovers: 0,
+            detections: 0,
+            first_fail: None,
+            last_recovery: Nanos::ZERO,
+            finish: Nanos::ZERO,
+        })
+        .collect();
+    let mut sim = FabricSim::new(states, platform.nic_gbit, latency, 1.0);
+    let horizon = timeline.iter().map(|(at, _)| *at).max().unwrap_or(Nanos::ZERO);
+    sim.set_fault_timeline(seed, timeline);
+    let total = config.pages;
+    let pace = page_pace(horizon, total);
+    let streams = (config.streams as u64).min(total);
+    for _ in 0..streams {
+        sim.schedule(0, Nanos::ZERO, move |ctx| chaos_write_next(ctx, total, pace));
+    }
+    let elapsed = sim.run_sharded(workers);
+
+    let first_fail =
+        sim.states().filter_map(|s| s.first_fail).min();
+    let last_recovery = sim.states().map(|s| s.last_recovery).max().unwrap_or(Nanos::ZERO);
+    let recovery_ms = match first_fail {
+        Some(f) if last_recovery > f => (last_recovery - f).0 as f64 / 1e6,
+        _ => 0.0,
+    };
+    let client = sim.state(0);
+    let (completed, degraded, lost) = (client.completed, client.degraded, client.lost);
+    ShardedGassyChaosReport {
+        elapsed,
+        per_node_primary: sim.states().map(|s| s.primary_pages).collect(),
+        per_node_replica: sim.states().map(|s| s.replica_pages).collect(),
+        traffic: (0..config.nodes).map(|n| sim.traffic(n)).collect(),
+        pages: total,
+        completed,
+        degraded,
+        lost,
+        failovers: sim.states().map(|s| s.failovers).sum(),
+        detections: sim.states().map(|s| s.detections).sum(),
+        recovery_ms,
+        degraded_fraction: (degraded + lost) as f64 / total as f64,
+        epochs: sim.epochs(),
+        workers: workers.max(1),
+    }
+}
+
+type ChaosCtx<'a, 'b> = NetCtx<'a, 'b, ChaosNodeState>;
+
+/// Client: pop the next page (paced onto its start slot) and push it
+/// down the replication chain.
+fn chaos_write_next(ctx: &mut ChaosCtx<'_, '_>, total: u64, pace: Nanos) {
+    let now = ctx.now();
+    let state = ctx.state();
+    if state.next_page >= total {
+        return;
+    }
+    let page = state.next_page;
+    state.next_page += 1;
+    let slot = pace * page;
+    if slot > now {
+        ctx.schedule_at(slot, move |c| write_page(c, page, 0, false, total, pace));
+    } else {
+        write_page(ctx, page, 0, false, total, pace);
+    }
+}
+
+/// One write attempt of `page`: primary first; on a primary timeout,
+/// fail over to the replica; when both are unreachable, back off and
+/// retry the whole page.
+fn write_page(
+    ctx: &mut ChaosCtx<'_, '_>,
+    page: u64,
+    attempt: usize,
+    touched: bool,
+    total: u64,
+    pace: Nanos,
+) {
+    let nodes = ctx.nodes();
+    if attempt >= MAX_ATTEMPTS {
+        let state = ctx.state();
+        state.lost += 1;
+        state.completed += 1;
+        chaos_write_next(ctx, total, pace);
+        return;
+    }
+    let primary = (page % nodes as u64) as usize;
+    let replica = (primary + 1) % nodes;
+    ctx.transfer_or(
+        primary,
+        PAGE_SIZE,
+        move |c| primary_store(c, page, replica, touched, total, pace),
+        move |c, u| {
+            c.state().note_fail(u.gave_up_at);
+            // Replica failover: write the single surviving copy
+            // directly (the gasnet store's recovery path).
+            c.transfer_or(
+                replica,
+                PAGE_SIZE,
+                move |cc| {
+                    let st = cc.state();
+                    st.replica_pages += 1;
+                    st.failovers += 1;
+                    send_ack(cc, true, total, pace, 0);
+                },
+                move |cc, u2| {
+                    cc.state().note_fail(u2.gave_up_at);
+                    cc.schedule_in(backoff(attempt), move |c3| {
+                        write_page(c3, page, attempt + 1, true, total, pace)
+                    });
+                },
+            );
+        },
+    );
+}
+
+/// Primary: store the page and forward the replica copy; when the
+/// replica is unreachable, ack the client directly (the page survives
+/// with one copy — degraded, not lost).
+fn primary_store(
+    ctx: &mut ChaosCtx<'_, '_>,
+    _page: u64,
+    replica: usize,
+    touched: bool,
+    total: u64,
+    pace: Nanos,
+) {
+    ctx.state().primary_pages += 1;
+    ctx.transfer_or(
+        replica,
+        PAGE_SIZE,
+        move |c| {
+            c.state().replica_pages += 1;
+            send_ack(c, touched, total, pace, 0);
+        },
+        move |c, u| {
+            c.state().note_fail(u.gave_up_at);
+            send_ack(c, true, total, pace, 0);
+        },
+    );
+}
+
+/// Ack the client (retrying with backoff — a lost ack would strand a
+/// write stream); the chain re-enters `chaos_write_next` there.
+fn send_ack(ctx: &mut ChaosCtx<'_, '_>, degraded: bool, total: u64, pace: Nanos, attempt: usize) {
+    if attempt >= MAX_ATTEMPTS {
+        return; // Stream stranded; the client reports the page lost-in-flight.
+    }
+    ctx.transfer_or(
+        0,
+        CTRL_BYTES,
+        move |c| {
+            let now = c.now();
+            let state = c.state();
+            state.completed += 1;
+            if degraded {
+                state.degraded += 1;
+                state.last_recovery = state.last_recovery.max(now);
+            }
+            if state.completed == total {
+                state.finish = now;
+            } else {
+                chaos_write_next(c, total, pace);
+            }
+        },
+        move |c, u| {
+            c.state().note_fail(u.gave_up_at);
+            c.schedule_in(backoff(attempt), move |cc| {
+                send_ack(cc, degraded, total, pace, attempt + 1)
+            });
+        },
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +468,43 @@ mod tests {
         let report = run_sharded(&config, &platforms::gassyfs_node(), 2);
         let wire: u64 = report.traffic.iter().map(|t| t.tx_bytes).sum();
         assert_eq!(wire, config.pages * (2 * PAGE_SIZE + CTRL_BYTES));
+    }
+
+    #[test]
+    fn chaos_run_fails_over_and_stays_deterministic() {
+        use popper_sim::PlaneCmd;
+        let config = ShardedGassyConfig { nodes: 6, pages: 64, streams: 3 };
+        let platform = platforms::gassyfs_node();
+        // Crash the primary for pages ≡ 2 mid-run, restart it later:
+        // in-flight writes fail over to the replica, later writes land
+        // on the primary again once the restart crosses a barrier.
+        let timeline = vec![
+            (Nanos::from_millis(2), PlaneCmd::Crash(2)),
+            (Nanos::from_millis(9), PlaneCmd::Restart(2)),
+        ];
+        let reference = run_sharded_chaos(&config, &platform, 1, 7, timeline.clone());
+        assert_eq!(reference.completed, config.pages);
+        assert_eq!(reference.lost, 0, "the schedule heals; no page may be abandoned");
+        assert!(reference.failovers > 0, "the crash must force replica failovers");
+        assert!(reference.degraded > 0);
+        assert!(reference.recovery_ms > 0.0);
+        for workers in [2, 8] {
+            let parallel = run_sharded_chaos(&config, &platform, workers, 7, timeline.clone());
+            assert_eq!(
+                ShardedGassyChaosReport { workers: 1, ..parallel },
+                reference,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_run_with_empty_timeline_sees_no_failures() {
+        let config = ShardedGassyConfig { nodes: 4, pages: 24, streams: 2 };
+        let report = run_sharded_chaos(&config, &platforms::gassyfs_node(), 2, 1, Vec::new());
+        assert_eq!(report.completed, config.pages);
+        assert_eq!(report.degraded + report.lost + report.failovers + report.detections, 0);
+        assert_eq!(report.recovery_ms, 0.0);
     }
 
     #[test]

@@ -217,6 +217,322 @@ fn collect_ack(
     ctx.schedule_in(Nanos::ZERO, move |c| dispatch_task(c, cfg));
 }
 
+// ---- chaos variant: the linear strategy under a scheduled-fault ----
+// ---- timeline, with per-RPC retry/backoff                       ----
+
+/// RPC attempts (task push or result ack) before the sender gives up.
+const MAX_ATTEMPTS: usize = 12;
+
+/// Retry backoff: 1, 2, 4, ... ms, capped at 32 ms.
+fn backoff(attempt: usize) -> Nanos {
+    Nanos::from_millis(1 << attempt.min(5))
+}
+
+/// Failure bookkeeping shared by the controller and host shards.
+#[derive(Default)]
+struct Chaos {
+    /// RPC timeouts this shard observed on its sends.
+    detections: u64,
+    /// RPCs that failed at least once before landing or dying.
+    degraded: u64,
+    /// RPCs this shard received after one or more sender retries.
+    recovered: u64,
+    /// RPCs abandoned after `MAX_ATTEMPTS`.
+    lost: u64,
+    first_fail: Option<Nanos>,
+    last_recovery: Nanos,
+}
+
+impl Chaos {
+    fn note_fail(&mut self, at: Nanos, attempt: usize) {
+        self.detections += 1;
+        if attempt == 0 {
+            self.degraded += 1;
+        }
+        self.first_fail = Some(self.first_fail.map_or(at, |f| f.min(at)));
+    }
+    fn note_recovery(&mut self, at: Nanos) {
+        self.recovered += 1;
+        self.last_recovery = self.last_recovery.max(at);
+    }
+}
+
+/// What one shard models in the chaos run.
+enum ChaosOrchShard {
+    Controller {
+        /// RPCs resolved for the in-flight task (ack landed, or the
+        /// dispatch was abandoned).
+        resolved: usize,
+        task: usize,
+        task_finish: Vec<Nanos>,
+        finish: Nanos,
+        chaos: Chaos,
+    },
+    Host {
+        id: usize,
+        ran: usize,
+        busy: Nanos,
+        chaos: Chaos,
+    },
+}
+
+impl ChaosOrchShard {
+    fn chaos(&mut self) -> &mut Chaos {
+        match self {
+            ChaosOrchShard::Controller { chaos, .. } | ChaosOrchShard::Host { chaos, .. } => chaos,
+        }
+    }
+}
+
+/// Result of one sharded chaos run — identical at every worker count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardedOrchestraChaosReport {
+    /// End-to-end virtual runtime.
+    pub elapsed: Nanos,
+    /// Virtual time the controller saw each task resolve.
+    pub task_finish: Vec<Nanos>,
+    /// Tasks each host ran, host order.
+    pub per_host_ran: Vec<usize>,
+    /// Module execution time per host, host order.
+    pub per_host_busy: Vec<Nanos>,
+    /// Fabric traffic counters, shard order (controller first).
+    pub traffic: Vec<NodeTraffic>,
+    /// Total events dispatched.
+    pub events: u64,
+    /// Epoch barriers the engine crossed.
+    pub epochs: u64,
+    /// Worker threads used.
+    pub workers: usize,
+    /// RPCs the playbook issues in a fault-free run (2 per host-task).
+    pub rpcs: u64,
+    /// RPC timeouts observed across the cluster.
+    pub detections: u64,
+    /// RPCs delivered after one or more retries.
+    pub recovered: u64,
+    /// RPCs abandoned after `MAX_ATTEMPTS` (expected 0 for every
+    /// schedule that ends healed).
+    pub lost: u64,
+    /// First failure to last recovered delivery, in milliseconds.
+    pub recovery_ms: f64,
+    /// Fraction of RPCs that saw any failure.
+    pub degraded_fraction: f64,
+}
+
+/// Release slot of task `t` so the playbook spans the schedule.
+fn task_slot(horizon: Nanos, tasks: usize, task: usize) -> Nanos {
+    Nanos(horizon.0 * 5 / 4 / (tasks as u64).max(1)) * task as u64
+}
+
+/// Run the sharded world under a scheduled-fault timeline (see
+/// [`popper_sim::FabricSim::set_fault_timeline`]): faults land at
+/// epoch barriers mid-run, the controller retries task pushes with
+/// exponential backoff (abandoning a host after `MAX_ATTEMPTS` — the
+/// linear barrier then releases without it), and hosts retry result
+/// acks the same way. Deterministic at every worker count.
+pub fn run_sharded_chaos(
+    config: &ShardedOrchestraConfig,
+    workers: usize,
+    seed: u64,
+    timeline: Vec<(Nanos, popper_sim::PlaneCmd)>,
+) -> ShardedOrchestraChaosReport {
+    assert!(config.hosts >= 1 && config.tasks >= 1);
+    let mut states = vec![ChaosOrchShard::Controller {
+        resolved: 0,
+        task: 0,
+        task_finish: Vec::with_capacity(config.tasks),
+        finish: Nanos::ZERO,
+        chaos: Chaos::default(),
+    }];
+    states.extend((1..=config.hosts).map(|id| ChaosOrchShard::Host {
+        id,
+        ran: 0,
+        busy: Nanos::ZERO,
+        chaos: Chaos::default(),
+    }));
+
+    let link_gbit = config.link_gbit_x10 as f64 / 10.0;
+    let mut sim = FabricSim::new(states, link_gbit, config.latency, 1.0);
+    let horizon = timeline.iter().map(|(at, _)| *at).max().unwrap_or(Nanos::ZERO);
+    sim.set_fault_timeline(seed, timeline);
+    let cfg = std::sync::Arc::new(config.clone());
+    sim.schedule(CONTROLLER, Nanos::ZERO, move |ctx| chaos_dispatch(ctx, horizon, cfg));
+    let elapsed = sim.run_sharded(workers);
+
+    let ChaosOrchShard::Controller { task_finish, .. } = sim.state(CONTROLLER) else {
+        unreachable!("shard 0 is the controller")
+    };
+    let mut per_host_ran = vec![0; config.hosts];
+    let mut per_host_busy = vec![Nanos::ZERO; config.hosts];
+    for state in sim.states() {
+        if let ChaosOrchShard::Host { id, ran, busy, .. } = state {
+            per_host_ran[*id - 1] = *ran;
+            per_host_busy[*id - 1] = *busy;
+        }
+    }
+    let all = |f: fn(&Chaos) -> u64| -> u64 {
+        sim.states()
+            .map(|s| match s {
+                ChaosOrchShard::Controller { chaos, .. } | ChaosOrchShard::Host { chaos, .. } => f(chaos),
+            })
+            .sum()
+    };
+    let chaos_of = |s: &ChaosOrchShard| match s {
+        ChaosOrchShard::Controller { chaos, .. } | ChaosOrchShard::Host { chaos, .. } => {
+            (chaos.first_fail, chaos.last_recovery)
+        }
+    };
+    let first_fail = sim.states().filter_map(|s| chaos_of(s).0).min();
+    let last_recovery = sim.states().map(|s| chaos_of(s).1).max().unwrap_or(Nanos::ZERO);
+    let recovery_ms = match first_fail {
+        Some(f) if last_recovery > f => (last_recovery - f).0 as f64 / 1e6,
+        _ => 0.0,
+    };
+    let rpcs = 2 * (config.hosts * config.tasks) as u64;
+    ShardedOrchestraChaosReport {
+        elapsed,
+        task_finish: task_finish.clone(),
+        per_host_ran,
+        per_host_busy,
+        traffic: (0..=config.hosts).map(|n| sim.traffic(n)).collect(),
+        events: sim.events_fired(),
+        epochs: sim.epochs(),
+        workers: workers.max(1),
+        rpcs,
+        detections: all(|c| c.detections),
+        recovered: all(|c| c.recovered),
+        lost: all(|c| c.lost),
+        recovery_ms,
+        degraded_fraction: all(|c| c.degraded) as f64 / rpcs.max(1) as f64,
+    }
+}
+
+type OrchChaosCtx<'a, 'b> = NetCtx<'a, 'b, ChaosOrchShard>;
+
+/// Controller: fan the current task out, no earlier than its pacing
+/// slot (so the playbook is still running when late faults land).
+fn chaos_dispatch(ctx: &mut OrchChaosCtx<'_, '_>, horizon: Nanos, cfg: std::sync::Arc<ShardedOrchestraConfig>) {
+    let ChaosOrchShard::Controller { task, resolved, .. } = ctx.state() else {
+        unreachable!("dispatch runs on the controller shard")
+    };
+    let task = *task;
+    *resolved = 0;
+    let slot = task_slot(horizon, cfg.tasks, task);
+    if slot > ctx.now() {
+        ctx.schedule_at(slot, move |c| fan_out(c, task, horizon, cfg));
+    } else {
+        fan_out(ctx, task, horizon, cfg);
+    }
+}
+
+fn fan_out(ctx: &mut OrchChaosCtx<'_, '_>, task: usize, horizon: Nanos, cfg: std::sync::Arc<ShardedOrchestraConfig>) {
+    for host in 1..=cfg.hosts {
+        let cfg = std::sync::Arc::clone(&cfg);
+        send_task(ctx, host, task, 0, horizon, cfg);
+    }
+}
+
+/// Controller → host task push, retried with backoff. A retry issued
+/// right after a heal event can still fail once — its shard sees the
+/// refreshed fault snapshot only after the heal's barrier — so the
+/// loop runs until the plane catches up or the attempts are spent.
+fn send_task(
+    ctx: &mut OrchChaosCtx<'_, '_>,
+    host: usize,
+    task: usize,
+    attempt: usize,
+    horizon: Nanos,
+    cfg: std::sync::Arc<ShardedOrchestraConfig>,
+) {
+    let bytes = cfg.task_bytes;
+    let retry_cfg = std::sync::Arc::clone(&cfg);
+    ctx.transfer_or(
+        host,
+        bytes,
+        move |c| {
+            if attempt > 0 {
+                let now = c.now();
+                c.state().chaos().note_recovery(now);
+            }
+            chaos_run_module(c, task, horizon, cfg);
+        },
+        move |c, u| {
+            c.state().chaos().note_fail(u.gave_up_at, attempt);
+            if attempt + 1 >= MAX_ATTEMPTS {
+                // Abandon the host for this task: the linear barrier
+                // must not hang on an unreachable machine.
+                c.state().chaos().lost += 1;
+                resolve_rpc(c, horizon, retry_cfg);
+                return;
+            }
+            c.schedule_in(backoff(attempt), move |cc| {
+                send_task(cc, host, task, attempt + 1, horizon, retry_cfg)
+            });
+        },
+    );
+}
+
+/// Host: execute the module, then ship the result back (retried).
+fn chaos_run_module(ctx: &mut OrchChaosCtx<'_, '_>, task: usize, horizon: Nanos, cfg: std::sync::Arc<ShardedOrchestraConfig>) {
+    let host = ctx.node();
+    let duration = module_duration(&cfg, host, task);
+    ctx.schedule_in(duration, move |c| {
+        let ChaosOrchShard::Host { ran, busy, .. } = c.state() else {
+            unreachable!("modules run on host shards")
+        };
+        *ran += 1;
+        *busy += duration;
+        send_ack(c, 0, horizon, cfg);
+    });
+}
+
+/// Host → controller result ack, retried with backoff.
+fn send_ack(ctx: &mut OrchChaosCtx<'_, '_>, attempt: usize, horizon: Nanos, cfg: std::sync::Arc<ShardedOrchestraConfig>) {
+    let bytes = cfg.result_bytes;
+    let retry_cfg = std::sync::Arc::clone(&cfg);
+    ctx.transfer_or(
+        CONTROLLER,
+        bytes,
+        move |ctrl| {
+            if attempt > 0 {
+                let now = ctrl.now();
+                ctrl.state().chaos().note_recovery(now);
+            }
+            resolve_rpc(ctrl, horizon, cfg);
+        },
+        move |c, u| {
+            c.state().chaos().note_fail(u.gave_up_at, attempt);
+            if attempt + 1 >= MAX_ATTEMPTS {
+                c.state().chaos().lost += 1;
+                return; // The playbook stalls on this task — the
+                        // corruption shows up as a missing finish.
+            }
+            c.schedule_in(backoff(attempt), move |cc| {
+                send_ack(cc, attempt + 1, horizon, retry_cfg)
+            });
+        },
+    );
+}
+
+/// Controller: count the resolution (ack or abandoned dispatch); when
+/// every host is accounted for, record the task and release the next.
+fn resolve_rpc(ctx: &mut OrchChaosCtx<'_, '_>, horizon: Nanos, cfg: std::sync::Arc<ShardedOrchestraConfig>) {
+    let now = ctx.now();
+    let ChaosOrchShard::Controller { resolved, task, task_finish, finish, .. } = ctx.state() else {
+        unreachable!("resolutions land on the controller shard")
+    };
+    *resolved += 1;
+    if *resolved < cfg.hosts {
+        return;
+    }
+    task_finish.push(now);
+    *task += 1;
+    if *task == cfg.tasks {
+        *finish = now;
+        return;
+    }
+    ctx.schedule_in(Nanos::ZERO, move |c| chaos_dispatch(c, horizon, cfg));
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +582,47 @@ mod tests {
             assert!(*f >= prev + floor);
             prev = *f;
         }
+    }
+
+    #[test]
+    fn chaos_run_retries_rpcs_and_stays_deterministic() {
+        use popper_sim::PlaneCmd;
+        let config = ShardedOrchestraConfig::default();
+        // Crash host 3 mid-playbook and restart it: dispatches to it
+        // and its acks retry with backoff; the schedule heals, so no
+        // RPC is abandoned and every host runs every task.
+        let timeline = vec![
+            (Nanos::from_millis(1), PlaneCmd::Crash(3)),
+            (Nanos::from_millis(6), PlaneCmd::Restart(3)),
+        ];
+        let reference = run_sharded_chaos(&config, 1, 13, timeline.clone());
+        assert_eq!(reference.task_finish.len(), config.tasks);
+        assert!(reference.per_host_ran.iter().all(|r| *r == config.tasks));
+        assert!(reference.detections > 0, "the crash must be detected by RPC timeouts");
+        assert!(reference.recovered > 0);
+        assert_eq!(reference.lost, 0, "the schedule heals; no RPC may be abandoned");
+        assert!(reference.recovery_ms > 0.0);
+        assert!(reference.degraded_fraction > 0.0 && reference.degraded_fraction < 1.0);
+        for workers in [2, 8] {
+            let parallel = run_sharded_chaos(&config, workers, 13, timeline.clone());
+            assert_eq!(
+                ShardedOrchestraChaosReport { workers: 1, ..parallel },
+                reference,
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_run_with_empty_timeline_matches_the_healthy_world() {
+        let config = ShardedOrchestraConfig::default();
+        let healthy = run_sharded(&config, 2);
+        let chaos = run_sharded_chaos(&config, 2, 1, Vec::new());
+        assert_eq!(chaos.elapsed, healthy.elapsed);
+        assert_eq!(chaos.task_finish, healthy.task_finish);
+        assert_eq!(chaos.per_host_busy, healthy.per_host_busy);
+        assert_eq!(chaos.traffic, healthy.traffic);
+        assert_eq!(chaos.detections + chaos.recovered + chaos.lost, 0);
     }
 
     #[test]

@@ -44,6 +44,73 @@ impl std::fmt::Display for Unreachable {
     }
 }
 
+/// One mutation of a [`FaultPlane`] — the vocabulary a fault timeline
+/// is written in. `popper-chaos` lowers its schedule events to these so
+/// the sharded fabric can apply them at epoch barriers without
+/// `popper-sim` depending on the schedule layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlaneCmd {
+    /// Crash a node.
+    Crash(usize),
+    /// Restart a crashed node.
+    Restart(usize),
+    /// Partition the cluster: the listed nodes vs everyone else.
+    Partition(Vec<usize>),
+    /// Heal any partition.
+    HealPartition,
+    /// Set symmetric packet loss on links touching `node`.
+    Loss {
+        /// Affected node.
+        node: usize,
+        /// Loss probability.
+        p: f64,
+    },
+    /// Set directional packet loss on `from` → `to` only.
+    LossOneWay {
+        /// Sending side of the lossy direction.
+        from: usize,
+        /// Receiving side of the lossy direction.
+        to: usize,
+        /// Loss probability.
+        p: f64,
+    },
+    /// Set the latency inflation factor on links touching `node`.
+    Latency {
+        /// Affected node.
+        node: usize,
+        /// Inflation factor (clamped to >= 1.0 on apply).
+        factor: f64,
+    },
+    /// Set the disk-slowdown factor on `node`.
+    DiskSlow {
+        /// Affected node.
+        node: usize,
+        /// Slowdown factor (clamped to >= 1.0 on apply).
+        factor: f64,
+    },
+    /// Clear loss, latency and disk degradation.
+    ClearDegradation,
+}
+
+impl PlaneCmd {
+    /// A short human label (mirrors `FaultKind::label` in
+    /// `popper-chaos` so barrier-applied events trace identically to
+    /// driver-applied ones).
+    pub fn label(&self) -> String {
+        match self {
+            PlaneCmd::Crash(n) => format!("crash node {n}"),
+            PlaneCmd::Restart(n) => format!("restart node {n}"),
+            PlaneCmd::Partition(side) => format!("partition {side:?}"),
+            PlaneCmd::HealPartition => "heal partition".to_string(),
+            PlaneCmd::Loss { node, p } => format!("loss node {node} p={p}"),
+            PlaneCmd::LossOneWay { from, to, p } => format!("loss {from}->{to} p={p}"),
+            PlaneCmd::Latency { node, factor } => format!("latency node {node} x{factor}"),
+            PlaneCmd::DiskSlow { node, factor } => format!("disk node {node} x{factor}"),
+            PlaneCmd::ClearDegradation => "clear degradation".to_string(),
+        }
+    }
+}
+
 /// Current fault state of a cluster. Starts fully healthy; a healthy
 /// plane costs exactly one branch on the fabric admit path.
 #[derive(Debug, Clone, PartialEq)]
@@ -261,6 +328,41 @@ impl FaultPlane {
         self.clear_degradation();
     }
 
+    /// Apply one timeline command to the plane.
+    pub fn apply(&mut self, cmd: &PlaneCmd) {
+        match cmd {
+            PlaneCmd::Crash(n) => self.crash(*n),
+            PlaneCmd::Restart(n) => self.restart(*n),
+            PlaneCmd::Partition(side) => self.partition(side),
+            PlaneCmd::HealPartition => self.heal_partition(),
+            PlaneCmd::Loss { node, p } => self.set_loss(*node, *p),
+            PlaneCmd::LossOneWay { from, to, p } => self.set_loss_oneway(*from, *to, *p),
+            PlaneCmd::Latency { node, factor } => self.set_latency_factor(*node, *factor),
+            PlaneCmd::DiskSlow { node, factor } => self.set_disk_factor(*node, *factor),
+            PlaneCmd::ClearDegradation => self.clear_degradation(),
+        }
+    }
+
+    /// Overwrite this plane's fault *state* (crashes, partition, loss,
+    /// degradation, seed, timeout) from `master`, preserving this
+    /// plane's own draw counters. This is how the sharded fabric
+    /// refreshes per-endpoint plane snapshots after barrier-applied
+    /// fault events: each shard keeps its per-source draw position, so
+    /// its loss-draw sequence stays identical to the one a single
+    /// shared plane would have produced for that sender.
+    pub fn sync_from(&mut self, master: &FaultPlane) {
+        debug_assert_eq!(self.nodes(), master.nodes());
+        self.crashed.clone_from(&master.crashed);
+        self.group.clone_from(&master.group);
+        self.loss.clone_from(&master.loss);
+        self.loss_oneway.clone_from(&master.loss_oneway);
+        self.latency_factor.clone_from(&master.latency_factor);
+        self.disk_factor.clone_from(&master.disk_factor);
+        self.seed = master.seed;
+        self.timeout = master.timeout;
+        self.active = master.active;
+    }
+
     /// Latency inflation for a transfer between two nodes.
     pub fn latency_factor_between(&self, src: usize, dst: usize) -> f64 {
         self.latency_factor[src].max(self.latency_factor[dst])
@@ -432,6 +534,58 @@ mod tests {
             q.seed = p.seed;
             q
         });
+    }
+
+    #[test]
+    fn plane_cmds_mirror_the_direct_setters() {
+        let mut direct = FaultPlane::new(4);
+        direct.crash(1);
+        direct.partition(&[0, 1]);
+        direct.set_loss(2, 0.25);
+        direct.set_loss_oneway(0, 3, 0.5);
+        direct.set_latency_factor(3, 4.0);
+        direct.set_disk_factor(0, 8.0);
+        let mut via_cmds = FaultPlane::new(4);
+        for cmd in [
+            PlaneCmd::Crash(1),
+            PlaneCmd::Partition(vec![0, 1]),
+            PlaneCmd::Loss { node: 2, p: 0.25 },
+            PlaneCmd::LossOneWay { from: 0, to: 3, p: 0.5 },
+            PlaneCmd::Latency { node: 3, factor: 4.0 },
+            PlaneCmd::DiskSlow { node: 0, factor: 8.0 },
+        ] {
+            via_cmds.apply(&cmd);
+        }
+        assert_eq!(via_cmds, direct);
+        via_cmds.apply(&PlaneCmd::Restart(1));
+        via_cmds.apply(&PlaneCmd::HealPartition);
+        via_cmds.apply(&PlaneCmd::ClearDegradation);
+        assert!(!via_cmds.is_active());
+    }
+
+    #[test]
+    fn sync_from_refreshes_state_but_preserves_draws() {
+        let mut master = FaultPlane::new(3);
+        master.set_seed(9);
+        master.set_loss(2, 0.5);
+        // A shard's snapshot that has already consumed some draws.
+        let mut snapshot = master.clone();
+        let consumed: Vec<u32> = (0..8).map(|_| snapshot.retransmits(0, 2)).collect();
+        assert!(consumed.iter().any(|n| *n > 0));
+        // The master mutates mid-run; the refreshed snapshot must see
+        // the new fault state yet continue its own draw sequence.
+        master.apply(&PlaneCmd::Crash(1));
+        snapshot.sync_from(&master);
+        assert!(snapshot.is_crashed(1));
+        let mut oracle = {
+            let mut p = FaultPlane::new(3);
+            p.set_seed(9);
+            p.set_loss(2, 0.5);
+            p
+        };
+        let mut expect: Vec<u32> = (0..16).map(|_| oracle.retransmits(0, 2)).collect();
+        let tail: Vec<u32> = (0..8).map(|_| snapshot.retransmits(0, 2)).collect();
+        assert_eq!(tail, expect.split_off(8), "draw counter must survive the refresh");
     }
 
     #[test]

@@ -58,9 +58,9 @@ pub mod time;
 
 pub use cluster::Cluster;
 pub use engine::Sim;
-pub use fault::{FaultPlane, Unreachable};
+pub use fault::{FaultPlane, PlaneCmd, Unreachable};
 pub use hardware::{Demand, PlatformSpec, ResourceDim};
-pub use netshard::{FabricSim, NetCtx, ReplayEntry};
+pub use netshard::{replay_records_serial, FabricSim, NetCtx, ReplayEntry, ReplayRecord};
 pub use network::{Fabric, FabricParams, NodeTraffic, TransferDemand};
 pub use shard::{EpochStage, EpochView, ShardCtx, ShardedSim};
 pub use time::Nanos;

@@ -26,16 +26,44 @@
 //! the window end every shard stopped at (the engine's lookahead *is*
 //! the fabric latency).
 //!
-//! The stage also keeps a [`ReplayEntry`] log. Feeding that log, in
-//! order, through a fresh serial `Fabric::try_transfer` reproduces the
-//! sharded run's completion times and traffic counters exactly — the
-//! equivalence contract `tests/fabric_shard.rs` pins.
+//! The stage also keeps a [`ReplayRecord`] log. Feeding that log, in
+//! order, through a fresh serial `Fabric` (see
+//! [`replay_records_serial`]) reproduces the sharded run's completion
+//! times and traffic counters exactly — the equivalence contract
+//! `tests/fabric_shard.rs` pins.
 //!
-//! Limitations: the fault planes are snapshots taken at construction,
-//! so mid-run fault injection (the chaos drivers' territory) stays on
-//! the serial fabric.
+//! # Mid-run fault injection
+//!
+//! Fault *schedules* (the chaos drivers' territory) are applied at
+//! epoch barriers by the same stage: [`FabricSim::set_fault_timeline`]
+//! installs a time-ordered list of [`PlaneCmd`]s on the stage's
+//! *master* plane. At the barrier closing the window `[h, h + la)`,
+//! every command with `at < h + la` is applied to the master — in
+//! timeline order, on the coordinator, at the identical point of the
+//! serial and parallel paths — then each buffered demand is checked
+//! against the *post-event* master (so a mid-epoch crash resolves as
+//! [`Unreachable`] on the replayed core stage, never as a delivery),
+//! and finally every shard's plane snapshot is refreshed via
+//! [`FaultPlane::sync_from`], which preserves the shard's per-source
+//! draw counters so its loss-draw sequence stays byte-identical to a
+//! single shared plane's. A fault event at time `t` therefore affects
+//! the deliveries of the window containing `t` and the admissions of
+//! every later window; a crash healed within a single window is
+//! invisible. Loopback transfers observe faults at admission only —
+//! they never cross the wire, so the barrier does not re-check them.
+//!
+//! # The conservative-lookahead contract under latency inflation
+//!
+//! The engine's lookahead is the fabric's *healthy* propagation
+//! latency, and [`FaultPlane::set_latency_factor`] clamps inflation
+//! factors to `>= 1.0`: a faulted transfer's latency is always at
+//! least the healthy latency, so inflation only *lengthens* delays and
+//! every completion still lands at or beyond the window end the shards
+//! stopped at. The stage asserts `done >= window_end` on every
+//! non-loopback delivery — the invariant that keeps the epoch width
+//! safe while chaos schedules inflate latencies mid-run.
 
-use crate::fault::{FaultPlane, Unreachable};
+use crate::fault::{FaultPlane, PlaneCmd, Unreachable};
 use crate::network::{FabricCore, FabricEndpoint, FabricParams, NodeTraffic, TransferDemand};
 use crate::shard::{EpochStage, EpochView, ShardCtx, ShardedSim};
 use crate::time::Nanos;
@@ -62,6 +90,9 @@ struct PendingTransfer<S> {
     /// transfer's completion time (`None` for loopback, which is
     /// delivered locally at send time).
     on_done: Option<NetAction<S>>,
+    /// Failure callback, run on the *source* shard when a
+    /// barrier-applied fault leaves the demand undeliverable.
+    on_fail: Option<NetFailAction<S>>,
 }
 
 /// One transfer in the core stage's replay log, in the deterministic
@@ -84,9 +115,72 @@ pub struct ReplayEntry {
     pub done: Nanos,
 }
 
+/// One entry of the core stage's full admission log — everything a
+/// serial [`Fabric`](crate::Fabric) needs to reproduce the sharded
+/// run, faults included, byte for byte (see [`replay_records_serial`]).
+/// Within one barrier the order is: the window's admissions (in
+/// `(source shard, admission seq)` order), then the fault commands the
+/// barrier applied — so a replaying fabric admits each window's
+/// demands against exactly the plane state the shards admitted them
+/// against.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayRecord {
+    /// A delivered transfer.
+    Transfer(ReplayEntry),
+    /// A demand admitted shard-side that a barrier-applied fault left
+    /// undeliverable: the sender's admission charges stand (the bytes
+    /// went on the wire), nothing arrived. Replay with
+    /// [`Fabric::admit_only`](crate::Fabric::admit_only).
+    Failed {
+        /// Sending node.
+        src: usize,
+        /// Receiving node.
+        dst: usize,
+        /// Payload bytes.
+        bytes: u64,
+        /// Admission time at the sender.
+        sent: Nanos,
+    },
+    /// A fault-plane mutation applied at the barrier closing the
+    /// window whose admissions precede it in the log.
+    Fault(PlaneCmd),
+}
+
+/// The scheduled-fault state the barrier stage owns: the master plane
+/// every failure decision consults, and the timeline of commands still
+/// to apply. Shards hold per-endpoint snapshots of the master,
+/// refreshed (draw counters preserved) whenever a barrier applies one
+/// or more commands.
+struct ShardedFaultPlane {
+    master: FaultPlane,
+    /// Time-ordered `(at, cmd)` pairs; `next` indexes the first not yet
+    /// applied.
+    timeline: Vec<(Nanos, PlaneCmd)>,
+    next: usize,
+}
+
+impl ShardedFaultPlane {
+    /// Apply every command due strictly before `window_end` to the
+    /// master, returning the `(at, cmd)` pairs applied (empty almost
+    /// always — the healthy-path cost is one bounds check).
+    fn apply_due(&mut self, window_end: Nanos) -> Vec<(Nanos, PlaneCmd)> {
+        let mut applied = Vec::new();
+        while let Some((at, cmd)) = self.timeline.get(self.next) {
+            if *at >= window_end {
+                break;
+            }
+            self.master.apply(cmd);
+            applied.push((*at, cmd.clone()));
+            self.next += 1;
+        }
+        applied
+    }
+}
+
 struct CoreState {
     core: FabricCore,
-    log: Vec<ReplayEntry>,
+    log: Vec<ReplayRecord>,
+    faults: ShardedFaultPlane,
 }
 
 /// The barrier-replayed shared-core stage (install via
@@ -97,33 +191,100 @@ struct FabricStage {
 
 impl<S: Send + 'static> EpochStage<NetShard<S>> for FabricStage {
     fn reconcile(&mut self, view: &mut EpochView<'_, '_, NetShard<S>>) {
+        let window_end = view.window_end();
         let mut core = self.core.lock().expect("fabric core");
+        // Scheduled fault events due inside the window this barrier
+        // closes take effect now, before any of the window's demands
+        // are completed: a mid-epoch crash resolves as `Unreachable`
+        // on the replayed core stage, never as a delivery.
+        let applied = core.faults.apply_due(window_end);
+        for (at, cmd) in &applied {
+            view.tracer().instant_at("chaos", "chaos/faults", cmd.label(), at.0);
+        }
         for src in 0..view.shards() {
             let pending = std::mem::take(&mut view.state(src).pending);
             for p in pending {
                 let d = p.demand;
                 if d.is_loopback() {
-                    // Counted and delivered locally at send time; logged
-                    // so the serial replay counts the same traffic.
-                    core.log.push(ReplayEntry {
+                    // Counted and delivered locally at send time (faults
+                    // were observed at admission only — a loopback never
+                    // crosses the wire); logged so the serial replay
+                    // counts the same traffic.
+                    core.log.push(ReplayRecord::Transfer(ReplayEntry {
                         src: d.src,
                         dst: d.dst,
                         bytes: d.bytes,
                         sent: d.sent,
                         done: d.sent,
+                    }));
+                    continue;
+                }
+                if core.faults.master.is_active() && !core.faults.master.reachable(d.src, d.dst) {
+                    // The sender's admission charges stand — the bytes
+                    // went on the wire — but the core and the receiver
+                    // are never touched. The sender observes the failure
+                    // at the serial fabric's timeout.
+                    core.log.push(ReplayRecord::Failed {
+                        src: d.src,
+                        dst: d.dst,
+                        bytes: d.bytes,
+                        sent: d.sent,
                     });
+                    if let Some(on_fail) = p.on_fail {
+                        let gave_up_at = d.sent + core.faults.master.timeout();
+                        let u = Unreachable {
+                            src: d.src,
+                            dst: d.dst,
+                            crashed: core.faults.master.crashed_endpoint(d.src, d.dst),
+                            gave_up_at,
+                        };
+                        let at = gave_up_at.max(view.now(d.src));
+                        view.schedule(d.src, at, move |ctx| {
+                            on_fail(&mut NetCtx { inner: ctx }, u)
+                        });
+                    }
                     continue;
                 }
                 let done = {
-                    let CoreState { core, log } = &mut *core;
+                    let CoreState { core, log, .. } = &mut *core;
                     let done = core.complete(&d, view.tracer());
-                    log.push(ReplayEntry { src: d.src, dst: d.dst, bytes: d.bytes, sent: d.sent, done });
+                    log.push(ReplayRecord::Transfer(ReplayEntry {
+                        src: d.src,
+                        dst: d.dst,
+                        bytes: d.bytes,
+                        sent: d.sent,
+                        done,
+                    }));
                     done
                 };
+                // The conservative-lookahead contract: latency factors
+                // are clamped to >= 1.0, so fault inflation only
+                // lengthens delays and every delivery still lands at or
+                // beyond the window end the shards stopped at.
+                assert!(
+                    done >= window_end,
+                    "fabric delivery at {done} inside the window ending {window_end}: \
+                     latency inflation must only lengthen delays"
+                );
                 view.state(d.dst).endpoint.deliver(d.bytes);
                 if let Some(on_done) = p.on_done {
                     view.schedule(d.dst, done, move |ctx| on_done(&mut NetCtx { inner: ctx }));
                 }
+            }
+        }
+        // The commands land in the log *after* the window's admissions:
+        // a replaying serial fabric then admits each window's demands
+        // against the plane state the shards admitted them against.
+        let refreshed = !applied.is_empty();
+        for (_, cmd) in applied {
+            core.log.push(ReplayRecord::Fault(cmd));
+        }
+        if refreshed {
+            // Redistribute the post-event plane to every shard (cheap:
+            // fault state only, draw counters are preserved shard-side).
+            let master = core.faults.master.clone();
+            for node in 0..view.shards() {
+                view.state(node).faults.sync_from(&master);
             }
         }
     }
@@ -183,7 +344,9 @@ impl<S: Send + 'static> NetCtx<'_, '_, S> {
     /// Send `bytes` to `dst` over the fabric; `on_done` runs on the
     /// destination shard at the transfer's completion time (for
     /// loopback: locally, at the current time). If a fault makes the
-    /// destination unreachable the message is dropped silently — use
+    /// destination unreachable — at admission, or via a scheduled
+    /// fault applied at the epoch barrier while the demand was in
+    /// flight — the message is dropped silently; use
     /// [`transfer_or`](Self::transfer_or) to observe the failure.
     pub fn transfer(
         &mut self,
@@ -197,7 +360,10 @@ impl<S: Send + 'static> NetCtx<'_, '_, S> {
     /// Like [`transfer`](Self::transfer), but on an unreachable
     /// destination `on_fail` runs on *this* shard at the time the
     /// sender gives up (`now + timeout`), mirroring the serial fabric's
-    /// timeout charge.
+    /// timeout charge. The failure is observed both at admission (the
+    /// plane already marks the peer unreachable) and at the epoch
+    /// barrier (a scheduled fault struck while the demand was in
+    /// flight; the sender's admission charges stand).
     pub fn transfer_or(
         &mut self,
         dst: usize,
@@ -225,13 +391,16 @@ impl<S: Send + 'static> NetCtx<'_, '_, S> {
             Ok(demand) if demand.is_loopback() => {
                 let shard = self.inner.state();
                 shard.endpoint.deliver(bytes);
-                shard.pending.push(PendingTransfer { demand, on_done: None });
+                shard.pending.push(PendingTransfer { demand, on_done: None, on_fail: None });
                 // Locality is free: deliver at the current time, after
                 // the in-flight event finishes.
                 self.schedule_in(Nanos::ZERO, move |ctx| on_done(ctx));
             }
             Ok(demand) => {
-                self.inner.state().pending.push(PendingTransfer { demand, on_done: Some(on_done) });
+                self.inner
+                    .state()
+                    .pending
+                    .push(PendingTransfer { demand, on_done: Some(on_done), on_fail });
             }
             Err(u) => {
                 if let Some(on_fail) = on_fail {
@@ -264,8 +433,9 @@ impl<S: Send + 'static> FabricSim<S> {
     }
 
     /// Like [`new`](Self::new) with a pre-configured fault plane. The
-    /// plane is snapshotted per shard at construction: faults are fixed
-    /// for the whole run (mid-run injection needs the serial fabric).
+    /// plane is snapshotted per shard at construction and doubles as
+    /// the barrier stage's master; schedule mid-run fault events with
+    /// [`set_fault_timeline`](Self::set_fault_timeline).
     pub fn with_faults(
         states: Vec<S>,
         link_gbit: f64,
@@ -288,9 +458,40 @@ impl<S: Send + 'static> FabricSim<S> {
             })
             .collect();
         let mut sim = ShardedSim::new(shards, latency);
-        let core = Arc::new(Mutex::new(CoreState { core: FabricCore::new(nodes), log: Vec::new() }));
+        let core = Arc::new(Mutex::new(CoreState {
+            core: FabricCore::new(nodes),
+            log: Vec::new(),
+            faults: ShardedFaultPlane { master: faults, timeline: Vec::new(), next: 0 },
+        }));
         sim.set_stage(FabricStage { core: Arc::clone(&core) });
         FabricSim { sim, core, params }
+    }
+
+    /// Install a scheduled-fault timeline: `seed` feeds the
+    /// deterministic loss sampler on every plane (master and shard
+    /// snapshots — first-window admissions precede any barrier sync),
+    /// and each `(at, cmd)` is applied to the master plane at the
+    /// barrier closing the window containing `at`, then redistributed
+    /// to the shards. The timeline is stable-sorted by time, so
+    /// same-instant commands keep the caller's order. Replaces any
+    /// previous timeline; call before running.
+    pub fn set_fault_timeline(&mut self, seed: u64, mut timeline: Vec<(Nanos, PlaneCmd)>) {
+        timeline.sort_by_key(|(at, _)| *at);
+        {
+            let mut core = self.core.lock().expect("fabric core");
+            core.faults.master.set_seed(seed);
+            core.faults.timeline = timeline;
+            core.faults.next = 0;
+        }
+        for node in 0..self.sim.shards() {
+            self.sim.state_mut(node).faults.set_seed(seed);
+        }
+    }
+
+    /// The fault planes' unreachable-peer timeout (the virtual time a
+    /// sender waits before `on_fail` runs).
+    pub fn fault_timeout(&self) -> Nanos {
+        self.core.lock().expect("fabric core").faults.master.timeout()
     }
 
     /// Number of fabric nodes (= shards).
@@ -366,10 +567,67 @@ impl<S: Send + 'static> FabricSim<S> {
     }
 
     /// The completed-transfer log, in deterministic completion order
-    /// (see [`ReplayEntry`]).
+    /// (see [`ReplayEntry`]). Failed demands and fault commands are
+    /// omitted — use [`replay_records`](Self::replay_records) for the
+    /// full log a faulted run needs.
     pub fn replay_log(&self) -> Vec<ReplayEntry> {
+        self.core
+            .lock()
+            .expect("fabric core")
+            .log
+            .iter()
+            .filter_map(|r| match r {
+                ReplayRecord::Transfer(e) => Some(*e),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The full admission log — transfers, barrier-failed demands and
+    /// barrier-applied fault commands, in deterministic order (see
+    /// [`ReplayRecord`]).
+    pub fn replay_records(&self) -> Vec<ReplayRecord> {
         self.core.lock().expect("fabric core").log.clone()
     }
+}
+
+/// Replay a sharded run's full admission log through a serial
+/// [`Fabric`](crate::Fabric), checking the equivalence contract record
+/// by record: every [`ReplayRecord::Transfer`] must reproduce its
+/// logged completion time via `try_transfer`, every
+/// [`ReplayRecord::Failed`] must admit cleanly via `admit_only` (the
+/// serial plane trails the sharded master by the commands logged after
+/// the window's admissions, so admission-time state matches), and
+/// every [`ReplayRecord::Fault`] mutates the serial plane in place.
+/// The caller seeds the serial fabric's plane (and any static faults)
+/// to match the sharded run before calling. After a clean replay the
+/// serial fabric's traffic counters equal the sharded run's.
+pub fn replay_records_serial(
+    records: &[ReplayRecord],
+    fabric: &mut crate::Fabric,
+) -> Result<(), String> {
+    for (i, rec) in records.iter().enumerate() {
+        match rec {
+            ReplayRecord::Transfer(e) => {
+                let done = fabric
+                    .try_transfer(e.src, e.dst, e.bytes, e.sent)
+                    .map_err(|u| format!("record {i}: serial replay refused {e:?}: {u}"))?;
+                if done != e.done {
+                    return Err(format!(
+                        "record {i}: serial replay of {e:?} completed at {done}, sharded run saw {}",
+                        e.done
+                    ));
+                }
+            }
+            ReplayRecord::Failed { src, dst, bytes, sent } => {
+                fabric.admit_only(*src, *dst, *bytes, *sent).map_err(|u| {
+                    format!("record {i}: serial replay could not admit failed demand: {u}")
+                })?;
+            }
+            ReplayRecord::Fault(cmd) => fabric.faults_mut().apply(cmd),
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -443,6 +701,118 @@ mod tests {
         // Nothing was put on the wire and nothing was logged.
         assert_eq!(sim.total_bytes(), 0);
         assert!(sim.replay_log().is_empty());
+    }
+
+    /// Retry-with-backoff until the restarted peer's heal has crossed a
+    /// barrier and reached this shard's plane snapshot.
+    fn retry(c: &mut NetCtx<'_, '_, Vec<(&'static str, Nanos)>>, attempt: usize) {
+        assert!(attempt < 8, "retry never succeeded");
+        c.transfer_or(
+            1,
+            4096,
+            |cc| {
+                let t = cc.now();
+                cc.state().push(("retried", t));
+            },
+            move |cc, _| retry(cc, attempt + 1),
+        );
+    }
+
+    #[test]
+    fn scheduled_crash_fails_in_flight_demands_and_the_log_replays_serially() {
+        // Timeline: node 1 crashes at 50 us, restarts at 200 us. The
+        // sender transfers at 0 (healthy), 60 us (admitted, then the
+        // barrier applies the crash -> Failed) and retries from the
+        // failure callback (lands after the restart).
+        let run = |workers: usize| {
+            let mut sim: FabricSim<Vec<(&'static str, Nanos)>> =
+                FabricSim::new(vec![Vec::new(); 2], 10.0, Nanos::from_micros(10), 1.0);
+            sim.set_fault_timeline(
+                5,
+                vec![
+                    (Nanos::from_micros(50), PlaneCmd::Crash(1)),
+                    (Nanos::from_micros(200), PlaneCmd::Restart(1)),
+                ],
+            );
+            sim.schedule(0, Nanos::ZERO, |ctx| {
+                ctx.transfer(1, 4096, |c| {
+                    let t = c.now();
+                    c.state().push(("first", t));
+                });
+            });
+            sim.schedule(0, Nanos::from_micros(60), |ctx| {
+                ctx.transfer_or(
+                    1,
+                    4096,
+                    |_| panic!("delivered through a crash"),
+                    |c, u| {
+                        assert_eq!(u.crashed, Some(1));
+                        let t = c.now();
+                        c.state().push(("failed", t));
+                        retry(c, 0);
+                    },
+                );
+            });
+            sim.run_sharded(workers);
+            sim
+        };
+        let reference = run(1);
+        // The in-flight demand failed at the sender's timeout ...
+        let fails: Vec<_> = reference.state(0).iter().filter(|(k, _)| *k == "failed").collect();
+        assert_eq!(fails.len(), 1);
+        assert_eq!(fails[0].1, Nanos::from_micros(60) + reference.fault_timeout());
+        // ... and the retry landed on the restarted node.
+        assert_eq!(reference.state(1).iter().filter(|(k, _)| *k == "retried").count(), 1);
+        // The sender was charged for the failed attempt (3 admissions on
+        // the wire), the receiver only saw the two deliveries.
+        assert_eq!(reference.traffic(0).tx_bytes, 3 * 4096);
+        assert_eq!(reference.traffic(1).rx_bytes, 2 * 4096);
+        // The full log replays through a serial fabric byte for byte.
+        let records = reference.replay_records();
+        assert!(records.iter().any(|r| matches!(r, ReplayRecord::Failed { .. })));
+        assert!(records.iter().any(|r| matches!(r, ReplayRecord::Fault(PlaneCmd::Crash(1)))));
+        let mut serial = Fabric::new(2, 10.0, Nanos::from_micros(10), 1.0);
+        serial.faults_mut().set_seed(5);
+        replay_records_serial(&records, &mut serial).expect("serial replay");
+        assert_eq!(serial.traffic(0), reference.traffic(0));
+        assert_eq!(serial.traffic(1), reference.traffic(1));
+        // Every worker count produces the identical log and state.
+        for workers in [2, 4] {
+            let parallel = run(workers);
+            assert_eq!(parallel.replay_records(), records, "workers={workers}");
+            assert_eq!(parallel.state(0), reference.state(0));
+            assert_eq!(parallel.state(1), reference.state(1));
+        }
+    }
+
+    #[test]
+    fn latency_inflation_respects_the_lookahead_contract() {
+        // A mid-run latency inflation must only lengthen delays; the
+        // stage asserts every delivery lands at or beyond its window
+        // end, so a clean run *is* the proof.
+        let mut sim: FabricSim<Vec<Nanos>> =
+            FabricSim::new(vec![Vec::new(); 2], 10.0, Nanos::from_micros(10), 1.0);
+        sim.set_fault_timeline(
+            1,
+            vec![(Nanos::from_micros(5), PlaneCmd::Latency { node: 1, factor: 8.0 })],
+        );
+        sim.schedule(0, Nanos::ZERO, |ctx| {
+            ctx.transfer(1, 0, |c| {
+                let t = c.now();
+                c.state().push(t);
+            });
+        });
+        // Admitted before the inflation lands: healthy latency.
+        sim.schedule(0, Nanos::from_micros(100), |ctx| {
+            ctx.transfer(1, 0, |c| {
+                let t = c.now();
+                c.state().push(t);
+            });
+        });
+        sim.run();
+        let dones = sim.state(1).clone();
+        assert_eq!(dones[0], Nanos::from_micros(10));
+        assert_eq!(dones[1], Nanos::from_micros(100) + Nanos::from_micros(80));
     }
 
     #[test]

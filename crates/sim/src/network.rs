@@ -339,6 +339,25 @@ impl Fabric {
         Ok(self.core.complete(&demand, &popper_trace::current()))
     }
 
+    /// Admit a transfer without delivering or completing it: the sender
+    /// is charged (retransmit draws, traffic counters, egress
+    /// reservation) exactly as [`try_transfer`](Self::try_transfer)
+    /// would, but the core, the ingress link and the receiver are never
+    /// touched. This replays a sharded-run admission whose demand a
+    /// barrier-applied fault later left undeliverable — the bytes went
+    /// on the wire, nothing arrived (see
+    /// [`crate::netshard::ReplayRecord::Failed`]).
+    pub fn admit_only(
+        &mut self,
+        src: usize,
+        dst: usize,
+        bytes: u64,
+        now: Nanos,
+    ) -> Result<TransferDemand, Unreachable> {
+        assert!(src < self.nodes() && dst < self.nodes(), "endpoint out of range");
+        self.endpoints[src].admit(dst, bytes, now, &mut self.faults)
+    }
+
     /// A small-message round trip between two nodes (an RPC): two
     /// latencies plus both serializations.
     ///

@@ -172,12 +172,23 @@ pub trait EpochStage<S>: Send {
 pub struct EpochView<'a, 'b, S> {
     shards: Vec<&'a mut Shard<S>>,
     tracer: &'b Tracer,
+    window_end: Nanos,
 }
 
 impl<S> EpochView<'_, '_, S> {
     /// Number of shards.
     pub fn shards(&self) -> usize {
         self.shards.len()
+    }
+
+    /// The exclusive end of the window this barrier closes: every shard
+    /// has fired all its events strictly before this time. Stages use
+    /// it to decide which timeline entries (e.g. scheduled fault
+    /// events) are due at this barrier — a worker-count-invariant cut,
+    /// because the window bounds are computed by the coordinator on
+    /// both the serial and the parallel path.
+    pub fn window_end(&self) -> Nanos {
+        self.window_end
     }
 
     /// Mutably borrow one shard's state.
@@ -389,7 +400,7 @@ impl<S: Send> ShardedSim<S> {
     /// therefore all downstream dispatch order — independent of which
     /// worker ran which shard. Then reconcile the epoch stage (if any)
     /// and forward buffered trace records in shard order.
-    fn epoch_boundary(&mut self, trace_on: bool) {
+    fn epoch_boundary(&mut self, trace_on: bool, window_end: Nanos) {
         for src in 0..self.shards.len() {
             let outbox = std::mem::take(&mut self.shards[src].outbox);
             for out in outbox {
@@ -400,7 +411,11 @@ impl<S: Send> ShardedSim<S> {
             }
         }
         if let Some(stage) = self.stage.as_mut() {
-            let mut view = EpochView { shards: self.shards.iter_mut().collect(), tracer: &self.tracer };
+            let mut view = EpochView {
+                shards: self.shards.iter_mut().collect(),
+                tracer: &self.tracer,
+                window_end,
+            };
             stage.reconcile(&mut view);
         }
         if trace_on {
@@ -456,7 +471,7 @@ impl<S: Send> ShardedSim<S> {
             for shard in &mut self.shards {
                 shard.process_window(window_end, lookahead, n, trace_on);
             }
-            self.epoch_boundary(trace_on);
+            self.epoch_boundary(trace_on, window_end);
         }
         self.finish(trace_on)
     }
@@ -532,7 +547,8 @@ impl<S: Send> ShardedSim<S> {
                     break;
                 };
                 cursor.store(0, AtomicOrdering::Relaxed);
-                window_end.store(h.saturating_add(lookahead).0, AtomicOrdering::Release);
+                let end = h.saturating_add(lookahead);
+                window_end.store(end.0, AtomicOrdering::Release);
                 barrier.wait(); // epoch starts
                 barrier.wait(); // epoch ends
                 // Deterministic boundary work on the coordinator: drain
@@ -556,6 +572,7 @@ impl<S: Send> ShardedSim<S> {
                     let mut view = EpochView {
                         shards: guards.iter_mut().map(|g| &mut ***g).collect(),
                         tracer: &tracer,
+                        window_end: end,
                     };
                     stage.reconcile(&mut view);
                 }

@@ -13,7 +13,7 @@
 //! The CI jobs `gassyfs-shard-determinism` and
 //! `orchestra-shard-determinism` run the world halves of this file.
 
-use popper_sim::{platforms, Fabric, FabricSim, FaultPlane, Nanos};
+use popper_sim::{platforms, Fabric, FabricSim, FaultPlane, Nanos, PlaneCmd, ReplayRecord};
 use popper_trace::{ClockDomain, TraceSink};
 
 const LINK_GBIT: f64 = 10.0;
@@ -122,6 +122,164 @@ fn lossy_fan_in_matches_the_serial_fabric_including_retransmits() {
     }
 }
 
+#[test]
+fn scheduled_faults_with_loss_replay_serially_and_are_worker_invariant() {
+    // The extended oracle: a run that mixes sampled loss (per-source
+    // draw sequences) with scheduled mid-run faults (crash + restart
+    // at epoch barriers) must still replay byte-for-byte through a
+    // serial fabric — Transfer records as transfers, Failed records as
+    // admissions, Fault records as plane mutations, in log order.
+    let nodes = 5;
+    let timeline = || {
+        vec![
+            (Nanos::ZERO, PlaneCmd::Loss { node: 0, p: 0.4 }),
+            (Nanos::from_micros(40), PlaneCmd::Crash(2)),
+            (Nanos::from_micros(120), PlaneCmd::Restart(2)),
+        ]
+    };
+    let run = |workers: usize| {
+        // Each source fires three rounds at node 0 on its own clock
+        // (the delivery callback runs on the *receiver*, so chaining
+        // there would turn later rounds into loss-free loopbacks),
+        // retrying with backoff when the crash swallows one.
+        fn send(ctx: &mut popper_sim::NetCtx<'_, '_, u64>, round: u64, attempt: u32) {
+            assert!(attempt < 8, "retries must converge after the restart");
+            ctx.transfer_or(
+                0,
+                100_000 + round * 7_000,
+                |c| *c.state() += 1,
+                move |c, _| {
+                    c.schedule_in(Nanos::from_micros(50 << attempt), move |cc| {
+                        send(cc, round, attempt + 1)
+                    });
+                },
+            );
+        }
+        let mut sim = FabricSim::new(vec![0u64; 5], LINK_GBIT, LATENCY, OVERSUB);
+        sim.set_fault_timeline(41, timeline());
+        // Keep the early windows non-empty so barriers stay aligned to
+        // lookahead multiples through the crash/restart interval; node
+        // 2's round 0 at 41 us is then admitted inside the window
+        // [40, 45) us whose closing barrier applies the 40 us crash —
+        // an in-flight demand killed mid-epoch.
+        for tick in 0..=140 {
+            sim.schedule(0, Nanos::from_micros(tick), |_| {});
+        }
+        for src in 1..5usize {
+            for round in 0..3u64 {
+                let at = if src == 2 && round == 0 {
+                    Nanos::from_micros(41)
+                } else {
+                    Nanos::from_micros(round * 80) + Nanos(src as u64 * 10)
+                };
+                sim.schedule(src, at, move |ctx| send(ctx, round, 0));
+            }
+        }
+        sim.run_sharded(workers);
+        sim
+    };
+    let reference = run(1);
+    assert_eq!(*reference.state(0), 12, "all sends delivered eventually");
+    let wire: u64 = (0..nodes).map(|n| reference.traffic(n).tx_bytes).sum();
+    let payload: u64 = (0..nodes).map(|n| reference.traffic(n).rx_bytes).sum();
+    let attempts: u64 = (0..nodes).map(|n| reference.traffic(n).tx_msgs).sum();
+    assert!(wire > payload, "the lossy path must retransmit");
+    // 12 deliveries + 1 barrier-killed demand; anything beyond that is
+    // a sampled retransmission, which the killed demand alone cannot
+    // explain.
+    assert!(attempts > 13, "loss draws must retransmit (attempts {attempts})");
+    let records = reference.replay_records();
+    assert!(records.iter().any(|r| matches!(r, ReplayRecord::Failed { src: 2, .. })),
+        "the crash must kill node 2's in-flight demand");
+    assert!(records.iter().any(|r| matches!(r, ReplayRecord::Fault(PlaneCmd::Restart(2)))));
+    let mut serial = Fabric::new(nodes, LINK_GBIT, LATENCY, OVERSUB);
+    serial.faults_mut().set_seed(41);
+    popper_sim::replay_records_serial(&records, &mut serial).expect("serial replay");
+    for node in 0..nodes {
+        assert_eq!(reference.traffic(node), serial.traffic(node), "traffic counters, node {node}");
+    }
+    for workers in [2, 8] {
+        let parallel = run(workers);
+        assert_eq!(parallel.replay_records(), records, "workers={workers}");
+        assert_eq!(parallel.state(0), reference.state(0), "workers={workers}");
+        assert_eq!(parallel.now(), reference.now(), "workers={workers}");
+    }
+}
+
+#[test]
+fn flapping_partition_healing_on_an_epoch_boundary_applies_next_barrier() {
+    // A fault command due check is `at < window_end`: a heal landing
+    // exactly ON a window boundary belongs to the *next* barrier.
+    // Admissions in the window starting at the heal instant still see
+    // the partitioned snapshot (and fail); the window after sees the
+    // healed one. The partition side of the flap behaves symmetrically
+    // — admitted in-flight demands are killed at the barrier that
+    // applies it. LATENCY = 5 us, so windows close at 5 us multiples
+    // (keep-alive events pin the alignment).
+    let l = LATENCY.0; // 5_000 ns
+    let timeline = vec![
+        (Nanos::ZERO, PlaneCmd::Partition(vec![0])),
+        (Nanos(4 * l), PlaneCmd::HealPartition),     // exactly on a boundary
+        (Nanos(8 * l), PlaneCmd::Partition(vec![0])), // flap, on a boundary
+        (Nanos(12 * l), PlaneCmd::HealPartition),    // heal again, on a boundary
+    ];
+    let run = |workers: usize| {
+        let mut sim: FabricSim<Vec<(&'static str, bool)>> =
+            FabricSim::new(vec![Vec::new(); 3], LINK_GBIT, LATENCY, OVERSUB);
+        sim.set_fault_timeline(3, timeline.clone());
+        // Keep every 5 us window non-empty so barriers stay aligned to
+        // multiples of the lookahead.
+        for tick in 0..=(14 * l / 1000) {
+            sim.schedule(2, Nanos(tick * 1000), |_| {});
+        }
+        let mut probe = |tag: &'static str, at: u64| {
+            sim.schedule(0, Nanos(at), move |ctx| {
+                ctx.transfer_or(
+                    1,
+                    4096,
+                    move |c| c.state().push((tag, true)),
+                    move |c, _| c.state().push((tag, false)),
+                );
+            });
+        };
+        probe("in-flight-at-first-barrier", 1_000); // killed when the partition applies
+        probe("window-starting-at-heal", 4 * l); // stale snapshot: fails at admission
+        probe("window-after-heal", 5 * l + 1_000); // healed snapshot: delivered
+        probe("in-flight-at-flap", 8 * l + 1_000); // killed when the flap applies
+        probe("window-starting-at-reheal", 12 * l); // stale snapshot again
+        probe("window-after-reheal", 13 * l + 1_000); // delivered
+        sim.run_sharded(workers);
+        sim
+    };
+    let reference = run(1);
+    let outcomes: Vec<(&str, bool)> = reference
+        .state(0)
+        .iter()
+        .chain(reference.state(1).iter())
+        .cloned()
+        .collect();
+    let outcome = |tag: &str| {
+        outcomes
+            .iter()
+            .find(|(t, _)| *t == tag)
+            .unwrap_or_else(|| panic!("probe '{tag}' never resolved"))
+            .1
+    };
+    assert!(!outcome("in-flight-at-first-barrier"));
+    assert!(!outcome("window-starting-at-heal"), "a boundary heal must not apply early");
+    assert!(outcome("window-after-heal"));
+    assert!(!outcome("in-flight-at-flap"));
+    assert!(!outcome("window-starting-at-reheal"));
+    assert!(outcome("window-after-reheal"));
+    for workers in [2, 8] {
+        let parallel = run(workers);
+        assert_eq!(parallel.replay_records(), reference.replay_records(), "workers={workers}");
+        for node in 0..3 {
+            assert_eq!(parallel.state(node), reference.state(node), "workers={workers}");
+        }
+    }
+}
+
 mod random_schedules {
     use super::*;
     use proptest::prelude::*;
@@ -219,8 +377,107 @@ fn own_ci_config_has_shard_determinism_jobs() {
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(".popper-ci.pml");
     let text = std::fs::read_to_string(path).expect(".popper-ci.pml at the workspace root");
     let config = popper::ci::PipelineConfig::from_pml(&text).expect("config parses");
-    for job in ["gassyfs-shard-determinism", "orchestra-shard-determinism"] {
+    for job in ["gassyfs-shard-determinism", "orchestra-shard-determinism", "chaos-shard-determinism"] {
         assert!(config.jobs.iter().any(|j| j.name == job), "missing CI job '{job}'");
+    }
+}
+
+// ---- chaos determinism: scheduled mid-run faults, every world -------
+
+#[test]
+fn chaos_gassyfs_world_has_identical_trace_bytes_at_1_2_8_workers() {
+    let config = popper_gassyfs::ShardedGassyConfig { nodes: 6, pages: 48, streams: 3 };
+    let platform = platforms::gassyfs_node();
+    let timeline = || {
+        vec![
+            (Nanos::from_millis(2), PlaneCmd::Crash(2)),
+            (Nanos::from_millis(9), PlaneCmd::Restart(2)),
+        ]
+    };
+    let (reference, ref_trace) =
+        traced(|| popper_gassyfs::shardworld::run_sharded_chaos(&config, &platform, 1, 7, timeline()));
+    assert!(reference.failovers > 0 && reference.lost == 0);
+    assert!(ref_trace.contains("chaos/faults"), "fault instants missing from the trace");
+    assert!(ref_trace.contains("crash node 2"), "{ref_trace:.300}");
+    for workers in [2, 8] {
+        let (run, trace) = traced(|| {
+            popper_gassyfs::shardworld::run_sharded_chaos(&config, &platform, workers, 7, timeline())
+        });
+        assert_eq!(
+            popper_gassyfs::ShardedGassyChaosReport { workers: 1, ..run },
+            reference,
+            "workers={workers}"
+        );
+        assert_eq!(trace, ref_trace, "trace bytes, workers={workers}");
+    }
+}
+
+#[test]
+fn chaos_orchestra_world_has_identical_trace_bytes_at_1_2_8_workers() {
+    let config = popper_orchestra::ShardedOrchestraConfig::default();
+    let timeline = || {
+        vec![
+            (Nanos::from_millis(1), PlaneCmd::Crash(3)),
+            (Nanos::from_millis(6), PlaneCmd::Restart(3)),
+        ]
+    };
+    let (reference, ref_trace) =
+        traced(|| popper_orchestra::shardworld::run_sharded_chaos(&config, 1, 13, timeline()));
+    assert!(reference.detections > 0 && reference.lost == 0);
+    assert!(ref_trace.contains("chaos/faults"));
+    for workers in [2, 8] {
+        let (run, trace) =
+            traced(|| popper_orchestra::shardworld::run_sharded_chaos(&config, workers, 13, timeline()));
+        assert_eq!(
+            popper_orchestra::ShardedOrchestraChaosReport { workers: 1, ..run },
+            reference,
+            "workers={workers}"
+        );
+        assert_eq!(trace, ref_trace, "trace bytes, workers={workers}");
+    }
+}
+
+#[test]
+fn chaos_lulesh_and_farm_worlds_have_identical_trace_bytes_at_1_2_8_workers() {
+    let app = popper_minimpi::lulesh::LuleshConfig::small();
+    let platform = platforms::hpc_node();
+    let lulesh_timeline = || {
+        vec![
+            (Nanos::from_millis(3), PlaneCmd::Crash(1)),
+            (Nanos::from_millis(8), PlaneCmd::Restart(1)),
+        ]
+    };
+    let (lulesh_ref, lulesh_trace) =
+        traced(|| popper_minimpi::run_sharded_chaos(&app, &platform, 1, 11, lulesh_timeline()));
+    assert!(lulesh_ref.detections > 0 && lulesh_ref.lost == 0);
+    assert!(lulesh_trace.contains("chaos/faults"));
+    let farm = popper_farm::FarmSimConfig { tenants: 5, jobs_per_tenant: 16, ..Default::default() };
+    let farm_timeline = || {
+        vec![
+            (Nanos::from_millis(4), PlaneCmd::Crash(0)),
+            (Nanos::from_millis(11), PlaneCmd::Restart(0)),
+        ]
+    };
+    let (farm_ref, farm_trace) =
+        traced(|| popper_farm::simulate_chaos(&farm, 1, 17, farm_timeline()));
+    assert!(farm_ref.requeued > 0 && farm_ref.lost == 0);
+    assert!(farm_trace.contains("chaos/faults"));
+    for workers in [2, 8] {
+        let (run, trace) =
+            traced(|| popper_minimpi::run_sharded_chaos(&app, &platform, workers, 11, lulesh_timeline()));
+        assert_eq!(
+            popper_minimpi::ShardedLuleshChaosRun { workers: 1, ..run },
+            lulesh_ref,
+            "workers={workers}"
+        );
+        assert_eq!(trace, lulesh_trace, "lulesh chaos trace bytes, workers={workers}");
+        let (run, trace) = traced(|| popper_farm::simulate_chaos(&farm, workers, 17, farm_timeline()));
+        assert_eq!(
+            popper_farm::FarmChaosSimReport { workers: 1, ..run },
+            farm_ref,
+            "workers={workers}"
+        );
+        assert_eq!(trace, farm_trace, "farm chaos trace bytes, workers={workers}");
     }
 }
 
